@@ -1,0 +1,43 @@
+//! # mss-adversary — the nine lower-bound theorems as executable games
+//!
+//! Section 3 of Pineau, Robert & Vivien proves, for each combination of
+//! platform class (communication-homogeneous, computation-homogeneous,
+//! fully heterogeneous) and objective (makespan, max-flow, sum-flow), a
+//! lower bound on the competitive ratio of **any deterministic on-line
+//! algorithm** — Table 1 of the paper. Each proof is an adversary argument:
+//! release a task, watch what the algorithm commits to by a checkpoint
+//! instant, then extend the instance so that the commitment hurts.
+//!
+//! This crate makes those arguments *executable*: [`play`] runs a theorem's
+//! adversary against a real scheduler (through the `mss-sim` DES, re-running
+//! deterministically instead of injecting adaptively) and returns the
+//! measured competitive ratio together with the **exact** offline optimum
+//! ([`mss_opt::best_exact`], surd arithmetic) and the theorem's exact bound.
+//! Every deterministic scheduler — the paper's seven heuristics, or any
+//! custom [`mss_core::OnlineScheduler`] — must come out with
+//! `ratio ≥ certified`, where `certified` equals the theoretical bound for
+//! the ε-free theorems (1, 2, 3, 6) and sits within a few 10⁻⁴ of it for
+//! the theorems whose proofs take a limit (4, 5, 7, 8, 9).
+//!
+//! ```
+//! use mss_adversary::{play, TheoremId};
+//! use mss_core::Algorithm;
+//!
+//! let factory = || Algorithm::ListScheduling.build();
+//! let result = play(TheoremId::T1, &factory);
+//! assert!(result.holds());                 // ratio ≥ 5/4, as Theorem 1 proves
+//! assert!((result.ratio - 1.25).abs() < 1e-9); // LS hits the bound exactly
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod game;
+mod scripts;
+mod theorems;
+
+pub use game::{GameResult, SchedulerFactory, SendObs, TheoremId, TheoremInfo};
+pub use theorems::{
+    play, play_all, theorem1, theorem2, theorem3, theorem4, theorem5, theorem6, theorem7,
+    theorem8, theorem9,
+};

@@ -1,0 +1,175 @@
+//! The four adversary scripts shared by the nine theorems.
+//!
+//! Reading the proofs side by side shows they use only four game shapes:
+//!
+//! * [`two_checkpoints`] (Theorems 1, 2) — release `i` at 0; check the first
+//!   send at `t1`; if it went to `P1`, release `j` at `t1` and check the
+//!   second send at `t2`; if that also went to `P1` *or had not begun*,
+//!   release a final task `k` at `t2`;
+//! * [`one_checkpoint_one_task`] (Theorem 3) — release `i` at 0; if the
+//!   first send went to `P1` before `τ`, release one more task at `τ`;
+//! * [`one_checkpoint_three_tasks`] (Theorems 4, 5, 6) — same, but release
+//!   *three* tasks `j, k, l` at `τ`;
+//! * [`one_checkpoint_two_tasks`] (Theorems 7, 8, 9, three slaves) — same,
+//!   but release *two* tasks `j, k` at `τ`; the "stop" branch triggers when
+//!   the first send went to `P2` **or `P3`** or had not begun.
+//!
+//! In every script, the "stop" branches freeze the instance as it is —
+//! exactly the proofs' "the adversary does not send other tasks".
+
+use crate::game::{Ctx, GameResult, SchedulerFactory, SendObs, TheoremInfo};
+use mss_exact::Surd;
+
+fn obs_str(o: SendObs) -> String {
+    match o {
+        SendObs::NotBegun => "not begun".into(),
+        SendObs::Begun(j) => format!("begun on P{}", j + 1),
+    }
+}
+
+/// Script for Theorems 1 and 2 (two slaves, checkpoints `t1`, `t2`).
+pub(crate) fn two_checkpoints(
+    ctx: &Ctx,
+    info: TheoremInfo,
+    t1: Surd,
+    t2: Surd,
+    factory: SchedulerFactory<'_>,
+) -> GameResult {
+    let name = factory().name();
+    let mut transcript = Vec::new();
+
+    // Phase 1: single task i at 0.
+    let releases1 = vec![Surd::ZERO];
+    let trace1 = ctx.run(&releases1, factory);
+    let obs1 = ctx.observe(&trace1, 0, t1);
+    transcript.push(format!("release i at 0; at t1={}: first send {}", t1, obs_str(obs1)));
+
+    match obs1 {
+        SendObs::NotBegun | SendObs::Begun(1) => {
+            // Proof cases 1–2: stop with the single-task instance.
+            transcript.push("adversary stops (single-task instance)".into());
+            ctx.finalize(info, name, &releases1, &trace1, transcript)
+        }
+        SendObs::Begun(0) => {
+            // Phase 2: release j at t1.
+            let releases2 = vec![Surd::ZERO, t1];
+            let trace2 = ctx.run(&releases2, factory);
+            let obs2 = ctx.observe(&trace2, 1, t2);
+            transcript.push(format!(
+                "release j at t1={}; at t2={}: second send {}",
+                t1,
+                t2,
+                obs_str(obs2)
+            ));
+            match obs2 {
+                SendObs::Begun(1) => {
+                    transcript.push("adversary stops (two-task instance)".into());
+                    ctx.finalize(info, name, &releases2, &trace2, transcript)
+                }
+                SendObs::Begun(0) | SendObs::NotBegun => {
+                    // Proof cases 2–3: release the last task k at t2.
+                    let releases3 = vec![Surd::ZERO, t1, t2];
+                    let trace3 = ctx.run(&releases3, factory);
+                    transcript.push(format!("release k at t2={t2}; instance final"));
+                    ctx.finalize(info, name, &releases3, &trace3, transcript)
+                }
+                SendObs::Begun(other) => {
+                    unreachable!("two-slave platform produced slave index {other}")
+                }
+            }
+        }
+        SendObs::Begun(other) => unreachable!("two-slave platform produced slave index {other}"),
+    }
+}
+
+/// Script for Theorem 3 (two slaves, one checkpoint, one extra task).
+pub(crate) fn one_checkpoint_one_task(
+    ctx: &Ctx,
+    info: TheoremInfo,
+    tau: Surd,
+    factory: SchedulerFactory<'_>,
+) -> GameResult {
+    let name = factory().name();
+    let mut transcript = Vec::new();
+
+    let releases1 = vec![Surd::ZERO];
+    let trace1 = ctx.run(&releases1, factory);
+    let obs = ctx.observe(&trace1, 0, tau);
+    transcript.push(format!("release i at 0; at τ={}: first send {}", tau, obs_str(obs)));
+
+    match obs {
+        SendObs::NotBegun | SendObs::Begun(1) => {
+            transcript.push("adversary stops (single-task instance)".into());
+            ctx.finalize(info, name, &releases1, &trace1, transcript)
+        }
+        SendObs::Begun(0) => {
+            let releases2 = vec![Surd::ZERO, tau];
+            let trace2 = ctx.run(&releases2, factory);
+            transcript.push(format!("release j at τ={tau}; instance final"));
+            ctx.finalize(info, name, &releases2, &trace2, transcript)
+        }
+        SendObs::Begun(other) => unreachable!("two-slave platform produced slave index {other}"),
+    }
+}
+
+/// Script for Theorems 4–6 (two slaves, one checkpoint, three extra tasks).
+pub(crate) fn one_checkpoint_three_tasks(
+    ctx: &Ctx,
+    info: TheoremInfo,
+    tau: Surd,
+    factory: SchedulerFactory<'_>,
+) -> GameResult {
+    let name = factory().name();
+    let mut transcript = Vec::new();
+
+    let releases1 = vec![Surd::ZERO];
+    let trace1 = ctx.run(&releases1, factory);
+    let obs = ctx.observe(&trace1, 0, tau);
+    transcript.push(format!("release i at 0; at τ={}: first send {}", tau, obs_str(obs)));
+
+    match obs {
+        SendObs::NotBegun | SendObs::Begun(1) => {
+            transcript.push("adversary stops (single-task instance)".into());
+            ctx.finalize(info, name, &releases1, &trace1, transcript)
+        }
+        SendObs::Begun(0) => {
+            let releases2 = vec![Surd::ZERO, tau, tau, tau];
+            let trace2 = ctx.run(&releases2, factory);
+            transcript.push(format!("release j, k, l at τ={tau}; instance final"));
+            ctx.finalize(info, name, &releases2, &trace2, transcript)
+        }
+        SendObs::Begun(other) => unreachable!("two-slave platform produced slave index {other}"),
+    }
+}
+
+/// Script for Theorems 7–9 (three slaves, one checkpoint, two extra tasks).
+pub(crate) fn one_checkpoint_two_tasks(
+    ctx: &Ctx,
+    info: TheoremInfo,
+    tau: Surd,
+    factory: SchedulerFactory<'_>,
+) -> GameResult {
+    let name = factory().name();
+    let mut transcript = Vec::new();
+
+    let releases1 = vec![Surd::ZERO];
+    let trace1 = ctx.run(&releases1, factory);
+    let obs = ctx.observe(&trace1, 0, tau);
+    transcript.push(format!("release i at 0; at τ={}: first send {}", tau, obs_str(obs)));
+
+    match obs {
+        // "If A scheduled the task i on P2 or P3 [or did not begin], the
+        // adversary does not send any other task."
+        SendObs::NotBegun | SendObs::Begun(1) | SendObs::Begun(2) => {
+            transcript.push("adversary stops (single-task instance)".into());
+            ctx.finalize(info, name, &releases1, &trace1, transcript)
+        }
+        SendObs::Begun(0) => {
+            let releases2 = vec![Surd::ZERO, tau, tau];
+            let trace2 = ctx.run(&releases2, factory);
+            transcript.push(format!("release j, k at τ={tau}; instance final"));
+            ctx.finalize(info, name, &releases2, &trace2, transcript)
+        }
+        SendObs::Begun(other) => unreachable!("three-slave platform produced slave index {other}"),
+    }
+}

@@ -1,0 +1,161 @@
+//! Theorems 1–3 (§3.2): communication-homogeneous platforms (`c_j = c`).
+//!
+//! All three use two slaves with `c = 1` and heterogeneous speeds; the
+//! adversary watches where the algorithm's first send goes.
+
+use crate::game::{Ctx, GameResult, SchedulerFactory, TheoremId, TheoremInfo};
+use crate::scripts::{one_checkpoint_one_task, two_checkpoints};
+use mss_core::{Objective, PlatformClass};
+use mss_exact::{rat, Surd};
+
+/// Theorem 1 — `Q,MS | online, r_i, p_j, c_j = c | max C_i`, bound **5/4**.
+///
+/// Platform: `c = 1`, `p = (3, 7)`. Checkpoints `t1 = c`, `t2 = 2c`;
+/// the adversary releases `i` at 0, possibly `j` at `t1`, possibly `k` at
+/// `t2`. Every branch of the proof yields ratio ≥ 5/4 exactly, so
+/// `certified == bound`.
+pub fn theorem1(factory: SchedulerFactory<'_>) -> GameResult {
+    let ctx = Ctx::new(
+        vec![Surd::ONE, Surd::ONE],
+        vec![Surd::from_int(3), Surd::from_int(7)],
+    );
+    let bound = Surd::from_ratio(5, 4);
+    let info = TheoremInfo {
+        id: TheoremId::T1,
+        platform_class: PlatformClass::CommHomogeneous,
+        objective: Objective::Makespan,
+        bound,
+        certified: bound,
+    };
+    two_checkpoints(&ctx, info, Surd::ONE, Surd::from_int(2), factory)
+}
+
+/// Theorem 2 — `Q,MS | online, r_i, p_j, c_j = c | Σ(C_i − r_i)`, bound
+/// **(2+4√2)/7 ≈ 1.093**.
+///
+/// Platform: `c = 1`, `p₁ = 2`, `p₂ = 4√2 − 2`. Same two-checkpoint script
+/// as Theorem 1; all branch ratios are ≥ the bound exactly
+/// (`certified == bound`).
+pub fn theorem2(factory: SchedulerFactory<'_>) -> GameResult {
+    let p2 = Surd::new(rat(-2, 1), rat(4, 1), 2); // 4√2 − 2
+    let ctx = Ctx::new(vec![Surd::ONE, Surd::ONE], vec![Surd::from_int(2), p2]);
+    let bound = (Surd::from_int(2) + Surd::from_int(4) * Surd::sqrt(2)) / Surd::from_int(7);
+    let info = TheoremInfo {
+        id: TheoremId::T2,
+        platform_class: PlatformClass::CommHomogeneous,
+        objective: Objective::SumFlow,
+        bound,
+        certified: bound,
+    };
+    two_checkpoints(&ctx, info, Surd::ONE, Surd::from_int(2), factory)
+}
+
+/// Theorem 3 — `Q,MS | online, r_i, p_j, c_j = c | max(C_i − r_i)`, bound
+/// **(5−√7)/2 ≈ 1.177**.
+///
+/// Platform: `c = 1`, `p₁ = (2+√7)/3`, `p₂ = (1+2√7)/3`; single checkpoint
+/// `τ = (4−√7)/3 < c` and at most one extra task. All branch ratios equal
+/// the bound exactly (`certified == bound`).
+pub fn theorem3(factory: SchedulerFactory<'_>) -> GameResult {
+    let p1 = Surd::new(rat(2, 3), rat(1, 3), 7); // (2+√7)/3
+    let p2 = Surd::new(rat(1, 3), rat(2, 3), 7); // (1+2√7)/3
+    let tau = Surd::new(rat(4, 3), rat(-1, 3), 7); // (4−√7)/3
+    let ctx = Ctx::new(vec![Surd::ONE, Surd::ONE], vec![p1, p2]);
+    let bound = (Surd::from_int(5) - Surd::sqrt(7)) / Surd::from_int(2);
+    let info = TheoremInfo {
+        id: TheoremId::T3,
+        platform_class: PlatformClass::CommHomogeneous,
+        objective: Objective::MaxFlow,
+        bound,
+        certified: bound,
+    };
+    one_checkpoint_one_task(&ctx, info, tau, factory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mss_core::Algorithm;
+
+    #[test]
+    fn theorem1_platform_constants_match_proof() {
+        // Walk the proof arithmetic once more in exact terms: optimal
+        // makespans 4, 7, 8 for the 1-, 2- and 3-task instances.
+        use mss_opt::schedule::{Goal, Instance};
+        let c = vec![Surd::ONE, Surd::ONE];
+        let p = vec![Surd::from_int(3), Surd::from_int(7)];
+        for (releases, expect) in [
+            (vec![Surd::ZERO], 4),
+            (vec![Surd::ZERO, Surd::ONE], 7),
+            (vec![Surd::ZERO, Surd::ONE, Surd::from_int(2)], 8),
+        ] {
+            let inst = Instance {
+                c: c.clone(),
+                p: p.clone(),
+                r: releases,
+            };
+            let best = mss_opt::best_exact(&inst, Goal::Makespan);
+            assert_eq!(best.value, Surd::from_int(expect));
+        }
+    }
+
+    #[test]
+    fn theorem1_ls_achieves_exactly_the_bound() {
+        let factory = || Algorithm::ListScheduling.build();
+        let result = theorem1(&factory);
+        assert!(result.holds(), "{:?}", result.transcript);
+        assert!(
+            (result.ratio - 1.25).abs() < 1e-9,
+            "LS is the proof's canonical victim: ratio {}",
+            result.ratio
+        );
+        assert_eq!(result.optimal_value, Surd::from_int(8));
+    }
+
+    #[test]
+    fn theorem1_srpt_branch_two_tasks() {
+        // SRPT sends j to P2 at t1 → the adversary stops with two tasks;
+        // ratio 9/7 > 5/4.
+        let factory = || Algorithm::Srpt.build();
+        let result = theorem1(&factory);
+        assert!(result.holds());
+        assert_eq!(result.instance.r.len(), 2, "{:?}", result.transcript);
+        assert!((result.ratio - 9.0 / 7.0).abs() < 1e-9, "ratio {}", result.ratio);
+    }
+
+    #[test]
+    fn theorem2_all_algorithms() {
+        for a in Algorithm::ALL {
+            let factory = move || a.build();
+            let result = theorem2(&factory);
+            assert!(
+                result.holds(),
+                "{a}: ratio {} < certified {} — transcript {:?}",
+                result.ratio,
+                result.info.certified.to_f64(),
+                result.transcript
+            );
+        }
+    }
+
+    #[test]
+    fn theorem3_all_algorithms() {
+        for a in Algorithm::ALL {
+            let factory = move || a.build();
+            let result = theorem3(&factory);
+            assert!(
+                result.holds(),
+                "{a}: ratio {} < certified {} — transcript {:?}",
+                result.ratio,
+                result.info.certified.to_f64(),
+                result.transcript
+            );
+        }
+    }
+
+    #[test]
+    fn theorem3_tau_is_before_c() {
+        let tau = Surd::new(rat(4, 3), rat(-1, 3), 7);
+        assert!(tau > Surd::ZERO && tau < Surd::ONE);
+    }
+}

@@ -1,0 +1,167 @@
+//! Theorems 4–6 (§3.3): computation-homogeneous platforms (`p_j = p`).
+//!
+//! Two slaves with equal speed and heterogeneous links; the adversary
+//! watches the first send at a single checkpoint `τ` and, if it went to
+//! `P1`, floods three more tasks at `τ`.
+
+use crate::game::{Ctx, GameResult, SchedulerFactory, TheoremId, TheoremInfo};
+use crate::scripts::one_checkpoint_three_tasks;
+use mss_core::{Objective, PlatformClass};
+use mss_exact::Surd;
+
+/// Theorem 4 — `P,MS | online, r_i, p_j = p, c_j | max C_i`, bound **6/5**.
+///
+/// The proof takes `p = max(5, 12/(25ε))` and `c = (1, p/2)`; the ratio of
+/// its decisive branch is `3p / (1 + 5p/2) → 6/5` as `p → ∞`. We fix
+/// `p = 10000`, so this game certifies `30000/25001 ≈ 1.19995` — within
+/// `5·10⁻⁵` of the bound.
+pub fn theorem4(factory: SchedulerFactory<'_>) -> GameResult {
+    let p = Surd::from_int(10_000);
+    let half_p = Surd::from_int(5_000);
+    let ctx = Ctx::new(vec![Surd::ONE, half_p], vec![p, p]);
+    let bound = Surd::from_ratio(6, 5);
+    // min over proof branches: main 3p/(1+5p/2); stop branches ≈ 3/2.
+    let certified = (Surd::from_int(3) * p)
+        / (Surd::ONE + Surd::from_ratio(5, 2) * p);
+    let info = TheoremInfo {
+        id: TheoremId::T4,
+        platform_class: PlatformClass::CompHomogeneous,
+        objective: Objective::Makespan,
+        bound,
+        certified,
+    };
+    one_checkpoint_three_tasks(&ctx, info, half_p, factory)
+}
+
+/// Theorem 5 — `P,MS | online, r_i, p_j = p, c_j | max(C_i − r_i)`, bound
+/// **5/4**.
+///
+/// The proof takes `c₁ = ε`, `c₂ = 1`, `p = 2c₂ − c₁` and `τ = c₂ − c₁`;
+/// its decisive branch yields `(5 − 2ε)/4`. We fix `ε = 1/10000`, so this
+/// game certifies `(5 − 2/10⁴)/4 ≈ 1.24995`.
+pub fn theorem5(factory: SchedulerFactory<'_>) -> GameResult {
+    let eps = Surd::from_ratio(1, 10_000);
+    let c2 = Surd::ONE;
+    let p = Surd::from_int(2) * c2 - eps; // 2c₂ − c₁
+    let tau = c2 - eps;
+    let ctx = Ctx::new(vec![eps, c2], vec![p, p]);
+    let bound = Surd::from_ratio(5, 4);
+    let certified = (Surd::from_int(5) - Surd::from_int(2) * eps) / Surd::from_int(4);
+    let info = TheoremInfo {
+        id: TheoremId::T5,
+        platform_class: PlatformClass::CompHomogeneous,
+        objective: Objective::MaxFlow,
+        bound,
+        certified,
+    };
+    one_checkpoint_three_tasks(&ctx, info, tau, factory)
+}
+
+/// Theorem 6 — `P,MS | online, r_i, p_j = p, c_j | Σ(C_i − r_i)`, bound
+/// **23/22**.
+///
+/// Platform `c = (1, 2)`, `p = 3`, checkpoint `τ = c₂ = 2` — the one
+/// ε-free theorem of §3.3: the best reachable sum-flow after committing `i`
+/// to `P1` is 23 while the optimum is 22, so `certified == bound` exactly.
+pub fn theorem6(factory: SchedulerFactory<'_>) -> GameResult {
+    let ctx = Ctx::new(
+        vec![Surd::ONE, Surd::from_int(2)],
+        vec![Surd::from_int(3), Surd::from_int(3)],
+    );
+    let bound = Surd::from_ratio(23, 22);
+    let info = TheoremInfo {
+        id: TheoremId::T6,
+        platform_class: PlatformClass::CompHomogeneous,
+        objective: Objective::SumFlow,
+        bound,
+        certified: bound,
+    };
+    one_checkpoint_three_tasks(&ctx, info, Surd::from_int(2), factory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mss_core::Algorithm;
+    use mss_exact::Surd;
+    use mss_opt::schedule::{Goal, Instance};
+
+    #[test]
+    fn theorem6_offline_optimum_is_22() {
+        // The proof's optimal schedule (i→P2, j→P1, k→P2, l→P1) reaches 22.
+        let inst = Instance {
+            c: vec![Surd::ONE, Surd::from_int(2)],
+            p: vec![Surd::from_int(3), Surd::from_int(3)],
+            r: vec![
+                Surd::ZERO,
+                Surd::from_int(2),
+                Surd::from_int(2),
+                Surd::from_int(2),
+            ],
+        };
+        let best = mss_opt::best_exact(&inst, Goal::SumFlow);
+        assert_eq!(best.value, Surd::from_int(22));
+    }
+
+    #[test]
+    fn theorem4_all_algorithms() {
+        for a in Algorithm::ALL {
+            let factory = move || a.build();
+            let result = theorem4(&factory);
+            assert!(
+                result.holds(),
+                "{a}: ratio {} < certified {} — transcript {:?}",
+                result.ratio,
+                result.info.certified.to_f64(),
+                result.transcript
+            );
+        }
+    }
+
+    #[test]
+    fn theorem5_all_algorithms() {
+        for a in Algorithm::ALL {
+            let factory = move || a.build();
+            let result = theorem5(&factory);
+            assert!(
+                result.holds(),
+                "{a}: ratio {} < certified {} — transcript {:?}",
+                result.ratio,
+                result.info.certified.to_f64(),
+                result.transcript
+            );
+        }
+    }
+
+    #[test]
+    fn theorem6_all_algorithms() {
+        for a in Algorithm::ALL {
+            let factory = move || a.build();
+            let result = theorem6(&factory);
+            assert!(
+                result.holds(),
+                "{a}: ratio {} < certified {} — transcript {:?}",
+                result.ratio,
+                result.info.certified.to_f64(),
+                result.transcript
+            );
+        }
+    }
+
+    #[test]
+    fn certified_close_to_bounds() {
+        let f = || Algorithm::ListScheduling.build();
+        for (result, slack) in [
+            (theorem4(&f), 5e-5),
+            (theorem5(&f), 6e-5),
+            (theorem6(&f), 0.0),
+        ] {
+            let gap = result.info.bound.to_f64() - result.info.certified.to_f64();
+            assert!(
+                (0.0..=slack + 1e-12).contains(&gap),
+                "{}: certified gap {gap}",
+                result.info.id
+            );
+        }
+    }
+}

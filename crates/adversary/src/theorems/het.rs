@@ -1,0 +1,212 @@
+//! Theorems 7–9 (§3.4): fully heterogeneous platforms.
+//!
+//! Three slaves: a fast-but-far `P1` (tiny `p₁`, huge `c₁`) and two
+//! identical near-but-slow slaves `P2, P3`. The adversary watches the first
+//! send at `τ` and, if it went to `P1`, releases two more tasks at `τ`.
+
+use crate::game::{Ctx, GameResult, SchedulerFactory, TheoremId, TheoremInfo};
+use crate::scripts::one_checkpoint_two_tasks;
+use mss_core::{Objective, PlatformClass};
+use mss_exact::{rat, Surd};
+
+/// `min(n1/d1, n2/d2)` for positive surds, deciding the minimum by
+/// cross-multiplication (`n1·d2` vs `n2·d1`) *before* dividing. Dividing
+/// first and comparing the quotients squares enormous rationals inside the
+/// exact comparison and can overflow `i128`; cross-multiplication keeps
+/// every intermediate small.
+fn min_ratio(n1: Surd, d1: Surd, n2: Surd, d2: Surd) -> Surd {
+    debug_assert!(d1.signum() > 0 && d2.signum() > 0);
+    if n1 * d2 <= n2 * d1 {
+        n1 / d1
+    } else {
+        n2 / d2
+    }
+}
+
+/// Theorem 7 — `Q,MS | online, r_i, p_j, c_j | max C_i`, bound
+/// **(1+√3)/2 ≈ 1.366**.
+///
+/// Platform: `p₁ = ε`, `p₂ = p₃ = 1+√3`, `c₁ = 1+√3`, `c₂ = c₃ = 1`;
+/// checkpoint `τ = 1`. Both decisive branches converge to the bound as
+/// `ε → 0`; with `ε = 1/10000` the game certifies
+/// `min((3+2√3+ε)/(3+√3+ε), (2+√3)/(1+√3+ε)) ≈ 1.36598`.
+pub fn theorem7(factory: SchedulerFactory<'_>) -> GameResult {
+    let eps = Surd::from_ratio(1, 10_000);
+    let one_plus_sqrt3 = Surd::new(rat(1, 1), rat(1, 1), 3);
+    let ctx = Ctx::new(
+        vec![one_plus_sqrt3, Surd::ONE, Surd::ONE],
+        vec![eps, one_plus_sqrt3, one_plus_sqrt3],
+    );
+    let bound = (Surd::ONE + Surd::sqrt(3)) / Surd::from_int(2);
+    let certified = min_ratio(
+        Surd::from_int(3) + Surd::from_int(2) * Surd::sqrt(3) + eps,
+        Surd::from_int(3) + Surd::sqrt(3) + eps,
+        Surd::from_int(2) + Surd::sqrt(3),
+        Surd::ONE + Surd::sqrt(3) + eps,
+    );
+    let info = TheoremInfo {
+        id: TheoremId::T7,
+        platform_class: PlatformClass::Heterogeneous,
+        objective: Objective::Makespan,
+        bound,
+        certified,
+    };
+    one_checkpoint_two_tasks(&ctx, info, Surd::ONE, factory)
+}
+
+/// Theorem 8 — `Q,MS | online, r_i, p_j, c_j | Σ(C_i − r_i)`, bound
+/// **(√13−1)/2 ≈ 1.302**.
+///
+/// The proof's platform uses `τ = (√(52c₁² + 12c₁ + 1) − (6c₁+1))/4` and
+/// takes `c₁ → ∞`. We need `τ` to live in a quadratic field together with
+/// `c₁`; choosing `c₁` as a rational point of the conic
+/// `y² = 52x² + 12x + 1` makes `τ` *rational*. The parametrization
+/// `x = (2m−12)/(52−m²)` (from the point `(0,1)`) with `m = 721/100` gives
+/// `c₁ = 24200/159 ≈ 152.2` and `τ = 14641/318 ≈ 46.04`, close enough to
+/// the limit that the game certifies `≈ 1.30250` against the bound
+/// `≈ 1.30278`. With `ε = 1/100` all of the proof's side conditions
+/// (`τ < c₁`, `c₁ > ε`, `τ > ε`) hold.
+pub fn theorem8(factory: SchedulerFactory<'_>) -> GameResult {
+    let c1 = Surd::from_ratio(24_200, 159);
+    let tau = Surd::from_ratio(14_641, 318);
+    let eps = Surd::from_ratio(1, 100);
+    let p23 = tau + c1 - Surd::ONE;
+    let ctx = Ctx::new(vec![c1, Surd::ONE, Surd::ONE], vec![eps, p23, p23]);
+    let bound = (Surd::sqrt(13) - Surd::ONE) / Surd::from_int(2);
+    // Decisive branches of the proof with these parameters:
+    let certified = min_ratio(
+        Surd::from_int(5) * c1 - tau + Surd::ONE + Surd::from_int(2) * eps,
+        Surd::from_int(3) * c1 + Surd::from_int(2) * tau + Surd::ONE + eps,
+        tau + c1,
+        c1 + eps,
+    );
+    let info = TheoremInfo {
+        id: TheoremId::T8,
+        platform_class: PlatformClass::Heterogeneous,
+        objective: Objective::SumFlow,
+        bound,
+        certified,
+    };
+    one_checkpoint_two_tasks(&ctx, info, tau, factory)
+}
+
+/// Theorem 9 — `Q,MS | online, r_i, p_j, c_j | max(C_i − r_i)`, bound
+/// **√2 ≈ 1.414**.
+///
+/// Platform: `c₁ = 2(1+√2)`, `c₂ = c₃ = 1`, `p₁ = ε`,
+/// `p₂ = p₃ = √2·c₁ − 1 = 3+2√2`; the checkpoint `τ = (√2−1)c₁` is exactly
+/// `2`. The decisive branch yields exactly √2; the stop branches yield
+/// `√2·c₁/(c₁+ε)`, so with `ε = 1/10000` the game certifies `≈ 1.41418`.
+pub fn theorem9(factory: SchedulerFactory<'_>) -> GameResult {
+    let eps = Surd::from_ratio(1, 10_000);
+    let c1 = Surd::from_int(2) + Surd::from_int(2) * Surd::sqrt(2);
+    let p23 = Surd::from_int(3) + Surd::from_int(2) * Surd::sqrt(2);
+    let ctx = Ctx::new(vec![c1, Surd::ONE, Surd::ONE], vec![eps, p23, p23]);
+    let bound = Surd::sqrt(2);
+    let certified = (Surd::sqrt(2) * c1) / (c1 + eps);
+    let info = TheoremInfo {
+        id: TheoremId::T9,
+        platform_class: PlatformClass::Heterogeneous,
+        objective: Objective::MaxFlow,
+        bound,
+        certified,
+    };
+    one_checkpoint_two_tasks(&ctx, info, Surd::from_int(2), factory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mss_core::Algorithm;
+
+    #[test]
+    fn theorem8_conic_point_is_exact() {
+        // 52·c₁² + 12·c₁ + 1 must be a perfect rational square (s = 1+m·c₁).
+        let c1 = Surd::from_ratio(24_200, 159);
+        let s = Surd::from_ratio(174_641, 159);
+        let lhs = Surd::from_int(52) * c1 * c1 + Surd::from_int(12) * c1 + Surd::ONE;
+        assert_eq!(lhs, s * s);
+        // And τ = (s − (6c₁+1))/4 = 14641/318.
+        let tau = (s - (Surd::from_int(6) * c1 + Surd::ONE)) / Surd::from_int(4);
+        assert_eq!(tau, Surd::from_ratio(14_641, 318));
+        // Proof side conditions.
+        assert!(tau < c1);
+        assert!(tau > Surd::from_ratio(1, 100));
+    }
+
+    #[test]
+    fn theorem9_constants_simplify_as_claimed() {
+        let c1 = Surd::from_int(2) + Surd::from_int(2) * Surd::sqrt(2);
+        // τ = (√2−1)·c₁ = 2 exactly.
+        assert_eq!((Surd::sqrt(2) - Surd::ONE) * c1, Surd::from_int(2));
+        // p₂ = √2·c₁ − 1 = 3 + 2√2 exactly.
+        assert_eq!(
+            Surd::sqrt(2) * c1 - Surd::ONE,
+            Surd::from_int(3) + Surd::from_int(2) * Surd::sqrt(2)
+        );
+        // c₂ + p₂ = √2·c₁ (used twice in the proof).
+        assert_eq!(Surd::ONE + (Surd::sqrt(2) * c1 - Surd::ONE), Surd::sqrt(2) * c1);
+    }
+
+    #[test]
+    fn theorem7_all_algorithms() {
+        for a in Algorithm::ALL {
+            let factory = move || a.build();
+            let result = theorem7(&factory);
+            assert!(
+                result.holds(),
+                "{a}: ratio {} < certified {} — transcript {:?}",
+                result.ratio,
+                result.info.certified.to_f64(),
+                result.transcript
+            );
+        }
+    }
+
+    #[test]
+    fn theorem8_all_algorithms() {
+        for a in Algorithm::ALL {
+            let factory = move || a.build();
+            let result = theorem8(&factory);
+            assert!(
+                result.holds(),
+                "{a}: ratio {} < certified {} — transcript {:?}",
+                result.ratio,
+                result.info.certified.to_f64(),
+                result.transcript
+            );
+        }
+    }
+
+    #[test]
+    fn theorem9_all_algorithms() {
+        for a in Algorithm::ALL {
+            let factory = move || a.build();
+            let result = theorem9(&factory);
+            assert!(
+                result.holds(),
+                "{a}: ratio {} < certified {} — transcript {:?}",
+                result.ratio,
+                result.info.certified.to_f64(),
+                result.transcript
+            );
+        }
+    }
+
+    #[test]
+    fn certified_gaps_are_small() {
+        let f = || Algorithm::ListScheduling.build();
+        for (result, max_gap) in [
+            (theorem7(&f), 1e-4),
+            (theorem8(&f), 5e-4),
+            (theorem9(&f), 3e-5),
+        ] {
+            let gap = result.info.bound.to_f64() - result.info.certified.to_f64();
+            assert!(
+                (0.0..=max_gap).contains(&gap),
+                "{}: certified gap {gap}",
+                result.info.id
+            );
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! One module per Table 1 row; one public function per theorem.
+
+mod comm;
+mod comp;
+mod het;
+
+pub use comm::{theorem1, theorem2, theorem3};
+pub use comp::{theorem4, theorem5, theorem6};
+pub use het::{theorem7, theorem8, theorem9};
+
+use crate::game::{GameResult, SchedulerFactory, TheoremId};
+
+/// Plays the given theorem's adversary against the algorithm.
+pub fn play(id: TheoremId, factory: SchedulerFactory<'_>) -> GameResult {
+    match id {
+        TheoremId::T1 => theorem1(factory),
+        TheoremId::T2 => theorem2(factory),
+        TheoremId::T3 => theorem3(factory),
+        TheoremId::T4 => theorem4(factory),
+        TheoremId::T5 => theorem5(factory),
+        TheoremId::T6 => theorem6(factory),
+        TheoremId::T7 => theorem7(factory),
+        TheoremId::T8 => theorem8(factory),
+        TheoremId::T9 => theorem9(factory),
+    }
+}
+
+/// Plays all nine theorems against the algorithm, in paper order.
+pub fn play_all(factory: SchedulerFactory<'_>) -> Vec<GameResult> {
+    TheoremId::ALL.iter().map(|&id| play(id, factory)).collect()
+}

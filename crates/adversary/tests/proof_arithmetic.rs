@@ -1,0 +1,408 @@
+//! Machine-checks of the *internal* arithmetic of the nine proofs.
+//!
+//! Each proof enumerates candidate schedules ("If j is computed on P1, at
+//! best we have ...") and computes their objective values by hand. Those
+//! hand computations are re-derived here with the exact eager-schedule
+//! evaluator: every number quoted in the paper's case analyses is asserted,
+//! in ℚ(√d) arithmetic where the platform demands it. This catches both
+//! transcription errors in our platform constants and (in principle)
+//! arithmetic slips in the paper — none were found.
+
+use mss_exact::{rat, Rational, Surd};
+use mss_opt::schedule::{eager_completions, goal_value_exact, Goal, Instance};
+
+fn int(n: i128) -> Surd {
+    Surd::from_int(n)
+}
+
+fn ratio(n: i128, d: i128) -> Surd {
+    Surd::rational(Rational::new(n, d))
+}
+
+/// Evaluates one discrete outcome on an exact instance.
+fn value(inst: &Instance<Surd>, order: &[usize], assign: &[usize], goal: Goal) -> Surd {
+    let completions = eager_completions(inst, order, assign);
+    goal_value_exact(goal, &completions, &inst.r)
+}
+
+// ----------------------------------------------------------- Theorem 1 --
+
+#[test]
+fn theorem1_case_analysis() {
+    // Platform: c = 1, p = (3, 7).
+    let inst = |releases: Vec<Surd>| Instance {
+        c: vec![int(1), int(1)],
+        p: vec![int(3), int(7)],
+        r: releases,
+    };
+
+    // Single task: "achieving a makespan at least equal to c + p1 = 4, or
+    // on P2 ... c + p2 = 8".
+    let one = inst(vec![Surd::ZERO]);
+    assert_eq!(value(&one, &[0], &[0], Goal::Makespan), int(4));
+    assert_eq!(value(&one, &[0], &[1], Goal::Makespan), int(8));
+
+    // Two tasks (i at 0 on P1, j at 1): "If j is sent on P2 ... best
+    // achievable makespan is max{c+p1, 2c+p2} = 9, whereas the optimal is
+    // to send the two tasks to P1 for a makespan of 7."
+    let two = inst(vec![Surd::ZERO, int(1)]);
+    assert_eq!(value(&two, &[0, 1], &[0, 1], Goal::Makespan), int(9));
+    assert_eq!(value(&two, &[0, 1], &[0, 0], Goal::Makespan), int(7));
+
+    // Three tasks (0, 1, 2): "execute the last task either on P1 for a
+    // makespan of 10, or on P2 for a makespan of 10. However, scheduling
+    // the first task on P2 and the two others on P1 leads to 8."
+    let three = inst(vec![Surd::ZERO, int(1), int(2)]);
+    assert_eq!(value(&three, &[0, 1, 2], &[0, 0, 0], Goal::Makespan), int(10));
+    assert_eq!(value(&three, &[0, 1, 2], &[0, 0, 1], Goal::Makespan), int(10));
+    assert_eq!(value(&three, &[0, 1, 2], &[1, 0, 0], Goal::Makespan), int(8));
+}
+
+// ----------------------------------------------------------- Theorem 2 --
+
+#[test]
+fn theorem2_case_analysis() {
+    // Platform: c = 1, p1 = 2, p2 = 4√2 − 2.
+    let p2 = int(4) * Surd::sqrt(2) - int(2);
+    let inst = |releases: Vec<Surd>| Instance {
+        c: vec![int(1), int(1)],
+        p: vec![int(2), p2],
+        r: releases,
+    };
+
+    // Single task: sum-flow c + p1 = 3 on P1, c + p2 = 4√2 − 1 on P2.
+    let one = inst(vec![Surd::ZERO]);
+    assert_eq!(value(&one, &[0], &[0], Goal::SumFlow), int(3));
+    assert_eq!(
+        value(&one, &[0], &[1], Goal::SumFlow),
+        int(4) * Surd::sqrt(2) - int(1)
+    );
+
+    // Two tasks: "If j is sent on P2 ... (c+p1) + ((2c+p2) − t1) = 2+4√2,
+    // whereas the optimal is ... 7."
+    let two = inst(vec![Surd::ZERO, int(1)]);
+    assert_eq!(
+        value(&two, &[0, 1], &[0, 1], Goal::SumFlow),
+        int(2) + int(4) * Surd::sqrt(2)
+    );
+    assert_eq!(value(&two, &[0, 1], &[0, 0], Goal::SumFlow), int(7));
+
+    // Three tasks: algorithm's best 6+4√2 (third task on P2) vs 12 (all on
+    // P1); adversary's alternative 5+4√2 (second on P2).
+    let three = inst(vec![Surd::ZERO, int(1), int(2)]);
+    assert_eq!(value(&three, &[0, 1, 2], &[0, 0, 0], Goal::SumFlow), int(12));
+    assert_eq!(
+        value(&three, &[0, 1, 2], &[0, 0, 1], Goal::SumFlow),
+        int(6) + int(4) * Surd::sqrt(2)
+    );
+    assert_eq!(
+        value(&three, &[0, 1, 2], &[0, 1, 0], Goal::SumFlow),
+        int(5) + int(4) * Surd::sqrt(2)
+    );
+    // And the ratio identity the proof uses: (6+4√2)/(5+4√2) = (2+4√2)/7.
+    let lhs = (int(6) + int(4) * Surd::sqrt(2)) / (int(5) + int(4) * Surd::sqrt(2));
+    let rhs = (int(2) + int(4) * Surd::sqrt(2)) / int(7);
+    assert_eq!(lhs, rhs);
+}
+
+// ----------------------------------------------------------- Theorem 3 --
+
+#[test]
+fn theorem3_case_analysis() {
+    // Platform: c = 1, p1 = (2+√7)/3, p2 = (1+2√7)/3, τ = (4−√7)/3.
+    let p1 = Surd::new(rat(2, 3), rat(1, 3), 7);
+    let p2 = Surd::new(rat(1, 3), rat(2, 3), 7);
+    let tau = Surd::new(rat(4, 3), rat(-1, 3), 7);
+
+    // Single task max-flows: c + p1 = (5+√7)/3 and c + p2 = (4+2√7)/3.
+    let one = Instance {
+        c: vec![int(1), int(1)],
+        p: vec![p1, p2],
+        r: vec![Surd::ZERO],
+    };
+    assert_eq!(
+        value(&one, &[0], &[0], Goal::MaxFlow),
+        Surd::new(rat(5, 3), rat(1, 3), 7)
+    );
+    assert_eq!(
+        value(&one, &[0], &[1], Goal::MaxFlow),
+        Surd::new(rat(4, 3), rat(2, 3), 7)
+    );
+
+    // Two tasks (i at 0 on P1, j at τ): both continuations reach 1+√7;
+    // the optimal (i on P2, j on P1) reaches (4+2√7)/3.
+    let two = Instance {
+        c: vec![int(1), int(1)],
+        p: vec![p1, p2],
+        r: vec![Surd::ZERO, tau],
+    };
+    let one_plus_sqrt7 = Surd::new(rat(1, 1), rat(1, 1), 7);
+    assert_eq!(value(&two, &[0, 1], &[0, 1], Goal::MaxFlow), one_plus_sqrt7);
+    assert_eq!(value(&two, &[0, 1], &[0, 0], Goal::MaxFlow), one_plus_sqrt7);
+    assert_eq!(
+        value(&two, &[0, 1], &[1, 0], Goal::MaxFlow),
+        Surd::new(rat(4, 3), rat(2, 3), 7)
+    );
+    // Ratio identity: (1+√7) / ((4+2√7)/3) = (5−√7)/2.
+    let bound = (int(5) - Surd::sqrt(7)) / int(2);
+    assert_eq!(one_plus_sqrt7 / Surd::new(rat(4, 3), rat(2, 3), 7), bound);
+    // And 9/(5+√7) = (5−√7)/2 (the "did not begin" branch).
+    assert_eq!(int(9) / Surd::new(rat(5, 1), rat(1, 1), 7), bound);
+}
+
+// ----------------------------------------------------------- Theorem 4 --
+
+#[test]
+fn theorem4_case_analysis() {
+    // Platform: p = p, c = (1, p/2); the proof's intervals with p symbolic
+    // are re-checked at the implementation's p = 10000.
+    let p = int(10_000);
+    let half = int(5_000);
+    let inst = |releases: Vec<Surd>| Instance {
+        c: vec![int(1), half],
+        p: vec![p, p],
+        r: releases,
+    };
+
+    // Four tasks: i at 0 (committed to P1), j, k, l at p/2.
+    let four = inst(vec![Surd::ZERO, half, half, half]);
+
+    // Proof case 1 (j on P1, k and l on P2): makespan 1 + 3p.
+    assert_eq!(
+        value(&four, &[0, 1, 2, 3], &[0, 0, 1, 1], Goal::Makespan),
+        int(1) + int(3) * p
+    );
+    // Proof cases 2–3 (k or l on P1): makespan 3p.
+    assert_eq!(
+        value(&four, &[0, 1, 2, 3], &[0, 1, 0, 1], Goal::Makespan),
+        int(3) * p
+    );
+    assert_eq!(
+        value(&four, &[0, 1, 2, 3], &[0, 1, 1, 0], Goal::Makespan),
+        int(3) * p
+    );
+    // "a better schedule is obtained when computing i on P2, then j on P1,
+    // then k on P2, and finally l on P1 ... equal to 1 + 5p/2."
+    assert_eq!(
+        value(&four, &[0, 1, 2, 3], &[1, 0, 1, 0], Goal::Makespan),
+        int(1) + ratio(5, 2) * p
+    );
+}
+
+// ----------------------------------------------------------- Theorem 5 --
+
+#[test]
+fn theorem5_case_analysis() {
+    // Platform: c1 = ε, c2 = 1, p = 2c2 − c1 = 2 − ε; τ = c2 − c1 = 1 − ε.
+    // The proof's symbolic values are checked at the implementation's
+    // ε = 1/10⁴.
+    let eps = ratio(1, 10_000);
+    let p = int(2) - eps;
+    let tau = int(1) - eps;
+    let inst = |releases: Vec<Surd>| Instance {
+        c: vec![eps, int(1)],
+        p: vec![p, p],
+        r: releases,
+    };
+
+    // Single task: max-flow c1 + p = 2 on P1, c2 + p = 3 − ε on P2.
+    let one = inst(vec![Surd::ZERO]);
+    assert_eq!(value(&one, &[0], &[0], Goal::MaxFlow), int(2));
+    assert_eq!(value(&one, &[0], &[1], Goal::MaxFlow), int(3) - eps);
+
+    // Four tasks (i at 0 on P1; j, k, l at τ).
+    let four = inst(vec![Surd::ZERO, tau, tau, tau]);
+    // Proof case 1 (j on P1, k, l on P2): max-flow 5 − ε.
+    assert_eq!(
+        value(&four, &[0, 1, 2, 3], &[0, 0, 1, 1], Goal::MaxFlow),
+        int(5) - eps
+    );
+    // Proof cases 2–3 (k or l on P1): max-flow 5 − 2ε.
+    assert_eq!(
+        value(&four, &[0, 1, 2, 3], &[0, 1, 0, 1], Goal::MaxFlow),
+        int(5) - int(2) * eps
+    );
+    assert_eq!(
+        value(&four, &[0, 1, 2, 3], &[0, 1, 1, 0], Goal::MaxFlow),
+        int(5) - int(2) * eps
+    );
+    // "a better schedule ... i on P2, then j on P1, then k on P2, and
+    // finally l on P1. The max-flow of the latter schedule is equal to 4."
+    assert_eq!(
+        value(&four, &[0, 1, 2, 3], &[1, 0, 1, 0], Goal::MaxFlow),
+        int(4)
+    );
+}
+
+// ----------------------------------------------------------- Theorem 8 --
+
+#[test]
+fn theorem8_case_analysis() {
+    // Rational conic point: c1 = 24200/159, τ = 14641/318, ε = 1/100,
+    // p2 = p3 = τ + c1 − 1 (see the theorem module for the derivation).
+    let c1 = ratio(24_200, 159);
+    let tau = ratio(14_641, 318);
+    let eps = ratio(1, 100);
+    let p23 = tau + c1 - int(1);
+    let inst = |releases: Vec<Surd>| Instance {
+        c: vec![c1, int(1), int(1)],
+        p: vec![eps, p23, p23],
+        r: releases,
+    };
+
+    // Single task: sum-flow c1 + ε on P1, c2 + p2 = τ + c1 on P2.
+    let one = inst(vec![Surd::ZERO]);
+    assert_eq!(value(&one, &[0], &[0], Goal::SumFlow), c1 + eps);
+    assert_eq!(value(&one, &[0], &[1], Goal::SumFlow), tau + c1);
+
+    // Three tasks (i at 0 on P1; j, k at τ).
+    let three = inst(vec![Surd::ZERO, tau, tau]);
+    // "first of the two jobs on P2 and the other one on P1":
+    // 5c1 − τ + 1 + 2ε (the proof's decisive branch).
+    assert_eq!(
+        value(&three, &[0, 1, 2], &[0, 1, 0], Goal::SumFlow),
+        int(5) * c1 - tau + int(1) + int(2) * eps
+    );
+    // "first on P1 and the other one on P2": 6c1 − τ + 2ε.
+    assert_eq!(
+        value(&three, &[0, 1, 2], &[0, 0, 1], Goal::SumFlow),
+        int(6) * c1 - tau + int(2) * eps
+    );
+    // "one on P2 and the other on P3": 5c1 + 1 + ε.
+    assert_eq!(
+        value(&three, &[0, 1, 2], &[0, 1, 2], Goal::SumFlow),
+        int(5) * c1 + int(1) + eps
+    );
+    // Adversary's alternative (i on P2, j on P3, k on P1):
+    // 3c1 + 2τ + 1 + ε.
+    assert_eq!(
+        value(&three, &[0, 1, 2], &[1, 2, 0], Goal::SumFlow),
+        int(3) * c1 + int(2) * tau + int(1) + eps
+    );
+}
+
+// ----------------------------------------------------------- Theorem 6 --
+
+#[test]
+fn theorem6_case_analysis() {
+    // Platform: c = (1, 2), p = 3; i at 0 on P1, then j, k, l at τ = 2.
+    let inst = Instance {
+        c: vec![int(1), int(2)],
+        p: vec![int(3), int(3)],
+        r: vec![Surd::ZERO, int(2), int(2), int(2)],
+    };
+    // The proof's eight candidate schedules and their sum-flows.
+    let cases: [(&[usize], i128); 8] = [
+        (&[0, 0, 0, 0], 28), // all on P1
+        (&[0, 1, 0, 0], 24), // j only on P2
+        (&[0, 0, 1, 0], 23), // k only on P2
+        (&[0, 0, 0, 1], 24), // l only on P2
+        (&[0, 1, 1, 1], 28), // j, k, l on P2
+        (&[0, 0, 1, 1], 24), // i, j on P1
+        (&[0, 1, 0, 1], 23), // i, k on P1
+        (&[0, 1, 1, 0], 25), // i, l on P1
+    ];
+    for (assign, expect) in cases {
+        assert_eq!(
+            value(&inst, &[0, 1, 2, 3], assign, Goal::SumFlow),
+            int(expect),
+            "assignment {assign:?}"
+        );
+    }
+    // "a better schedule is obtained when computing i on P2 ... equal to 22."
+    assert_eq!(
+        value(&inst, &[0, 1, 2, 3], &[1, 0, 1, 0], Goal::SumFlow),
+        int(22)
+    );
+}
+
+// ----------------------------------------------------------- Theorem 7 --
+
+#[test]
+fn theorem7_case_analysis() {
+    // Platform: p1 = ε, p2 = p3 = 1+√3, c1 = 1+√3, c2 = c3 = 1; ε = 1/10⁴.
+    let eps = ratio(1, 10_000);
+    let s3 = Surd::new(rat(1, 1), rat(1, 1), 3); // 1 + √3
+    let inst = |releases: Vec<Surd>| Instance {
+        c: vec![s3, int(1), int(1)],
+        p: vec![eps, s3, s3],
+        r: releases,
+    };
+
+    // Single task: c1 + p1 = 1+√3+ε on P1, c2 + p2 = 2+√3 on P2.
+    let one = inst(vec![Surd::ZERO]);
+    assert_eq!(value(&one, &[0], &[0], Goal::Makespan), s3 + eps);
+    assert_eq!(
+        value(&one, &[0], &[1], Goal::Makespan),
+        Surd::new(rat(2, 1), rat(1, 1), 3)
+    );
+
+    // Three tasks (i at 0 on P1; j, k at 1): the proof's candidates.
+    let three = inst(vec![Surd::ZERO, int(1), int(1)]);
+    // "j and k on P1": 3(1+√3) + ε.
+    assert_eq!(
+        value(&three, &[0, 1, 2], &[0, 0, 0], Goal::Makespan),
+        int(3) * s3 + eps
+    );
+    // "first on P2, second on P1": 3 + 2√3 + ε.
+    assert_eq!(
+        value(&three, &[0, 1, 2], &[0, 1, 0], Goal::Makespan),
+        Surd::new(rat(3, 1), rat(2, 1), 3) + eps
+    );
+    // "first on P1, second on P2": 4 + 3√3 — the committed prefix still
+    // pays c1 twice before the P2 send.
+    assert_eq!(
+        value(&three, &[0, 1, 2], &[0, 0, 1], Goal::Makespan),
+        Surd::new(rat(4, 1), rat(3, 1), 3)
+    );
+    // "one on P2 and the other on P3": 4 + 2√3.
+    assert_eq!(
+        value(&three, &[0, 1, 2], &[0, 1, 2], Goal::Makespan),
+        Surd::new(rat(4, 1), rat(2, 1), 3)
+    );
+    // The adversary's alternative: i on P2, j on P3, k on P1 → 3 + √3 + ε.
+    assert_eq!(
+        value(&three, &[0, 1, 2], &[1, 2, 0], Goal::Makespan),
+        Surd::new(rat(3, 1), rat(1, 1), 3) + eps
+    );
+}
+
+// ----------------------------------------------------------- Theorem 9 --
+
+#[test]
+fn theorem9_case_analysis() {
+    // Platform: c1 = 2(1+√2), c2 = c3 = 1, p1 = ε, p2 = p3 = 3+2√2; τ = 2.
+    let eps = ratio(1, 10_000);
+    let c1 = int(2) + int(2) * Surd::sqrt(2);
+    let p23 = int(3) + int(2) * Surd::sqrt(2);
+    let inst = |releases: Vec<Surd>| Instance {
+        c: vec![c1, int(1), int(1)],
+        p: vec![eps, p23, p23],
+        r: releases,
+    };
+
+    // Single task max-flow: c1 + ε on P1, √2·c1 on P2.
+    let one = inst(vec![Surd::ZERO]);
+    assert_eq!(value(&one, &[0], &[0], Goal::MaxFlow), c1 + eps);
+    assert_eq!(value(&one, &[0], &[1], Goal::MaxFlow), Surd::sqrt(2) * c1);
+
+    // Three tasks (i at 0 on P1; j, k at τ = 2): the decisive candidates.
+    let three = inst(vec![Surd::ZERO, int(2), int(2)]);
+    // "The first ... on P2 and the other one on P1": max-flow 2c1.
+    assert_eq!(
+        value(&three, &[0, 1, 2], &[0, 1, 0], Goal::MaxFlow),
+        int(2) * c1
+    );
+    // "one on P2, the other on P3": 2c1 + 1.
+    assert_eq!(
+        value(&three, &[0, 1, 2], &[0, 1, 2], Goal::MaxFlow),
+        int(2) * c1 + int(1)
+    );
+    // Adversary's alternative (i on P2, j on P3, k on P1): √2·c1.
+    assert_eq!(
+        value(&three, &[0, 1, 2], &[1, 2, 0], Goal::MaxFlow),
+        Surd::sqrt(2) * c1
+    );
+    // Ratio: 2c1 / (√2 c1) = √2 exactly.
+    assert_eq!((int(2) * c1) / (Surd::sqrt(2) * c1), Surd::sqrt(2));
+}

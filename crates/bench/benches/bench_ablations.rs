@@ -1,0 +1,46 @@
+//! Benches for the ablation studies (A1 buffer sweep, A2 plan quality).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mss_core::{bag_of_tasks, simulate, PlatformClass, RoundRobin, RrDispatch, RrOrder, SimConfig};
+use mss_lab::{ablations, ExperimentScale};
+use mss_workload::PlatformSampler;
+
+fn bench_buffer_bounds(c: &mut Criterion) {
+    // Runtime cost of RR at several buffer bounds (scheduling work is
+    // buffer-independent; this pins down the engine's queue handling).
+    let platform = PlatformSampler::default()
+        .sample_many(PlatformClass::Heterogeneous, 1, 42)
+        .remove(0);
+    let tasks = bag_of_tasks(500);
+    let cfg = SimConfig::with_horizon(500);
+    let mut group = c.benchmark_group("ablation/rr-buffer");
+    for buffer in [0usize, 1, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(buffer), &buffer, |b, &buffer| {
+            b.iter(|| {
+                let mut rr = RoundRobin::new(RrOrder::SumCp, RrDispatch::Priority, buffer);
+                simulate(&platform, &tasks, &cfg, &mut rr).unwrap().makespan()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/full");
+    group.sample_size(10);
+    let scale = ExperimentScale {
+        platforms: 2,
+        tasks: 150,
+        seed: 42,
+    };
+    group.bench_function("A1-buffer-sweep", |b| {
+        b.iter(|| ablations::buffer_sweep(scale).rows.len())
+    });
+    group.bench_function("A2-sljf-quality-40", |b| {
+        b.iter(|| ablations::sljf_quality(40, 3).instances)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_buffer_bounds, bench_full_ablations);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Discrete-event engine microbenchmarks: raw event throughput as the
+//! instance and platform grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mss_core::{bag_of_tasks, simulate, Algorithm, Platform, SimConfig};
+use mss_workload::ArrivalProcess;
+
+fn bench_task_scaling(c: &mut Criterion) {
+    let platform = Platform::from_vectors(&[0.1, 0.3, 0.5, 0.7, 0.9], &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    let mut group = c.benchmark_group("engine/tasks");
+    for n in [100usize, 500, 1000, 2000] {
+        let tasks = bag_of_tasks(n);
+        let cfg = SimConfig::with_horizon(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                simulate(&platform, &tasks, &cfg, &mut Algorithm::ListScheduling.build())
+                    .unwrap()
+                    .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_slave_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/slaves");
+    for m in [2usize, 5, 10, 20] {
+        let c_vec: Vec<f64> = (0..m).map(|j| 0.05 + 0.02 * j as f64).collect();
+        let p_vec: Vec<f64> = (0..m).map(|j| 1.0 + 0.3 * j as f64).collect();
+        let platform = Platform::from_vectors(&c_vec, &p_vec);
+        let tasks = bag_of_tasks(500);
+        let cfg = SimConfig::with_horizon(500);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                simulate(&platform, &tasks, &cfg, &mut Algorithm::ListScheduling.build())
+                    .unwrap()
+                    .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_streamed_arrivals(c: &mut Criterion) {
+    // Streamed releases exercise the wake/release machinery more than bags.
+    let platform = Platform::from_vectors(&[0.1, 0.3, 0.5], &[1.0, 2.0, 3.0]);
+    let tasks = ArrivalProcess::Poisson { load: 0.9 }.generate(1000, &platform, 7);
+    let cfg = SimConfig::with_horizon(1000);
+    c.bench_function("engine/streamed-1000", |b| {
+        b.iter(|| {
+            simulate(&platform, &tasks, &cfg, &mut Algorithm::ListScheduling.build())
+                .unwrap()
+                .len()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_task_scaling,
+    bench_slave_scaling,
+    bench_streamed_arrivals
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Exact-arithmetic microbenchmarks: surd field operations and the exact
+//! exhaustive optimizer that backs every competitive-ratio denominator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mss_exact::{rat, Surd};
+use mss_opt::schedule::{Goal, Instance};
+
+fn bench_surd_ops(c: &mut Criterion) {
+    let a = Surd::new(rat(311, 97), rat(-55, 13), 7);
+    let b = Surd::new(rat(-23, 41), rat(17, 29), 7);
+    let mut group = c.benchmark_group("exact/surd");
+    group.bench_function("mul", |bch| bch.iter(|| std::hint::black_box(a) * b));
+    group.bench_function("div", |bch| bch.iter(|| std::hint::black_box(a) / b));
+    group.bench_function("cmp-same-field", |bch| {
+        bch.iter(|| std::hint::black_box(a) < b)
+    });
+    let x = Surd::sqrt(2) + Surd::from_ratio(1, 3);
+    let y = Surd::sqrt(7) - Surd::from_ratio(1, 5);
+    group.bench_function("cmp-cross-field", |bch| {
+        bch.iter(|| std::hint::black_box(x) < y)
+    });
+    group.finish();
+}
+
+fn bench_exact_optimum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact/exhaustive");
+    group.sample_size(20);
+    for n in [2usize, 3, 4] {
+        // Theorem 2-like instance: irrational speeds, n tasks.
+        let p2 = Surd::from_int(4) * Surd::sqrt(2) - Surd::from_int(2);
+        let inst = Instance {
+            c: vec![Surd::ONE, Surd::ONE],
+            p: vec![Surd::from_int(2), p2],
+            r: (0..n).map(|i| Surd::from_int(i as i128)).collect(),
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| mss_opt::best_exact(inst, Goal::SumFlow).value);
+        });
+    }
+    group.finish();
+}
+
+fn bench_float_vs_exact(c: &mut Criterion) {
+    // The same 4-task optimum in f64 and exact arithmetic.
+    let mut group = c.benchmark_group("exact/vs-f64");
+    let exact = Instance {
+        c: vec![Surd::ONE, Surd::from_int(2)],
+        p: vec![Surd::from_int(3), Surd::from_int(3)],
+        r: vec![Surd::ZERO, Surd::from_int(2), Surd::from_int(2), Surd::from_int(2)],
+    };
+    let float = Instance {
+        c: vec![1.0, 2.0],
+        p: vec![3.0, 3.0],
+        r: vec![0.0, 2.0, 2.0, 2.0],
+    };
+    group.bench_function("exact", |b| {
+        b.iter(|| mss_opt::best_exact(&exact, Goal::SumFlow).value)
+    });
+    group.bench_function("f64", |b| {
+        b.iter(|| mss_opt::best_f64(&float, Goal::SumFlow).value)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_surd_ops, bench_exact_optimum, bench_float_vs_exact);
+criterion_main!(benches);

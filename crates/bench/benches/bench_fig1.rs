@@ -1,0 +1,60 @@
+//! Bench for Figure 1: one full panel (10 platforms × 7 algorithms ×
+//! 1000 tasks at paper scale; a reduced scale is benched by default so the
+//! suite stays minutes, not hours).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mss_core::PlatformClass;
+use mss_lab::{fig1, ExperimentScale};
+use mss_workload::ArrivalProcess;
+
+fn bench_panels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1/panel");
+    group.sample_size(10);
+    let scale = ExperimentScale {
+        platforms: 3,
+        tasks: 300,
+        seed: 42,
+    };
+    for class in [
+        PlatformClass::Homogeneous,
+        PlatformClass::CommHomogeneous,
+        PlatformClass::CompHomogeneous,
+        PlatformClass::Heterogeneous,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(fig1::panel_letter(class)),
+            &class,
+            |b, &class| {
+                b.iter(|| fig1::run_panel(class, scale, ArrivalProcess::AllAtZero).rows.len());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_paper_scale_single_run(c: &mut Criterion) {
+    // One algorithm on one paper-scale instance (1000 tasks), isolating the
+    // per-run cost that the panel multiplies by 7 × 10.
+    use mss_core::{bag_of_tasks, simulate, Algorithm, SimConfig};
+    use mss_workload::PlatformSampler;
+    let platform = PlatformSampler::default()
+        .sample_many(PlatformClass::Heterogeneous, 1, 42)
+        .remove(0);
+    let tasks = bag_of_tasks(1000);
+    let cfg = SimConfig::with_horizon(1000);
+
+    let mut group = c.benchmark_group("fig1/single-run-1000-tasks");
+    for a in [Algorithm::Srpt, Algorithm::ListScheduling, Algorithm::Sljfwc] {
+        group.bench_with_input(BenchmarkId::from_parameter(a.name()), &a, |b, &a| {
+            b.iter(|| {
+                simulate(&platform, &tasks, &cfg, &mut a.build())
+                    .unwrap()
+                    .makespan()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_panels, bench_paper_scale_single_run);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Bench for Figure 2: the robustness experiment (nominal + perturbed run
+//! per algorithm per platform).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mss_lab::{fig2, ExperimentScale};
+use mss_workload::{ArrivalProcess, Perturbation};
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    let scale = ExperimentScale {
+        platforms: 3,
+        tasks: 300,
+        seed: 42,
+    };
+    for (label, perturbation) in [
+        ("linear±10%", Perturbation::linear(0.1)),
+        ("matrix(N²,N³)±10%", Perturbation::matrix(0.1)),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                fig2::run(
+                    scale,
+                    ArrivalProcess::UniformStream { load: 0.9 },
+                    perturbation,
+                )
+                .rows
+                .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Per-heuristic cost: how much scheduler-side work each of the seven
+//! algorithms adds on top of the engine, on the same paper-style instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mss_core::{bag_of_tasks, simulate, Algorithm, PlatformClass, SimConfig};
+use mss_workload::PlatformSampler;
+
+fn bench_all_heuristics(c: &mut Criterion) {
+    let platform = PlatformSampler::default()
+        .sample_many(PlatformClass::Heterogeneous, 1, 42)
+        .remove(0);
+    let tasks = bag_of_tasks(500);
+    let cfg = SimConfig::with_horizon(500);
+
+    let mut group = c.benchmark_group("heuristics/500-tasks");
+    for a in Algorithm::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(a.name()), &a, |b, &a| {
+            b.iter(|| {
+                simulate(&platform, &tasks, &cfg, &mut a.build())
+                    .unwrap()
+                    .makespan()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_construction(c: &mut Criterion) {
+    // The SLJF/SLJFWC backward plans, isolated from the simulation.
+    use mss_core::heuristics::planning::{sljf_dispatch, sljfwc_dispatch};
+    let platform = PlatformSampler::default()
+        .sample_many(PlatformClass::Heterogeneous, 1, 42)
+        .remove(0);
+    let mut group = c.benchmark_group("heuristics/plan");
+    for n in [100usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("sljf", n), &n, |b, &n| {
+            b.iter(|| sljf_dispatch(&platform, n).len());
+        });
+        group.bench_with_input(BenchmarkId::new("sljfwc", n), &n, |b, &n| {
+            b.iter(|| sljfwc_dispatch(&platform, n).len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_heuristics, bench_plan_construction);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Bench for Table 1: the cost of playing a theorem's adversary game —
+//! DES runs, exact (surd) offline optimum, ratio — against one scheduler,
+//! and of regenerating the full machine-verified table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mss_adversary::{play, TheoremId};
+use mss_core::Algorithm;
+
+fn bench_single_games(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/game");
+    for id in [TheoremId::T1, TheoremId::T6, TheoremId::T8, TheoremId::T9] {
+        group.bench_with_input(BenchmarkId::from_parameter(id), &id, |b, &id| {
+            let factory = || Algorithm::ListScheduling.build();
+            b.iter(|| {
+                let result = play(id, &factory);
+                assert!(result.holds());
+                result.ratio
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/full");
+    group.sample_size(10);
+    group.bench_function("9 theorems x 7 heuristics", |b| {
+        b.iter(|| {
+            let report = mss_lab::table1::run();
+            assert!(report.all_verified());
+            report.cells.len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_games, bench_full_table);
+criterion_main!(benches);

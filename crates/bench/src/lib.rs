@@ -1,0 +1,14 @@
+//! # mss-bench — the Criterion benchmark suite
+//!
+//! One bench target per paper artifact plus engine/arithmetic
+//! microbenchmarks:
+//!
+//! * `bench_table1` — adversary games and the full machine-verified table;
+//! * `bench_fig1` — Figure 1 panels and paper-scale single runs;
+//! * `bench_fig2` — the robustness experiment;
+//! * `bench_engine` — DES event throughput vs task/slave counts;
+//! * `bench_exact` — surd field ops and the exact exhaustive optimizer;
+//! * `bench_heuristics` — per-algorithm scheduling overhead;
+//! * `bench_ablations` — A1 buffer sweep and A2 plan quality.
+//!
+//! Run with `cargo bench --workspace`.

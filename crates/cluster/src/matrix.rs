@@ -1,0 +1,164 @@
+//! Matrix payloads and the determinant kernel.
+//!
+//! The paper's tasks are matrices whose determinant each slave computes
+//! (§4.2). The cluster executor ships real [`Matrix`] payloads and workers
+//! really factorize them, so the "computation" phase of the model is backed
+//! by actual arithmetic, not just a sleep.
+
+/// A dense square matrix (row-major).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// The `dim × dim` identity.
+    pub fn identity(dim: usize) -> Self {
+        let mut m = Matrix {
+            dim,
+            data: vec![0.0; dim * dim],
+        };
+        for i in 0..dim {
+            m.data[i * dim + i] = 1.0;
+        }
+        m
+    }
+
+    /// A reproducible pseudo-random matrix with entries in `[-1, 1]`
+    /// (multiplicative-congruential fill — cheap, deterministic, and
+    /// independent of the `rand` crate so payload bytes never change).
+    pub fn seeded(dim: usize, seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            // Upper 53 bits → [0, 1) → [-1, 1).
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        };
+        Matrix {
+            dim,
+            data: (0..dim * dim).map(|_| next()).collect(),
+        }
+    }
+
+    /// Builds from explicit row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != dim²`.
+    pub fn from_rows(dim: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), dim * dim, "Matrix::from_rows: bad length");
+        Matrix { dim, data }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Entry `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.data[row * self.dim + col]
+    }
+
+    /// Determinant via LU decomposition with partial pivoting, O(n³).
+    /// Returns 0.0 for (numerically) singular matrices.
+    pub fn determinant(&self) -> f64 {
+        let n = self.dim;
+        if n == 0 {
+            return 1.0; // det of the empty matrix, by convention
+        }
+        let mut a = self.data.clone();
+        let mut det = 1.0f64;
+        for k in 0..n {
+            // Pivot: largest |a[i][k]| for i >= k.
+            let (mut piv, mut piv_val) = (k, a[k * n + k].abs());
+            for i in k + 1..n {
+                let v = a[i * n + k].abs();
+                if v > piv_val {
+                    piv = i;
+                    piv_val = v;
+                }
+            }
+            if piv_val == 0.0 {
+                return 0.0;
+            }
+            if piv != k {
+                for j in 0..n {
+                    a.swap(k * n + j, piv * n + j);
+                }
+                det = -det;
+            }
+            let pivot = a[k * n + k];
+            det *= pivot;
+            for i in k + 1..n {
+                let factor = a[i * n + k] / pivot;
+                if factor != 0.0 {
+                    for j in k + 1..n {
+                        a[i * n + j] -= factor * a[k * n + j];
+                    }
+                }
+            }
+        }
+        det
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_has_unit_determinant() {
+        for dim in [1, 2, 5, 16] {
+            assert_eq!(Matrix::identity(dim).determinant(), 1.0);
+        }
+    }
+
+    #[test]
+    fn two_by_two_closed_form() {
+        let m = Matrix::from_rows(2, vec![3.0, 1.0, 4.0, 2.0]);
+        assert!((m.determinant() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_by_three_with_pivoting() {
+        // First pivot is zero → pivoting must kick in.
+        let m = Matrix::from_rows(3, vec![0.0, 1.0, 2.0, 1.0, 0.0, 3.0, 4.0, -3.0, 8.0]);
+        // det = 0·(0·8−3·(−3)) − 1·(1·8−3·4) + 2·(1·(−3)−0·4) = 4 − 6 = ...
+        let expected = -(8.0 - 12.0) + 2.0 * (-3.0);
+        assert!((m.determinant() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_zero() {
+        let m = Matrix::from_rows(2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(m.determinant(), 0.0);
+    }
+
+    #[test]
+    fn determinant_is_multiplicative_under_transpose_swap() {
+        // Swapping two rows flips the sign.
+        let a = Matrix::from_rows(2, vec![3.0, 1.0, 4.0, 2.0]);
+        let b = Matrix::from_rows(2, vec![4.0, 2.0, 3.0, 1.0]);
+        let (da, db) = (a.determinant(), b.determinant());
+        assert!((da + db).abs() < 1e-12, "{da} vs {db}");
+    }
+
+    #[test]
+    fn seeded_matrices_are_reproducible() {
+        let a = Matrix::seeded(16, 99);
+        let b = Matrix::seeded(16, 99);
+        assert_eq!(a, b);
+        assert_ne!(a, Matrix::seeded(16, 100));
+        assert!(a.data.iter().all(|v| (-1.0..1.0).contains(v)));
+        // A random matrix is almost surely nonsingular.
+        assert!(a.determinant().abs() > 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_convention() {
+        assert_eq!(Matrix::identity(0).determinant(), 1.0);
+    }
+}

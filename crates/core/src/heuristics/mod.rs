@@ -1,0 +1,23 @@
+//! The seven on-line heuristics of the paper's Section 4.1.
+//!
+//! | # | name | idea | knowledge used |
+//! |---|------|------|----------------|
+//! | 1 | [`Srpt`] | fastest *free* slave, no queueing | `p_j`, slave busyness |
+//! | 2 | [`ListScheduling`] | eager earliest-estimated-completion | `c_j`, `p_j`, loads |
+//! | 3 | [`RoundRobin::rr`] | demand-driven ring ordered by `p_j + c_j` | `c_j + p_j` |
+//! | 4 | [`RoundRobin::rrc`] | ring ordered by `c_j` | `c_j` |
+//! | 5 | [`RoundRobin::rrp`] | ring ordered by `p_j` | `p_j` |
+//! | 6 | [`Planned::sljf`] | backward plan, communications ignored | `p_j`, `n` |
+//! | 7 | [`Planned::sljfwc`] | backward plan on the reversed problem | `c_j`, `p_j`, `n` |
+
+pub mod list_scheduling;
+pub mod planning;
+pub mod round_robin;
+pub mod sljf;
+pub mod srpt;
+pub(crate) mod util;
+
+pub use list_scheduling::ListScheduling;
+pub use round_robin::{RoundRobin, RrDispatch, RrOrder};
+pub use sljf::{PlanKind, Planned};
+pub use srpt::Srpt;

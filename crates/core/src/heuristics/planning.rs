@@ -1,0 +1,196 @@
+//! Backward ("last job first") plan construction for SLJF and SLJFWC.
+//!
+//! The companion report the paper cites for these two algorithms (\[23\],
+//! RR-2005-31) is not available; the constructions below follow the
+//! description in the paper itself — "it calculates, before scheduling the
+//! first task, the assignment of all tasks, starting with the last one" —
+//! and are validated against the exhaustive optimum in `mss-opt`'s tests
+//! (DESIGN.md, ablation A2).
+//!
+//! * [`sljf_dispatch`] ignores communications (the algorithm is designed for
+//!   communication-homogeneous platforms): it first chooses how many tasks
+//!   each slave executes by assigning tasks *from the last to the first* to
+//!   the slave minimizing the resulting computation tail, then releases the
+//!   task slots in earliest-computation-deadline order.
+//! * [`sljfwc_dispatch`] ("With Communication") plans on the time-reversed
+//!   problem, where distributing tasks becomes *collecting* them: in
+//!   reversed time each task is computed on its slave for `p_j` and then
+//!   shipped back over the one-port link for `c_j`. A greedy that always
+//!   gives the next reversed task to the slave completing its reverse
+//!   shipment first yields a reversed schedule; flipping it produces the
+//!   dispatch order for the original problem. On communication-homogeneous
+//!   platforms this degenerates exactly to SLJF's plan.
+
+use mss_sim::{Platform, SlaveId};
+
+/// How many tasks each slave executes under the backward greedy that
+/// assigns tasks, last first, to the slave minimizing `(count_j + 1)·p_j`
+/// (the optimal distribution of identical tasks over uniform machines when
+/// communications are free).
+pub fn backward_counts(platform: &Platform, n: usize) -> Vec<usize> {
+    let m = platform.num_slaves();
+    let mut counts = vec![0usize; m];
+    for _ in 0..n {
+        let j = (0..m)
+            .min_by(|&a, &b| {
+                let ka = (counts[a] + 1) as f64 * platform.p(SlaveId(a));
+                let kb = (counts[b] + 1) as f64 * platform.p(SlaveId(b));
+                ka.total_cmp(&kb).then(a.cmp(&b))
+            })
+            .expect("at least one slave");
+        counts[j] += 1;
+    }
+    counts
+}
+
+/// SLJF dispatch order: `result[k]` is the slave of the `k`-th task sent.
+///
+/// Slot `(j, i)` (the `i`-th-from-last task of slave `j`) must start
+/// computing `i·p_j` before the common finish line, so slots are released in
+/// decreasing `i·p_j` — the most constrained computation gets the earliest
+/// communication.
+pub fn sljf_dispatch(platform: &Platform, n: usize) -> Vec<SlaveId> {
+    let counts = backward_counts(platform, n);
+    let mut slots: Vec<(f64, usize)> = Vec::with_capacity(n);
+    for (j, &cnt) in counts.iter().enumerate() {
+        let p = platform.p(SlaveId(j));
+        for i in 1..=cnt {
+            slots.push((i as f64 * p, j));
+        }
+    }
+    slots.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    slots.into_iter().map(|(_, j)| SlaveId(j)).collect()
+}
+
+/// SLJFWC dispatch order via the time-reversed (collection) greedy.
+///
+/// In reversed time each task is *computed* on its slave for `p_j` and then
+/// *shipped* back over the master's one-port link for `c_j`. As in the
+/// paper's own schedules (e.g. the interval arithmetic of Theorem 4), a
+/// slave may overlap communication with the computation of its next task —
+/// only the master's port serializes. Reversed state: `ready[j]` is when
+/// slave `j`'s compute unit frees, `port` when the master's reverse-port
+/// frees. The greedy hands the next reversed task to the slave whose
+/// reverse shipment `max(ready_j + p_j, port) + c_j` completes first and
+/// charges only the computation to the slave. Reversing the resulting
+/// sequence yields the original dispatch order.
+pub fn sljfwc_dispatch(platform: &Platform, n: usize) -> Vec<SlaveId> {
+    let m = platform.num_slaves();
+    let mut ready = vec![0.0f64; m];
+    let mut port = 0.0f64;
+    let mut reversed: Vec<SlaveId> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (mut best_j, mut best_end) = (0usize, f64::INFINITY);
+        for (j, &rj) in ready.iter().enumerate() {
+            let p = platform.p(SlaveId(j));
+            let c = platform.c(SlaveId(j));
+            let end = (rj + p).max(port) + c;
+            let better = end < best_end - 1e-15
+                || ((end - best_end).abs() <= 1e-15 && c < platform.c(SlaveId(best_j)));
+            if better {
+                best_j = j;
+                best_end = end;
+            }
+        }
+        let j = SlaveId(best_j);
+        // Compute occupies the slave; the shipment only occupies the port.
+        ready[best_j] += platform.p(j);
+        port = best_end;
+        reversed.push(j);
+    }
+    reversed.reverse();
+    reversed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mss_sim::Platform;
+
+    #[test]
+    fn backward_counts_prefer_fast_slaves() {
+        // p = (3, 7): for 3 tasks the greedy yields (2, 1) — the Theorem 1
+        // platform, where the optimal schedule indeed runs two tasks on P1.
+        let pf = Platform::from_vectors(&[1.0, 1.0], &[3.0, 7.0]);
+        assert_eq!(backward_counts(&pf, 3), vec![2, 1]);
+        // A single task goes to the fastest slave ("the last job first").
+        assert_eq!(backward_counts(&pf, 1), vec![1, 0]);
+    }
+
+    #[test]
+    fn backward_counts_balance_equal_speeds() {
+        let pf = Platform::homogeneous(3, 1.0, 5.0);
+        assert_eq!(backward_counts(&pf, 7), vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn sljf_dispatch_sends_heaviest_backlog_first() {
+        // Counts (2, 1) on p = (3, 7): slot keys P1: {3, 6}, P2: {7}.
+        // Dispatch order: P2 (7), P1 (6), P1 (3).
+        let pf = Platform::from_vectors(&[1.0, 1.0], &[3.0, 7.0]);
+        let plan = sljf_dispatch(&pf, 3);
+        assert_eq!(plan, vec![SlaveId(1), SlaveId(0), SlaveId(0)]);
+    }
+
+    #[test]
+    fn sljfwc_matches_sljf_on_comm_homogeneous() {
+        // The two constructions may break ties differently (e.g. counts
+        // (7,2) vs (6,3) at n = 9 on p = (3,7)), but on a
+        // communication-homogeneous platform they must achieve the same
+        // makespan when the plan is executed eagerly.
+        let pf = Platform::from_vectors(&[1.0, 1.0], &[3.0, 7.0]);
+        for n in 1..12 {
+            let eval = |plan: &[SlaveId]| {
+                // Eager execution of a dispatch order: send k at k·c; each
+                // slave computes FIFO back-to-back.
+                let mut ready = vec![0.0f64; pf.num_slaves()];
+                let mut makespan = 0.0f64;
+                for (k, &j) in plan.iter().enumerate() {
+                    let recv = (k + 1) as f64 * pf.c(j);
+                    let start = ready[j.0].max(recv);
+                    ready[j.0] = start + pf.p(j);
+                    makespan = makespan.max(ready[j.0]);
+                }
+                makespan
+            };
+            let a = eval(&sljf_dispatch(&pf, n));
+            let b = eval(&sljfwc_dispatch(&pf, n));
+            assert!(
+                (a - b).abs() < 1e-9,
+                "makespans diverge at n = {n}: SLJF {a} vs SLJFWC {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn sljfwc_prefers_cheap_links_when_port_bound() {
+        // p = 1 everywhere; c = (0.1, 2.0). The port is the bottleneck, so
+        // the plan should route most tasks through the cheap link.
+        let pf = Platform::from_vectors(&[0.1, 2.0], &[1.0, 1.0]);
+        let plan = sljfwc_dispatch(&pf, 20);
+        let cheap = plan.iter().filter(|j| j.0 == 0).count();
+        assert!(cheap >= 15, "only {cheap}/20 tasks on the cheap link");
+    }
+
+    #[test]
+    fn dispatch_lengths_match_n() {
+        let pf = Platform::from_vectors(&[0.5, 1.0, 0.2], &[2.0, 3.0, 8.0]);
+        for n in [0, 1, 5, 17] {
+            assert_eq!(sljf_dispatch(&pf, n).len(), n);
+            assert_eq!(sljfwc_dispatch(&pf, n).len(), n);
+        }
+    }
+
+    #[test]
+    fn theorem6_platform_dispatch() {
+        // Thm 6 platform: c = (1, 2), p = 3. The proof's best schedule for
+        // four tasks alternates P2, P1, P2, P1.
+        let pf = Platform::from_vectors(&[1.0, 2.0], &[3.0, 3.0]);
+        let plan = sljfwc_dispatch(&pf, 4);
+        assert_eq!(
+            plan,
+            vec![SlaveId(1), SlaveId(0), SlaveId(1), SlaveId(0)],
+            "expected the proof's alternating schedule"
+        );
+    }
+}

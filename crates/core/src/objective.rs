@@ -1,0 +1,91 @@
+//! The three objective functions of the paper (γ field of α|β|γ).
+
+use mss_sim::Trace;
+use std::fmt;
+
+/// An objective function over completed schedules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Objective {
+    /// Makespan, `max C_i` — total execution time.
+    Makespan,
+    /// Max-flow, `max (C_i − r_i)` — maximum response time.
+    MaxFlow,
+    /// Sum-flow, `Σ (C_i − r_i)` — sum of response times (equivalent to
+    /// `Σ C_i` up to the constant `Σ r_i`).
+    SumFlow,
+}
+
+impl Objective {
+    /// All three objectives, in the paper's column order.
+    pub const ALL: [Objective; 3] = [Objective::Makespan, Objective::MaxFlow, Objective::SumFlow];
+
+    /// Evaluates this objective on a finished trace.
+    pub fn evaluate(self, trace: &Trace) -> f64 {
+        match self {
+            Objective::Makespan => trace.makespan(),
+            Objective::MaxFlow => trace.max_flow(),
+            Objective::SumFlow => trace.sum_flow(),
+        }
+    }
+
+    /// Short label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Objective::Makespan => "makespan",
+            Objective::MaxFlow => "max-flow",
+            Objective::SumFlow => "sum-flow",
+        }
+    }
+
+    /// The paper's α|β|γ notation for the objective.
+    pub fn notation(self) -> &'static str {
+        match self {
+            Objective::Makespan => "max Ci",
+            Objective::MaxFlow => "max (Ci - ri)",
+            Objective::SumFlow => "sum (Ci - ri)",
+        }
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mss_sim::{SlaveId, TaskId, TaskRecord, Time, Trace};
+
+    fn trace() -> Trace {
+        let rec = |task, release: f64, end: f64| TaskRecord {
+            task: TaskId(task),
+            release: Time::new(release),
+            slave: SlaveId(0),
+            send_start: Time::new(release),
+            send_end: Time::new(release + 1.0),
+            compute_start: Time::new(release + 1.0),
+            compute_end: Time::new(end),
+            size_c: 1.0,
+            size_p: 1.0,
+        };
+        Trace::new(vec![rec(0, 0.0, 4.0), rec(1, 2.0, 9.0)])
+    }
+
+    #[test]
+    fn evaluate_all() {
+        let t = trace();
+        assert!((Objective::Makespan.evaluate(&t) - 9.0).abs() < 1e-12);
+        assert!((Objective::MaxFlow.evaluate(&t) - 7.0).abs() < 1e-12);
+        assert!((Objective::SumFlow.evaluate(&t) - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_and_notation() {
+        assert_eq!(Objective::Makespan.label(), "makespan");
+        assert_eq!(Objective::SumFlow.notation(), "sum (Ci - ri)");
+        assert_eq!(Objective::ALL.len(), 3);
+        assert_eq!(Objective::MaxFlow.to_string(), "max-flow");
+    }
+}

@@ -1,0 +1,107 @@
+//! The full Round-Robin configuration matrix: every (ordering × dispatch ×
+//! buffer) combination must be a well-behaved scheduler, and the
+//! configuration must be visible in the reported name (the ablation tables
+//! key on it).
+
+use mss_core::{
+    bag_of_tasks, simulate, validate, Platform, RoundRobin, RrDispatch, RrOrder, SimConfig,
+};
+
+const ORDERS: [RrOrder; 3] = [RrOrder::SumCp, RrOrder::CommOnly, RrOrder::ProcOnly];
+const DISPATCHES: [RrDispatch; 2] = [RrDispatch::Priority, RrDispatch::Cyclic];
+
+fn platform() -> Platform {
+    Platform::from_vectors(&[0.2, 0.6, 0.9], &[1.5, 3.0, 6.0])
+}
+
+#[test]
+fn every_configuration_completes_and_validates() {
+    let pf = platform();
+    let tasks = bag_of_tasks(40);
+    for order in ORDERS {
+        for dispatch in DISPATCHES {
+            for buffer in [0usize, 1, 3, 10] {
+                let mut rr = RoundRobin::new(order, dispatch, buffer);
+                let trace = simulate(&pf, &tasks, &SimConfig::default(), &mut rr)
+                    .unwrap_or_else(|e| panic!("{order:?}/{dispatch:?}/B{buffer}: {e}"));
+                let violations = validate(&trace, &pf);
+                assert!(
+                    violations.is_empty(),
+                    "{order:?}/{dispatch:?}/B{buffer}: {violations:?}"
+                );
+                assert_eq!(trace.len(), tasks.len());
+                // Buffer bound respected: at any send start, the target
+                // slave has at most `buffer` other unfinished tasks whose
+                // sends started earlier.
+                for r in trace.records() {
+                    let outstanding = trace
+                        .records()
+                        .iter()
+                        .filter(|o| {
+                            o.slave == r.slave
+                                && o.task != r.task
+                                && o.send_start < r.send_start
+                                && o.compute_end.as_f64() > r.send_start.as_f64() + 1e-9
+                        })
+                        .count();
+                    assert!(
+                        outstanding <= buffer + 1,
+                        "{order:?}/{dispatch:?}/B{buffer}: task {:?} sent with {outstanding} outstanding",
+                        r.task
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_configuration_is_deterministic() {
+    let pf = platform();
+    let tasks = bag_of_tasks(25);
+    for order in ORDERS {
+        for dispatch in DISPATCHES {
+            let run = || {
+                let mut rr = RoundRobin::new(order, dispatch, 1);
+                simulate(&pf, &tasks, &SimConfig::default(), &mut rr).unwrap()
+            };
+            assert_eq!(run(), run(), "{order:?}/{dispatch:?}");
+        }
+    }
+}
+
+#[test]
+fn names_encode_the_configuration() {
+    use mss_sim::OnlineScheduler;
+    assert_eq!(RoundRobin::rr().name(), "RR");
+    assert_eq!(RoundRobin::rrc().name(), "RRC");
+    assert_eq!(RoundRobin::rrp().name(), "RRP");
+    assert_eq!(
+        RoundRobin::new(RrOrder::SumCp, RrDispatch::Priority, 4).name(),
+        "RR(B=4)"
+    );
+    assert_eq!(
+        RoundRobin::new(RrOrder::CommOnly, RrDispatch::Cyclic, 1).name(),
+        "RRC(cyclic,B=1)"
+    );
+}
+
+#[test]
+fn orders_differ_only_when_the_key_differs() {
+    // On a platform where c-order and p-order coincide, RRC == RRP.
+    let aligned = Platform::from_vectors(&[0.1, 0.5, 0.9], &[1.0, 3.0, 7.0]);
+    let tasks = bag_of_tasks(30);
+    let run = |mut s: RoundRobin, pf: &Platform| {
+        simulate(pf, &tasks, &SimConfig::default(), &mut s).unwrap()
+    };
+    assert_eq!(
+        run(RoundRobin::rrc(), &aligned),
+        run(RoundRobin::rrp(), &aligned)
+    );
+    // On a platform where they anti-align, the traces must differ.
+    let opposed = Platform::from_vectors(&[0.1, 0.5, 0.9], &[7.0, 3.0, 1.0]);
+    assert_ne!(
+        run(RoundRobin::rrc(), &opposed),
+        run(RoundRobin::rrp(), &opposed)
+    );
+}

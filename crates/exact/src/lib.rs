@@ -1,0 +1,34 @@
+//! # mss-exact — exact arithmetic for competitive-ratio verification
+//!
+//! The nine lower bounds of Pineau, Robert & Vivien's *"The impact of
+//! heterogeneity on master-slave on-line scheduling"* involve the irrationals
+//! √2, √3, √7 and √13, both in the bound values and in the adversary
+//! platforms themselves (e.g. Theorem 7 uses `p₂ = 1 + √3`). Verifying those
+//! theorems with floating point would bury every strict inequality under an
+//! epsilon; this crate instead provides:
+//!
+//! * [`Rational`] — normalized `i128` rationals with checked arithmetic;
+//! * [`Surd`] — elements `a + b√d` of a real quadratic field ℚ(√d), closed
+//!   under `+ − × ÷` with an **exact total order**.
+//!
+//! `mss-adversary` runs every theorem's game and every brute-force optimum in
+//! this arithmetic, so statements like *"the achieved ratio is ≥ 5/4"* are
+//! decided exactly.
+//!
+//! ```
+//! use mss_exact::{Rational, Surd};
+//!
+//! // Theorem 2's bound (2 + 4√2)/7 is strictly below Theorem 1's 5/4:
+//! let t2 = (Surd::from_int(2) + Surd::from_int(4) * Surd::sqrt(2)) / Surd::from_int(7);
+//! let t1 = Surd::rational(Rational::new(5, 4));
+//! assert!(t2 < t1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod rational;
+mod surd;
+
+pub use rational::{rat, Rational};
+pub use surd::Surd;

@@ -1,0 +1,325 @@
+//! Arbitrary-sign rational numbers over `i128`.
+//!
+//! The adversary instances of the paper involve a handful of tasks and
+//! constants such as `5/4` or `23/22`, so `i128` head-room is ample. All
+//! arithmetic is checked: an overflow is a logic error in the caller and
+//! panics with a descriptive message instead of silently wrapping.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Greatest common divisor of two non-negative integers (Euclid).
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    debug_assert!(a >= 0 && b >= 0);
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// An exact rational number `num / den` with `den > 0` and
+/// `gcd(|num|, den) == 1`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+impl Rational {
+    /// The rational `0`.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational `1`.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Builds `num / den`, normalizing sign and common factors.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "Rational::new: zero denominator");
+        let sign = if (num < 0) != (den < 0) && num != 0 { -1 } else { 1 };
+        let (num, den) = (num.unsigned_abs() as i128, den.unsigned_abs() as i128);
+        let g = gcd(num, den);
+        Rational {
+            num: sign * (num / g),
+            den: den / g,
+        }
+    }
+
+    /// Builds the integer `n`.
+    pub const fn from_int(n: i128) -> Self {
+        Rational { num: n, den: 1 }
+    }
+
+    /// Numerator (sign-carrying, normalized).
+    pub const fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive, normalized).
+    pub const fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// `true` iff the value is an integer.
+    pub const fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// `true` iff the value is zero.
+    pub const fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Sign of the value: `-1`, `0` or `1`.
+    pub const fn signum(self) -> i32 {
+        if self.num > 0 {
+            1
+        } else if self.num < 0 {
+            -1
+        } else {
+            0
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Self {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    pub fn recip(self) -> Self {
+        assert!(self.num != 0, "Rational::recip: division by zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// Exact square, convenience for surd sign analysis.
+    pub fn square(self) -> Self {
+        self * self
+    }
+
+    /// Closest `f64` (for display / plotting only — never for decisions).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Checked multiply helper with a uniform panic message.
+    fn ck_mul(a: i128, b: i128) -> i128 {
+        a.checked_mul(b)
+            .expect("Rational arithmetic overflowed i128 (instance too large for exact mode)")
+    }
+
+    fn ck_add(a: i128, b: i128) -> i128 {
+        a.checked_add(b)
+            .expect("Rational arithmetic overflowed i128 (instance too large for exact mode)")
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl From<i128> for Rational {
+    fn from(n: i128) -> Self {
+        Rational::from_int(n)
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::from_int(n as i128)
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(n: i32) -> Self {
+        Rational::from_int(n as i128)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        // a/b + c/d = (a d + c b) / (b d); pre-reduce via gcd(b, d).
+        let g = gcd(self.den, rhs.den);
+        let lcm_part = rhs.den / g;
+        let num = Rational::ck_add(
+            Rational::ck_mul(self.num, lcm_part),
+            Rational::ck_mul(rhs.num, self.den / g),
+        );
+        let den = Rational::ck_mul(self.den, lcm_part);
+        Rational::new(num, den)
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        // Cross-reduce before multiplying to keep magnitudes small.
+        let g1 = gcd(self.num.unsigned_abs() as i128, rhs.den);
+        let g2 = gcd(rhs.num.unsigned_abs() as i128, self.den);
+        let num = Rational::ck_mul(self.num / g1, rhs.num / g2);
+        let den = Rational::ck_mul(self.den / g2, rhs.den / g1);
+        Rational::new(num, den)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    #[allow(clippy::suspicious_arithmetic_impl)] // a/b = a · b⁻¹ by definition
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = *self * rhs;
+    }
+}
+impl DivAssign for Rational {
+    fn div_assign(&mut self, rhs: Rational) {
+        *self = *self / rhs;
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b ? c/d  <=>  a d ? c b   (b, d > 0)
+        let lhs = Rational::ck_mul(self.num, other.den);
+        let rhs = Rational::ck_mul(other.num, self.den);
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Convenience constructor: `rat(a, b)` is `a/b`.
+pub fn rat(num: i128, den: i128) -> Rational {
+    Rational::new(num, den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(rat(2, 4), rat(1, 2));
+        assert_eq!(rat(-2, 4), rat(1, -2));
+        assert_eq!(rat(-2, -4), rat(1, 2));
+        assert_eq!(rat(0, 7), Rational::ZERO);
+        assert_eq!(rat(6, 3).numer(), 2);
+        assert_eq!(rat(6, 3).denom(), 1);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(rat(1, 2) + rat(1, 3), rat(5, 6));
+        assert_eq!(rat(1, 2) - rat(1, 3), rat(1, 6));
+        assert_eq!(rat(2, 3) * rat(3, 4), rat(1, 2));
+        assert_eq!(rat(1, 2) / rat(1, 4), rat(2, 1));
+        assert_eq!(-rat(1, 2), rat(-1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(rat(1, 3) < rat(1, 2));
+        assert!(rat(-1, 2) < rat(-1, 3));
+        assert!(rat(5, 4) > Rational::ONE);
+        assert_eq!(rat(3, 9).cmp(&rat(1, 3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn signum_abs_recip() {
+        assert_eq!(rat(-3, 7).signum(), -1);
+        assert_eq!(Rational::ZERO.signum(), 0);
+        assert_eq!(rat(3, 7).abs(), rat(3, 7));
+        assert_eq!(rat(-3, 7).abs(), rat(3, 7));
+        assert_eq!(rat(3, 7).recip(), rat(7, 3));
+        assert_eq!(rat(-3, 7).recip(), rat(-7, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = rat(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn zero_recip_panics() {
+        let _ = Rational::ZERO.recip();
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(rat(4, 2).to_string(), "2");
+        assert_eq!(rat(-5, 10).to_string(), "-1/2");
+    }
+
+    #[test]
+    fn to_f64_matches() {
+        assert!((rat(5, 4).to_f64() - 1.25).abs() < 1e-15);
+        assert!((rat(23, 22).to_f64() - 23.0 / 22.0).abs() < 1e-15);
+    }
+}

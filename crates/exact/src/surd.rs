@@ -1,0 +1,543 @@
+//! Exact arithmetic in real quadratic fields ℚ(√d).
+//!
+//! The lower bounds of the paper are `5/4`, `6/5`, `23/22`, `(5−√7)/2`,
+//! `(2+4√2)/7`, `(1+√3)/2`, `√2` and `(√13−1)/2`; the adversary platforms use
+//! the same irrationals as processing / communication times. A [`Surd`]
+//! represents `a + b√d` with rational `a`, `b` and a fixed square-free
+//! radicand `d`, which closes ℚ(√d) under `+ − × ÷` and admits an *exact*
+//! total order — so every competitive-ratio comparison in `mss-adversary` is
+//! decided without floating point.
+//!
+//! Values with `b == 0` are plain rationals and carry the canonical radicand
+//! `d == 0`; they mix freely with any field. Mixing two *irrational* values
+//! from different fields (e.g. `√2 + √3`) is not representable and panics —
+//! no theorem in the paper needs it.
+
+use crate::rational::Rational;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An element `a + b√d` of the real quadratic field ℚ(√d).
+///
+/// Invariants: `d` is square-free; `b == 0` implies `d == 0`; `b != 0`
+/// implies `d >= 2`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Surd {
+    a: Rational,
+    b: Rational,
+    d: u32,
+}
+
+/// Checks that `d` has no square factor (sufficient for the small radicands
+/// used by the paper's constructions).
+fn is_square_free(d: u32) -> bool {
+    let mut f = 2u32;
+    while f * f <= d {
+        if d.is_multiple_of(f * f) {
+            return false;
+        }
+        f += 1;
+    }
+    true
+}
+
+impl Surd {
+    /// The value `0`.
+    pub const ZERO: Surd = Surd {
+        a: Rational::ZERO,
+        b: Rational::ZERO,
+        d: 0,
+    };
+    /// The value `1`.
+    pub const ONE: Surd = Surd {
+        a: Rational::ONE,
+        b: Rational::ZERO,
+        d: 0,
+    };
+
+    /// Builds `a + b√d`.
+    ///
+    /// # Panics
+    /// Panics if `d` is `0`/`1` while `b != 0`, or if `d` is not square-free.
+    pub fn new(a: Rational, b: Rational, d: u32) -> Self {
+        if b.is_zero() {
+            return Surd {
+                a,
+                b: Rational::ZERO,
+                d: 0,
+            };
+        }
+        assert!(d >= 2, "Surd::new: radicand must be >= 2 for irrational part");
+        assert!(is_square_free(d), "Surd::new: radicand {d} is not square-free");
+        Surd { a, b, d }
+    }
+
+    /// Builds the rational value `r`.
+    pub fn rational(r: Rational) -> Self {
+        Surd {
+            a: r,
+            b: Rational::ZERO,
+            d: 0,
+        }
+    }
+
+    /// Builds the integer `n`.
+    pub fn from_int(n: i128) -> Self {
+        Surd::rational(Rational::from_int(n))
+    }
+
+    /// Builds `num/den` as a rational surd.
+    pub fn from_ratio(num: i128, den: i128) -> Self {
+        Surd::rational(Rational::new(num, den))
+    }
+
+    /// Builds `√d` exactly.
+    pub fn sqrt(d: u32) -> Self {
+        Surd::new(Rational::ZERO, Rational::ONE, d)
+    }
+
+    /// Rational part `a`.
+    pub fn rational_part(self) -> Rational {
+        self.a
+    }
+
+    /// Radical coefficient `b`.
+    pub fn radical_part(self) -> Rational {
+        self.b
+    }
+
+    /// Radicand `d` (0 for purely rational values).
+    pub fn radicand(self) -> u32 {
+        self.d
+    }
+
+    /// `true` iff the value is rational (no radical component).
+    pub fn is_rational(self) -> bool {
+        self.b.is_zero()
+    }
+
+    /// `true` iff the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.a.is_zero() && self.b.is_zero()
+    }
+
+    /// Unifies the radicands of two values for a binary operation.
+    ///
+    /// # Panics
+    /// Panics when both values are irrational with different radicands.
+    fn unify(self, rhs: Surd) -> (Surd, Surd, u32) {
+        let d = match (self.b.is_zero(), rhs.b.is_zero()) {
+            (true, true) => 0,
+            (false, true) => self.d,
+            (true, false) => rhs.d,
+            (false, false) => {
+                assert!(
+                    self.d == rhs.d,
+                    "Surd: cannot mix radicands √{} and √{} in one expression",
+                    self.d,
+                    rhs.d
+                );
+                self.d
+            }
+        };
+        (self, rhs, d)
+    }
+
+    /// Exact sign of the value: `-1`, `0` or `1`.
+    ///
+    /// Decided purely with rational comparisons:
+    /// for `a + b√d` with `a, b` of opposite signs, compare `a²` against
+    /// `b²·d`.
+    pub fn signum(self) -> i32 {
+        let (sa, sb) = (self.a.signum(), self.b.signum());
+        match (sa, sb) {
+            (0, 0) => 0,
+            (s, 0) => s,
+            (0, s) => s,
+            (1, 1) => 1,
+            (-1, -1) => -1,
+            (1, -1) => {
+                // a > 0, b < 0: sign of a - |b|√d  <=>  compare a² vs b²d.
+                match self.a.square().cmp(&(self.b.square() * Rational::from_int(self.d as i128))) {
+                    Ordering::Greater => 1,
+                    Ordering::Less => -1,
+                    Ordering::Equal => 0,
+                }
+            }
+            (-1, 1) => {
+                match (self.b.square() * Rational::from_int(self.d as i128)).cmp(&self.a.square()) {
+                    Ordering::Greater => 1,
+                    Ordering::Less => -1,
+                    Ordering::Equal => 0,
+                }
+            }
+            _ => unreachable!("signum returns only -1, 0, 1"),
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Self {
+        if self.signum() < 0 {
+            -self
+        } else {
+            self
+        }
+    }
+
+    /// Multiplicative inverse via the conjugate:
+    /// `(a + b√d)⁻¹ = (a − b√d) / (a² − b²d)`.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    pub fn recip(self) -> Self {
+        assert!(!self.is_zero(), "Surd::recip: division by zero");
+        if self.b.is_zero() {
+            return Surd::rational(self.a.recip());
+        }
+        let norm = self.a.square() - self.b.square() * Rational::from_int(self.d as i128);
+        // `norm == 0` would mean √d is rational, impossible for square-free d ≥ 2.
+        debug_assert!(!norm.is_zero());
+        Surd::new(self.a / norm, -self.b / norm, self.d)
+    }
+
+    /// Pairwise minimum.
+    pub fn min(self, other: Surd) -> Surd {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Pairwise maximum.
+    pub fn max(self, other: Surd) -> Surd {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Closest `f64` (display / plotting only — never for decisions).
+    pub fn to_f64(self) -> f64 {
+        self.a.to_f64() + self.b.to_f64() * (self.d as f64).sqrt()
+    }
+}
+
+impl Default for Surd {
+    fn default() -> Self {
+        Surd::ZERO
+    }
+}
+
+impl From<Rational> for Surd {
+    fn from(r: Rational) -> Self {
+        Surd::rational(r)
+    }
+}
+
+impl From<i128> for Surd {
+    fn from(n: i128) -> Self {
+        Surd::from_int(n)
+    }
+}
+
+impl From<i32> for Surd {
+    fn from(n: i32) -> Self {
+        Surd::from_int(n as i128)
+    }
+}
+
+impl Add for Surd {
+    type Output = Surd;
+    fn add(self, rhs: Surd) -> Surd {
+        let (l, r, d) = self.unify(rhs);
+        Surd::new(l.a + r.a, l.b + r.b, d)
+    }
+}
+
+impl Sub for Surd {
+    type Output = Surd;
+    fn sub(self, rhs: Surd) -> Surd {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Surd {
+    type Output = Surd;
+    fn mul(self, rhs: Surd) -> Surd {
+        let (l, r, d) = self.unify(rhs);
+        let dd = Rational::from_int(d as i128);
+        Surd::new(l.a * r.a + l.b * r.b * dd, l.a * r.b + l.b * r.a, d)
+    }
+}
+
+impl Div for Surd {
+    type Output = Surd;
+    #[allow(clippy::suspicious_arithmetic_impl)] // a/b = a · b⁻¹ by definition
+    fn div(self, rhs: Surd) -> Surd {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Surd {
+    type Output = Surd;
+    fn neg(self) -> Surd {
+        Surd {
+            a: -self.a,
+            b: -self.b,
+            d: self.d,
+        }
+    }
+}
+
+impl AddAssign for Surd {
+    fn add_assign(&mut self, rhs: Surd) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Surd {
+    fn sub_assign(&mut self, rhs: Surd) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Surd {
+    fn mul_assign(&mut self, rhs: Surd) {
+        *self = *self * rhs;
+    }
+}
+impl DivAssign for Surd {
+    fn div_assign(&mut self, rhs: Surd) {
+        *self = *self / rhs;
+    }
+}
+
+/// Splits `n` into `k²·m` with `m` square-free and returns `(k, m)`,
+/// i.e. `√n = k√m`.
+fn extract_square(mut n: u64) -> (u64, u64) {
+    let mut k = 1u64;
+    let mut f = 2u64;
+    while f * f <= n {
+        while n.is_multiple_of(f * f) {
+            n /= f * f;
+            k *= f;
+        }
+        f += 1;
+    }
+    (k, n)
+}
+
+/// Exact sign of `a + b√p + c√q` for distinct square-free `p, q ≥ 2` and
+/// nonzero `b, c`. Used only for cross-field *comparisons*; full arithmetic
+/// across fields remains unsupported.
+fn cross_signum(a: Rational, b: Rational, p: u32, c: Rational, q: u32) -> i32 {
+    debug_assert!(p != q && p >= 2 && q >= 2 && !b.is_zero() && !c.is_zero());
+    // Sign of t = b√p + c√q. Never zero: b²p = c²q would make pq a rational
+    // square, impossible for distinct square-free radicands.
+    let bp = b.square() * Rational::from_int(p as i128);
+    let cq = c.square() * Rational::from_int(q as i128);
+    let sign_t = match (b.signum(), c.signum()) {
+        (1, 1) => 1,
+        (-1, -1) => -1,
+        (sb, _) => {
+            // Opposite signs: the larger squared magnitude wins.
+            match bp.cmp(&cq) {
+                Ordering::Greater => sb,
+                Ordering::Less => -sb,
+                Ordering::Equal => unreachable!("√(pq) cannot be rational"),
+            }
+        }
+    };
+    if a.is_zero() {
+        return sign_t;
+    }
+    let sign_a = a.signum();
+    if sign_a == sign_t {
+        return sign_a;
+    }
+    // Opposite signs: compare a² against t² = b²p + c²q + 2bc√(pq),
+    // an element of ℚ(√m) with √(pq) = k√m.
+    let (k, m) = extract_square(p as u64 * q as u64);
+    let rat_part = a.square() - bp - cq;
+    let rad_coeff = -(Rational::from_int(2) * b * c * Rational::from_int(k as i128));
+    // a² − t², folded to a rational when m == 1.
+    let diff = if m == 1 {
+        Surd::rational(rat_part + rad_coeff)
+    } else {
+        Surd::new(rat_part, rad_coeff, m as u32)
+    };
+    match diff.signum() {
+        // |a| > |t|: the sign of a wins; |a| < |t|: the sign of t wins.
+        1 => sign_a,
+        -1 => sign_t,
+        _ => 0,
+    }
+}
+
+impl PartialOrd for Surd {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Surd {
+    /// Exact total order. Same-field values (and rationals) compare via
+    /// subtraction; values from *different* quadratic fields compare via a
+    /// dedicated biquadratic sign analysis, so e.g. `√2 < (5+√7)/2` is
+    /// decided exactly.
+    fn cmp(&self, other: &Self) -> Ordering {
+        let sign = if self.b.is_zero() || other.b.is_zero() || self.d == other.d {
+            (*self - *other).signum()
+        } else {
+            cross_signum(self.a - other.a, self.b, self.d, -other.b, other.d)
+        };
+        match sign {
+            1 => Ordering::Greater,
+            -1 => Ordering::Less,
+            _ => Ordering::Equal,
+        }
+    }
+}
+
+impl fmt::Debug for Surd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Surd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.b.is_zero() {
+            write!(f, "{}", self.a)
+        } else if self.a.is_zero() {
+            write!(f, "{}√{}", self.b, self.d)
+        } else if self.b.signum() > 0 {
+            write!(f, "{} + {}√{}", self.a, self.b, self.d)
+        } else {
+            write!(f, "{} - {}√{}", self.a, self.b.abs(), self.d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational::rat;
+
+    fn s(a: (i128, i128), b: (i128, i128), d: u32) -> Surd {
+        Surd::new(rat(a.0, a.1), rat(b.0, b.1), d)
+    }
+
+    #[test]
+    fn rational_collapse() {
+        let x = Surd::new(rat(1, 2), Rational::ZERO, 7);
+        assert_eq!(x.radicand(), 0);
+        assert!(x.is_rational());
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for d in [2u32, 3, 5, 7, 13] {
+            let r = Surd::sqrt(d);
+            assert_eq!(r * r, Surd::from_int(d as i128));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not square-free")]
+    fn rejects_square_radicand() {
+        let _ = Surd::sqrt(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot mix radicands")]
+    fn rejects_mixed_radicands() {
+        let _ = Surd::sqrt(2) + Surd::sqrt(3);
+    }
+
+    #[test]
+    fn signum_opposite_signs() {
+        // 3 - 2√2 > 0 since 9 > 8.
+        assert_eq!(s((3, 1), (-2, 1), 2).signum(), 1);
+        // 2 - 2√2 < 0 since 4 < 8.
+        assert_eq!(s((2, 1), (-2, 1), 2).signum(), -1);
+        // -3 + 2√2 < 0.
+        assert_eq!(s((-3, 1), (2, 1), 2).signum(), -1);
+        // -2 + 2√2 > 0.
+        assert_eq!(s((-2, 1), (2, 1), 2).signum(), 1);
+    }
+
+    #[test]
+    fn ordering_against_f64() {
+        // (5-√7)/2 ≈ 1.177 < 5/4.
+        let max_flow_ch = (Surd::from_int(5) - Surd::sqrt(7)) / Surd::from_int(2);
+        assert!(max_flow_ch < Surd::from_ratio(5, 4));
+        assert!(max_flow_ch > Surd::ONE);
+        assert!((max_flow_ch.to_f64() - 1.177_124_34).abs() < 1e-7);
+    }
+
+    #[test]
+    fn recip_roundtrip() {
+        let x = s((5, 3), (-1, 7), 13);
+        let y = x.recip();
+        assert_eq!(x * y, Surd::ONE);
+    }
+
+    #[test]
+    fn division() {
+        // (2 + 4√2) / 7 — the Theorem 2 bound.
+        let v = (Surd::from_int(2) + Surd::from_int(4) * Surd::sqrt(2)) / Surd::from_int(7);
+        assert!((v.to_f64() - 1.093_836_6).abs() < 1e-6);
+        // Paper: (6+4√2)/(5+4√2) == (2+4√2)/7.
+        let lhs = (Surd::from_int(6) + Surd::from_int(4) * Surd::sqrt(2))
+            / (Surd::from_int(5) + Surd::from_int(4) * Surd::sqrt(2));
+        assert_eq!(lhs, v);
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = Surd::sqrt(2);
+        let b = Surd::from_ratio(3, 2);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!((a - b).abs(), b - a);
+    }
+
+    #[test]
+    fn cross_field_comparisons() {
+        // √2 ≈ 1.414 vs (5-√7)/2 ≈ 1.177.
+        let a = Surd::sqrt(2);
+        let b = (Surd::from_int(5) - Surd::sqrt(7)) / Surd::from_int(2);
+        assert!(a > b);
+        assert!(b < a);
+        // (1+√3)/2 ≈ 1.366 vs √2 ≈ 1.414.
+        let c = (Surd::ONE + Surd::sqrt(3)) / Surd::from_int(2);
+        assert!(c < a);
+        // (√13-1)/2 ≈ 1.302 vs (1+√3)/2 ≈ 1.366.
+        let e = (Surd::sqrt(13) - Surd::ONE) / Surd::from_int(2);
+        assert!(e < c);
+        // Radicands sharing a factor: √2 vs √6 (pq = 12 = 2²·3).
+        assert!(Surd::sqrt(2) < Surd::sqrt(6));
+        assert!(Surd::from_int(2) + Surd::sqrt(2) > Surd::ONE + Surd::sqrt(6) - Surd::from_ratio(1, 2));
+        // Equal-through-different-paths stays Equal only for true equality.
+        assert_eq!(Surd::sqrt(2).cmp(&Surd::sqrt(2)), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn extract_square_cases() {
+        assert_eq!(super::extract_square(12), (2, 3));
+        assert_eq!(super::extract_square(49), (7, 1));
+        assert_eq!(super::extract_square(26), (1, 26));
+        assert_eq!(super::extract_square(72), (6, 2));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Surd::from_ratio(5, 4).to_string(), "5/4");
+        assert_eq!(Surd::sqrt(2).to_string(), "1√2");
+        let v = (Surd::from_int(5) - Surd::sqrt(7)) / Surd::from_int(2);
+        assert_eq!(v.to_string(), "5/2 - 1/2√7");
+    }
+}

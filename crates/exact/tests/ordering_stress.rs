@@ -1,0 +1,80 @@
+//! Stress tests for the exact total order across quadratic fields — the
+//! machinery every theorem verification leans on.
+
+use mss_exact::{rat, Rational, Surd};
+use proptest::prelude::*;
+
+/// All radicands the paper's theorems use, plus composites sharing factors.
+const RADICANDS: [u32; 6] = [2, 3, 5, 6, 7, 13];
+
+fn small_rational() -> impl Strategy<Value = Rational> {
+    (-60i128..=60, 1i128..=20).prop_map(|(n, d)| rat(n, d))
+}
+
+fn any_surd() -> impl Strategy<Value = Surd> {
+    (small_rational(), small_rational(), 0usize..RADICANDS.len())
+        .prop_map(|(a, b, i)| Surd::new(a, b, RADICANDS[i]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cross_field_order_matches_f64(x in any_surd(), y in any_surd()) {
+        // The f64 images are accurate to ~1e-12 at these magnitudes; when
+        // they are clearly separated the exact order must agree.
+        let (fx, fy) = (x.to_f64(), y.to_f64());
+        if (fx - fy).abs() > 1e-6 {
+            prop_assert_eq!(x < y, fx < fy, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn cross_field_order_is_antisymmetric(x in any_surd(), y in any_surd()) {
+        prop_assert_eq!(x.cmp(&y), y.cmp(&x).reverse());
+    }
+
+    #[test]
+    fn cross_field_order_is_transitive(x in any_surd(), y in any_surd(), z in any_surd()) {
+        if x <= y && y <= z {
+            prop_assert!(x <= z, "{} <= {} <= {} but not {} <= {}", x, y, z, x, z);
+        }
+    }
+
+    #[test]
+    fn equality_only_within_a_field(x in any_surd(), y in any_surd()) {
+        // Two irrational surds from *different* square-free fields are never
+        // equal (√p ∉ ℚ(√q) for distinct square-free p, q).
+        if !x.is_rational() && !y.is_rational() && x.radicand() != y.radicand() {
+            prop_assert!(x != y || x.radical_part().is_zero());
+        }
+    }
+
+    #[test]
+    fn min_max_consistent_across_fields(x in any_surd(), y in any_surd()) {
+        let lo = x.min(y);
+        let hi = x.max(y);
+        prop_assert!(lo <= hi);
+        prop_assert!((lo == x && hi == y) || (lo == y && hi == x));
+    }
+}
+
+#[test]
+fn table1_bounds_total_order() {
+    // Sorting all nine bounds exactly reproduces the order of their
+    // decimals in the paper.
+    let bounds = vec![
+        ("T6", Surd::from_ratio(23, 22)),
+        ("T2", (Surd::from_int(2) + Surd::from_int(4) * Surd::sqrt(2)) / Surd::from_int(7)),
+        ("T3", (Surd::from_int(5) - Surd::sqrt(7)) / Surd::from_int(2)),
+        ("T4", Surd::from_ratio(6, 5)),
+        ("T1", Surd::from_ratio(5, 4)),
+        ("T8", (Surd::sqrt(13) - Surd::ONE) / Surd::from_int(2)),
+        ("T7", (Surd::ONE + Surd::sqrt(3)) / Surd::from_int(2)),
+        ("T9", Surd::sqrt(2)),
+    ];
+    let mut sorted = bounds.clone();
+    sorted.sort_by(|a, b| a.1.cmp(&b.1));
+    let order: Vec<&str> = sorted.iter().map(|(n, _)| *n).collect();
+    assert_eq!(order, vec!["T6", "T2", "T3", "T4", "T1", "T8", "T7", "T9"]);
+}

@@ -1,0 +1,170 @@
+//! Property-based tests: field axioms and order consistency for the exact
+//! arithmetic used by the theorem verifiers.
+
+use mss_exact::{rat, Rational, Surd};
+use proptest::prelude::*;
+
+/// Small component range keeps intermediate products far from i128 overflow
+/// even in the 8-operand associativity expressions below.
+fn small_rational() -> impl Strategy<Value = Rational> {
+    (-200i128..=200, 1i128..=60).prop_map(|(n, d)| rat(n, d))
+}
+
+fn nonzero_rational() -> impl Strategy<Value = Rational> {
+    small_rational().prop_filter("nonzero", |r| !r.is_zero())
+}
+
+/// Surds restricted to one radicand per case (mixing panics by design).
+fn surd(d: u32) -> impl Strategy<Value = Surd> {
+    (small_rational(), small_rational()).prop_map(move |(a, b)| Surd::new(a, b, d))
+}
+
+fn nonzero_surd(d: u32) -> impl Strategy<Value = Surd> {
+    surd(d).prop_filter("nonzero", |s| !s.is_zero())
+}
+
+proptest! {
+    #[test]
+    fn rational_add_commutes(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn rational_mul_commutes(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn rational_add_associates(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn rational_mul_distributes(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn rational_sub_inverts_add(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a + b - b, a);
+    }
+
+    #[test]
+    fn rational_div_inverts_mul(a in small_rational(), b in nonzero_rational()) {
+        prop_assert_eq!(a * b / b, a);
+    }
+
+    #[test]
+    fn rational_order_total_and_translation_invariant(
+        a in small_rational(), b in small_rational(), c in small_rational()
+    ) {
+        prop_assert_eq!(a.cmp(&b), (a + c).cmp(&(b + c)));
+    }
+
+    #[test]
+    fn rational_order_matches_f64(a in small_rational(), b in small_rational()) {
+        // Components are small, so the f64 images are exact enough to compare
+        // whenever they differ by more than an epsilon.
+        let (fa, fb) = (a.to_f64(), b.to_f64());
+        if (fa - fb).abs() > 1e-9 {
+            prop_assert_eq!(a < b, fa < fb);
+        }
+    }
+
+    #[test]
+    fn surd_field_axioms_d2(a in surd(2), b in surd(2), c in surd(2)) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn surd_field_axioms_d13(a in surd(13), b in surd(13), c in surd(13)) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+        prop_assert_eq!(a - b + b, a);
+    }
+
+    #[test]
+    fn surd_recip_is_inverse(a in nonzero_surd(7)) {
+        prop_assert_eq!(a * a.recip(), Surd::ONE);
+        prop_assert_eq!(a / a, Surd::ONE);
+    }
+
+    #[test]
+    fn surd_signum_matches_f64(a in surd(3)) {
+        let f = a.to_f64();
+        if f.abs() > 1e-9 {
+            prop_assert_eq!(a.signum(), if f > 0.0 { 1 } else { -1 });
+        }
+    }
+
+    #[test]
+    fn surd_order_antisymmetric(a in surd(5), b in surd(5)) {
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+    }
+
+    #[test]
+    fn surd_order_respects_addition(a in surd(2), b in surd(2), c in surd(2)) {
+        prop_assert_eq!(a.cmp(&b), (a + c).cmp(&(b + c)));
+    }
+
+    #[test]
+    fn surd_abs_nonnegative(a in surd(7)) {
+        prop_assert!(a.abs().signum() >= 0);
+        prop_assert_eq!(a.abs() * a.abs(), a * a);
+    }
+
+    #[test]
+    fn surd_min_max_consistent(a in surd(13), b in surd(13)) {
+        prop_assert_eq!(a.min(b) + a.max(b), a + b);
+        prop_assert!(a.min(b) <= a.max(b));
+    }
+
+    #[test]
+    fn surd_to_f64_close(a in surd(2)) {
+        let expected = a.rational_part().to_f64()
+            + a.radical_part().to_f64() * (a.radicand().max(1) as f64).sqrt();
+        prop_assert!((a.to_f64() - expected).abs() <= 1e-9 * (1.0 + expected.abs()));
+    }
+}
+
+#[test]
+fn bound_values_ordering_matches_table1() {
+    // Table 1, read row-wise, in exact arithmetic.
+    let comm_makespan = Surd::from_ratio(5, 4);
+    let comm_maxflow = (Surd::from_int(5) - Surd::sqrt(7)) / Surd::from_int(2);
+    let comm_sumflow = (Surd::from_int(2) + Surd::from_int(4) * Surd::sqrt(2)) / Surd::from_int(7);
+    let comp_makespan = Surd::from_ratio(6, 5);
+    let comp_maxflow = Surd::from_ratio(5, 4);
+    let comp_sumflow = Surd::from_ratio(23, 22);
+    let het_makespan = (Surd::ONE + Surd::sqrt(3)) / Surd::from_int(2);
+    let het_maxflow = Surd::sqrt(2);
+    let het_sumflow = (Surd::sqrt(13) - Surd::ONE) / Surd::from_int(2);
+
+    // Heterogeneous bounds strictly dominate the single-source bounds (the
+    // paper's "complexity goes beyond the worst scenario" remark).
+    assert!(het_makespan > comm_makespan);
+    assert!(het_makespan > comp_makespan);
+    assert!(het_maxflow > comm_maxflow);
+    assert!(het_maxflow > comp_maxflow);
+    assert!(het_sumflow > comm_sumflow);
+    assert!(het_sumflow > comp_sumflow);
+
+    // Approximate decimal values printed in Table 1.
+    for (v, dec) in [
+        (comm_makespan, 1.250),
+        (comm_maxflow, 1.177),
+        (comm_sumflow, 1.093),
+        (comp_makespan, 1.200),
+        (comp_maxflow, 1.250),
+        (comp_sumflow, 23.0 / 22.0),
+        (het_makespan, 1.366),
+        (het_maxflow, 1.414),
+        (het_sumflow, 1.302),
+    ] {
+        // Table 1 truncates rather than rounds (e.g. prints 1.093 for
+        // 1.09384), so allow a one-in-the-last-digit slack.
+        assert!((v.to_f64() - dec).abs() < 1e-3, "{v} != {dec}");
+    }
+}

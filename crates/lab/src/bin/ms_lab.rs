@@ -1,0 +1,152 @@
+//! `ms-lab` — regenerate the paper's tables and figures from the terminal.
+//!
+//! ```text
+//! ms-lab <command> [--quick] [--seed N] [--tasks N] [--platforms N]
+//!
+//! commands:
+//!   table1             Table 1 (nine bounds, machine-verified)
+//!   fig1a..fig1d       Figure 1 panels (heuristic comparison)
+//!   fig1               all four Figure 1 panels
+//!   fig2               Figure 2 (robustness, ±10 % task sizes)
+//!   ablation-buffer    A1: RR dispatch buffer sweep
+//!   ablation-sljf      A2: SLJF/SLJFWC vs exhaustive optimum
+//!   ablation-arrivals  A3: arrival-regime sweep
+//!   all                everything above
+//! ```
+
+use mss_core::PlatformClass;
+use mss_lab::report::ExperimentScale;
+use mss_lab::{ablations, fig1, fig2, table1};
+use mss_workload::{ArrivalProcess, Perturbation};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ms-lab <table1|fig1|fig1a|fig1b|fig1c|fig1d|fig2|ablation-buffer|\
+         ablation-sljf|ablation-arrivals|ablation-heterogeneity|all> [--quick] [--seed N] [--tasks N] [--platforms N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_scale(args: &[String]) -> ExperimentScale {
+    let mut scale = if args.iter().any(|a| a == "--quick") {
+        ExperimentScale::quick()
+    } else {
+        ExperimentScale::full()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tasks" | "--platforms" | "--seed" => {
+                let Some(v) = args.get(i + 1) else { usage() };
+                match args[i].as_str() {
+                    "--tasks" => scale.tasks = v.parse().unwrap_or_else(|_| usage()),
+                    "--platforms" => scale.platforms = v.parse().unwrap_or_else(|_| usage()),
+                    _ => scale.seed = v.parse().unwrap_or_else(|_| usage()),
+                }
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    scale
+}
+
+fn run_fig1_panel(class: PlatformClass, scale: ExperimentScale) {
+    let panel = fig1::run_panel(class, scale, ArrivalProcess::AllAtZero);
+    println!("{}", panel.render());
+    let path = panel.write_artifacts();
+    println!("artifacts: {}\n", path.display());
+}
+
+fn run_table1() {
+    let report = table1::run();
+    println!("{}", report.render());
+    let path = report.write_artifacts();
+    println!("artifacts: {}\n", path.display());
+    assert!(report.all_verified(), "a bound was violated — see above");
+}
+
+fn run_fig2(scale: ExperimentScale) {
+    // Physical reading of the paper's "size of the matrix ... by a factor
+    // of up to 10 %": the linear dimension jitters by ±10 %, so shipping
+    // (N² entries) scales quadratically and the determinant (O(N³))
+    // cubically. `Perturbation::linear` is the conservative alternative.
+    let report = fig2::run(
+        scale,
+        ArrivalProcess::UniformStream { load: 0.9 },
+        Perturbation::matrix(0.1),
+    );
+    println!("{}", report.render());
+    let path = report.write_artifacts();
+    println!("artifacts: {}\n", path.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { usage() };
+    let scale = parse_scale(&args[1..]);
+
+    match command.as_str() {
+        "table1" => run_table1(),
+        "fig1a" => run_fig1_panel(PlatformClass::Homogeneous, scale),
+        "fig1b" => run_fig1_panel(PlatformClass::CommHomogeneous, scale),
+        "fig1c" => run_fig1_panel(PlatformClass::CompHomogeneous, scale),
+        "fig1d" => run_fig1_panel(PlatformClass::Heterogeneous, scale),
+        "fig1" => {
+            for class in [
+                PlatformClass::Homogeneous,
+                PlatformClass::CommHomogeneous,
+                PlatformClass::CompHomogeneous,
+                PlatformClass::Heterogeneous,
+            ] {
+                run_fig1_panel(class, scale);
+            }
+        }
+        "fig2" => run_fig2(scale),
+        "ablation-buffer" => {
+            let report = ablations::buffer_sweep(scale);
+            println!("{}", report.render());
+            println!("artifacts: {}\n", report.write_artifacts().display());
+        }
+        "ablation-sljf" => {
+            let report = ablations::sljf_quality(200, scale.seed);
+            println!("{}", report.render());
+            println!("artifacts: {}\n", report.write_artifacts().display());
+        }
+        "ablation-arrivals" => {
+            let report = ablations::arrival_sweep(scale);
+            println!("{}", report.render());
+            println!("artifacts: {}\n", report.write_artifacts().display());
+        }
+        "ablation-heterogeneity" => {
+            let report = ablations::heterogeneity_impact(scale.tasks, scale.platforms, scale.seed);
+            println!("{}", report.render());
+            println!("artifacts: {}\n", report.write_artifacts().display());
+        }
+        "all" => {
+            run_table1();
+            for class in [
+                PlatformClass::Homogeneous,
+                PlatformClass::CommHomogeneous,
+                PlatformClass::CompHomogeneous,
+                PlatformClass::Heterogeneous,
+            ] {
+                run_fig1_panel(class, scale);
+            }
+            run_fig2(scale);
+            let a1 = ablations::buffer_sweep(scale);
+            println!("{}", a1.render());
+            a1.write_artifacts();
+            let a2 = ablations::sljf_quality(200, scale.seed);
+            println!("{}", a2.render());
+            a2.write_artifacts();
+            let a3 = ablations::arrival_sweep(scale);
+            println!("{}", a3.render());
+            a3.write_artifacts();
+            let a4 = ablations::heterogeneity_impact(scale.tasks, scale.platforms, scale.seed);
+            println!("{}", a4.render());
+            a4.write_artifacts();
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,276 @@
+//! Figure 1 — "Comparison of the seven algorithms on different platforms".
+//!
+//! For each panel (a–d: homogeneous, communication-homogeneous,
+//! computation-homogeneous, fully heterogeneous), the paper creates ten
+//! random platforms, sends 1000 tasks, and plots each algorithm's average
+//! makespan / sum-flow / max-flow **normalized to SRPT** (SRPT ≡ 1).
+
+use crate::report::{fmt3, write_csv, write_json, AsciiTable, ExperimentScale};
+use mss_core::{simulate, Algorithm, Objective, PlatformClass, SimConfig};
+use mss_workload::{ArrivalProcess, PlatformSampler};
+
+/// One algorithm's bars in one panel.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Fig1Row {
+    /// The algorithm (paper order: SRPT, LS, RR, RRC, RRP, SLJF, SLJFWC).
+    pub algorithm: Algorithm,
+    /// Mean normalized [makespan, max-flow, sum-flow] (SRPT ≡ 1).
+    pub normalized: [f64; 3],
+    /// Mean absolute values, seconds (for EXPERIMENTS.md).
+    pub absolute: [f64; 3],
+}
+
+/// One panel of Figure 1.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Fig1Panel {
+    /// Which platform class the panel draws (a–d).
+    pub class: PlatformClass,
+    /// Run scale.
+    pub scale: ExperimentScale,
+    /// Arrival regime (the paper's main reading: bag-of-tasks).
+    pub arrival: ArrivalProcess,
+    /// Rows in the paper's algorithm order.
+    pub rows: Vec<Fig1Row>,
+}
+
+/// Panel letter for a platform class, following the paper's layout.
+pub fn panel_letter(class: PlatformClass) -> char {
+    match class {
+        PlatformClass::Homogeneous => 'a',
+        PlatformClass::CommHomogeneous => 'b',
+        PlatformClass::CompHomogeneous => 'c',
+        PlatformClass::Heterogeneous => 'd',
+    }
+}
+
+/// Runs one Figure 1 panel.
+pub fn run_panel(
+    class: PlatformClass,
+    scale: ExperimentScale,
+    arrival: ArrivalProcess,
+) -> Fig1Panel {
+    let sampler = PlatformSampler::default();
+    let platforms = sampler.sample_many(class, scale.platforms, scale.seed);
+
+    // accumulate normalized and absolute sums per algorithm per objective
+    let mut norm_sum = vec![[0.0f64; 3]; Algorithm::ALL.len()];
+    let mut abs_sum = vec![[0.0f64; 3]; Algorithm::ALL.len()];
+
+    for (pi, platform) in platforms.iter().enumerate() {
+        let tasks = arrival.generate(scale.tasks, platform, scale.seed ^ (pi as u64) << 17);
+        let cfg = SimConfig::with_horizon(scale.tasks);
+        let values: Vec<[f64; 3]> = Algorithm::ALL
+            .iter()
+            .map(|a| {
+                let trace = simulate(platform, &tasks, &cfg, &mut a.build())
+                    .unwrap_or_else(|e| panic!("{a} failed on platform {pi}: {e}"));
+                [
+                    Objective::Makespan.evaluate(&trace),
+                    Objective::MaxFlow.evaluate(&trace),
+                    Objective::SumFlow.evaluate(&trace),
+                ]
+            })
+            .collect();
+        let srpt = values[0]; // Algorithm::ALL[0] == Srpt
+        for (ai, v) in values.iter().enumerate() {
+            for k in 0..3 {
+                norm_sum[ai][k] += v[k] / srpt[k];
+                abs_sum[ai][k] += v[k];
+            }
+        }
+    }
+
+    let nplat = scale.platforms as f64;
+    let rows = Algorithm::ALL
+        .iter()
+        .enumerate()
+        .map(|(ai, &algorithm)| Fig1Row {
+            algorithm,
+            normalized: [
+                norm_sum[ai][0] / nplat,
+                norm_sum[ai][1] / nplat,
+                norm_sum[ai][2] / nplat,
+            ],
+            absolute: [
+                abs_sum[ai][0] / nplat,
+                abs_sum[ai][1] / nplat,
+                abs_sum[ai][2] / nplat,
+            ],
+        })
+        .collect();
+
+    Fig1Panel {
+        class,
+        scale,
+        arrival,
+        rows,
+    }
+}
+
+/// Runs all four panels (Figure 1 a–d).
+pub fn run_all(scale: ExperimentScale, arrival: ArrivalProcess) -> Vec<Fig1Panel> {
+    [
+        PlatformClass::Homogeneous,
+        PlatformClass::CommHomogeneous,
+        PlatformClass::CompHomogeneous,
+        PlatformClass::Heterogeneous,
+    ]
+    .into_iter()
+    .map(|class| run_panel(class, scale, arrival))
+    .collect()
+}
+
+impl Fig1Panel {
+    /// Renders the panel as an ASCII table mirroring the paper's bars.
+    pub fn render(&self) -> String {
+        let mut t = AsciiTable::new(vec![
+            "#".to_string(),
+            "algorithm".to_string(),
+            "makespan".to_string(),
+            "max-flow".to_string(),
+            "sum-flow".to_string(),
+        ]);
+        for row in &self.rows {
+            t.row(vec![
+                row.algorithm.figure_index().to_string(),
+                row.algorithm.name().to_string(),
+                fmt3(row.normalized[0]),
+                fmt3(row.normalized[1]),
+                fmt3(row.normalized[2]),
+            ]);
+        }
+        format!(
+            "Figure 1({}) — {} platforms, m = 5, {} tasks, {}, normalized to SRPT\n{}",
+            panel_letter(self.class),
+            self.scale.platforms,
+            self.scale.tasks,
+            self.arrival.label(),
+            t.render()
+        )
+    }
+
+    /// Writes `fig1<letter>.csv` and `.json`; returns the CSV path.
+    pub fn write_artifacts(&self) -> std::path::PathBuf {
+        let name = format!("fig1{}", panel_letter(self.class));
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.algorithm.name().to_string(),
+                    fmt3(r.normalized[0]),
+                    fmt3(r.normalized[1]),
+                    fmt3(r.normalized[2]),
+                    fmt3(r.absolute[0]),
+                    fmt3(r.absolute[1]),
+                    fmt3(r.absolute[2]),
+                ]
+            })
+            .collect();
+        write_json(&name, self);
+        write_csv(
+            &name,
+            &[
+                "algorithm",
+                "norm_makespan",
+                "norm_maxflow",
+                "norm_sumflow",
+                "abs_makespan",
+                "abs_maxflow",
+                "abs_sumflow",
+            ],
+            &rows,
+        )
+    }
+
+    /// The normalized triple for one algorithm.
+    pub fn normalized(&self, a: Algorithm) -> [f64; 3] {
+        self.rows
+            .iter()
+            .find(|r| r.algorithm == a)
+            .expect("algorithm present")
+            .normalized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(class: PlatformClass) -> Fig1Panel {
+        run_panel(class, ExperimentScale::quick(), ArrivalProcess::AllAtZero)
+    }
+
+    #[test]
+    fn srpt_is_the_unit() {
+        let panel = quick(PlatformClass::Heterogeneous);
+        let srpt = panel.normalized(Algorithm::Srpt);
+        for v in srpt {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn homogeneous_statics_beat_srpt() {
+        // Figure 1(a): all static algorithms equal, better than SRPT.
+        let panel = quick(PlatformClass::Homogeneous);
+        for a in [
+            Algorithm::ListScheduling,
+            Algorithm::RoundRobin,
+            Algorithm::RoundRobinComm,
+            Algorithm::RoundRobinProc,
+            Algorithm::Sljf,
+            Algorithm::Sljfwc,
+        ] {
+            let n = panel.normalized(a);
+            assert!(
+                n[0] <= 1.0 + 1e-9,
+                "{a} normalized makespan {} on homogeneous platforms",
+                n[0]
+            );
+        }
+        // And the RR family coincides exactly.
+        assert_eq!(
+            panel.normalized(Algorithm::RoundRobin),
+            panel.normalized(Algorithm::RoundRobinComm)
+        );
+    }
+
+    #[test]
+    fn comm_homogeneous_rrc_is_worst_rr(){
+        // Figure 1(b): RRC ignores speed heterogeneity and trails RRP/RR.
+        let panel = quick(PlatformClass::CommHomogeneous);
+        let rrc = panel.normalized(Algorithm::RoundRobinComm);
+        let rrp = panel.normalized(Algorithm::RoundRobinProc);
+        assert!(
+            rrc[0] >= rrp[0] - 1e-9,
+            "RRC {} should not beat RRP {} on comm-homogeneous",
+            rrc[0],
+            rrp[0]
+        );
+    }
+
+    #[test]
+    fn comp_homogeneous_rrp_trails_rrc() {
+        // Figure 1(c): RRP (and SLJF) ignore link heterogeneity.
+        let panel = quick(PlatformClass::CompHomogeneous);
+        let rrc = panel.normalized(Algorithm::RoundRobinComm);
+        let rrp = panel.normalized(Algorithm::RoundRobinProc);
+        assert!(
+            rrp[0] >= rrc[0] - 1e-9,
+            "RRP {} should not beat RRC {} on comp-homogeneous",
+            rrp[0],
+            rrc[0]
+        );
+    }
+
+    #[test]
+    fn renders_and_writes() {
+        let panel = quick(PlatformClass::Homogeneous);
+        let rendered = panel.render();
+        assert!(rendered.contains("Figure 1(a)"));
+        assert!(rendered.contains("SLJFWC"));
+        let path = panel.write_artifacts();
+        assert!(path.exists());
+    }
+}

@@ -1,0 +1,221 @@
+//! Figure 2 — "Assessing the robustness of the algorithms".
+//!
+//! The paper perturbs the size of each task by up to ±10 % and compares the
+//! obtained average makespan / sum-flow / max-flow against the run with
+//! identical sizes on the same platforms. Heuristics keep planning with
+//! *nominal* sizes (they do not know the jitter), so their load estimates
+//! drift — flow objectives suffer far more than the makespan, which is the
+//! paper's observation.
+//!
+//! Flow-time robustness is only informative when flows are arrival-bound,
+//! so this experiment defaults to a near-saturated stream (ρ = 0.9); the
+//! bag-of-tasks regime is available for comparison (DESIGN.md,
+//! arrival-process note).
+
+use crate::report::{fmt3, write_csv, write_json, AsciiTable, ExperimentScale};
+use mss_core::{simulate, Algorithm, Objective, PlatformClass, SimConfig};
+use mss_workload::{ArrivalProcess, Perturbation, PlatformSampler};
+
+/// One algorithm's robustness ratios.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Fig2Row {
+    /// The algorithm.
+    pub algorithm: Algorithm,
+    /// Mean ratio perturbed / identical for [makespan, max-flow, sum-flow].
+    pub ratio: [f64; 3],
+}
+
+/// The Figure 2 report.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Fig2Report {
+    /// Run scale.
+    pub scale: ExperimentScale,
+    /// Arrival regime used.
+    pub arrival: ArrivalProcess,
+    /// Size jitter applied.
+    pub perturbation: Perturbation,
+    /// Rows in the paper's algorithm order.
+    pub rows: Vec<Fig2Row>,
+}
+
+/// Runs the robustness experiment on fully heterogeneous platforms.
+pub fn run(
+    scale: ExperimentScale,
+    arrival: ArrivalProcess,
+    perturbation: Perturbation,
+) -> Fig2Report {
+    let sampler = PlatformSampler::default();
+    let platforms = sampler.sample_many(PlatformClass::Heterogeneous, scale.platforms, scale.seed);
+
+    let mut ratio_sum = vec![[0.0f64; 3]; Algorithm::ALL.len()];
+
+    for (pi, platform) in platforms.iter().enumerate() {
+        let nominal = arrival.generate(scale.tasks, platform, scale.seed ^ (pi as u64) << 17);
+        let perturbed = perturbation.apply(&nominal, scale.seed ^ 0x9e37 ^ (pi as u64) << 9);
+        let cfg = SimConfig::with_horizon(scale.tasks);
+        for (ai, a) in Algorithm::ALL.iter().enumerate() {
+            let base = simulate(platform, &nominal, &cfg, &mut a.build())
+                .unwrap_or_else(|e| panic!("{a} failed (nominal): {e}"));
+            let pert = simulate(platform, &perturbed, &cfg, &mut a.build())
+                .unwrap_or_else(|e| panic!("{a} failed (perturbed): {e}"));
+            for (k, obj) in [Objective::Makespan, Objective::MaxFlow, Objective::SumFlow]
+                .into_iter()
+                .enumerate()
+            {
+                ratio_sum[ai][k] += obj.evaluate(&pert) / obj.evaluate(&base);
+            }
+        }
+    }
+
+    let nplat = scale.platforms as f64;
+    let rows = Algorithm::ALL
+        .iter()
+        .enumerate()
+        .map(|(ai, &algorithm)| Fig2Row {
+            algorithm,
+            ratio: [
+                ratio_sum[ai][0] / nplat,
+                ratio_sum[ai][1] / nplat,
+                ratio_sum[ai][2] / nplat,
+            ],
+        })
+        .collect();
+
+    Fig2Report {
+        scale,
+        arrival,
+        perturbation,
+        rows,
+    }
+}
+
+impl Fig2Report {
+    /// Renders the report mirroring the paper's bar groups.
+    pub fn render(&self) -> String {
+        let mut t = AsciiTable::new(vec![
+            "#".to_string(),
+            "algorithm".to_string(),
+            "makespan".to_string(),
+            "max-flow".to_string(),
+            "sum-flow".to_string(),
+        ]);
+        for row in &self.rows {
+            t.row(vec![
+                row.algorithm.figure_index().to_string(),
+                row.algorithm.name().to_string(),
+                fmt3(row.ratio[0]),
+                fmt3(row.ratio[1]),
+                fmt3(row.ratio[2]),
+            ]);
+        }
+        format!(
+            "Figure 2 — perturbed(±{:.0}%) / identical, {} platforms, {} tasks, {}\n{}",
+            self.perturbation.delta * 100.0,
+            self.scale.platforms,
+            self.scale.tasks,
+            self.arrival.label(),
+            t.render()
+        )
+    }
+
+    /// Writes `fig2.csv` and `.json`; returns the CSV path.
+    pub fn write_artifacts(&self) -> std::path::PathBuf {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.algorithm.name().to_string(),
+                    fmt3(r.ratio[0]),
+                    fmt3(r.ratio[1]),
+                    fmt3(r.ratio[2]),
+                ]
+            })
+            .collect();
+        write_json("fig2", self);
+        write_csv(
+            "fig2",
+            &["algorithm", "makespan_ratio", "maxflow_ratio", "sumflow_ratio"],
+            &rows,
+        )
+    }
+
+    /// Ratios for one algorithm.
+    pub fn ratio(&self, a: Algorithm) -> [f64; 3] {
+        self.rows
+            .iter()
+            .find(|r| r.algorithm == a)
+            .expect("algorithm present")
+            .ratio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn makespan_is_robust_flows_are_not() {
+        // The paper's headline: "our algorithms are quite robust for
+        // makespan minimization problems, but not as much for sum-flow or
+        // max-flow problems."
+        let report = run(
+            ExperimentScale::quick(),
+            ArrivalProcess::UniformStream { load: 0.9 },
+            Perturbation::linear(0.1),
+        );
+        for row in &report.rows {
+            assert!(
+                (row.ratio[0] - 1.0).abs() < 0.25,
+                "{}: makespan ratio {} far from 1",
+                row.algorithm,
+                row.ratio[0]
+            );
+        }
+        // At least one algorithm shows visibly amplified flow sensitivity.
+        let worst_flow = report
+            .rows
+            .iter()
+            .map(|r| r.ratio[1].max(r.ratio[2]))
+            .fold(0.0f64, f64::max);
+        let worst_makespan = report
+            .rows
+            .iter()
+            .map(|r| (r.ratio[0] - 1.0).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            worst_flow - 1.0 > worst_makespan,
+            "flows (worst {worst_flow}) should be less robust than makespan (worst dev {worst_makespan})"
+        );
+    }
+
+    #[test]
+    fn renders_and_writes() {
+        let report = run(
+            ExperimentScale::quick(),
+            ArrivalProcess::UniformStream { load: 0.9 },
+            Perturbation::linear(0.1),
+        );
+        assert!(report.render().contains("Figure 2"));
+        assert!(report.write_artifacts().exists());
+    }
+
+    #[test]
+    fn zero_perturbation_is_identity() {
+        let report = run(
+            ExperimentScale::quick(),
+            ArrivalProcess::AllAtZero,
+            Perturbation::linear(0.0),
+        );
+        for row in &report.rows {
+            for k in 0..3 {
+                assert!(
+                    (row.ratio[k] - 1.0).abs() < 1e-9,
+                    "{}: ratio {} with zero jitter",
+                    row.algorithm,
+                    row.ratio[k]
+                );
+            }
+        }
+    }
+}

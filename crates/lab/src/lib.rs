@@ -1,0 +1,25 @@
+//! # mss-lab — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation:
+//!
+//! | paper artifact | module | binary subcommand |
+//! |---|---|---|
+//! | Table 1 (nine lower bounds) | [`table1`] | `ms-lab table1` |
+//! | Figure 1(a–d) (heuristic comparison) | [`fig1`] | `ms-lab fig1a` … `fig1d` |
+//! | Figure 2 (robustness) | [`fig2`] | `ms-lab fig2` |
+//! | Ablations A1–A3 (DESIGN.md) | [`ablations`] | `ms-lab ablation-*` |
+//!
+//! Each experiment prints an ASCII table mirroring the paper's layout and
+//! writes CSV + JSON artifacts under `target/lab/`. EXPERIMENTS.md records
+//! the paper-vs-measured comparison for every cell.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig2;
+pub mod report;
+pub mod table1;
+
+pub use report::ExperimentScale;

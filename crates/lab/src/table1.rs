@@ -1,0 +1,214 @@
+//! Table 1 — "Lower bounds on the competitive ratio of on-line algorithms,
+//! depending on the platform type and on the objective function".
+//!
+//! The paper's table is purely theoretical; our reproduction regenerates it
+//! *and* machine-checks it: for each of the nine cells the corresponding
+//! adversary game is played against all seven heuristics, and the smallest
+//! measured competitive ratio is reported next to the proven bound. The
+//! theorems say `min ≥ bound` (up to the documented `certified` slack of
+//! the limit theorems) — the harness fails loudly if any algorithm ever
+//! beats its bound.
+
+use crate::report::{fmt4, write_csv, write_json, AsciiTable};
+use mss_adversary::{play, TheoremId};
+use mss_core::{Algorithm, Objective, PlatformClass};
+
+/// One cell of Table 1, with its verification data.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Table1Cell {
+    /// Which theorem proves this cell.
+    pub theorem: TheoremId,
+    /// Row (platform class).
+    pub class: PlatformClass,
+    /// Column (objective).
+    pub objective: Objective,
+    /// Exact bound, rendered (e.g. `5/4`, `1√2`).
+    pub bound_exact: String,
+    /// Bound as a decimal (the number printed in the paper).
+    pub bound: f64,
+    /// Ratio certified by the concrete game parameters (== bound for the
+    /// ε-free theorems).
+    pub certified: f64,
+    /// Measured ratio per algorithm `(name, ratio)`.
+    pub measured: Vec<(String, f64)>,
+    /// The smallest measured ratio across the seven heuristics.
+    pub min_measured: f64,
+    /// Whether every algorithm respected the certified bound.
+    pub verified: bool,
+}
+
+/// The regenerated Table 1.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Table1Report {
+    /// All nine cells, in theorem order.
+    pub cells: Vec<Table1Cell>,
+}
+
+/// Plays all nine games against all seven heuristics.
+pub fn run() -> Table1Report {
+    let cells = TheoremId::ALL
+        .iter()
+        .map(|&id| {
+            let mut measured = Vec::new();
+            let mut min_measured = f64::INFINITY;
+            let mut verified = true;
+            let mut info = None;
+            for a in Algorithm::ALL {
+                let factory = move || a.build();
+                let result = play(id, &factory);
+                min_measured = min_measured.min(result.ratio);
+                verified &= result.holds();
+                measured.push((a.name().to_string(), result.ratio));
+                info = Some(result.info);
+            }
+            let info = info.expect("at least one algorithm");
+            Table1Cell {
+                theorem: id,
+                class: info.platform_class,
+                objective: info.objective,
+                bound_exact: format!("{}", info.bound),
+                bound: info.bound.to_f64(),
+                certified: info.certified.to_f64(),
+                measured,
+                min_measured,
+                verified,
+            }
+        })
+        .collect();
+    Table1Report { cells }
+}
+
+impl Table1Report {
+    /// The cell proved by a theorem.
+    pub fn cell(&self, id: TheoremId) -> &Table1Cell {
+        self.cells
+            .iter()
+            .find(|c| c.theorem == id)
+            .expect("all nine cells present")
+    }
+
+    /// `true` iff every algorithm respected every bound.
+    pub fn all_verified(&self) -> bool {
+        self.cells.iter().all(|c| c.verified)
+    }
+
+    /// Renders the paper's 3×3 grid (bounds) plus the verification columns.
+    pub fn render(&self) -> String {
+        // The 3×3 grid exactly as printed in the paper.
+        let mut grid = AsciiTable::new(vec![
+            "Platform type".to_string(),
+            "Makespan".to_string(),
+            "Max-flow".to_string(),
+            "Sum-flow".to_string(),
+        ]);
+        for class in [
+            PlatformClass::CommHomogeneous,
+            PlatformClass::CompHomogeneous,
+            PlatformClass::Heterogeneous,
+        ] {
+            let get = |o: Objective| {
+                self.cells
+                    .iter()
+                    .find(|c| c.class == class && c.objective == o)
+                    .map(|c| format!("{} ≈ {}", c.bound_exact, fmt4(c.bound)))
+                    .unwrap_or_default()
+            };
+            grid.row(vec![
+                class.to_string(),
+                get(Objective::Makespan),
+                get(Objective::MaxFlow),
+                get(Objective::SumFlow),
+            ]);
+        }
+
+        // Verification appendix: measured worst-case ratios per theorem.
+        let mut verify = AsciiTable::new(vec![
+            "theorem".to_string(),
+            "bound".to_string(),
+            "certified".to_string(),
+            "min ratio (7 algs)".to_string(),
+            "status".to_string(),
+        ]);
+        for c in &self.cells {
+            verify.row(vec![
+                format!("{}", c.theorem),
+                fmt4(c.bound),
+                fmt4(c.certified),
+                fmt4(c.min_measured),
+                if c.verified { "verified".into() } else { "VIOLATED".to_string() },
+            ]);
+        }
+
+        format!(
+            "Table 1 — lower bounds on the competitive ratio of on-line algorithms\n{}\n\
+             Machine verification (adversary games vs all seven heuristics):\n{}",
+            grid.render(),
+            verify.render()
+        )
+    }
+
+    /// Writes `table1.csv` and `.json`; returns the CSV path.
+    pub fn write_artifacts(&self) -> std::path::PathBuf {
+        let rows: Vec<Vec<String>> = self
+            .cells
+            .iter()
+            .map(|c| {
+                vec![
+                    format!("{}", c.theorem),
+                    c.class.to_string(),
+                    c.objective.label().to_string(),
+                    fmt4(c.bound),
+                    fmt4(c.certified),
+                    fmt4(c.min_measured),
+                    c.verified.to_string(),
+                ]
+            })
+            .collect();
+        write_json("table1", self);
+        write_csv(
+            "table1",
+            &[
+                "theorem",
+                "platform_class",
+                "objective",
+                "bound",
+                "certified",
+                "min_measured_ratio",
+                "verified",
+            ],
+            &rows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::approx_constant)] // Table 1's printed decimal for √2
+    fn regenerates_and_verifies_table1() {
+        let report = run();
+        assert_eq!(report.cells.len(), 9);
+        assert!(report.all_verified(), "{}", report.render());
+        // The paper's decimals.
+        for (id, dec) in [
+            (TheoremId::T1, 1.250),
+            (TheoremId::T4, 1.200),
+            (TheoremId::T6, 1.0455),
+            (TheoremId::T9, 1.4142),
+        ] {
+            assert!((report.cell(id).bound - dec).abs() < 5e-4);
+        }
+        // Rendering mentions the exact forms.
+        let rendered = report.render();
+        assert!(rendered.contains("5/4"));
+        assert!(rendered.contains("verified"));
+    }
+
+    #[test]
+    fn artifacts_written() {
+        let report = run();
+        assert!(report.write_artifacts().exists());
+    }
+}

@@ -1,0 +1,202 @@
+//! Optimal bag-of-tasks makespan on communication-homogeneous platforms,
+//! at *any* scale (the exhaustive search stops at a handful of tasks).
+//!
+//! Setting: `c_j = c`, all `n` tasks released at `t = 0`. Two classical
+//! observations make the optimum computable in `O(n log n · log(1/ε))`:
+//!
+//! 1. **Port saturation.** Sends can be left-shifted until the port never
+//!    idles while unsent tasks remain, so WLOG the `k`-th send completes at
+//!    `k·c` — any schedule is dominated by one of this form.
+//! 2. **EDF exchange.** Fix a target makespan `T`. If slave `j` executes
+//!    `n_j` tasks back-to-back ending at `T`, its `i`-th-from-last task
+//!    must start computing by the *deadline* `T − i·p_j`. A set of `n`
+//!    slots is feasible iff, sorting deadlines ascendingly, the `k`-th
+//!    smallest deadline is at least `k·c` (match earliest send to earliest
+//!    deadline; any feasible matching can be exchanged into this one). For
+//!    fixed `T` it is dominant to pick the `n` *largest* deadlines, which
+//!    automatically form per-slave prefixes (`i = 1..n_j`).
+//!
+//! The minimal feasible `T` is found by bisection. `mss-opt`'s tests check
+//! the result against the exhaustive optimum on small instances, and the
+//! SLJF heuristic against this oracle at paper scale (n = 1000).
+
+use mss_core::Platform;
+
+/// Is makespan `T` achievable for `n` tasks on `platform` (comm-homog, bag)?
+fn feasible(platform: &Platform, n: usize, c: f64, t: f64) -> bool {
+    // Collect the n largest deadlines T − i·p_j (per-slave prefixes).
+    let mut deadlines: Vec<f64> = Vec::with_capacity(n);
+    for (_, s) in platform.iter() {
+        let mut i = 1usize;
+        while i <= n {
+            let d = t - i as f64 * s.p;
+            if d < c - 1e-12 {
+                break;
+            }
+            deadlines.push(d);
+            i += 1;
+        }
+    }
+    if deadlines.len() < n {
+        return false;
+    }
+    // Keep the n largest, check EDF condition d_(k) >= k·c ascending.
+    deadlines.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    deadlines.truncate(n);
+    deadlines.reverse();
+    deadlines
+        .iter()
+        .enumerate()
+        .all(|(k, &d)| d >= (k + 1) as f64 * c - 1e-12)
+}
+
+/// The optimal makespan for `n` identical tasks released at `t = 0` on a
+/// communication-homogeneous platform, to absolute precision `1e-9`
+/// (relative to the platform scale).
+///
+/// # Panics
+/// Panics if the platform is not communication-homogeneous or `n == 0`.
+pub fn optimal_bag_makespan(platform: &Platform, n: usize) -> f64 {
+    assert!(n > 0, "optimal_bag_makespan: need at least one task");
+    let c = platform.c(mss_core::SlaveId(0));
+    assert!(
+        platform
+            .iter()
+            .all(|(_, s)| (s.c - c).abs() <= 1e-12 * c.max(1.0)),
+        "optimal_bag_makespan: platform must be communication-homogeneous"
+    );
+
+    // Bracket: lower bound from physics, upper bound by doubling.
+    let min_p = platform.iter().map(|(_, s)| s.p).fold(f64::INFINITY, f64::min);
+    let mut lo = (n as f64 * c + min_p).max(c + min_p);
+    if feasible(platform, n, c, lo) {
+        return lo;
+    }
+    let mut hi = lo.max(c + min_p) * 2.0;
+    while !feasible(platform, n, c, hi) {
+        hi *= 2.0;
+        assert!(hi.is_finite(), "no feasible makespan found (bug)");
+    }
+    // Bisect to absolute ~1e-9·scale.
+    let eps = 1e-9 * hi.max(1.0);
+    for _ in 0..200 {
+        if hi - lo <= eps {
+            break;
+        }
+        let mid = 0.5 * (lo + hi);
+        if feasible(platform, n, c, mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::best_f64;
+    use crate::schedule::{Goal, Instance};
+    use mss_core::{bag_of_tasks, simulate, Algorithm, SimConfig};
+
+    #[test]
+    fn matches_exhaustive_on_small_bags() {
+        for (c, p, n) in [
+            (1.0, vec![3.0, 7.0], 3usize),
+            (0.5, vec![1.0, 2.0, 4.0], 4),
+            (0.2, vec![0.7, 0.7], 5),
+            (1.0, vec![2.0], 4),
+        ] {
+            let platform = Platform::from_vectors(&vec![c; p.len()], &p);
+            let inst = Instance {
+                c: vec![c; p.len()],
+                p: p.clone(),
+                r: vec![0.0; n],
+            };
+            let exhaustive = best_f64(&inst, Goal::Makespan).value;
+            let oracle = optimal_bag_makespan(&platform, n);
+            assert!(
+                (exhaustive - oracle).abs() < 1e-6,
+                "c={c}, p={p:?}, n={n}: exhaustive {exhaustive} vs oracle {oracle}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem1_three_task_value() {
+        // The Theorem 1 platform with three tasks at 0 has optimum 8 when
+        // releases are (0,1,2); with all three at 0 the optimum is
+        // different — cross-check against exhaustive explicitly.
+        let platform = Platform::from_vectors(&[1.0, 1.0], &[3.0, 7.0]);
+        let inst = Instance {
+            c: vec![1.0, 1.0],
+            p: vec![3.0, 7.0],
+            r: vec![0.0; 3],
+        };
+        let exhaustive = best_f64(&inst, Goal::Makespan).value;
+        assert!((optimal_bag_makespan(&platform, 3) - exhaustive).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sljf_is_optimal_at_paper_scale() {
+        // The headline property imported from [23], now checked at the
+        // experiment scale instead of n ≤ 5: SLJF's DES makespan equals the
+        // true optimum for 1000 tasks on a comm-homogeneous platform.
+        let platform =
+            Platform::from_vectors(&[0.05; 5], &[0.35, 1.1, 2.4, 4.9, 7.3]);
+        let n = 1000;
+        let trace = simulate(
+            &platform,
+            &bag_of_tasks(n),
+            &SimConfig::with_horizon(n),
+            &mut Algorithm::Sljf.build(),
+        )
+        .unwrap();
+        let opt = optimal_bag_makespan(&platform, n);
+        let ratio = trace.makespan() / opt;
+        assert!(
+            ratio <= 1.0 + 1e-6,
+            "SLJF {} vs optimal {} (ratio {ratio})",
+            trace.makespan(),
+            opt
+        );
+        assert!(ratio >= 1.0 - 1e-6, "oracle above a real schedule?!");
+    }
+
+    #[test]
+    fn oracle_is_a_true_lower_bound_for_all_heuristics() {
+        let platform = Platform::from_vectors(&[0.1; 4], &[0.5, 1.0, 2.0, 4.0]);
+        let n = 200;
+        let opt = optimal_bag_makespan(&platform, n);
+        for a in Algorithm::ALL {
+            let trace = simulate(
+                &platform,
+                &bag_of_tasks(n),
+                &SimConfig::with_horizon(n),
+                &mut a.build(),
+            )
+            .unwrap();
+            assert!(
+                trace.makespan() >= opt - 1e-6,
+                "{a} beat the optimum: {} < {opt}",
+                trace.makespan()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "communication-homogeneous")]
+    fn rejects_heterogeneous_links() {
+        let platform = Platform::from_vectors(&[0.1, 0.5], &[1.0, 1.0]);
+        let _ = optimal_bag_makespan(&platform, 3);
+    }
+
+    #[test]
+    fn single_slave_closed_form() {
+        // One slave: makespan = c + n·p when p ≥ c (pipelined).
+        let platform = Platform::from_vectors(&[0.5], &[2.0]);
+        let opt = optimal_bag_makespan(&platform, 7);
+        assert!((opt - (0.5 + 7.0 * 2.0)).abs() < 1e-6, "opt {opt}");
+    }
+}

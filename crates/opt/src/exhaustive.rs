@@ -1,0 +1,268 @@
+//! Exhaustive search for the offline optimum on small instances.
+//!
+//! The competitive-ratio denominators of the paper are *offline* optima:
+//! the adversary fixes the full instance and asks what the best schedule
+//! would have been with complete knowledge. By the eagerness-domination
+//! argument (see [`crate::schedule`]), the optimum is attained by some
+//! discrete outcome `(send order, per-send assignment)`, so for the paper's
+//! tiny adversary instances (≤ 4 tasks, ≤ 3 slaves) we simply enumerate all
+//! `n! · m^n` outcomes — in exact arithmetic when the instance demands it.
+
+use crate::schedule::{eager_completions, goal_value_exact, goal_value_f64, Goal, Instance, SchedTime};
+use mss_exact::Surd;
+
+/// Maximum `n! · m^n` the search will accept before panicking; protects
+/// against accidentally feeding experiment-sized instances to the
+/// exhaustive optimizer.
+const MAX_OUTCOMES: u128 = 50_000_000;
+
+/// The best discrete outcome found, with its value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Best<T> {
+    /// Optimal objective value.
+    pub value: T,
+    /// `order[k]` = task sent `k`-th.
+    pub order: Vec<usize>,
+    /// `assignment[k]` = slave of the `k`-th send.
+    pub assignment: Vec<usize>,
+    /// Completion times per task.
+    pub completions: Vec<T>,
+}
+
+fn factorial(n: usize) -> u128 {
+    (1..=n as u128).product()
+}
+
+fn check_size(n: usize, m: usize) {
+    let outcomes = factorial(n).saturating_mul((m as u128).saturating_pow(n as u32));
+    assert!(
+        outcomes <= MAX_OUTCOMES,
+        "exhaustive search over {n} tasks x {m} slaves would enumerate {outcomes} outcomes; \
+         use a heuristic or a dedicated optimizer for instances this large"
+    );
+}
+
+/// Calls `f` for every permutation of `0..n` (lexicographic).
+fn for_each_permutation<F: FnMut(&[usize])>(n: usize, mut f: F) {
+    let mut perm: Vec<usize> = (0..n).collect();
+    loop {
+        f(&perm);
+        // next_permutation
+        if n < 2 {
+            return;
+        }
+        let Some(i) = (0..n - 1).rev().find(|&i| perm[i] < perm[i + 1]) else {
+            return;
+        };
+        let j = (i + 1..n).rev().find(|&j| perm[j] > perm[i]).unwrap();
+        perm.swap(i, j);
+        perm[i + 1..].reverse();
+    }
+}
+
+/// Calls `f` for every assignment vector in `{0..m}^n` (odometer order).
+fn for_each_assignment<F: FnMut(&[usize])>(n: usize, m: usize, mut f: F) {
+    let mut a = vec![0usize; n];
+    loop {
+        f(&a);
+        let mut k = 0;
+        loop {
+            if k == n {
+                return;
+            }
+            a[k] += 1;
+            if a[k] < m {
+                break;
+            }
+            a[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+/// `true` iff all releases are identical — then the send order is irrelevant
+/// (tasks are interchangeable) and only assignments need enumeration.
+fn uniform_releases<T: SchedTime>(r: &[T]) -> bool {
+    r.windows(2).all(|w| w[0] >= w[1] && w[1] >= w[0])
+}
+
+fn search<T, EV>(inst: &Instance<T>, mut evaluate: EV) -> Best<T>
+where
+    T: SchedTime,
+    EV: FnMut(&[T]) -> T,
+{
+    inst.check();
+    let n = inst.num_tasks();
+    let m = inst.num_slaves();
+    assert!(n > 0, "exhaustive search needs at least one task");
+    check_size(n, m);
+
+    let mut best: Option<Best<T>> = None;
+    let mut consider = |order: &[usize], assignment: &[usize]| {
+        let completions = eager_completions(inst, order, assignment);
+        let value = evaluate(&completions);
+        let better = match &best {
+            None => true,
+            Some(b) => value < b.value,
+        };
+        if better {
+            best = Some(Best {
+                value,
+                order: order.to_vec(),
+                assignment: assignment.to_vec(),
+                completions,
+            });
+        }
+    };
+
+    if uniform_releases(&inst.r) {
+        let order: Vec<usize> = (0..n).collect();
+        for_each_assignment(n, m, |a| consider(&order, a));
+    } else {
+        for_each_permutation(n, |order| {
+            for_each_assignment(n, m, |a| consider(order, a));
+        });
+    }
+    best.expect("at least one outcome considered")
+}
+
+/// Optimal offline value and outcome, `f64` arithmetic.
+pub fn best_f64(inst: &Instance<f64>, goal: Goal) -> Best<f64> {
+    let releases = inst.r.clone();
+    search(inst, |completions| {
+        goal_value_f64(goal, completions, &releases)
+    })
+}
+
+/// Optimal offline value and outcome, exact arithmetic.
+pub fn best_exact(inst: &Instance<Surd>, goal: Goal) -> Best<Surd> {
+    let releases = inst.r.clone();
+    search(inst, |completions| {
+        goal_value_exact(goal, completions, &releases)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem1_offline_optima() {
+        // c = 1, p = (3, 7). The proof states, for the branch where the
+        // adversary sends 3 tasks at times (0, 1, 2), that the optimum is 8.
+        let inst = Instance {
+            c: vec![1.0, 1.0],
+            p: vec![3.0, 7.0],
+            r: vec![0.0, 1.0, 2.0],
+        };
+        let best = best_f64(&inst, Goal::Makespan);
+        assert_eq!(best.value, 8.0);
+
+        // Single task at t=0: optimum c + p1 = 4.
+        let single = Instance {
+            c: vec![1.0, 1.0],
+            p: vec![3.0, 7.0],
+            r: vec![0.0],
+        };
+        assert_eq!(best_f64(&single, Goal::Makespan).value, 4.0);
+
+        // Two tasks (0, 1): optimum sends both to P1: max{c+2p1, 2c+p1} = 7.
+        let two = Instance {
+            c: vec![1.0, 1.0],
+            p: vec![3.0, 7.0],
+            r: vec![0.0, 1.0],
+        };
+        assert_eq!(best_f64(&two, Goal::Makespan).value, 7.0);
+    }
+
+    #[test]
+    fn theorem6_offline_sum_flow() {
+        // c = (1, 2), p = 3; tasks at (0, 2, 2, 2). The proof computes an
+        // optimal sum-flow of 22 (schedule P2, P1, P2, P1).
+        let inst = Instance {
+            c: vec![1.0, 2.0],
+            p: vec![3.0, 3.0],
+            r: vec![0.0, 2.0, 2.0, 2.0],
+        };
+        let best = best_f64(&inst, Goal::SumFlow);
+        assert_eq!(best.value, 22.0);
+    }
+
+    #[test]
+    fn theorem2_offline_sum_flow_exact() {
+        use mss_exact::Surd;
+        // c = 1, p1 = 2, p2 = 4√2 − 2; tasks at (0, 1).
+        // Optimal sum-flow = 7 (both tasks on P1).
+        let p2 = Surd::from_int(4) * Surd::sqrt(2) - Surd::from_int(2);
+        let inst = Instance {
+            c: vec![Surd::ONE, Surd::ONE],
+            p: vec![Surd::from_int(2), p2],
+            r: vec![Surd::ZERO, Surd::ONE],
+        };
+        let best = best_exact(&inst, Goal::SumFlow);
+        assert_eq!(best.value, Surd::from_int(7));
+    }
+
+    #[test]
+    fn uniform_release_shortcut_agrees_with_full_search() {
+        // Same instance expressed with "all zero" releases vs a permuted
+        // duplicate with distinct-but-equal releases must agree.
+        let inst = Instance {
+            c: vec![0.5, 1.0],
+            p: vec![2.0, 1.0],
+            r: vec![0.0, 0.0, 0.0],
+        };
+        let fast = best_f64(&inst, Goal::Makespan);
+        // Force the general path with a tiny, irrelevant epsilon spread that
+        // cannot change the optimal value (all below any send start).
+        let mut spread = inst.clone();
+        spread.r = vec![0.0, 0.0, 1e-12];
+        let slow = best_f64(&spread, Goal::Makespan);
+        assert!((fast.value - slow.value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimum_beats_every_single_outcome() {
+        let inst = Instance {
+            c: vec![0.3, 0.8],
+            p: vec![1.5, 0.9],
+            r: vec![0.0, 0.4, 1.1],
+        };
+        for goal in [Goal::Makespan, Goal::MaxFlow, Goal::SumFlow] {
+            let best = best_f64(&inst, goal);
+            // Spot-check a few specific outcomes.
+            for (order, assign) in [
+                (vec![0usize, 1, 2], vec![0usize, 0, 0]),
+                (vec![0, 1, 2], vec![1, 1, 1]),
+                (vec![2, 0, 1], vec![0, 1, 0]),
+            ] {
+                // Invalid orders (task 2 before release) are still legal
+                // outcomes — eager just waits.
+                let completions = eager_completions(&inst, &order, &assign);
+                let v = goal_value_f64(goal, &completions, &inst.r);
+                assert!(best.value <= v + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exhaustive search over")]
+    fn size_guard_triggers() {
+        let inst = Instance {
+            c: vec![1.0; 4],
+            p: vec![1.0; 4],
+            r: (0..16).map(|i| i as f64).collect(),
+        };
+        let _ = best_f64(&inst, Goal::Makespan);
+    }
+
+    #[test]
+    fn permutation_and_assignment_enumeration_counts() {
+        let mut perms = 0;
+        for_each_permutation(4, |_| perms += 1);
+        assert_eq!(perms, 24);
+        let mut assigns = 0;
+        for_each_assignment(3, 3, |_| assigns += 1);
+        assert_eq!(assigns, 27);
+    }
+}

@@ -1,0 +1,111 @@
+//! The homogeneous-platform optimum (paper, Introduction).
+//!
+//! On a fully homogeneous platform the paper notes that the FIFO
+//! list-scheduling strategy — *"process tasks in a FIFO order, according to
+//! their release times; send the first unscheduled task to the processor
+//! whose ready-time is minimum"* — is **optimal simultaneously** for
+//! makespan, max-flow and sum-flow. This module implements that strategy in
+//! closed form (no discrete-event machinery) so it can serve as an
+//! independent oracle: `mss-opt`'s tests check it against the exhaustive
+//! optimum, and the lab checks the DES List-Scheduling heuristic against it.
+
+use crate::schedule::{Instance, SchedTime};
+
+/// Completion times of the FIFO list schedule on a homogeneous platform
+/// with `m` slaves of spec `(c, p)`, for releases sorted or not (tasks are
+/// processed FIFO by release, ties by index).
+///
+/// Returns completions indexed by task.
+pub fn fifo_completions<T: SchedTime>(m: usize, c: T, p: T, releases: &[T]) -> Vec<T> {
+    assert!(m > 0, "at least one slave");
+    let n = releases.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        releases[a]
+            .partial_cmp(&releases[b])
+            .expect("releases must be comparable")
+            .then(a.cmp(&b))
+    });
+
+    let mut port = T::zero();
+    let mut ready = vec![T::zero(); m];
+    let mut completions = vec![T::zero(); n];
+    for &i in &idx {
+        // Earliest-ready slave (ties by slave index).
+        let j = (0..m)
+            .min_by(|&a, &b| ready[a].partial_cmp(&ready[b]).unwrap().then(a.cmp(&b)))
+            .unwrap();
+        let send_start = port.maximum(releases[i]);
+        let send_end = send_start + c;
+        port = send_end;
+        let start = send_end.maximum(ready[j]);
+        ready[j] = start + p;
+        completions[i] = ready[j];
+    }
+    completions
+}
+
+/// Builds the homogeneous instance matching [`fifo_completions`] arguments,
+/// convenient for cross-checking with the exhaustive optimizer.
+pub fn homogeneous_instance(m: usize, c: f64, p: f64, releases: &[f64]) -> Instance<f64> {
+    Instance {
+        c: vec![c; m],
+        p: vec![p; m],
+        r: releases.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::best_f64;
+    use crate::schedule::{goal_value_f64, Goal};
+
+    #[test]
+    fn fifo_is_optimal_for_all_three_objectives_small() {
+        // Deterministic cross-check on a grid of small homogeneous cases.
+        for (m, c, p) in [(1usize, 0.5, 2.0), (2, 1.0, 3.0), (3, 0.2, 1.0)] {
+            for releases in [
+                vec![0.0, 0.0, 0.0],
+                vec![0.0, 0.5, 2.5],
+                vec![0.0, 0.1, 0.2, 4.0],
+                vec![1.0, 1.0, 2.0, 2.0],
+            ] {
+                let inst = homogeneous_instance(m, c, p, &releases);
+                let fifo = fifo_completions(m, c, p, &releases);
+                for goal in [Goal::Makespan, Goal::MaxFlow, Goal::SumFlow] {
+                    let fifo_value = goal_value_f64(goal, &fifo, &releases);
+                    let opt = best_f64(&inst, goal);
+                    assert!(
+                        (fifo_value - opt.value).abs() < 1e-9,
+                        "FIFO suboptimal for {goal:?} on m={m}, c={c}, p={p}, r={releases:?}: \
+                         {fifo_value} vs {}",
+                        opt.value
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_slave_serializes() {
+        let c = fifo_completions(1, 1.0, 2.0, &[0.0, 0.0]);
+        assert_eq!(c, vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn unsorted_releases_are_handled_fifo() {
+        // Task 1 releases first and must be served first.
+        let c = fifo_completions(1, 1.0, 1.0, &[5.0, 0.0]);
+        assert_eq!(c[1], 2.0);
+        assert_eq!(c[0], 7.0);
+    }
+
+    #[test]
+    fn parallelism_spreads_over_slaves() {
+        // m = 2, c = 1, p = 4, three tasks at 0: sends at 0,1,2; computes
+        // P1: 1-5, P2: 2-6, P1: 5-9.
+        let c = fifo_completions(2, 1.0, 4.0, &[0.0, 0.0, 0.0]);
+        assert_eq!(c, vec![5.0, 6.0, 9.0]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # mss-opt — offline optima for master-slave scheduling
+//!
+//! The denominators of every competitive ratio in the paper are *offline*
+//! optima. This crate computes them:
+//!
+//! * [`exhaustive`] — exact search over all discrete outcomes
+//!   (send order × per-send assignment) for the paper's small adversary
+//!   instances, in `f64` or in exact [`mss_exact::Surd`] arithmetic;
+//! * [`homogeneous`] — the closed-form FIFO optimum of the paper's
+//!   introduction for fully homogeneous platforms;
+//! * [`bounds`] — certified lower bounds for experiment-sized instances
+//!   where exhaustive search is impossible;
+//! * [`schedule`] — the shared eager-schedule evaluator and the
+//!   [`schedule::Instance`] type.
+//!
+//! ```
+//! use mss_opt::schedule::{Goal, Instance};
+//! use mss_opt::exhaustive::best_f64;
+//!
+//! // Theorem 1's platform: c = 1, p = (3, 7); three tasks at (0, 1, 2).
+//! let inst = Instance { c: vec![1.0, 1.0], p: vec![3.0, 7.0], r: vec![0.0, 1.0, 2.0] };
+//! assert_eq!(best_f64(&inst, Goal::Makespan).value, 8.0); // as in the proof
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod comm_homog;
+pub mod exhaustive;
+pub mod homogeneous;
+pub mod schedule;
+
+pub use comm_homog::optimal_bag_makespan;
+pub use exhaustive::{best_exact, best_f64, Best};
+pub use schedule::{eager_completions, goal_value_exact, goal_value_f64, Goal, Instance};

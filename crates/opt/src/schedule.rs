@@ -1,0 +1,235 @@
+//! Schedule evaluation shared by the exhaustive optimizer and the adversary
+//! games, generic over the numeric type (f64 for experiments, [`Surd`] for
+//! exact theorem verification).
+//!
+//! A *discrete outcome* of a run is `(order, assignment)`: `order[k]` is the
+//! task sent `k`-th, `assignment[k]` the slave it is sent to. Given a
+//! discrete outcome, the **eager** schedule (every send starts as early as
+//! the port, the release date and the previous sends allow; every
+//! computation starts on receipt or when the slave frees) dominates any
+//! other schedule with the same outcome for all three objectives —
+//! postponing a send or a computation can only increase completion times.
+//! It is therefore sufficient to search over discrete outcomes.
+
+use mss_exact::Surd;
+
+/// Numeric time for schedule evaluation: `f64` or exact [`Surd`].
+pub trait SchedTime: Copy + PartialOrd + std::ops::Add<Output = Self> {
+    /// The additive identity (time origin).
+    fn zero() -> Self;
+
+    /// Pairwise maximum (total order assumed).
+    fn maximum(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SchedTime for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+}
+
+impl SchedTime for Surd {
+    fn zero() -> Self {
+        Surd::ZERO
+    }
+}
+
+/// An instance in numeric type `T`: slave specs and release dates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Instance<T> {
+    /// Communication times `c_j`.
+    pub c: Vec<T>,
+    /// Computation times `p_j`.
+    pub p: Vec<T>,
+    /// Release dates `r_i` (one per task).
+    pub r: Vec<T>,
+}
+
+impl<T: SchedTime> Instance<T> {
+    /// Number of slaves.
+    pub fn num_slaves(&self) -> usize {
+        self.c.len()
+    }
+
+    /// Number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.r.len()
+    }
+
+    /// Validates shape (at least one slave, matching `c`/`p` lengths).
+    pub fn check(&self) {
+        assert!(!self.c.is_empty(), "Instance: at least one slave");
+        assert_eq!(self.c.len(), self.p.len(), "Instance: c/p length mismatch");
+    }
+}
+
+/// Completion times of the eager schedule for a discrete outcome.
+///
+/// `order[k]` is the task index sent `k`-th; `assignment[k]` the slave index
+/// of that send. Returns `C_i` indexed by *task*.
+///
+/// # Panics
+/// Panics if `order`/`assignment` lengths differ from the task count or
+/// reference unknown tasks/slaves.
+pub fn eager_completions<T: SchedTime>(
+    inst: &Instance<T>,
+    order: &[usize],
+    assignment: &[usize],
+) -> Vec<T> {
+    inst.check();
+    let n = inst.num_tasks();
+    assert_eq!(order.len(), n, "order must cover all tasks");
+    assert_eq!(assignment.len(), n, "assignment must cover all sends");
+    let mut seen = vec![false; n];
+
+    let mut port = T::zero();
+    let mut ready = vec![T::zero(); inst.num_slaves()];
+    let mut completions = vec![T::zero(); n];
+
+    for (k, (&task, &slave)) in order.iter().zip(assignment).enumerate() {
+        assert!(task < n, "order[{k}] references unknown task {task}");
+        assert!(!seen[task], "task {task} sent twice");
+        seen[task] = true;
+        assert!(slave < inst.num_slaves(), "assignment[{k}] references unknown slave");
+
+        let send_start = port.maximum(inst.r[task]);
+        let send_end = send_start + inst.c[slave];
+        port = send_end;
+        let start = send_end.maximum(ready[slave]);
+        ready[slave] = start + inst.p[slave];
+        completions[task] = ready[slave];
+    }
+    completions
+}
+
+/// The three objectives over exact or floating completions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Goal {
+    /// `max C_i`.
+    Makespan,
+    /// `max (C_i − r_i)`.
+    MaxFlow,
+    /// `Σ (C_i − r_i)`.
+    SumFlow,
+}
+
+impl Goal {
+    /// Conversion from the experiment-side objective type.
+    pub fn from_objective(o: mss_core::Objective) -> Goal {
+        match o {
+            mss_core::Objective::Makespan => Goal::Makespan,
+            mss_core::Objective::MaxFlow => Goal::MaxFlow,
+            mss_core::Objective::SumFlow => Goal::SumFlow,
+        }
+    }
+}
+
+/// Evaluates a goal on completions, `f64` version.
+pub fn goal_value_f64(goal: Goal, completions: &[f64], releases: &[f64]) -> f64 {
+    match goal {
+        Goal::Makespan => completions.iter().copied().fold(0.0, f64::max),
+        Goal::MaxFlow => completions
+            .iter()
+            .zip(releases)
+            .map(|(&c, &r)| c - r)
+            .fold(0.0, f64::max),
+        Goal::SumFlow => completions.iter().zip(releases).map(|(&c, &r)| c - r).sum(),
+    }
+}
+
+/// Evaluates a goal on completions, exact version.
+pub fn goal_value_exact(goal: Goal, completions: &[Surd], releases: &[Surd]) -> Surd {
+    match goal {
+        Goal::Makespan => completions
+            .iter()
+            .copied()
+            .fold(Surd::ZERO, |a, b| a.max(b)),
+        Goal::MaxFlow => completions
+            .iter()
+            .zip(releases)
+            .map(|(&c, &r)| c - r)
+            .fold(Surd::ZERO, |a, b| a.max(b)),
+        Goal::SumFlow => completions
+            .iter()
+            .zip(releases)
+            .fold(Surd::ZERO, |acc, (&c, &r)| acc + (c - r)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mss_exact::Surd;
+
+    fn thm1_instance() -> Instance<f64> {
+        // Theorem 1 platform: c = 1, p = (3, 7).
+        Instance {
+            c: vec![1.0, 1.0],
+            p: vec![3.0, 7.0],
+            r: vec![0.0, 1.0, 2.0],
+        }
+    }
+
+    #[test]
+    fn eager_matches_proof_arithmetic() {
+        // The proof's optimal: T0→P2, T1→P1, T2→P1 gives makespan 8
+        // (max{c+p2, 2c+2p1, 3c+p1} = max{8, 8, 6}).
+        let inst = thm1_instance();
+        let c = eager_completions(&inst, &[0, 1, 2], &[1, 0, 0]);
+        assert_eq!(c, vec![8.0, 5.0, 8.0]);
+        assert_eq!(goal_value_f64(Goal::Makespan, &c, &inst.r), 8.0);
+
+        // The algorithm's branch: all on P1 after T0 on P1 → makespan 10.
+        let c2 = eager_completions(&inst, &[0, 1, 2], &[0, 0, 0]);
+        assert_eq!(goal_value_f64(Goal::Makespan, &c2, &inst.r), 10.0);
+    }
+
+    #[test]
+    fn flows_subtract_releases() {
+        let inst = thm1_instance();
+        let c = eager_completions(&inst, &[0, 1, 2], &[1, 0, 0]);
+        // Flows: 8-0, 5-1, 8-2.
+        assert_eq!(goal_value_f64(Goal::MaxFlow, &c, &inst.r), 8.0);
+        assert_eq!(goal_value_f64(Goal::SumFlow, &c, &inst.r), 8.0 + 4.0 + 6.0);
+    }
+
+    #[test]
+    fn release_dates_delay_sends() {
+        let inst = Instance {
+            c: vec![1.0],
+            p: vec![1.0],
+            r: vec![0.0, 10.0],
+        };
+        let c = eager_completions(&inst, &[0, 1], &[0, 0]);
+        assert_eq!(c, vec![2.0, 12.0]);
+    }
+
+    #[test]
+    fn exact_evaluation_with_surds() {
+        // Theorem 9 platform fragment: c1 = 2(1+√2), p1 = ε → single task
+        // on P1 completes at c1 + p1 exactly.
+        let eps = Surd::from_ratio(1, 100);
+        let c1 = Surd::from_int(2) * (Surd::ONE + Surd::sqrt(2));
+        let inst = Instance {
+            c: vec![c1],
+            p: vec![eps],
+            r: vec![Surd::ZERO],
+        };
+        let c = eager_completions(&inst, &[0], &[0]);
+        assert_eq!(c[0], c1 + eps);
+        assert_eq!(goal_value_exact(Goal::Makespan, &c, &inst.r), c1 + eps);
+    }
+
+    #[test]
+    #[should_panic(expected = "sent twice")]
+    fn duplicate_send_rejected() {
+        let inst = thm1_instance();
+        let _ = eager_completions(&inst, &[0, 0, 2], &[0, 0, 0]);
+    }
+}

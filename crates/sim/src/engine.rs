@@ -1,0 +1,750 @@
+//! The discrete-event engine.
+//!
+//! [`simulate`] runs one on-line scheduler over one task instance on one
+//! platform and returns the full [`Trace`]. The engine owns the two scarce
+//! resources of the model and enforces them *by construction*:
+//!
+//! * the master's **one port** — a single [`LinkState`]; a send can only
+//!   start when the port is idle, and occupies it for `c_j · size_c` seconds;
+//! * each slave's **serial execution** — a slave computes the tasks it has
+//!   received one at a time, FIFO, each for `p_j · size_p` seconds.
+//!
+//! Determinism: events are processed in `(time, insertion sequence)` order
+//! and all simultaneous events are applied and delivered to the scheduler
+//! before any decision is taken, so a deterministic scheduler always sees
+//! the same history — the adversary games rely on this to replay prefixes.
+
+use crate::platform::{Platform, SlaveId};
+use crate::scheduler::{Decision, OnlineScheduler, SchedulerEvent};
+use crate::task::{TaskArrival, TaskId};
+use crate::time::Time;
+use crate::trace::{TaskRecord, Trace};
+use crate::view::{SimView, SlaveView};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// If `Some(n)`, schedulers are told the instance will contain `n` tasks
+    /// in total (the knowledge the paper grants SLJF/SLJFWC). `None` for the
+    /// pure on-line setting.
+    pub horizon_hint: Option<usize>,
+    /// Hard cap on processed events + scheduler polls, to turn scheduler
+    /// bugs (e.g. busy wake loops) into errors instead of hangs.
+    pub max_steps: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            horizon_hint: None,
+            max_steps: 10_000_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Config that reveals the total task count to the scheduler.
+    pub fn with_horizon(n: usize) -> Self {
+        SimConfig {
+            horizon_hint: Some(n),
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// Why a simulation could not complete.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// No events remain, the port is idle, tasks are unfinished, and the
+    /// scheduler keeps answering [`Decision::Idle`].
+    Stalled {
+        /// Time at which the simulation stalled.
+        at: Time,
+        /// Tasks completed before the stall.
+        completed: usize,
+        /// Total tasks in the instance.
+        total: usize,
+    },
+    /// The scheduler returned a decision that violates the model.
+    InvalidDecision {
+        /// Time of the offending decision.
+        at: Time,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// `max_steps` exhausted (runaway wake loop or gigantic instance).
+    BudgetExhausted {
+        /// The configured step budget.
+        max_steps: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Stalled {
+                at,
+                completed,
+                total,
+            } => write!(
+                f,
+                "simulation stalled at {at}: {completed}/{total} tasks completed and the scheduler idles"
+            ),
+            SimError::InvalidDecision { at, reason } => {
+                write!(f, "invalid scheduler decision at {at}: {reason}")
+            }
+            SimError::BudgetExhausted { max_steps } => {
+                write!(f, "step budget of {max_steps} exhausted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Internal event kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Event {
+    Release(TaskId),
+    SendComplete(TaskId, SlaveId),
+    ComputeComplete(TaskId, SlaveId),
+    Wake,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct HeapItem {
+    time: Time,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One task outstanding at (or in flight towards) a slave.
+#[derive(Clone, Copy, Debug)]
+struct OutTask {
+    id: TaskId,
+    /// Predicted (or, once observed, actual) time the slave has the task.
+    avail: f64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct SlaveRt {
+    /// Sent-and-not-completed tasks, in send order. Index 0 is the one
+    /// currently computing when `cur_pred_end` is `Some`.
+    outstanding: VecDeque<OutTask>,
+    /// Received tasks waiting to compute (subset of `outstanding`).
+    queue: VecDeque<TaskId>,
+    /// Task currently computing, if any.
+    computing: Option<TaskId>,
+    /// Predicted end of the current computation (nominal size).
+    cur_pred_end: f64,
+    completed: usize,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct PartialRecord {
+    release: f64,
+    send_start: f64,
+    send_end: f64,
+    compute_start: f64,
+    compute_end: f64,
+    slave: usize,
+    assigned: bool,
+    done: bool,
+}
+
+struct Engine<'a> {
+    platform: &'a Platform,
+    tasks: &'a [TaskArrival],
+    config: &'a SimConfig,
+    clock: Time,
+    heap: BinaryHeap<Reverse<HeapItem>>,
+    seq: u64,
+    link_busy_until: Time,
+    slaves: Vec<SlaveRt>,
+    pending: Vec<TaskId>,
+    releases: Vec<Time>,
+    records: Vec<PartialRecord>,
+    released_count: usize,
+    completed_count: usize,
+    steps: usize,
+}
+
+impl<'a> Engine<'a> {
+    fn new(platform: &'a Platform, tasks: &'a [TaskArrival], config: &'a SimConfig) -> Self {
+        let mut engine = Engine {
+            platform,
+            tasks,
+            config,
+            clock: Time::ZERO,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            link_busy_until: Time::ZERO,
+            slaves: vec![SlaveRt::default(); platform.num_slaves()],
+            pending: Vec::new(),
+            releases: vec![Time::ZERO; tasks.len()],
+            records: vec![PartialRecord::default(); tasks.len()],
+            released_count: 0,
+            completed_count: 0,
+            steps: 0,
+        };
+        for (i, t) in tasks.iter().enumerate() {
+            engine.push(t.release, Event::Release(TaskId(i)));
+        }
+        engine
+    }
+
+    fn push(&mut self, time: Time, event: Event) {
+        self.heap.push(Reverse(HeapItem {
+            time,
+            seq: self.seq,
+            event,
+        }));
+        self.seq += 1;
+    }
+
+    /// Nominal-size ready estimate for slave `j`, anchored at `now`.
+    fn ready_estimate(&self, j: usize) -> f64 {
+        let now = self.clock.as_f64();
+        let p = self.platform.p(SlaveId(j));
+        let rt = &self.slaves[j];
+        let mut t = now;
+        for (k, ot) in rt.outstanding.iter().enumerate() {
+            if k == 0 && rt.computing.is_some() {
+                // Master's best guess for the current task: its predicted
+                // end, but never before "now".
+                t = rt.cur_pred_end.max(now);
+            } else {
+                t = t.max(ot.avail) + p;
+            }
+        }
+        t
+    }
+
+    fn slave_views(&self) -> Vec<SlaveView> {
+        (0..self.slaves.len())
+            .map(|j| SlaveView {
+                outstanding: self.slaves[j].outstanding.len(),
+                ready_estimate: Time::new(self.ready_estimate(j)),
+                completed: self.slaves[j].completed,
+            })
+            .collect()
+    }
+
+    fn view<'b>(&'b self, slaves: &'b [SlaveView]) -> SimView<'b> {
+        SimView {
+            now: self.clock,
+            platform: self.platform,
+            link_busy_until: self.link_busy_until,
+            slaves,
+            pending: &self.pending,
+            releases: &self.releases,
+            horizon: self.config.horizon_hint,
+            released_count: self.released_count,
+            completed_count: self.completed_count,
+        }
+    }
+
+    fn apply(&mut self, event: Event) -> Option<SchedulerEvent> {
+        let now = self.clock.as_f64();
+        match event {
+            Event::Release(t) => {
+                self.releases[t.0] = self.tasks[t.0].release;
+                self.records[t.0].release = self.tasks[t.0].release.as_f64();
+                self.pending.push(t);
+                self.released_count += 1;
+                Some(SchedulerEvent::Released(t))
+            }
+            Event::SendComplete(t, j) => {
+                self.records[t.0].send_end = now;
+                let rt = &mut self.slaves[j.0];
+                // The slave now actually has the task.
+                if let Some(ot) = rt.outstanding.iter_mut().find(|o| o.id == t) {
+                    ot.avail = now;
+                }
+                if rt.computing.is_none() {
+                    self.start_compute(t, j);
+                } else {
+                    rt.queue.push_back(t);
+                }
+                Some(SchedulerEvent::SendCompleted(t, j))
+            }
+            Event::ComputeComplete(t, j) => {
+                self.records[t.0].compute_end = now;
+                self.records[t.0].done = true;
+                self.completed_count += 1;
+                let rt = &mut self.slaves[j.0];
+                debug_assert_eq!(rt.computing, Some(t));
+                rt.computing = None;
+                rt.completed += 1;
+                let pos = rt
+                    .outstanding
+                    .iter()
+                    .position(|o| o.id == t)
+                    .expect("completed task must be outstanding");
+                rt.outstanding.remove(pos);
+                if let Some(next) = rt.queue.pop_front() {
+                    self.start_compute(next, j);
+                }
+                Some(SchedulerEvent::ComputeCompleted(t, j))
+            }
+            Event::Wake => Some(SchedulerEvent::Wake),
+        }
+    }
+
+    fn start_compute(&mut self, t: TaskId, j: SlaveId) {
+        let now = self.clock.as_f64();
+        let actual = self.platform.p(j) * self.tasks[t.0].size_p;
+        self.records[t.0].compute_start = now;
+        let rt = &mut self.slaves[j.0];
+        rt.computing = Some(t);
+        rt.cur_pred_end = now + self.platform.p(j); // nominal estimate
+        // The head of `outstanding` must be the task that starts computing:
+        // sends are FIFO per slave and computes are FIFO, so this holds.
+        debug_assert_eq!(rt.outstanding.front().map(|o| o.id), Some(t));
+        self.push(Time::new(now + actual), Event::ComputeComplete(t, j));
+    }
+
+    fn execute_send(&mut self, t: TaskId, j: SlaveId) -> Result<(), SimError> {
+        let now = self.clock;
+        if self.link_busy_until > now {
+            return Err(SimError::InvalidDecision {
+                at: now,
+                reason: format!("send of {t} while the port is busy until {}", self.link_busy_until),
+            });
+        }
+        let Some(pos) = self.pending.iter().position(|&x| x == t) else {
+            return Err(SimError::InvalidDecision {
+                at: now,
+                reason: format!("send of {t} which is not pending (unreleased, or already assigned)"),
+            });
+        };
+        if j.0 >= self.platform.num_slaves() {
+            return Err(SimError::InvalidDecision {
+                at: now,
+                reason: format!("send of {t} to unknown slave index {}", j.0),
+            });
+        }
+        self.pending.remove(pos);
+        let actual_c = self.platform.c(j) * self.tasks[t.0].size_c;
+        let nominal_c = self.platform.c(j);
+        self.records[t.0].send_start = now.as_f64();
+        self.records[t.0].slave = j.0;
+        self.records[t.0].assigned = true;
+        self.link_busy_until = now + actual_c;
+        self.slaves[j.0].outstanding.push_back(OutTask {
+            id: t,
+            avail: now.as_f64() + nominal_c,
+        });
+        self.push(self.link_busy_until, Event::SendComplete(t, j));
+        Ok(())
+    }
+
+    fn step_budget(&mut self) -> Result<(), SimError> {
+        self.steps += 1;
+        if self.steps > self.config.max_steps {
+            Err(SimError::BudgetExhausted {
+                max_steps: self.config.max_steps,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn finish(self) -> Trace {
+        let records = self
+            .records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                debug_assert!(r.done);
+                TaskRecord {
+                    task: TaskId(i),
+                    release: Time::new(r.release),
+                    slave: SlaveId(r.slave),
+                    send_start: Time::new(r.send_start),
+                    send_end: Time::new(r.send_end),
+                    compute_start: Time::new(r.compute_start),
+                    compute_end: Time::new(r.compute_end),
+                    size_c: self.tasks[i].size_c,
+                    size_p: self.tasks[i].size_p,
+                }
+            })
+            .collect();
+        Trace::new(records)
+    }
+}
+
+/// Runs `scheduler` on `tasks` over `platform` and returns the trace.
+///
+/// The scheduler sees nominal task sizes; the engine bills actual
+/// (possibly perturbed) ones. Fails if the scheduler stalls, produces an
+/// invalid decision, or exhausts the step budget.
+pub fn simulate(
+    platform: &Platform,
+    tasks: &[TaskArrival],
+    config: &SimConfig,
+    scheduler: &mut dyn OnlineScheduler,
+) -> Result<Trace, SimError> {
+    let mut engine = Engine::new(platform, tasks, config);
+
+    {
+        let slaves = engine.slave_views();
+        let view = engine.view(&slaves);
+        scheduler.init(&view);
+    }
+
+    while engine.completed_count < tasks.len() {
+        engine.step_budget()?;
+
+        let Some(&Reverse(first)) = engine.heap.peek() else {
+            // Nothing scheduled: give the scheduler one last chance to act.
+            let decision = {
+                let slaves = engine.slave_views();
+                let view = engine.view(&slaves);
+                scheduler.on_event(&view, SchedulerEvent::PortIdle)
+            };
+            match decision {
+                Decision::Send { task, slave } => {
+                    engine.execute_send(task, slave)?;
+                    continue;
+                }
+                Decision::WakeAt(t) if t > engine.clock => {
+                    engine.push(t, Event::Wake);
+                    continue;
+                }
+                _ => {
+                    return Err(SimError::Stalled {
+                        at: engine.clock,
+                        completed: engine.completed_count,
+                        total: tasks.len(),
+                    })
+                }
+            }
+        };
+
+        // Pop and apply the whole batch of simultaneous events first, so the
+        // scheduler always decides on a fully settled state.
+        engine.clock = first.time;
+        let mut notifications = Vec::new();
+        while let Some(&Reverse(item)) = engine.heap.peek() {
+            if item.time != engine.clock {
+                break;
+            }
+            engine.heap.pop();
+            engine.step_budget()?;
+            if let Some(n) = engine.apply(item.event) {
+                notifications.push(n);
+            }
+        }
+
+        // Deliver notifications; each may carry a decision.
+        for n in notifications {
+            let decision = {
+                let slaves = engine.slave_views();
+                let view = engine.view(&slaves);
+                scheduler.on_event(&view, n)
+            };
+            match decision {
+                Decision::Send { task, slave } => engine.execute_send(task, slave)?,
+                Decision::WakeAt(t) if t > engine.clock => engine.push(t, Event::Wake),
+                _ => {}
+            }
+        }
+
+        // Poll while the port is idle and the scheduler keeps acting.
+        loop {
+            engine.step_budget()?;
+            if engine.link_busy_until > engine.clock || engine.pending.is_empty() {
+                break;
+            }
+            let decision = {
+                let slaves = engine.slave_views();
+                let view = engine.view(&slaves);
+                scheduler.on_event(&view, SchedulerEvent::PortIdle)
+            };
+            match decision {
+                Decision::Send { task, slave } => engine.execute_send(task, slave)?,
+                Decision::WakeAt(t) if t > engine.clock => {
+                    engine.push(t, Event::Wake);
+                    break;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    Ok(engine.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::bag_of_tasks;
+    use crate::trace::validate;
+
+    /// Sends every pending task to slave 0 as soon as possible.
+    struct AllToFirst;
+
+    impl OnlineScheduler for AllToFirst {
+        fn name(&self) -> String {
+            "all-to-first".into()
+        }
+        fn on_event(&mut self, view: &SimView<'_>, _e: SchedulerEvent) -> Decision {
+            if view.link_idle() {
+                if let Some(&t) = view.pending_tasks().first() {
+                    return Decision::Send {
+                        task: t,
+                        slave: SlaveId(0),
+                    };
+                }
+            }
+            Decision::Idle
+        }
+    }
+
+    /// Never does anything.
+    struct Lazy;
+
+    impl OnlineScheduler for Lazy {
+        fn name(&self) -> String {
+            "lazy".into()
+        }
+        fn on_event(&mut self, _v: &SimView<'_>, _e: SchedulerEvent) -> Decision {
+            Decision::Idle
+        }
+    }
+
+    fn platform() -> Platform {
+        Platform::from_vectors(&[1.0, 1.0], &[3.0, 7.0])
+    }
+
+    #[test]
+    fn zero_tasks_complete_immediately() {
+        let pf = platform();
+        let trace = simulate(&pf, &[], &SimConfig::default(), &mut Lazy).unwrap();
+        assert!(trace.is_empty());
+        assert_eq!(trace.makespan(), 0.0);
+    }
+
+    #[test]
+    fn single_task_timing() {
+        let pf = platform();
+        let trace = simulate(&pf, &bag_of_tasks(1), &SimConfig::default(), &mut AllToFirst).unwrap();
+        let r = trace.record(TaskId(0));
+        assert_eq!(r.send_start, Time::ZERO);
+        assert_eq!(r.send_end, Time::new(1.0));
+        assert_eq!(r.compute_start, Time::new(1.0));
+        assert_eq!(r.compute_end, Time::new(4.0));
+        assert!(validate(&trace, &pf).is_empty());
+    }
+
+    #[test]
+    fn pipeline_on_one_slave() {
+        // Three tasks to P1: sends at 0,1,2; computes at 1-4, 4-7, 7-10.
+        let pf = platform();
+        let trace = simulate(&pf, &bag_of_tasks(3), &SimConfig::default(), &mut AllToFirst).unwrap();
+        assert!((trace.makespan() - 10.0).abs() < 1e-12);
+        assert!(validate(&trace, &pf).is_empty());
+        let r2 = trace.record(TaskId(2));
+        assert_eq!(r2.send_start, Time::new(2.0));
+        assert_eq!(r2.compute_start, Time::new(7.0));
+    }
+
+    #[test]
+    fn respects_release_times() {
+        let pf = platform();
+        let tasks = [TaskArrival::at(5.0)];
+        let trace = simulate(&pf, &tasks, &SimConfig::default(), &mut AllToFirst).unwrap();
+        assert_eq!(trace.record(TaskId(0)).send_start, Time::new(5.0));
+        assert!((trace.makespan() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perturbed_sizes_are_billed() {
+        let pf = platform();
+        let tasks = [TaskArrival {
+            release: Time::ZERO,
+            size_c: 2.0,
+            size_p: 0.5,
+        }];
+        let trace = simulate(&pf, &tasks, &SimConfig::default(), &mut AllToFirst).unwrap();
+        let r = trace.record(TaskId(0));
+        assert_eq!(r.send_end, Time::new(2.0)); // 1.0 · 2.0
+        assert_eq!(r.compute_end, Time::new(3.5)); // + 3.0 · 0.5
+        assert!(validate(&trace, &pf).is_empty());
+    }
+
+    #[test]
+    fn lazy_scheduler_stalls() {
+        let pf = platform();
+        let err = simulate(&pf, &bag_of_tasks(2), &SimConfig::default(), &mut Lazy).unwrap_err();
+        assert!(matches!(err, SimError::Stalled { completed: 0, total: 2, .. }));
+    }
+
+    #[test]
+    fn invalid_send_rejected() {
+        struct SendUnreleased;
+        impl OnlineScheduler for SendUnreleased {
+            fn name(&self) -> String {
+                "bad".into()
+            }
+            fn on_event(&mut self, _v: &SimView<'_>, _e: SchedulerEvent) -> Decision {
+                Decision::Send {
+                    task: TaskId(1),
+                    slave: SlaveId(0),
+                }
+            }
+        }
+        let pf = platform();
+        // Task 1 releases at t=10; scheduler tries to send it at t=0.
+        let tasks = [TaskArrival::at(0.0), TaskArrival::at(10.0)];
+        let err = simulate(&pf, &tasks, &SimConfig::default(), &mut SendUnreleased).unwrap_err();
+        assert!(matches!(err, SimError::InvalidDecision { .. }));
+    }
+
+    #[test]
+    fn wake_at_is_honored() {
+        /// Waits until t=3 before sending the single task.
+        struct Sleeper {
+            sent: bool,
+        }
+        impl OnlineScheduler for Sleeper {
+            fn name(&self) -> String {
+                "sleeper".into()
+            }
+            fn on_event(&mut self, view: &SimView<'_>, _e: SchedulerEvent) -> Decision {
+                if self.sent {
+                    return Decision::Idle;
+                }
+                if view.now() < Time::new(3.0) {
+                    return Decision::WakeAt(Time::new(3.0));
+                }
+                self.sent = true;
+                Decision::Send {
+                    task: TaskId(0),
+                    slave: SlaveId(0),
+                }
+            }
+        }
+        let pf = platform();
+        let trace = simulate(
+            &pf,
+            &bag_of_tasks(1),
+            &SimConfig::default(),
+            &mut Sleeper { sent: false },
+        )
+        .unwrap();
+        assert_eq!(trace.record(TaskId(0)).send_start, Time::new(3.0));
+    }
+
+    #[test]
+    fn ready_estimate_resyncs_on_completion() {
+        // One slow (perturbed) task followed by a nominal one: the estimate
+        // is wrong while the first computes, and re-anchors at completion.
+        struct Probe {
+            estimates: Vec<(f64, f64)>,
+        }
+        impl OnlineScheduler for Probe {
+            fn name(&self) -> String {
+                "probe".into()
+            }
+            fn on_event(&mut self, view: &SimView<'_>, e: SchedulerEvent) -> Decision {
+                self.estimates
+                    .push((view.now().as_f64(), view.slave(SlaveId(0)).ready_estimate.as_f64()));
+                if matches!(e, SchedulerEvent::Released(_)) {
+                    if let Some(&t) = view.pending_tasks().first() {
+                        if view.link_idle() {
+                            return Decision::Send {
+                                task: t,
+                                slave: SlaveId(0),
+                            };
+                        }
+                    }
+                }
+                Decision::Idle
+            }
+        }
+        let pf = Platform::from_vectors(&[1.0], &[3.0]);
+        let tasks = [
+            TaskArrival {
+                release: Time::ZERO,
+                size_c: 1.0,
+                size_p: 2.0, // actually takes 6s, nominal 3s
+            },
+            TaskArrival::at(20.0),
+        ];
+        let mut probe = Probe { estimates: vec![] };
+        let trace = simulate(&pf, &tasks, &SimConfig::default(), &mut probe).unwrap();
+        // First task: send 0-1, compute 1-7 (actual). Nominal estimate said 4.
+        assert_eq!(trace.record(TaskId(0)).compute_end, Time::new(7.0));
+        // Second task sent at 20, done at 24.
+        assert_eq!(trace.record(TaskId(1)).compute_end, Time::new(24.0));
+    }
+
+    #[test]
+    fn step_budget_enforced() {
+        struct WakeLoop;
+        impl OnlineScheduler for WakeLoop {
+            fn name(&self) -> String {
+                "wake-loop".into()
+            }
+            fn on_event(&mut self, view: &SimView<'_>, _e: SchedulerEvent) -> Decision {
+                Decision::WakeAt(view.now() + 0.001)
+            }
+        }
+        let pf = platform();
+        let cfg = SimConfig {
+            max_steps: 1000,
+            ..SimConfig::default()
+        };
+        let err = simulate(&pf, &bag_of_tasks(1), &cfg, &mut WakeLoop).unwrap_err();
+        assert!(matches!(err, SimError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn horizon_hint_visible() {
+        struct CheckHorizon;
+        impl OnlineScheduler for CheckHorizon {
+            fn name(&self) -> String {
+                "check-horizon".into()
+            }
+            fn init(&mut self, view: &SimView<'_>) {
+                assert_eq!(view.horizon(), Some(4));
+            }
+            fn on_event(&mut self, view: &SimView<'_>, _e: SchedulerEvent) -> Decision {
+                if view.link_idle() {
+                    if let Some(&t) = view.pending_tasks().first() {
+                        return Decision::Send {
+                            task: t,
+                            slave: SlaveId(0),
+                        };
+                    }
+                }
+                Decision::Idle
+            }
+        }
+        let pf = platform();
+        let trace = simulate(
+            &pf,
+            &bag_of_tasks(4),
+            &SimConfig::with_horizon(4),
+            &mut CheckHorizon,
+        )
+        .unwrap();
+        assert_eq!(trace.len(), 4);
+    }
+}

@@ -1,0 +1,131 @@
+//! ASCII Gantt charts for traces.
+//!
+//! Renders the master's port row and one row per slave, with `-` for
+//! communication and `#` for computation, so the one-port serialization and
+//! the communication/computation overlap of a schedule can be inspected at
+//! a glance:
+//!
+//! ```text
+//! port |CCC--CC---
+//! P1   |...###....
+//! P2   |.....#####
+//! ```
+
+use crate::platform::Platform;
+use crate::trace::Trace;
+use std::fmt::Write as _;
+
+/// Renders `trace` as an ASCII Gantt chart with `width` time columns.
+///
+/// Each column spans `makespan / width` seconds; a cell shows the activity
+/// occupying the majority of the column (communication wins ties so short
+/// sends stay visible). Returns a multi-line string.
+pub fn render(trace: &Trace, platform: &Platform, width: usize) -> String {
+    assert!(width >= 10, "gantt: width must be at least 10 columns");
+    let makespan = trace.makespan();
+    if trace.is_empty() || makespan <= 0.0 {
+        return "(empty trace)\n".to_string();
+    }
+    let m = platform.num_slaves();
+    let col = makespan / width as f64;
+
+    // Coverage per column: how much of it is spent communicating (port row)
+    // or computing (per-slave rows).
+    let mut port = vec![0.0f64; width];
+    let mut slaves = vec![vec![0.0f64; width]; m];
+    let overlap = |row: &mut Vec<f64>, start: f64, end: f64| {
+        let first = ((start / col).floor() as usize).min(width - 1);
+        let last = ((end / col).ceil() as usize).clamp(first + 1, width);
+        for (k, cell) in row.iter_mut().enumerate().take(last).skip(first) {
+            let cell_start = k as f64 * col;
+            let cell_end = cell_start + col;
+            let covered = (end.min(cell_end) - start.max(cell_start)).max(0.0);
+            *cell += covered;
+        }
+    };
+
+    for r in trace.records() {
+        overlap(&mut port, r.send_start.as_f64(), r.send_end.as_f64());
+        overlap(
+            &mut slaves[r.slave.0],
+            r.compute_start.as_f64(),
+            r.compute_end.as_f64(),
+        );
+    }
+
+    let label_width = format!("P{m}").len().max(4);
+    let mut out = String::new();
+    let mut row = |label: &str, data: &[f64], ch: char| {
+        let _ = write!(out, "{label:<label_width$}|");
+        for &covered in data {
+            out.push(if covered >= col * 0.5 {
+                ch
+            } else if covered > 0.0 {
+                // Minority coverage still rendered, in lowercase-ish form.
+                if ch == '#' { '+' } else { '.' }
+            } else {
+                ' '
+            });
+        }
+        out.push('\n');
+    };
+    row("port", &port, '-');
+    for (j, data) in slaves.iter().enumerate() {
+        row(&format!("P{}", j + 1), data, '#');
+    }
+    let _ = writeln!(out, "{:<label_width$}|0 .. {makespan:.3}s ({width} cols)", "t");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, SimConfig};
+    use crate::platform::SlaveId;
+    use crate::scheduler::{Decision, OnlineScheduler, SchedulerEvent};
+    use crate::task::bag_of_tasks;
+    use crate::view::SimView;
+
+    struct AllToFirst;
+    impl OnlineScheduler for AllToFirst {
+        fn name(&self) -> String {
+            "all-to-first".into()
+        }
+        fn on_event(&mut self, view: &SimView<'_>, _e: SchedulerEvent) -> Decision {
+            match (view.link_idle(), view.pending_tasks().first()) {
+                (true, Some(&task)) => Decision::Send {
+                    task,
+                    slave: SlaveId(0),
+                },
+                _ => Decision::Idle,
+            }
+        }
+    }
+
+    #[test]
+    fn renders_rows_for_port_and_slaves() {
+        let pf = Platform::from_vectors(&[1.0, 1.0], &[3.0, 7.0]);
+        let trace = simulate(&pf, &bag_of_tasks(3), &SimConfig::default(), &mut AllToFirst).unwrap();
+        let chart = render(&trace, &pf, 40);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 4); // port + P1 + P2 + time axis
+        assert!(lines[0].starts_with("port"));
+        assert!(lines[1].contains('#'), "P1 computes: {chart}");
+        assert!(!lines[2].contains('#'), "P2 idle: {chart}");
+        // Port activity happens before the last computation ends.
+        assert!(lines[0].contains('-'));
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let pf = Platform::from_vectors(&[1.0], &[1.0]);
+        assert_eq!(render(&Trace::default(), &pf, 40), "(empty trace)\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 10")]
+    fn narrow_width_rejected() {
+        let pf = Platform::from_vectors(&[1.0], &[1.0]);
+        let _ = render(&Trace::default(), &pf, 5);
+    }
+}

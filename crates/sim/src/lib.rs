@@ -1,0 +1,68 @@
+//! # mss-sim — discrete-event simulator for one-port master-slave platforms
+//!
+//! This crate is the testbed substitute for the MPI platform of Pineau,
+//! Robert & Vivien's *"The impact of heterogeneity on master-slave on-line
+//! scheduling"* (IPPS 2006). It implements the paper's exact machine model:
+//!
+//! * a **master** that holds every task and sends them to slaves over a
+//!   single serial port (**one-port model**: at most one send in flight);
+//! * `m` **slaves** `P_j`, each receiving a task in `c_j` seconds and then
+//!   executing it in `p_j` seconds, serially and FIFO;
+//! * **on-line releases**: task `i` appears at the master at `r_i`, unknown
+//!   beforehand.
+//!
+//! Schedulers implement [`OnlineScheduler`] and observe the world through
+//! [`SimView`]; [`simulate`] produces a [`Trace`] from which makespan,
+//! max-flow and sum-flow are computed, and [`validate`] re-checks every model
+//! invariant on the result.
+//!
+//! ```
+//! use mss_sim::{simulate, Decision, OnlineScheduler, Platform, SchedulerEvent,
+//!               SimConfig, SimView, SlaveId, bag_of_tasks};
+//!
+//! /// Greedy: always send the next task to the slave finishing it first.
+//! struct Greedy;
+//! impl OnlineScheduler for Greedy {
+//!     fn name(&self) -> String { "greedy".into() }
+//!     fn on_event(&mut self, view: &SimView<'_>, _e: SchedulerEvent) -> Decision {
+//!         match (view.link_idle(), view.pending_tasks().first()) {
+//!             (true, Some(&task)) => {
+//!                 let slave = view.platform().slave_ids()
+//!                     .min_by(|&a, &b| view.completion_estimate(a)
+//!                         .cmp(&view.completion_estimate(b)))
+//!                     .unwrap();
+//!                 Decision::Send { task, slave }
+//!             }
+//!             _ => Decision::Idle,
+//!         }
+//!     }
+//! }
+//!
+//! let platform = Platform::from_vectors(&[1.0, 1.0], &[3.0, 7.0]);
+//! let trace = simulate(&platform, &bag_of_tasks(4), &SimConfig::default(), &mut Greedy).unwrap();
+//! assert!(mss_sim::validate(&trace, &platform).is_empty());
+//! assert!(trace.makespan() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod gantt;
+mod platform;
+mod stats;
+mod scheduler;
+mod task;
+mod time;
+mod trace;
+mod view;
+
+pub use engine::{simulate, SimConfig, SimError};
+pub use gantt::render as render_gantt;
+pub use stats::{trace_stats, SlaveStats, TraceStats};
+pub use platform::{Platform, PlatformClass, SlaveId, SlaveSpec};
+pub use scheduler::{Decision, OnlineScheduler, SchedulerEvent};
+pub use task::{bag_of_tasks, released_at, TaskArrival, TaskId};
+pub use time::{Time, TIME_EPS};
+pub use trace::{validate, TaskRecord, Trace, TraceViolation};
+pub use view::{SimView, SlaveView, ViewState};

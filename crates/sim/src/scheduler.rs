@@ -1,0 +1,82 @@
+//! The on-line scheduler interface.
+//!
+//! A scheduler is driven by the engine through [`OnlineScheduler::on_event`]:
+//! every time something observable happens (a task release, the completion of
+//! a send, the completion of a computation, or a self-requested wake-up) the
+//! engine processes *all* events at the current instant and then repeatedly
+//! asks the scheduler for decisions while the master's port is idle.
+//!
+//! Schedulers observe the world only through [`SimView`](crate::SimView):
+//! released-but-unassigned tasks, per-slave outstanding work, and
+//! *nominal-size* completion estimates. They never see future releases or
+//! actual (perturbed) task sizes — exactly the information model of the
+//! paper's on-line setting.
+
+use crate::platform::SlaveId;
+use crate::task::TaskId;
+use crate::time::Time;
+use crate::view::SimView;
+
+/// What happened; passed to the scheduler after the engine applied it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulerEvent {
+    /// Simulation starts (sent exactly once, before any other event).
+    Start,
+    /// Task `task` was released at the master.
+    Released(TaskId),
+    /// The send of `task` to `slave` completed; the port is free again.
+    SendCompleted(TaskId, SlaveId),
+    /// `slave` finished computing `task`.
+    ComputeCompleted(TaskId, SlaveId),
+    /// A wake-up previously requested via [`Decision::WakeAt`].
+    Wake,
+    /// No new information — the engine is polling because the port is idle
+    /// and a previous decision may have changed the state.
+    PortIdle,
+}
+
+/// A scheduler's answer to "the port is idle — what now?".
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Decision {
+    /// Start sending `task` (released, unassigned) to `slave` right now.
+    Send {
+        /// The released, not-yet-assigned task to transfer.
+        task: TaskId,
+        /// The destination slave.
+        slave: SlaveId,
+    },
+    /// Do nothing; the engine will ask again at the next event.
+    Idle,
+    /// Do nothing, but wake me at time `t` even if nothing else happens.
+    WakeAt(Time),
+}
+
+/// A deterministic on-line scheduling algorithm.
+///
+/// Implementations must be deterministic functions of the observation
+/// history: the adversary games of `mss-adversary` re-run schedulers from
+/// scratch on extended instances and rely on identical decisions over
+/// identical prefixes (this also makes every experiment replayable).
+pub trait OnlineScheduler {
+    /// Human-readable algorithm name (used in reports and figures).
+    fn name(&self) -> String;
+
+    /// Called once before the simulation starts.
+    fn init(&mut self, _view: &SimView<'_>) {}
+
+    /// Called after each batch of simultaneous events, and repeatedly after
+    /// each accepted [`Decision::Send`], while the port is idle.
+    fn on_event(&mut self, view: &SimView<'_>, event: SchedulerEvent) -> Decision;
+}
+
+impl<T: OnlineScheduler + ?Sized> OnlineScheduler for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn init(&mut self, view: &SimView<'_>) {
+        (**self).init(view)
+    }
+    fn on_event(&mut self, view: &SimView<'_>, event: SchedulerEvent) -> Decision {
+        (**self).on_event(view, event)
+    }
+}

@@ -1,0 +1,158 @@
+//! Trace statistics: resource utilization and waiting-time decomposition.
+//!
+//! Answers the questions the paper's figures gesture at — *where does the
+//! time go?* — for any finished trace: how busy the master's port was, how
+//! busy each slave was, and how long tasks waited at the master versus in a
+//! slave's queue.
+
+use crate::platform::Platform;
+use crate::trace::Trace;
+
+/// Per-slave utilization figures.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SlaveStats {
+    /// Tasks executed by this slave.
+    pub tasks: usize,
+    /// Total computation seconds.
+    pub busy: f64,
+    /// `busy / makespan` (0 for an empty trace).
+    pub utilization: f64,
+}
+
+/// Whole-trace statistics.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TraceStats {
+    /// Makespan, seconds.
+    pub makespan: f64,
+    /// Fraction of the makespan the master's port spent sending.
+    pub port_utilization: f64,
+    /// Per-slave figures, indexed by slave.
+    pub slaves: Vec<SlaveStats>,
+    /// Mean time tasks spent released-but-not-yet-being-sent (master queue).
+    pub mean_master_wait: f64,
+    /// Mean time tasks spent received-but-not-yet-computing (slave queue).
+    pub mean_slave_wait: f64,
+    /// Mean flow time `C_i − r_i`.
+    pub mean_flow: f64,
+}
+
+/// Computes utilization and waiting statistics for a finished trace.
+pub fn trace_stats(trace: &Trace, platform: &Platform) -> TraceStats {
+    let makespan = trace.makespan();
+    let n = trace.len().max(1) as f64;
+    let m = platform.num_slaves();
+
+    let mut port_busy = 0.0;
+    let mut slaves = vec![
+        SlaveStats {
+            tasks: 0,
+            busy: 0.0,
+            utilization: 0.0,
+        };
+        m
+    ];
+    let mut master_wait = 0.0;
+    let mut slave_wait = 0.0;
+    let mut flow = 0.0;
+
+    for r in trace.records() {
+        port_busy += r.send_end - r.send_start;
+        let s = &mut slaves[r.slave.0];
+        s.tasks += 1;
+        s.busy += r.compute_end - r.compute_start;
+        master_wait += r.send_start - r.release;
+        slave_wait += r.compute_start - r.send_end;
+        flow += r.flow();
+    }
+
+    if makespan > 0.0 {
+        for s in &mut slaves {
+            s.utilization = s.busy / makespan;
+        }
+    }
+
+    TraceStats {
+        makespan,
+        port_utilization: if makespan > 0.0 {
+            port_busy / makespan
+        } else {
+            0.0
+        },
+        slaves,
+        mean_master_wait: master_wait / n,
+        mean_slave_wait: slave_wait / n,
+        mean_flow: flow / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::SlaveId;
+    use crate::task::TaskId;
+    use crate::time::Time;
+    use crate::trace::TaskRecord;
+
+    fn rec(
+        task: usize,
+        slave: usize,
+        release: f64,
+        send_start: f64,
+        send_end: f64,
+        compute_start: f64,
+        compute_end: f64,
+    ) -> TaskRecord {
+        TaskRecord {
+            task: TaskId(task),
+            slave: SlaveId(slave),
+            release: Time::new(release),
+            send_start: Time::new(send_start),
+            send_end: Time::new(send_end),
+            compute_start: Time::new(compute_start),
+            compute_end: Time::new(compute_end),
+            size_c: 1.0,
+            size_p: 1.0,
+        }
+    }
+
+    #[test]
+    fn decomposes_time_correctly() {
+        // Two tasks: port busy 2 of 9 seconds; P1 computes 3, P2 computes 7.
+        let pf = Platform::from_vectors(&[1.0, 1.0], &[3.0, 7.0]);
+        let trace = Trace::new(vec![
+            rec(0, 0, 0.0, 0.0, 1.0, 1.0, 4.0),
+            rec(1, 1, 0.0, 1.0, 2.0, 2.0, 9.0),
+        ]);
+        let stats = trace_stats(&trace, &pf);
+        assert!((stats.makespan - 9.0).abs() < 1e-12);
+        assert!((stats.port_utilization - 2.0 / 9.0).abs() < 1e-12);
+        assert_eq!(stats.slaves[0].tasks, 1);
+        assert!((stats.slaves[0].utilization - 3.0 / 9.0).abs() < 1e-12);
+        assert!((stats.slaves[1].utilization - 7.0 / 9.0).abs() < 1e-12);
+        // Task 1 waited 1 s at the master (released 0, sent 1), none queued.
+        assert!((stats.mean_master_wait - 0.5).abs() < 1e-12);
+        assert!((stats.mean_slave_wait - 0.0).abs() < 1e-12);
+        assert!((stats.mean_flow - (4.0 + 9.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queueing_shows_up_as_slave_wait() {
+        let pf = Platform::from_vectors(&[1.0], &[3.0]);
+        // Second task received at 2 but computes only at 4.
+        let trace = Trace::new(vec![
+            rec(0, 0, 0.0, 0.0, 1.0, 1.0, 4.0),
+            rec(1, 0, 0.0, 1.0, 2.0, 4.0, 7.0),
+        ]);
+        let stats = trace_stats(&trace, &pf);
+        assert!((stats.mean_slave_wait - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let pf = Platform::from_vectors(&[1.0], &[1.0]);
+        let stats = trace_stats(&Trace::default(), &pf);
+        assert_eq!(stats.makespan, 0.0);
+        assert_eq!(stats.port_utilization, 0.0);
+        assert_eq!(stats.mean_flow, 0.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Tasks: identical unit jobs, optionally with per-task size perturbations.
+//!
+//! The paper studies *same-size* tasks; its robustness experiment (Figure 2)
+//! perturbs the matrix size of each task by up to ±10 %. We model this with
+//! two per-task multipliers: `size_c` scales the communication time and
+//! `size_p` scales the computation time. Schedulers always plan with the
+//! *nominal* (unit) sizes — the engine bills the actual ones.
+
+use crate::time::Time;
+use std::fmt;
+
+/// Index of a task (`T_0 … T_{n−1}`; the paper numbers from 1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct TaskId(pub usize);
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// One task of the (on-line) instance.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TaskArrival {
+    /// Release time `r_i`: when the task becomes available on the master.
+    pub release: Time,
+    /// Actual communication-size multiplier (1.0 = nominal).
+    pub size_c: f64,
+    /// Actual computation-size multiplier (1.0 = nominal).
+    pub size_p: f64,
+}
+
+impl TaskArrival {
+    /// A nominal-size task released at `release`.
+    pub fn at(release: impl Into<Time>) -> Self {
+        TaskArrival {
+            release: release.into(),
+            size_c: 1.0,
+            size_p: 1.0,
+        }
+    }
+
+    /// A task with a common size multiplier for both phases.
+    pub fn sized(release: impl Into<Time>, size: f64) -> Self {
+        TaskArrival {
+            release: release.into(),
+            size_c: size,
+            size_p: size,
+        }
+    }
+}
+
+/// Builds an instance of `n` nominal tasks all released at `t = 0`
+/// (bag-of-tasks regime).
+pub fn bag_of_tasks(n: usize) -> Vec<TaskArrival> {
+    vec![TaskArrival::at(0.0); n]
+}
+
+/// Builds an instance of nominal tasks with the given release times.
+pub fn released_at(times: &[f64]) -> Vec<TaskArrival> {
+    times.iter().map(|&t| TaskArrival::at(t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let t = TaskArrival::at(1.5);
+        assert_eq!(t.release, Time::new(1.5));
+        assert_eq!(t.size_c, 1.0);
+        let s = TaskArrival::sized(0.0, 1.1);
+        assert_eq!(s.size_p, 1.1);
+    }
+
+    #[test]
+    fn bag_and_stream() {
+        assert_eq!(bag_of_tasks(3).len(), 3);
+        assert!(bag_of_tasks(2).iter().all(|t| t.release == Time::ZERO));
+        let stream = released_at(&[0.0, 1.0, 2.0]);
+        assert_eq!(stream[2].release, Time::new(2.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TaskId(3).to_string(), "T3");
+    }
+}

@@ -1,0 +1,146 @@
+//! Simulation time.
+//!
+//! Virtual time is an `f64` number of seconds wrapped in a newtype with a
+//! *total* order (NaN is rejected at construction). The engine performs exact
+//! floating-point arithmetic on event times; tolerance-based comparisons are
+//! confined to [`Time::approx_eq`] and the trace validator.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Absolute tolerance used by trace validation and tests when comparing
+/// times that were produced by different summation orders.
+pub const TIME_EPS: f64 = 1e-9;
+
+/// A point in virtual time (seconds since simulation start).
+#[derive(Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Time(f64);
+
+impl Time {
+    /// Simulation origin.
+    pub const ZERO: Time = Time(0.0);
+
+    /// Builds a time point.
+    ///
+    /// # Panics
+    /// Panics on NaN (a NaN time is always a bug upstream).
+    pub fn new(t: f64) -> Self {
+        assert!(!t.is_nan(), "Time::new: NaN time");
+        Time(t)
+    }
+
+    /// The raw number of seconds.
+    pub const fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// `|self − other| <= TIME_EPS · (1 + max(|self|, |other|))`.
+    pub fn approx_eq(self, other: Time) -> bool {
+        (self.0 - other.0).abs() <= TIME_EPS * (1.0 + self.0.abs().max(other.0.abs()))
+    }
+
+    /// Pairwise maximum.
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Pairwise minimum.
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for Time {
+    fn from(t: f64) -> Self {
+        Time::new(t)
+    }
+}
+
+impl Add<f64> for Time {
+    type Output = Time;
+    fn add(self, rhs: f64) -> Time {
+        Time::new(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for Time {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    /// Difference in seconds.
+    type Output = f64;
+    fn sub(self, rhs: Time) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = Time::new(1.0);
+        let b = Time::new(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Time::new(f64::NAN);
+    }
+
+    #[test]
+    fn approx_eq_scales() {
+        assert!(Time::new(1e6).approx_eq(Time::new(1e6 + 1e-4)));
+        assert!(!Time::new(1.0).approx_eq(Time::new(1.001)));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::new(1.5) + 0.5;
+        assert_eq!(t, Time::new(2.0));
+        assert!((Time::new(3.0) - Time::new(1.0) - 2.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,310 @@
+//! Execution traces and their validation.
+//!
+//! A [`Trace`] is the complete, replayable record of one simulated (or real,
+//! see `mss-cluster`) execution: for every task, when it was released, when
+//! its send started/ended, which slave ran it and when. All objective
+//! functions and all adversary checkpoints are computed from traces.
+//!
+//! [`validate`] re-checks the model invariants on a finished trace — the
+//! one-port property, per-slave mutual exclusion, causality, and duration
+//! consistency — and is used both in tests and as a self-check by the lab
+//! harness.
+
+use crate::platform::{Platform, SlaveId};
+use crate::task::TaskId;
+use crate::time::{Time, TIME_EPS};
+
+/// The full life cycle of one task.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TaskRecord {
+    /// Task id.
+    pub task: TaskId,
+    /// Release time `r_i`.
+    pub release: Time,
+    /// Slave the task was assigned to.
+    pub slave: SlaveId,
+    /// When the master started sending the task.
+    pub send_start: Time,
+    /// When the send completed (task available at the slave).
+    pub send_end: Time,
+    /// When the slave started executing the task.
+    pub compute_start: Time,
+    /// Completion time `C_i`.
+    pub compute_end: Time,
+    /// Actual communication-size multiplier billed.
+    pub size_c: f64,
+    /// Actual computation-size multiplier billed.
+    pub size_p: f64,
+}
+
+impl TaskRecord {
+    /// Response time (flow time) `C_i − r_i`.
+    pub fn flow(&self) -> f64 {
+        self.compute_end - self.release
+    }
+}
+
+/// A complete execution trace (one record per task, indexed by task id).
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Trace {
+    records: Vec<TaskRecord>,
+}
+
+impl Trace {
+    /// Builds a trace from records sorted by task id `0..n`.
+    ///
+    /// # Panics
+    /// Panics if the records are not exactly `T0..T{n-1}` in order.
+    pub fn new(records: Vec<TaskRecord>) -> Self {
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.task.0, i, "Trace::new: records must be indexed by task id");
+        }
+        Trace { records }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` iff the trace contains no task.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Record of task `t`.
+    pub fn record(&self, t: TaskId) -> &TaskRecord {
+        &self.records[t.0]
+    }
+
+    /// All records in task-id order.
+    pub fn records(&self) -> &[TaskRecord] {
+        &self.records
+    }
+
+    /// Makespan `max C_i` (0 for an empty trace).
+    pub fn makespan(&self) -> f64 {
+        self.records
+            .iter()
+            .map(|r| r.compute_end.as_f64())
+            .fold(0.0, f64::max)
+    }
+
+    /// Maximum response time `max (C_i − r_i)`.
+    pub fn max_flow(&self) -> f64 {
+        self.records.iter().map(TaskRecord::flow).fold(0.0, f64::max)
+    }
+
+    /// Sum of response times `Σ (C_i − r_i)`.
+    pub fn sum_flow(&self) -> f64 {
+        self.records.iter().map(TaskRecord::flow).sum()
+    }
+
+    /// Per-slave task counts.
+    pub fn counts_per_slave(&self, num_slaves: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; num_slaves];
+        for r in &self.records {
+            counts[r.slave.0] += 1;
+        }
+        counts
+    }
+}
+
+/// A violated trace invariant.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceViolation {
+    /// `send_start < release`.
+    SendBeforeRelease(TaskId),
+    /// `compute_start < send_end`.
+    ComputeBeforeReceive(TaskId),
+    /// Send duration differs from `c_j · size_c`.
+    WrongSendDuration(TaskId),
+    /// Compute duration differs from `p_j · size_p`.
+    WrongComputeDuration(TaskId),
+    /// Two sends overlap on the master's port.
+    OnePortViolated(TaskId, TaskId),
+    /// Two computations overlap on the same slave.
+    SlaveOverlap(TaskId, TaskId, SlaveId),
+    /// A record references a slave outside the platform.
+    UnknownSlave(TaskId),
+}
+
+impl std::fmt::Display for TraceViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceViolation::SendBeforeRelease(t) => write!(f, "{t} sent before its release"),
+            TraceViolation::ComputeBeforeReceive(t) => {
+                write!(f, "{t} computed before fully received")
+            }
+            TraceViolation::WrongSendDuration(t) => write!(f, "{t} has wrong send duration"),
+            TraceViolation::WrongComputeDuration(t) => write!(f, "{t} has wrong compute duration"),
+            TraceViolation::OnePortViolated(a, b) => {
+                write!(f, "sends of {a} and {b} overlap on the master port")
+            }
+            TraceViolation::SlaveOverlap(a, b, j) => {
+                write!(f, "computations of {a} and {b} overlap on {j}")
+            }
+            TraceViolation::UnknownSlave(t) => write!(f, "{t} assigned to unknown slave"),
+        }
+    }
+}
+
+/// Checks all model invariants of a finished trace against the platform,
+/// with `TIME_EPS`-scaled tolerance. Returns every violation found.
+pub fn validate(trace: &Trace, platform: &Platform) -> Vec<TraceViolation> {
+    let mut violations = Vec::new();
+    let tol = |scale: f64| TIME_EPS * (1.0 + scale.abs());
+
+    for r in trace.records() {
+        if r.slave.0 >= platform.num_slaves() {
+            violations.push(TraceViolation::UnknownSlave(r.task));
+            continue;
+        }
+        if r.send_start.as_f64() < r.release.as_f64() - tol(r.release.as_f64()) {
+            violations.push(TraceViolation::SendBeforeRelease(r.task));
+        }
+        if r.compute_start.as_f64() < r.send_end.as_f64() - tol(r.send_end.as_f64()) {
+            violations.push(TraceViolation::ComputeBeforeReceive(r.task));
+        }
+        let expect_send = platform.c(r.slave) * r.size_c;
+        if ((r.send_end - r.send_start) - expect_send).abs() > tol(expect_send) {
+            violations.push(TraceViolation::WrongSendDuration(r.task));
+        }
+        let expect_comp = platform.p(r.slave) * r.size_p;
+        if ((r.compute_end - r.compute_start) - expect_comp).abs() > tol(expect_comp) {
+            violations.push(TraceViolation::WrongComputeDuration(r.task));
+        }
+    }
+
+    // One-port: sort send intervals and check consecutive overlap.
+    let mut sends: Vec<&TaskRecord> = trace.records().iter().collect();
+    sends.sort_by_key(|r| r.send_start);
+    for w in sends.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if b.send_start.as_f64() < a.send_end.as_f64() - tol(a.send_end.as_f64()) {
+            violations.push(TraceViolation::OnePortViolated(a.task, b.task));
+        }
+    }
+
+    // Per-slave mutual exclusion.
+    for j in platform.slave_ids() {
+        let mut on_j: Vec<&TaskRecord> = trace
+            .records()
+            .iter()
+            .filter(|r| r.slave == j)
+            .collect();
+        on_j.sort_by_key(|r| r.compute_start);
+        for w in on_j.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if b.compute_start.as_f64() < a.compute_end.as_f64() - tol(a.compute_end.as_f64()) {
+                violations.push(TraceViolation::SlaveOverlap(a.task, b.task, j));
+            }
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(
+        task: usize,
+        slave: usize,
+        release: f64,
+        send_start: f64,
+        send_end: f64,
+        compute_start: f64,
+        compute_end: f64,
+    ) -> TaskRecord {
+        TaskRecord {
+            task: TaskId(task),
+            slave: SlaveId(slave),
+            release: Time::new(release),
+            send_start: Time::new(send_start),
+            send_end: Time::new(send_end),
+            compute_start: Time::new(compute_start),
+            compute_end: Time::new(compute_end),
+            size_c: 1.0,
+            size_p: 1.0,
+        }
+    }
+
+    fn platform() -> Platform {
+        Platform::from_vectors(&[1.0, 1.0], &[3.0, 7.0])
+    }
+
+    #[test]
+    fn objectives_from_records() {
+        let t = Trace::new(vec![
+            rec(0, 0, 0.0, 0.0, 1.0, 1.0, 4.0),
+            rec(1, 1, 0.5, 1.0, 2.0, 2.0, 9.0),
+        ]);
+        assert!((t.makespan() - 9.0).abs() < 1e-12);
+        assert!((t.max_flow() - 8.5).abs() < 1e-12);
+        assert!((t.sum_flow() - 12.5).abs() < 1e-12);
+        assert_eq!(t.counts_per_slave(2), vec![1, 1]);
+    }
+
+    #[test]
+    fn valid_trace_passes() {
+        let t = Trace::new(vec![
+            rec(0, 0, 0.0, 0.0, 1.0, 1.0, 4.0),
+            rec(1, 1, 0.5, 1.0, 2.0, 2.0, 9.0),
+        ]);
+        assert!(validate(&t, &platform()).is_empty());
+    }
+
+    #[test]
+    fn detects_one_port_violation() {
+        let t = Trace::new(vec![
+            rec(0, 0, 0.0, 0.0, 1.0, 1.0, 4.0),
+            rec(1, 1, 0.0, 0.5, 1.5, 1.5, 8.5),
+        ]);
+        let v = validate(&t, &platform());
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, TraceViolation::OnePortViolated(_, _))));
+    }
+
+    #[test]
+    fn detects_send_before_release() {
+        let t = Trace::new(vec![rec(0, 0, 2.0, 0.0, 1.0, 1.0, 4.0)]);
+        let v = validate(&t, &platform());
+        assert_eq!(v, vec![TraceViolation::SendBeforeRelease(TaskId(0))]);
+    }
+
+    #[test]
+    fn detects_wrong_durations() {
+        let t = Trace::new(vec![rec(0, 0, 0.0, 0.0, 2.0, 2.0, 4.0)]);
+        let v = validate(&t, &platform());
+        assert!(v.contains(&TraceViolation::WrongSendDuration(TaskId(0))));
+        assert!(v.contains(&TraceViolation::WrongComputeDuration(TaskId(0))));
+    }
+
+    #[test]
+    fn detects_slave_overlap() {
+        let t = Trace::new(vec![
+            rec(0, 0, 0.0, 0.0, 1.0, 1.0, 4.0),
+            rec(1, 0, 0.0, 1.0, 2.0, 2.0, 5.0),
+        ]);
+        let v = validate(&t, &platform());
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, TraceViolation::SlaveOverlap(_, _, _))));
+    }
+
+    #[test]
+    fn detects_compute_before_receive() {
+        let t = Trace::new(vec![rec(0, 0, 0.0, 0.0, 1.0, 0.5, 3.5)]);
+        let v = validate(&t, &platform());
+        assert_eq!(v, vec![TraceViolation::ComputeBeforeReceive(TaskId(0))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "indexed by task id")]
+    fn trace_requires_dense_ids() {
+        let _ = Trace::new(vec![rec(1, 0, 0.0, 0.0, 1.0, 1.0, 4.0)]);
+    }
+}

@@ -1,0 +1,183 @@
+//! The scheduler's window into the simulation.
+//!
+//! [`SimView`] exposes exactly the information an on-line master would have:
+//! the current time, the platform's *nominal* `(c_j, p_j)`, which released
+//! tasks still need a slave, how much work each slave has outstanding, and
+//! nominal-size completion estimates. Unreleased tasks and actual (perturbed)
+//! sizes of unfinished work are invisible.
+
+use crate::platform::{Platform, SlaveId};
+use crate::task::TaskId;
+use crate::time::Time;
+
+/// Per-slave observable state (snapshot).
+#[derive(Clone, Copy, Debug)]
+pub struct SlaveView {
+    /// Tasks sent (or being sent) to this slave and not yet completed.
+    pub outstanding: usize,
+    /// Estimated time at which the slave finishes all outstanding work,
+    /// computed with nominal sizes and re-anchored on every observed
+    /// completion. Equals `now` for an idle slave.
+    pub ready_estimate: Time,
+    /// Total number of tasks completed by this slave so far.
+    pub completed: usize,
+}
+
+/// Owned observable state from which a [`SimView`] can be borrowed.
+///
+/// The DES engine builds views internally; alternative backends (the
+/// threaded cluster executor of `mss-cluster`, custom harnesses, tests)
+/// maintain a `ViewState` and call [`ViewState::view`] to drive any
+/// [`OnlineScheduler`](crate::OnlineScheduler) outside the simulator.
+#[derive(Clone, Debug)]
+pub struct ViewState {
+    /// Current time.
+    pub now: Time,
+    /// The (nominal) platform.
+    pub platform: Platform,
+    /// When the master's port frees (≤ `now` when idle).
+    pub link_busy_until: Time,
+    /// Per-slave observable state.
+    pub slaves: Vec<SlaveView>,
+    /// Released, unassigned tasks in FIFO order.
+    pub pending: Vec<TaskId>,
+    /// Release time per task id (only entries for released tasks are read).
+    pub releases: Vec<Time>,
+    /// Total-task-count hint, if granted.
+    pub horizon: Option<usize>,
+    /// Number of tasks released so far.
+    pub released_count: usize,
+    /// Number of tasks completed so far.
+    pub completed_count: usize,
+}
+
+impl ViewState {
+    /// Fresh state at time zero for a platform.
+    pub fn new(platform: Platform, num_tasks: usize, horizon: Option<usize>) -> Self {
+        let m = platform.num_slaves();
+        ViewState {
+            now: Time::ZERO,
+            platform,
+            link_busy_until: Time::ZERO,
+            slaves: vec![
+                SlaveView {
+                    outstanding: 0,
+                    ready_estimate: Time::ZERO,
+                    completed: 0,
+                };
+                m
+            ],
+            pending: Vec::new(),
+            releases: vec![Time::ZERO; num_tasks],
+            horizon,
+            released_count: 0,
+            completed_count: 0,
+        }
+    }
+
+    /// Borrows the state as the view schedulers consume.
+    pub fn view(&self) -> SimView<'_> {
+        SimView {
+            now: self.now,
+            platform: &self.platform,
+            link_busy_until: self.link_busy_until,
+            slaves: &self.slaves,
+            pending: &self.pending,
+            releases: &self.releases,
+            horizon: self.horizon,
+            released_count: self.released_count,
+            completed_count: self.completed_count,
+        }
+    }
+}
+
+/// Immutable snapshot handed to [`OnlineScheduler`](crate::OnlineScheduler)
+/// callbacks.
+pub struct SimView<'a> {
+    pub(crate) now: Time,
+    pub(crate) platform: &'a Platform,
+    pub(crate) link_busy_until: Time,
+    pub(crate) slaves: &'a [SlaveView],
+    pub(crate) pending: &'a [TaskId],
+    pub(crate) releases: &'a [Time],
+    pub(crate) horizon: Option<usize>,
+    pub(crate) released_count: usize,
+    pub(crate) completed_count: usize,
+}
+
+impl<'a> SimView<'a> {
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The platform (nominal `c_j`, `p_j`).
+    pub fn platform(&self) -> &Platform {
+        self.platform
+    }
+
+    /// Number of slaves.
+    pub fn num_slaves(&self) -> usize {
+        self.platform.num_slaves()
+    }
+
+    /// When the master's port is next free (`== now()` if idle).
+    pub fn link_free_at(&self) -> Time {
+        self.link_busy_until.max(self.now)
+    }
+
+    /// `true` iff the port is idle right now.
+    pub fn link_idle(&self) -> bool {
+        self.link_busy_until <= self.now
+    }
+
+    /// Released tasks not yet assigned to any slave, in FIFO release order.
+    pub fn pending_tasks(&self) -> &[TaskId] {
+        self.pending
+    }
+
+    /// Release time of a task that has already been released.
+    pub fn release_time(&self, t: TaskId) -> Time {
+        self.releases[t.0]
+    }
+
+    /// Observable state of slave `j`.
+    pub fn slave(&self, j: SlaveId) -> SlaveView {
+        self.slaves[j.0]
+    }
+
+    /// `true` iff slave `j` has no outstanding work at all (SRPT's notion of
+    /// a *free* slave).
+    pub fn slave_idle(&self, j: SlaveId) -> bool {
+        self.slaves[j.0].outstanding == 0
+    }
+
+    /// Estimated completion time of a *new nominal task* if the master
+    /// started sending it to `j` as soon as the port is free:
+    /// `start = max(link_free, ready_j_estimate_after_comm)`, i.e.
+    /// `max(link_free + c_j, ready_j) + p_j`.
+    ///
+    /// This is the quantity the paper's List Scheduling heuristic minimizes.
+    pub fn completion_estimate(&self, j: SlaveId) -> Time {
+        let recv = self.link_free_at() + self.platform.c(j);
+        let start = recv.max(self.slaves[j.0].ready_estimate);
+        start + self.platform.p(j)
+    }
+
+    /// Total number of tasks the instance will ever contain, when the
+    /// scheduler has been granted that knowledge (the paper gives it to SLJF
+    /// and SLJFWC); `None` in the pure on-line setting.
+    pub fn horizon(&self) -> Option<usize> {
+        self.horizon
+    }
+
+    /// How many tasks have been released so far.
+    pub fn released_count(&self) -> usize {
+        self.released_count
+    }
+
+    /// How many tasks have completed so far.
+    pub fn completed_count(&self) -> usize {
+        self.completed_count
+    }
+}

@@ -1,0 +1,117 @@
+//! The paper's platform-calibration procedure (§4.2).
+//!
+//! > "in a first step, we send one single matrix to each slave one after
+//! > another, and we calculate the time needed to send this matrix and to
+//! > calculate its determinant on each slave. Thus, we obtain an estimation
+//! > of ci and pi [...]. Then we determine the number of times this matrix
+//! > should be sent (nci) and the number of times its determinant should be
+//! > calculated (npi) on each slave in order to [...] reach the desired
+//! > level of heterogeneity. Then, a task assigned on Pi will actually be
+//! > sent nci times to Pi (so that ci ← nci·ci), and its determinant will
+//! > actually be calculated npi times (so that pi ← npi·pi)."
+//!
+//! Given *measured* base characteristics and a *target* platform, this
+//! module computes the integer repetition counts and reports the platform
+//! actually achieved (integer rounding means the target is only
+//! approximated — exactly as on the authors' testbed).
+
+use mss_core::Platform;
+
+/// Result of calibrating a base platform towards a target.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Calibration {
+    /// Number of times each task is (re)sent to slave `i` (`nc_i ≥ 1`).
+    pub nc: Vec<u32>,
+    /// Number of times each determinant is computed on slave `i` (`np_i ≥ 1`).
+    pub np: Vec<u32>,
+    /// The effective platform `(nc_i·c_i, np_i·p_i)`.
+    pub achieved: Platform,
+    /// Worst relative error between achieved and target, over all `c_j`,
+    /// `p_j`.
+    pub max_relative_error: f64,
+}
+
+/// Computes repetition counts so that `nc_i·base_c_i ≈ target_c_i` and
+/// `np_i·base_p_i ≈ target_p_i`.
+///
+/// # Panics
+/// Panics if the platforms have different sizes.
+pub fn calibrate(base: &Platform, target: &Platform) -> Calibration {
+    assert_eq!(
+        base.num_slaves(),
+        target.num_slaves(),
+        "calibrate: platform sizes differ"
+    );
+    let mut nc = Vec::with_capacity(base.num_slaves());
+    let mut np = Vec::with_capacity(base.num_slaves());
+    let mut c_eff = Vec::with_capacity(base.num_slaves());
+    let mut p_eff = Vec::with_capacity(base.num_slaves());
+    let mut max_err = 0.0f64;
+
+    for (j, b) in base.iter() {
+        let t = target.slave(j);
+        let k_c = (t.c / b.c).round().max(1.0) as u32;
+        let k_p = (t.p / b.p).round().max(1.0) as u32;
+        let eff_c = f64::from(k_c) * b.c;
+        let eff_p = f64::from(k_p) * b.p;
+        max_err = max_err
+            .max((eff_c - t.c).abs() / t.c)
+            .max((eff_p - t.p).abs() / t.p);
+        nc.push(k_c);
+        np.push(k_p);
+        c_eff.push(eff_c);
+        p_eff.push(eff_p);
+    }
+
+    Calibration {
+        nc,
+        np,
+        achieved: Platform::from_vectors(&c_eff, &p_eff),
+        max_relative_error: max_err,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_multiples_calibrate_perfectly() {
+        let base = Platform::from_vectors(&[0.1, 0.2], &[0.5, 1.0]);
+        let target = Platform::from_vectors(&[0.5, 0.2], &[2.0, 3.0]);
+        let cal = calibrate(&base, &target);
+        assert_eq!(cal.nc, vec![5, 1]);
+        assert_eq!(cal.np, vec![4, 3]);
+        assert!(cal.max_relative_error < 1e-12);
+        assert_eq!(cal.achieved, target);
+    }
+
+    #[test]
+    fn rounding_error_is_reported() {
+        let base = Platform::from_vectors(&[0.3], &[0.7]);
+        let target = Platform::from_vectors(&[1.0], &[1.0]);
+        let cal = calibrate(&base, &target);
+        // nc = round(3.33) = 3 → 0.9 (10 % error); np = round(1.43) = 1 → 0.7.
+        assert_eq!(cal.nc, vec![3]);
+        assert_eq!(cal.np, vec![1]);
+        assert!((cal.max_relative_error - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counts_are_at_least_one() {
+        // Target slower than base: the best we can do is one repetition.
+        let base = Platform::from_vectors(&[1.0], &[8.0]);
+        let target = Platform::from_vectors(&[0.01], &[0.1]);
+        let cal = calibrate(&base, &target);
+        assert_eq!(cal.nc, vec![1]);
+        assert_eq!(cal.np, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "platform sizes differ")]
+    fn size_mismatch_rejected() {
+        let base = Platform::from_vectors(&[1.0], &[1.0]);
+        let target = Platform::from_vectors(&[1.0, 1.0], &[1.0, 1.0]);
+        let _ = calibrate(&base, &target);
+    }
+}

@@ -1,0 +1,188 @@
+//! Parameterized heterogeneity: platforms interpolating continuously from
+//! fully homogeneous to the paper's fully heterogeneous distribution.
+//!
+//! The paper contrasts four discrete platform classes; this module adds the
+//! continuum between them so the lab can chart *the impact of
+//! heterogeneity* as a curve rather than four bars (ablation A4 /
+//! `examples/heterogeneity_impact.rs`). Each slave `j` gets a fixed
+//! direction `u_j ∈ [−1, 1]` (drawn once per seed) and the platform at
+//! degree `h ∈ [0, 1]` is
+//!
+//! ```text
+//! c_j(h) = c̄ · R_c^(h·u_j)      p_j(h) = p̄ · R_p^(h·v_j)
+//! ```
+//!
+//! — geometric interpolation, so `h = 0` is exactly homogeneous and `h = 1`
+//! spans the paper's §4.2 ranges (`c ∈ [0.01, 1]`, `p ∈ [0.1, 8]` when
+//! `R = √(max/min)` around the geometric mean).
+
+use mss_core::Platform;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which resource the heterogeneity degree perturbs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum HeterogeneityAxis {
+    /// Only link capacities vary (`p_j` stays at the base).
+    Communication,
+    /// Only speeds vary (`c_j` stays at the base).
+    Computation,
+    /// Both vary (independent directions).
+    Both,
+}
+
+impl HeterogeneityAxis {
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            HeterogeneityAxis::Communication => "links",
+            HeterogeneityAxis::Computation => "speeds",
+            HeterogeneityAxis::Both => "both",
+        }
+    }
+}
+
+/// A family of platforms indexed by a heterogeneity degree `h ∈ [0, 1]`.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HeterogeneityFamily {
+    /// Number of slaves.
+    pub num_slaves: usize,
+    /// Geometric-mean communication time (paper range → `√(0.01·1) = 0.1`).
+    pub base_c: f64,
+    /// Geometric-mean computation time (paper range → `√(0.1·8) ≈ 0.894`).
+    pub base_p: f64,
+    /// Half-span ratio for `c` (paper range → `√(1/0.01) = 10`).
+    pub ratio_c: f64,
+    /// Half-span ratio for `p` (paper range → `√(8/0.1) ≈ 8.94`).
+    pub ratio_p: f64,
+    directions_c: Vec<f64>,
+    directions_p: Vec<f64>,
+}
+
+impl HeterogeneityFamily {
+    /// A family matching the paper's §4.2 ranges at `h = 1`, with per-slave
+    /// directions drawn from `seed`.
+    pub fn paper_ranges(num_slaves: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Directions stratified so the sweep always contains both fast and
+        // slow extremes instead of depending on luck: slave j's direction
+        // is the stratum midpoint, shuffled.
+        let directions = |rng: &mut StdRng| -> Vec<f64> {
+            let mut d: Vec<f64> = (0..num_slaves)
+                .map(|j| -1.0 + (2.0 * j as f64 + 1.0) / num_slaves as f64)
+                .collect();
+            for i in (1..d.len()).rev() {
+                d.swap(i, rng.gen_range(0..=i));
+            }
+            d
+        };
+        HeterogeneityFamily {
+            num_slaves,
+            base_c: 0.1,
+            base_p: (0.1f64 * 8.0).sqrt(),
+            ratio_c: 10.0,
+            ratio_p: (8.0f64 / 0.1).sqrt(),
+            directions_c: directions(&mut rng),
+            directions_p: directions(&mut rng),
+        }
+    }
+
+    /// The platform at heterogeneity degree `h` along `axis`.
+    ///
+    /// # Panics
+    /// Panics if `h` is outside `[0, 1]`.
+    pub fn platform(&self, axis: HeterogeneityAxis, h: f64) -> Platform {
+        assert!((0.0..=1.0).contains(&h), "degree h must be in [0, 1]");
+        let (hc, hp) = match axis {
+            HeterogeneityAxis::Communication => (h, 0.0),
+            HeterogeneityAxis::Computation => (0.0, h),
+            HeterogeneityAxis::Both => (h, h),
+        };
+        let c: Vec<f64> = self
+            .directions_c
+            .iter()
+            .map(|&u| self.base_c * self.ratio_c.powf(hc * u))
+            .collect();
+        let p: Vec<f64> = self
+            .directions_p
+            .iter()
+            .map(|&v| self.base_p * self.ratio_p.powf(hp * v))
+            .collect();
+        Platform::from_vectors(&c, &p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mss_core::PlatformClass;
+
+    #[test]
+    fn degree_zero_is_homogeneous() {
+        let fam = HeterogeneityFamily::paper_ranges(5, 7);
+        for axis in [
+            HeterogeneityAxis::Communication,
+            HeterogeneityAxis::Computation,
+            HeterogeneityAxis::Both,
+        ] {
+            let pf = fam.platform(axis, 0.0);
+            assert_eq!(pf.classify(), PlatformClass::Homogeneous, "{axis:?}");
+        }
+    }
+
+    #[test]
+    fn axes_perturb_the_right_resource() {
+        let fam = HeterogeneityFamily::paper_ranges(5, 7);
+        let comm = fam.platform(HeterogeneityAxis::Communication, 1.0);
+        assert_eq!(comm.classify(), PlatformClass::CompHomogeneous);
+        let comp = fam.platform(HeterogeneityAxis::Computation, 1.0);
+        assert_eq!(comp.classify(), PlatformClass::CommHomogeneous);
+        let both = fam.platform(HeterogeneityAxis::Both, 1.0);
+        assert_eq!(both.classify(), PlatformClass::Heterogeneous);
+    }
+
+    #[test]
+    fn full_degree_spans_paper_ranges() {
+        let fam = HeterogeneityFamily::paper_ranges(5, 7);
+        let pf = fam.platform(HeterogeneityAxis::Both, 1.0);
+        for (_, s) in pf.iter() {
+            assert!((0.01 - 1e-9..=1.0 + 1e-9).contains(&s.c), "c = {}", s.c);
+            assert!((0.1 - 1e-9..=8.0 + 1e-9).contains(&s.p), "p = {}", s.p);
+        }
+        // Stratified directions guarantee real spread at h = 1.
+        let cs: Vec<f64> = pf.iter().map(|(_, s)| s.c).collect();
+        let spread = cs.iter().cloned().fold(0.0f64, f64::max)
+            / cs.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 5.0, "c spread {spread}");
+    }
+
+    #[test]
+    fn monotone_in_degree() {
+        // The extreme slaves drift monotonically away from the mean.
+        let fam = HeterogeneityFamily::paper_ranges(5, 3);
+        let mut prev_spread = 1.0;
+        for h in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let pf = fam.platform(HeterogeneityAxis::Both, h);
+            let ps: Vec<f64> = pf.iter().map(|(_, s)| s.p).collect();
+            let spread = ps.iter().cloned().fold(0.0f64, f64::max)
+                / ps.iter().cloned().fold(f64::INFINITY, f64::min);
+            assert!(spread >= prev_spread - 1e-12, "h = {h}: {spread} < {prev_spread}");
+            prev_spread = spread;
+        }
+    }
+
+    #[test]
+    fn reproducible_per_seed() {
+        let a = HeterogeneityFamily::paper_ranges(5, 11);
+        let b = HeterogeneityFamily::paper_ranges(5, 11);
+        assert_eq!(a, b);
+        assert_ne!(a, HeterogeneityFamily::paper_ranges(5, 12));
+    }
+
+    #[test]
+    #[should_panic(expected = "degree h")]
+    fn degree_out_of_range_rejected() {
+        let fam = HeterogeneityFamily::paper_ranges(3, 1);
+        let _ = fam.platform(HeterogeneityAxis::Both, 1.5);
+    }
+}

@@ -1,0 +1,130 @@
+//! Random platform generation following the paper's §4.2.
+//!
+//! > "Our platforms are composed with five machines Pi with ci between
+//! > 0.01 s and 1 s, and pi between 0.1 s and 8 s. [...] for each diagram,
+//! > we create ten random platforms, possibly with one prescribed property
+//! > (such as homogeneous links or processors)."
+
+use mss_core::{Platform, PlatformClass};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sampler for the paper's platform distribution.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PlatformSampler {
+    /// Number of slaves (the paper uses 5).
+    pub num_slaves: usize,
+    /// Range for communication times `c_j` in seconds.
+    pub c_range: (f64, f64),
+    /// Range for computation times `p_j` in seconds.
+    pub p_range: (f64, f64),
+}
+
+impl Default for PlatformSampler {
+    fn default() -> Self {
+        PlatformSampler {
+            num_slaves: 5,
+            c_range: (0.01, 1.0),
+            p_range: (0.1, 8.0),
+        }
+    }
+}
+
+impl PlatformSampler {
+    /// Draws a platform of the prescribed class.
+    pub fn sample(&self, class: PlatformClass, rng: &mut StdRng) -> Platform {
+        let m = self.num_slaves;
+        let draw_c = |rng: &mut StdRng| rng.gen_range(self.c_range.0..=self.c_range.1);
+        let draw_p = |rng: &mut StdRng| rng.gen_range(self.p_range.0..=self.p_range.1);
+        let (c, p): (Vec<f64>, Vec<f64>) = match class {
+            PlatformClass::Homogeneous => {
+                let c0 = draw_c(rng);
+                let p0 = draw_p(rng);
+                (vec![c0; m], vec![p0; m])
+            }
+            PlatformClass::CommHomogeneous => {
+                let c0 = draw_c(rng);
+                let p: Vec<f64> = (0..m).map(|_| draw_p(rng)).collect();
+                (vec![c0; m], p)
+            }
+            PlatformClass::CompHomogeneous => {
+                let c: Vec<f64> = (0..m).map(|_| draw_c(rng)).collect();
+                let p0 = draw_p(rng);
+                (c, vec![p0; m])
+            }
+            PlatformClass::Heterogeneous => {
+                let c: Vec<f64> = (0..m).map(|_| draw_c(rng)).collect();
+                let p: Vec<f64> = (0..m).map(|_| draw_p(rng)).collect();
+                (c, p)
+            }
+        };
+        Platform::from_vectors(&c, &p)
+    }
+
+    /// Draws the paper's "ten random platforms" for one figure panel,
+    /// reproducibly from a seed.
+    pub fn sample_many(
+        &self,
+        class: PlatformClass,
+        count: usize,
+        seed: u64,
+    ) -> Vec<Platform> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count).map(|_| self.sample(class, &mut rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_respected() {
+        let sampler = PlatformSampler::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        for class in [
+            PlatformClass::Homogeneous,
+            PlatformClass::CommHomogeneous,
+            PlatformClass::CompHomogeneous,
+            PlatformClass::Heterogeneous,
+        ] {
+            let pf = sampler.sample(class, &mut rng);
+            assert_eq!(pf.num_slaves(), 5);
+            // Heterogeneous draws of 5 f64s are never accidentally equal.
+            assert_eq!(pf.classify(), class, "class {class:?}");
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let sampler = PlatformSampler::default();
+        for pf in sampler.sample_many(PlatformClass::Heterogeneous, 50, 42) {
+            for (_, s) in pf.iter() {
+                assert!((0.01..=1.0).contains(&s.c), "c = {}", s.c);
+                assert!((0.1..=8.0).contains(&s.p), "p = {}", s.p);
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_sampling_is_reproducible() {
+        let sampler = PlatformSampler::default();
+        let a = sampler.sample_many(PlatformClass::Heterogeneous, 10, 123);
+        let b = sampler.sample_many(PlatformClass::Heterogeneous, 10, 123);
+        assert_eq!(a, b);
+        let c = sampler.sample_many(PlatformClass::Heterogeneous, 10, 124);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn custom_shapes() {
+        let sampler = PlatformSampler {
+            num_slaves: 3,
+            c_range: (0.5, 0.5),
+            p_range: (2.0, 2.0),
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let pf = sampler.sample(PlatformClass::Heterogeneous, &mut rng);
+        assert_eq!(pf.classify(), PlatformClass::Homogeneous); // degenerate ranges
+    }
+}
