@@ -38,6 +38,6 @@ mod theorems;
 
 pub use game::{GameResult, SchedulerFactory, SendObs, TheoremId, TheoremInfo};
 pub use theorems::{
-    play, play_all, theorem1, theorem2, theorem3, theorem4, theorem5, theorem6, theorem7,
-    theorem8, theorem9,
+    play, play_all, theorem1, theorem2, theorem3, theorem4, theorem5, theorem6, theorem7, theorem8,
+    theorem9,
 };

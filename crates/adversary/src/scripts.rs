@@ -42,7 +42,11 @@ pub(crate) fn two_checkpoints(
     let releases1 = vec![Surd::ZERO];
     let trace1 = ctx.run(&releases1, factory);
     let obs1 = ctx.observe(&trace1, 0, t1);
-    transcript.push(format!("release i at 0; at t1={}: first send {}", t1, obs_str(obs1)));
+    transcript.push(format!(
+        "release i at 0; at t1={}: first send {}",
+        t1,
+        obs_str(obs1)
+    ));
 
     match obs1 {
         SendObs::NotBegun | SendObs::Begun(1) => {
@@ -95,7 +99,11 @@ pub(crate) fn one_checkpoint_one_task(
     let releases1 = vec![Surd::ZERO];
     let trace1 = ctx.run(&releases1, factory);
     let obs = ctx.observe(&trace1, 0, tau);
-    transcript.push(format!("release i at 0; at τ={}: first send {}", tau, obs_str(obs)));
+    transcript.push(format!(
+        "release i at 0; at τ={}: first send {}",
+        tau,
+        obs_str(obs)
+    ));
 
     match obs {
         SendObs::NotBegun | SendObs::Begun(1) => {
@@ -125,7 +133,11 @@ pub(crate) fn one_checkpoint_three_tasks(
     let releases1 = vec![Surd::ZERO];
     let trace1 = ctx.run(&releases1, factory);
     let obs = ctx.observe(&trace1, 0, tau);
-    transcript.push(format!("release i at 0; at τ={}: first send {}", tau, obs_str(obs)));
+    transcript.push(format!(
+        "release i at 0; at τ={}: first send {}",
+        tau,
+        obs_str(obs)
+    ));
 
     match obs {
         SendObs::NotBegun | SendObs::Begun(1) => {
@@ -155,7 +167,11 @@ pub(crate) fn one_checkpoint_two_tasks(
     let releases1 = vec![Surd::ZERO];
     let trace1 = ctx.run(&releases1, factory);
     let obs = ctx.observe(&trace1, 0, tau);
-    transcript.push(format!("release i at 0; at τ={}: first send {}", tau, obs_str(obs)));
+    transcript.push(format!(
+        "release i at 0; at τ={}: first send {}",
+        tau,
+        obs_str(obs)
+    ));
 
     match obs {
         // "If A scheduled the task i on P2 or P3 [or did not begin], the

@@ -120,7 +120,11 @@ mod tests {
         let result = theorem1(&factory);
         assert!(result.holds());
         assert_eq!(result.instance.r.len(), 2, "{:?}", result.transcript);
-        assert!((result.ratio - 9.0 / 7.0).abs() < 1e-9, "ratio {}", result.ratio);
+        assert!(
+            (result.ratio - 9.0 / 7.0).abs() < 1e-9,
+            "ratio {}",
+            result.ratio
+        );
     }
 
     #[test]

@@ -21,8 +21,7 @@ pub fn theorem4(factory: SchedulerFactory<'_>) -> GameResult {
     let ctx = Ctx::new(vec![Surd::ONE, half_p], vec![p, p]);
     let bound = Surd::from_ratio(6, 5);
     // min over proof branches: main 3p/(1+5p/2); stop branches ≈ 3/2.
-    let certified = (Surd::from_int(3) * p)
-        / (Surd::ONE + Surd::from_ratio(5, 2) * p);
+    let certified = (Surd::from_int(3) * p) / (Surd::ONE + Surd::from_ratio(5, 2) * p);
     let info = TheoremInfo {
         id: TheoremId::T4,
         platform_class: PlatformClass::CompHomogeneous,

@@ -145,7 +145,10 @@ mod tests {
             Surd::from_int(3) + Surd::from_int(2) * Surd::sqrt(2)
         );
         // c₂ + p₂ = √2·c₁ (used twice in the proof).
-        assert_eq!(Surd::ONE + (Surd::sqrt(2) * c1 - Surd::ONE), Surd::sqrt(2) * c1);
+        assert_eq!(
+            Surd::ONE + (Surd::sqrt(2) * c1 - Surd::ONE),
+            Surd::sqrt(2) * c1
+        );
     }
 
     #[test]

@@ -53,9 +53,18 @@ fn theorem1_case_analysis() {
     // makespan of 10, or on P2 for a makespan of 10. However, scheduling
     // the first task on P2 and the two others on P1 leads to 8."
     let three = inst(vec![Surd::ZERO, int(1), int(2)]);
-    assert_eq!(value(&three, &[0, 1, 2], &[0, 0, 0], Goal::Makespan), int(10));
-    assert_eq!(value(&three, &[0, 1, 2], &[0, 0, 1], Goal::Makespan), int(10));
-    assert_eq!(value(&three, &[0, 1, 2], &[1, 0, 0], Goal::Makespan), int(8));
+    assert_eq!(
+        value(&three, &[0, 1, 2], &[0, 0, 0], Goal::Makespan),
+        int(10)
+    );
+    assert_eq!(
+        value(&three, &[0, 1, 2], &[0, 0, 1], Goal::Makespan),
+        int(10)
+    );
+    assert_eq!(
+        value(&three, &[0, 1, 2], &[1, 0, 0], Goal::Makespan),
+        int(8)
+    );
 }
 
 // ----------------------------------------------------------- Theorem 2 --
@@ -90,7 +99,10 @@ fn theorem2_case_analysis() {
     // Three tasks: algorithm's best 6+4√2 (third task on P2) vs 12 (all on
     // P1); adversary's alternative 5+4√2 (second on P2).
     let three = inst(vec![Surd::ZERO, int(1), int(2)]);
-    assert_eq!(value(&three, &[0, 1, 2], &[0, 0, 0], Goal::SumFlow), int(12));
+    assert_eq!(
+        value(&three, &[0, 1, 2], &[0, 0, 0], Goal::SumFlow),
+        int(12)
+    );
     assert_eq!(
         value(&three, &[0, 1, 2], &[0, 0, 1], Goal::SumFlow),
         int(6) + int(4) * Surd::sqrt(2)

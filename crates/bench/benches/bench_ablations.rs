@@ -15,12 +15,18 @@ fn bench_buffer_bounds(c: &mut Criterion) {
     let cfg = SimConfig::with_horizon(500);
     let mut group = c.benchmark_group("ablation/rr-buffer");
     for buffer in [0usize, 1, 4, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(buffer), &buffer, |b, &buffer| {
-            b.iter(|| {
-                let mut rr = RoundRobin::new(RrOrder::SumCp, RrDispatch::Priority, buffer);
-                simulate(&platform, &tasks, &cfg, &mut rr).unwrap().makespan()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(buffer),
+            &buffer,
+            |b, &buffer| {
+                b.iter(|| {
+                    let mut rr = RoundRobin::new(RrOrder::SumCp, RrDispatch::Priority, buffer);
+                    simulate(&platform, &tasks, &cfg, &mut rr)
+                        .unwrap()
+                        .makespan()
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -14,9 +14,14 @@ fn bench_task_scaling(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                simulate(&platform, &tasks, &cfg, &mut Algorithm::ListScheduling.build())
-                    .unwrap()
-                    .len()
+                simulate(
+                    &platform,
+                    &tasks,
+                    &cfg,
+                    &mut Algorithm::ListScheduling.build(),
+                )
+                .unwrap()
+                .len()
             });
         });
     }
@@ -33,9 +38,14 @@ fn bench_slave_scaling(c: &mut Criterion) {
         let cfg = SimConfig::with_horizon(500);
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
             b.iter(|| {
-                simulate(&platform, &tasks, &cfg, &mut Algorithm::ListScheduling.build())
-                    .unwrap()
-                    .len()
+                simulate(
+                    &platform,
+                    &tasks,
+                    &cfg,
+                    &mut Algorithm::ListScheduling.build(),
+                )
+                .unwrap()
+                .len()
             });
         });
     }
@@ -49,9 +59,14 @@ fn bench_streamed_arrivals(c: &mut Criterion) {
     let cfg = SimConfig::with_horizon(1000);
     c.bench_function("engine/streamed-1000", |b| {
         b.iter(|| {
-            simulate(&platform, &tasks, &cfg, &mut Algorithm::ListScheduling.build())
-                .unwrap()
-                .len()
+            simulate(
+                &platform,
+                &tasks,
+                &cfg,
+                &mut Algorithm::ListScheduling.build(),
+            )
+            .unwrap()
+            .len()
         });
     });
 }

@@ -46,7 +46,12 @@ fn bench_float_vs_exact(c: &mut Criterion) {
     let exact = Instance {
         c: vec![Surd::ONE, Surd::from_int(2)],
         p: vec![Surd::from_int(3), Surd::from_int(3)],
-        r: vec![Surd::ZERO, Surd::from_int(2), Surd::from_int(2), Surd::from_int(2)],
+        r: vec![
+            Surd::ZERO,
+            Surd::from_int(2),
+            Surd::from_int(2),
+            Surd::from_int(2),
+        ],
     };
     let float = Instance {
         c: vec![1.0, 2.0],
@@ -62,5 +67,10 @@ fn bench_float_vs_exact(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_surd_ops, bench_exact_optimum, bench_float_vs_exact);
+criterion_group!(
+    benches,
+    bench_surd_ops,
+    bench_exact_optimum,
+    bench_float_vs_exact
+);
 criterion_main!(benches);

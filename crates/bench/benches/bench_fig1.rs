@@ -25,7 +25,11 @@ fn bench_panels(c: &mut Criterion) {
             BenchmarkId::from_parameter(fig1::panel_letter(class)),
             &class,
             |b, &class| {
-                b.iter(|| fig1::run_panel(class, scale, ArrivalProcess::AllAtZero).rows.len());
+                b.iter(|| {
+                    fig1::run_panel(class, scale, ArrivalProcess::AllAtZero)
+                        .rows
+                        .len()
+                });
             },
         );
     }
@@ -44,7 +48,11 @@ fn bench_paper_scale_single_run(c: &mut Criterion) {
     let cfg = SimConfig::with_horizon(1000);
 
     let mut group = c.benchmark_group("fig1/single-run-1000-tasks");
-    for a in [Algorithm::Srpt, Algorithm::ListScheduling, Algorithm::Sljfwc] {
+    for a in [
+        Algorithm::Srpt,
+        Algorithm::ListScheduling,
+        Algorithm::Sljfwc,
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(a.name()), &a, |b, &a| {
             b.iter(|| {
                 simulate(&platform, &tasks, &cfg, &mut a.build())

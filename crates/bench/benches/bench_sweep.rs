@@ -1,0 +1,87 @@
+//! Bench for the `mss-sweep` orchestrator: cells/second on a small grid at
+//! 1, 2, and max threads, plus the overhead of a fully cached re-run. This
+//! establishes the scaling trajectory tracked in BENCH_*.json entries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mss_sweep::{run_cells, spec_from_toml, SweepConfig, SweepSpec};
+
+fn small_grid() -> SweepSpec {
+    spec_from_toml(
+        r#"
+        name = "bench-grid"
+        seed = 42
+        tasks = [120]
+        algorithms = ["all"]
+
+        [[platforms]]
+        kind = "class"
+        class = "heterogeneous"
+        count = 4
+        slaves = 5
+
+        [[arrivals]]
+        kind = "bag"
+
+        [[arrivals]]
+        kind = "poisson"
+        load = 0.9
+        "#,
+    )
+    .expect("bench spec parses")
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let spec = small_grid();
+    let cells = spec.expand().expect("bench spec expands");
+    let n = cells.len() as u64;
+    let max_threads = mss_sweep::default_threads(64);
+
+    let mut group = c.benchmark_group("sweep/cells-per-second");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n));
+    let mut candidates = vec![1usize, 2, max_threads];
+    candidates.sort_unstable();
+    candidates.dedup();
+    for threads in candidates {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let config = SweepConfig {
+                    threads,
+                    cache_dir: None,
+                };
+                b.iter(|| run_cells(spec.expand().unwrap(), &config).metrics.len());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cache_hit(c: &mut Criterion) {
+    let spec = small_grid();
+    let dir = std::env::temp_dir().join(format!("mss-sweep-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = SweepConfig {
+        threads: mss_sweep::default_threads(64),
+        cache_dir: Some(dir.clone()),
+    };
+    // Warm the store once; the benched runs then execute zero cells.
+    let warm = run_cells(spec.expand().unwrap(), &config);
+    assert_eq!(warm.cached, 0);
+
+    let mut group = c.benchmark_group("sweep/cached-rerun");
+    group.sample_size(10);
+    group.bench_function("full-cache-hit", |b| {
+        b.iter(|| {
+            let outcome = run_cells(spec.expand().unwrap(), &config);
+            assert_eq!(outcome.executed, 0);
+            outcome.cached
+        });
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_thread_scaling, bench_cache_hit);
+criterion_main!(benches);

@@ -98,12 +98,7 @@ struct FromWorker {
     determinant: f64,
 }
 
-fn worker_loop(
-    slave: usize,
-    t0: Instant,
-    rx: Receiver<ToWorker>,
-    tx: Sender<FromWorker>,
-) {
+fn worker_loop(slave: usize, t0: Instant, rx: Receiver<ToWorker>, tx: Sender<FromWorker>) {
     while let Ok(msg) = rx.recv() {
         match msg {
             ToWorker::Shutdown => return,
@@ -177,20 +172,22 @@ pub fn execute(
 
     let now_model = |t0: &Instant| t0.elapsed().as_secs_f64() / scale;
 
-    let refresh_estimates =
-        |state: &mut ViewState, outstanding: &[Vec<(TaskId, f64)>], last_anchor: &[f64], now: f64| {
-            for j in 0..m {
-                let p = state.platform.p(SlaveId(j));
-                let mut t = now.max(last_anchor[j]);
-                for &(_, avail) in &outstanding[j] {
-                    t = t.max(avail) + p;
-                }
-                state.slaves[j].outstanding = outstanding[j].len();
-                state.slaves[j].ready_estimate = Time::new(t);
+    let refresh_estimates = |state: &mut ViewState,
+                             outstanding: &[Vec<(TaskId, f64)>],
+                             last_anchor: &[f64],
+                             now: f64| {
+        for j in 0..m {
+            let p = state.platform.p(SlaveId(j));
+            let mut t = now.max(last_anchor[j]);
+            for &(_, avail) in &outstanding[j] {
+                t = t.max(avail) + p;
             }
-            state.now = Time::new(now);
-            state.link_busy_until = Time::new(0.0f64.max(now.min(now))); // set below
-        };
+            state.slaves[j].outstanding = outstanding[j].len();
+            state.slaves[j].ready_estimate = Time::new(t);
+        }
+        state.now = Time::new(now);
+        state.link_busy_until = Time::new(0.0f64.max(now.min(now))); // set below
+    };
 
     let mut completed_dets = vec![0.0f64; n];
 
@@ -253,9 +250,8 @@ pub fn execute(
                     link_free_model = send_end;
 
                     let matrix = Matrix::seeded(config.matrix_dim, task.0 as u64);
-                    let compute_wall = Duration::from_secs_f64(
-                        platform.p(slave) * tasks[task.0].size_p * scale,
-                    );
+                    let compute_wall =
+                        Duration::from_secs_f64(platform.p(slave) * tasks[task.0].size_p * scale);
                     to_workers[slave.0]
                         .send(ToWorker::Task {
                             id: task,
@@ -265,8 +261,7 @@ pub fn execute(
                         .map_err(|_| ClusterError::WorkerLost(slave.0))?;
 
                     state.pending.retain(|&t| t != task);
-                    outstanding[slave.0]
-                        .push((task, send_start + platform.c(slave)));
+                    outstanding[slave.0].push((task, send_start + platform.c(slave)));
                     records[task.0] = Some(TaskRecord {
                         task,
                         release: tasks[task.0].release,
@@ -443,7 +438,12 @@ mod tests {
         }
         // Makespans agree within jitter (50 % is generous; typical < 5 %).
         let rel = (des.makespan() - cluster.makespan()).abs() / des.makespan();
-        assert!(rel < 0.5, "DES {} vs cluster {}", des.makespan(), cluster.makespan());
+        assert!(
+            rel < 0.5,
+            "DES {} vs cluster {}",
+            des.makespan(),
+            cluster.makespan()
+        );
     }
 
     #[test]

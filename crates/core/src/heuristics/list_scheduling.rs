@@ -44,8 +44,13 @@ mod tests {
     fn overlaps_communication_with_computation() {
         // One slave, c=1, p=3: LS pipelines sends; makespan = c + n·p.
         let pf = Platform::from_vectors(&[1.0], &[3.0]);
-        let trace =
-            simulate(&pf, &bag_of_tasks(4), &SimConfig::default(), &mut ListScheduling).unwrap();
+        let trace = simulate(
+            &pf,
+            &bag_of_tasks(4),
+            &SimConfig::default(),
+            &mut ListScheduling,
+        )
+        .unwrap();
         assert!((trace.makespan() - (1.0 + 4.0 * 3.0)).abs() < 1e-9);
         assert!(validate(&trace, &pf).is_empty());
     }
@@ -55,8 +60,13 @@ mod tests {
         // p = (3, 7), c = 1, two tasks: both go to P1
         // (finish estimates: P1 then P1-queued beats P2).
         let pf = Platform::from_vectors(&[1.0, 1.0], &[3.0, 7.0]);
-        let trace =
-            simulate(&pf, &bag_of_tasks(2), &SimConfig::default(), &mut ListScheduling).unwrap();
+        let trace = simulate(
+            &pf,
+            &bag_of_tasks(2),
+            &SimConfig::default(),
+            &mut ListScheduling,
+        )
+        .unwrap();
         assert_eq!(trace.record(TaskId(0)).slave, SlaveId(0));
         // Task 1: est P1 = max(2·c, c+p1)+p1 = 4+3 = 7; est P2 = 2c+p2 = 9.
         assert_eq!(trace.record(TaskId(1)).slave, SlaveId(0));
@@ -67,8 +77,13 @@ mod tests {
     fn accounts_for_communication_costs() {
         // Same speeds, very different links: LS must prefer the cheap link.
         let pf = Platform::from_vectors(&[0.1, 5.0], &[1.0, 1.0]);
-        let trace =
-            simulate(&pf, &bag_of_tasks(3), &SimConfig::default(), &mut ListScheduling).unwrap();
+        let trace = simulate(
+            &pf,
+            &bag_of_tasks(3),
+            &SimConfig::default(),
+            &mut ListScheduling,
+        )
+        .unwrap();
         let counts = trace.counts_per_slave(2);
         assert_eq!(counts[1], 0, "expensive link should be avoided entirely");
     }

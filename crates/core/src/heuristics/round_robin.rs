@@ -197,8 +197,13 @@ mod tests {
         // Single slave, buffer 1: at most 2 outstanding → the 3rd send waits
         // for the 1st completion.
         let pf = Platform::from_vectors(&[0.1], &[10.0]);
-        let trace =
-            simulate(&pf, &bag_of_tasks(3), &SimConfig::default(), &mut RoundRobin::rr()).unwrap();
+        let trace = simulate(
+            &pf,
+            &bag_of_tasks(3),
+            &SimConfig::default(),
+            &mut RoundRobin::rr(),
+        )
+        .unwrap();
         let r2 = trace.record(TaskId(2));
         // First completion at 0.1 + 10 = 10.1; third send may only start then.
         assert!(
@@ -269,8 +274,13 @@ mod tests {
     #[test]
     fn priority_mode_fills_first_slave_first() {
         let pf = Platform::homogeneous(3, 0.1, 10.0);
-        let trace =
-            simulate(&pf, &bag_of_tasks(3), &SimConfig::default(), &mut RoundRobin::rr()).unwrap();
+        let trace = simulate(
+            &pf,
+            &bag_of_tasks(3),
+            &SimConfig::default(),
+            &mut RoundRobin::rr(),
+        )
+        .unwrap();
         let slaves: Vec<_> = (0..3).map(|i| trace.record(TaskId(i)).slave.0).collect();
         // Buffer 1: P1 takes two tasks (computing + one queued), then P2.
         assert_eq!(slaves, vec![0, 0, 1]);

@@ -141,7 +141,11 @@ mod tests {
         )
         .unwrap();
         assert!(validate(&trace, &pf).is_empty());
-        assert!((trace.makespan() - 8.0).abs() < 1e-9, "makespan {}", trace.makespan());
+        assert!(
+            (trace.makespan() - 8.0).abs() < 1e-9,
+            "makespan {}",
+            trace.makespan()
+        );
         assert_eq!(trace.record(TaskId(0)).slave, mss_sim::SlaveId(1));
     }
 
@@ -184,16 +188,17 @@ mod tests {
         .unwrap();
         assert!(validate(&trace, &pf).is_empty());
         let counts = trace.counts_per_slave(2);
-        assert!(counts[0] > counts[1], "cheap link should dominate: {counts:?}");
+        assert!(
+            counts[0] > counts[1],
+            "cheap link should dominate: {counts:?}"
+        );
     }
 
     #[test]
     fn replay_is_deterministic() {
         let pf = Platform::from_vectors(&[0.3, 0.7, 1.0], &[2.0, 4.0, 8.0]);
         let tasks = bag_of_tasks(12);
-        let run = |mut s: Planned| {
-            simulate(&pf, &tasks, &SimConfig::default(), &mut s).unwrap()
-        };
+        let run = |mut s: Planned| simulate(&pf, &tasks, &SimConfig::default(), &mut s).unwrap();
         assert_eq!(run(Planned::sljf()), run(Planned::sljf()));
         assert_eq!(run(Planned::sljfwc()), run(Planned::sljfwc()));
     }

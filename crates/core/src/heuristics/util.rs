@@ -54,8 +54,13 @@ mod tests {
     #[test]
     fn helpers_pick_expected_slaves() {
         let pf = Platform::from_vectors(&[2.0, 1.0], &[3.0, 7.0]);
-        let trace = simulate(&pf, &bag_of_tasks(2), &SimConfig::default(), &mut HelperProbe)
-            .expect("probe completes");
+        let trace = simulate(
+            &pf,
+            &bag_of_tasks(2),
+            &SimConfig::default(),
+            &mut HelperProbe,
+        )
+        .expect("probe completes");
         assert_eq!(trace.counts_per_slave(2), vec![2, 0]);
     }
 }

@@ -114,8 +114,13 @@ mod tests {
         for a in Algorithm::ALL {
             let mut sched = a.build();
             assert_eq!(sched.name(), a.name());
-            let trace = simulate(&pf, &tasks, &SimConfig::with_horizon(tasks.len()), &mut sched)
-                .unwrap_or_else(|e| panic!("{a} failed: {e}"));
+            let trace = simulate(
+                &pf,
+                &tasks,
+                &SimConfig::with_horizon(tasks.len()),
+                &mut sched,
+            )
+            .unwrap_or_else(|e| panic!("{a} failed: {e}"));
             let violations = validate(&trace, &pf);
             assert!(violations.is_empty(), "{a}: {violations:?}");
             assert_eq!(trace.len(), tasks.len());

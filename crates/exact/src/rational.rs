@@ -41,7 +41,11 @@ impl Rational {
     /// Panics if `den == 0`.
     pub fn new(num: i128, den: i128) -> Self {
         assert!(den != 0, "Rational::new: zero denominator");
-        let sign = if (num < 0) != (den < 0) && num != 0 { -1 } else { 1 };
+        let sign = if (num < 0) != (den < 0) && num != 0 {
+            -1
+        } else {
+            1
+        };
         let (num, den) = (num.unsigned_abs() as i128, den.unsigned_abs() as i128);
         let g = gcd(num, den);
         Rational {

@@ -69,8 +69,14 @@ impl Surd {
                 d: 0,
             };
         }
-        assert!(d >= 2, "Surd::new: radicand must be >= 2 for irrational part");
-        assert!(is_square_free(d), "Surd::new: radicand {d} is not square-free");
+        assert!(
+            d >= 2,
+            "Surd::new: radicand must be >= 2 for irrational part"
+        );
+        assert!(
+            is_square_free(d),
+            "Surd::new: radicand {d} is not square-free"
+        );
         Surd { a, b, d }
     }
 
@@ -160,7 +166,11 @@ impl Surd {
             (-1, -1) => -1,
             (1, -1) => {
                 // a > 0, b < 0: sign of a - |b|√d  <=>  compare a² vs b²d.
-                match self.a.square().cmp(&(self.b.square() * Rational::from_int(self.d as i128))) {
+                match self
+                    .a
+                    .square()
+                    .cmp(&(self.b.square() * Rational::from_int(self.d as i128)))
+                {
                     Ordering::Greater => 1,
                     Ordering::Less => -1,
                     Ordering::Equal => 0,
@@ -520,7 +530,9 @@ mod tests {
         assert!(e < c);
         // Radicands sharing a factor: √2 vs √6 (pq = 12 = 2²·3).
         assert!(Surd::sqrt(2) < Surd::sqrt(6));
-        assert!(Surd::from_int(2) + Surd::sqrt(2) > Surd::ONE + Surd::sqrt(6) - Surd::from_ratio(1, 2));
+        assert!(
+            Surd::from_int(2) + Surd::sqrt(2) > Surd::ONE + Surd::sqrt(6) - Surd::from_ratio(1, 2)
+        );
         // Equal-through-different-paths stays Equal only for true equality.
         assert_eq!(Surd::sqrt(2).cmp(&Surd::sqrt(2)), std::cmp::Ordering::Equal);
     }

@@ -65,8 +65,14 @@ fn table1_bounds_total_order() {
     // decimals in the paper.
     let bounds = vec![
         ("T6", Surd::from_ratio(23, 22)),
-        ("T2", (Surd::from_int(2) + Surd::from_int(4) * Surd::sqrt(2)) / Surd::from_int(7)),
-        ("T3", (Surd::from_int(5) - Surd::sqrt(7)) / Surd::from_int(2)),
+        (
+            "T2",
+            (Surd::from_int(2) + Surd::from_int(4) * Surd::sqrt(2)) / Surd::from_int(7),
+        ),
+        (
+            "T3",
+            (Surd::from_int(5) - Surd::sqrt(7)) / Surd::from_int(2),
+        ),
         ("T4", Surd::from_ratio(6, 5)),
         ("T1", Surd::from_ratio(5, 4)),
         ("T8", (Surd::sqrt(13) - Surd::ONE) / Surd::from_int(2)),
@@ -74,7 +80,7 @@ fn table1_bounds_total_order() {
         ("T9", Surd::sqrt(2)),
     ];
     let mut sorted = bounds.clone();
-    sorted.sort_by(|a, b| a.1.cmp(&b.1));
+    sorted.sort_by_key(|a| a.1);
     let order: Vec<&str> = sorted.iter().map(|(n, _)| *n).collect();
     assert_eq!(order, vec!["T6", "T2", "T3", "T4", "T1", "T8", "T7", "T9"]);
 }

@@ -20,6 +20,7 @@ use mss_core::{
     SimConfig,
 };
 use mss_opt::schedule::{Goal, Instance};
+use mss_sweep::{parallel_map, run_cells, Cell, PlatformCell, SweepConfig};
 use mss_workload::{ArrivalProcess, PlatformSampler};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -46,47 +47,61 @@ pub struct BufferAblation {
     pub rows: Vec<BufferRow>,
 }
 
-/// Sweeps the RR buffer bound and dispatch mode (order fixed to the RR key).
+/// Sweeps the RR buffer bound and dispatch mode (order fixed to the RR
+/// key). The ten (mode, buffer) configurations are independent and run in
+/// parallel through `mss-sweep`'s executor; each configuration's inner
+/// fold is unchanged, so the report matches the serial implementation.
 pub fn buffer_sweep(scale: ExperimentScale) -> BufferAblation {
+    buffer_sweep_with(scale, &SweepConfig::default())
+}
+
+/// [`buffer_sweep`] with an explicit runtime (thread count).
+pub fn buffer_sweep_with(scale: ExperimentScale, config: &SweepConfig) -> BufferAblation {
     let sampler = PlatformSampler::default();
-    let classes = [PlatformClass::CommHomogeneous, PlatformClass::CompHomogeneous];
+    let classes = [
+        PlatformClass::CommHomogeneous,
+        PlatformClass::CompHomogeneous,
+    ];
     let platform_sets: Vec<Vec<Platform>> = classes
         .iter()
         .map(|&c| sampler.sample_many(c, scale.platforms, scale.seed))
         .collect();
 
-    let mut rows = Vec::new();
-    for dispatch in [RrDispatch::Priority, RrDispatch::Cyclic] {
-        for buffer in [0usize, 1, 2, 4, 16] {
-            let mut norm = [0.0f64; 2];
-            for (ci, platforms) in platform_sets.iter().enumerate() {
-                for (pi, platform) in platforms.iter().enumerate() {
-                    let tasks = ArrivalProcess::AllAtZero.generate(
-                        scale.tasks,
-                        platform,
-                        scale.seed ^ (pi as u64),
-                    );
-                    let cfg = SimConfig::with_horizon(scale.tasks);
-                    let srpt = simulate(platform, &tasks, &cfg, &mut Algorithm::Srpt.build())
-                        .unwrap()
-                        .makespan();
-                    let mut rr = RoundRobin::new(RrOrder::SumCp, dispatch, buffer);
-                    let rr_makespan =
-                        simulate(platform, &tasks, &cfg, &mut rr).unwrap().makespan();
-                    norm[ci] += rr_makespan / srpt;
-                }
-                norm[ci] /= platforms.len() as f64;
+    let configs: Vec<(RrDispatch, usize)> = [RrDispatch::Priority, RrDispatch::Cyclic]
+        .into_iter()
+        .flat_map(|d| [0usize, 1, 2, 4, 16].into_iter().map(move |b| (d, b)))
+        .collect();
+
+    let rows = parallel_map(&configs, config.threads, |_, &(dispatch, buffer)| {
+        let mut norm = [0.0f64; 2];
+        for (ci, platforms) in platform_sets.iter().enumerate() {
+            for (pi, platform) in platforms.iter().enumerate() {
+                let tasks = ArrivalProcess::AllAtZero.generate(
+                    scale.tasks,
+                    platform,
+                    scale.seed ^ (pi as u64),
+                );
+                let cfg = SimConfig::with_horizon(scale.tasks);
+                let srpt = simulate(platform, &tasks, &cfg, &mut Algorithm::Srpt.build())
+                    .unwrap()
+                    .makespan();
+                let mut rr = RoundRobin::new(RrOrder::SumCp, dispatch, buffer);
+                let rr_makespan = simulate(platform, &tasks, &cfg, &mut rr)
+                    .unwrap()
+                    .makespan();
+                norm[ci] += rr_makespan / srpt;
             }
-            rows.push(BufferRow {
-                buffer,
-                mode: match dispatch {
-                    RrDispatch::Priority => "priority".into(),
-                    RrDispatch::Cyclic => "cyclic".into(),
-                },
-                normalized_makespan: norm,
-            });
+            norm[ci] /= platforms.len() as f64;
         }
-    }
+        BufferRow {
+            buffer,
+            mode: match dispatch {
+                RrDispatch::Priority => "priority".into(),
+                RrDispatch::Cyclic => "cyclic".into(),
+            },
+            normalized_makespan: norm,
+        }
+    });
     BufferAblation { scale, rows }
 }
 
@@ -153,10 +168,27 @@ pub struct SljfQuality {
 
 /// Measures plan quality against `mss-opt`'s exhaustive optimum
 /// (n ≤ 5 tasks, m = 2 slaves so the search stays exact and fast).
+///
+/// The instance parameters are drawn up front from the single sequential
+/// RNG stream (exactly as the serial implementation consumed it), then all
+/// `3 × instances` simulate-vs-exhaustive comparisons run in parallel and
+/// the summary folds in draw order — same numbers, parallel wall-clock.
 pub fn sljf_quality(instances: usize, seed: u64) -> SljfQuality {
+    sljf_quality_with(instances, seed, &SweepConfig::default())
+}
+
+/// [`sljf_quality`] with an explicit runtime (thread count).
+pub fn sljf_quality_with(instances: usize, seed: u64, config: &SweepConfig) -> SljfQuality {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut run_cell = |class: PlatformClass, alg: Algorithm| -> (f64, f64) {
-        let (mut sum, mut max) = (0.0f64, 0.0f64);
+    let cells = [
+        (PlatformClass::CommHomogeneous, Algorithm::Sljf),
+        (PlatformClass::CompHomogeneous, Algorithm::Sljfwc),
+        (PlatformClass::Heterogeneous, Algorithm::Sljfwc),
+    ];
+
+    // Draw phase: consumes the RNG in the historical order.
+    let mut jobs: Vec<(Vec<f64>, Vec<f64>, usize, Algorithm)> = Vec::new();
+    for &(class, alg) in &cells {
         for _ in 0..instances {
             let c1: f64 = rng.gen_range(0.05..1.0);
             let c2: f64 = rng.gen_range(0.05..1.0);
@@ -168,32 +200,41 @@ pub fn sljf_quality(instances: usize, seed: u64) -> SljfQuality {
                 _ => (vec![c1, c2], vec![p1, p2]),
             };
             let n = rng.gen_range(2..=5);
-            let platform = Platform::from_vectors(&c, &p);
-            let tasks = mss_core::bag_of_tasks(n);
-            let trace = simulate(
-                &platform,
-                &tasks,
-                &SimConfig::with_horizon(n),
-                &mut alg.build(),
-            )
-            .unwrap();
-            let inst = Instance {
-                c,
-                p,
-                r: vec![0.0; n],
-            };
-            let opt = mss_opt::best_f64(&inst, Goal::Makespan).value;
-            let ratio = Objective::Makespan.evaluate(&trace) / opt;
-            sum += ratio;
-            max = max.max(ratio);
+            jobs.push((c, p, n, alg));
         }
+    }
+
+    // Evaluation phase: independent, parallel.
+    let ratios = parallel_map(&jobs, config.threads, |_, (c, p, n, alg)| {
+        let platform = Platform::from_vectors(c, p);
+        let tasks = mss_core::bag_of_tasks(*n);
+        let trace = simulate(
+            &platform,
+            &tasks,
+            &SimConfig::with_horizon(*n),
+            &mut alg.build(),
+        )
+        .unwrap();
+        let inst = Instance {
+            c: c.clone(),
+            p: p.clone(),
+            r: vec![0.0; *n],
+        };
+        let opt = mss_opt::best_f64(&inst, Goal::Makespan).value;
+        Objective::Makespan.evaluate(&trace) / opt
+    });
+
+    let summarize = |slot: usize| -> (f64, f64) {
+        let chunk = &ratios[slot * instances..(slot + 1) * instances];
+        let sum: f64 = chunk.iter().sum();
+        let max = chunk.iter().copied().fold(0.0f64, f64::max);
         (sum / instances as f64, max)
     };
 
     SljfQuality {
-        sljf_comm: run_cell(PlatformClass::CommHomogeneous, Algorithm::Sljf),
-        sljfwc_comp: run_cell(PlatformClass::CompHomogeneous, Algorithm::Sljfwc),
-        sljfwc_het: run_cell(PlatformClass::Heterogeneous, Algorithm::Sljfwc),
+        sljf_comm: summarize(0),
+        sljfwc_comp: summarize(1),
+        sljfwc_het: summarize(2),
         instances,
     }
 }
@@ -247,6 +288,11 @@ pub struct ArrivalAblation {
 
 /// Runs Figure 1(d) under several arrival regimes.
 pub fn arrival_sweep(scale: ExperimentScale) -> ArrivalAblation {
+    arrival_sweep_with(scale, &SweepConfig::default())
+}
+
+/// [`arrival_sweep`] with an explicit runtime (thread count).
+pub fn arrival_sweep_with(scale: ExperimentScale, config: &SweepConfig) -> ArrivalAblation {
     let regimes = [
         ArrivalProcess::AllAtZero,
         ArrivalProcess::UniformStream { load: 0.5 },
@@ -256,7 +302,8 @@ pub fn arrival_sweep(scale: ExperimentScale) -> ArrivalAblation {
     let out = regimes
         .iter()
         .map(|&arrival| {
-            let panel = crate::fig1::run_panel(PlatformClass::Heterogeneous, scale, arrival);
+            let panel =
+                crate::fig1::run_panel_with(PlatformClass::Heterogeneous, scale, arrival, config);
             let rows = panel
                 .rows
                 .iter()
@@ -320,45 +367,65 @@ pub struct HeterogeneityImpact {
 /// mirror of the theory section, where heterogeneity raises every lower
 /// bound.
 pub fn heterogeneity_impact(tasks: usize, families: usize, seed: u64) -> HeterogeneityImpact {
-    use mss_workload::{HeterogeneityAxis, HeterogeneityFamily};
-    let degrees = vec![0.0, 0.25, 0.5, 0.75, 1.0];
-    let statics = [
-        Algorithm::ListScheduling,
-        Algorithm::RoundRobin,
-        Algorithm::RoundRobinComm,
-        Algorithm::RoundRobinProc,
-        Algorithm::Sljf,
-        Algorithm::Sljfwc,
-    ];
+    heterogeneity_impact_with(tasks, families, seed, &SweepConfig::default())
+}
 
-    let mut rows = Vec::new();
-    for axis in [
+/// [`heterogeneity_impact`] with an explicit runtime (thread count).
+pub fn heterogeneity_impact_with(
+    tasks: usize,
+    families: usize,
+    seed: u64,
+    config: &SweepConfig,
+) -> HeterogeneityImpact {
+    use mss_workload::HeterogeneityAxis;
+    let degrees = vec![0.0, 0.25, 0.5, 0.75, 1.0];
+    let axes = [
         HeterogeneityAxis::Communication,
         HeterogeneityAxis::Computation,
         HeterogeneityAxis::Both,
-    ] {
-        let mut per_degree = Vec::new();
+    ];
+
+    // The full (axis × degree × family × algorithm) grid as sweep cells;
+    // `Algorithm::ALL` puts SRPT first, so each chunk of 7 metrics is one
+    // (axis, degree, family) point with its normalization baseline first.
+    let mut cells = Vec::new();
+    for axis in axes {
         for &h in &degrees {
-            let (mut best_sum, mut worst_sum) = (0.0f64, 0.0f64);
             for f in 0..families {
-                let family = HeterogeneityFamily::paper_ranges(5, seed ^ (f as u64 * 7919));
-                let platform = family.platform(axis, h);
-                let tasks_vec = ArrivalProcess::AllAtZero.generate(tasks, &platform, seed);
-                let cfg = SimConfig::with_horizon(tasks);
-                let srpt = simulate(&platform, &tasks_vec, &cfg, &mut Algorithm::Srpt.build())
-                    .unwrap()
-                    .makespan();
-                let normalized: Vec<f64> = statics
-                    .iter()
-                    .map(|a| {
-                        simulate(&platform, &tasks_vec, &cfg, &mut a.build())
-                            .unwrap()
-                            .makespan()
-                            / srpt
-                    })
-                    .collect();
-                best_sum += normalized.iter().cloned().fold(f64::INFINITY, f64::min);
-                worst_sum += normalized.iter().cloned().fold(0.0f64, f64::max);
+                for &algorithm in &Algorithm::ALL {
+                    cells.push(Cell {
+                        platform: PlatformCell::Heterogeneity {
+                            axis,
+                            level: h,
+                            slaves: 5,
+                            seed: seed ^ (f as u64 * 7919),
+                        },
+                        arrival: ArrivalProcess::AllAtZero,
+                        perturbation: None,
+                        tasks,
+                        algorithm,
+                        replicate: f as u64,
+                        task_seed: seed,
+                    });
+                }
+            }
+        }
+    }
+    let outcome = run_cells(cells, config);
+
+    let per_point = Algorithm::ALL.len();
+    let mut chunks = outcome.metrics.chunks(per_point);
+    let mut rows = Vec::new();
+    for axis in axes {
+        let mut per_degree = Vec::new();
+        for _ in &degrees {
+            let (mut best_sum, mut worst_sum) = (0.0f64, 0.0f64);
+            for _ in 0..families {
+                let chunk = chunks.next().expect("one chunk per (axis, degree, family)");
+                let srpt = chunk[0].makespan;
+                let normalized = chunk[1..].iter().map(|m| m.makespan / srpt);
+                best_sum += normalized.clone().fold(f64::INFINITY, f64::min);
+                worst_sum += normalized.fold(0.0f64, f64::max);
             }
             per_degree.push((best_sum / families as f64, worst_sum / families as f64));
         }

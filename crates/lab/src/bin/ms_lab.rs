@@ -1,7 +1,9 @@
-//! `ms-lab` — regenerate the paper's tables and figures from the terminal.
+//! `ms-lab` — regenerate the paper's tables and figures, or run arbitrary
+//! scenario grids, on top of the `mss-sweep` orchestrator.
 //!
 //! ```text
 //! ms-lab <command> [--quick] [--seed N] [--tasks N] [--platforms N]
+//!                  [--threads N]
 //!
 //! commands:
 //!   table1             Table 1 (nine bounds, machine-verified)
@@ -11,18 +13,26 @@
 //!   ablation-buffer    A1: RR dispatch buffer sweep
 //!   ablation-sljf      A2: SLJF/SLJFWC vs exhaustive optimum
 //!   ablation-arrivals  A3: arrival-regime sweep
-//!   all                everything above
+//!   ablation-heterogeneity  A4: heterogeneity-degree sweep
+//!   sweep <spec>       run a user-defined grid (TOML or JSON spec; see
+//!                      examples/sweep_grid.toml). Extra flags:
+//!                      [--cache-dir DIR] [--no-cache] [--baseline ALG]
+//!   all                everything above except `sweep`
 //! ```
 
-use mss_core::PlatformClass;
-use mss_lab::report::ExperimentScale;
+use mss_core::{Algorithm, PlatformClass};
+use mss_lab::report::{fmt3, fmt4, write_csv, write_json, AsciiTable, ExperimentScale};
 use mss_lab::{ablations, fig1, fig2, table1};
+use mss_sweep::{default_threads, SweepConfig};
 use mss_workload::{ArrivalProcess, Perturbation};
+use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
         "usage: ms-lab <table1|fig1|fig1a|fig1b|fig1c|fig1d|fig2|ablation-buffer|\
-         ablation-sljf|ablation-arrivals|ablation-heterogeneity|all> [--quick] [--seed N] [--tasks N] [--platforms N]"
+         ablation-sljf|ablation-arrivals|ablation-heterogeneity|sweep <spec.toml>|all>\n\
+         \x20       [--quick] [--seed N] [--tasks N] [--platforms N] [--threads N]\n\
+         \x20       sweep only: [--cache-dir DIR] [--no-cache] [--baseline ALG]"
     );
     std::process::exit(2);
 }
@@ -51,47 +61,189 @@ fn parse_scale(args: &[String]) -> ExperimentScale {
     scale
 }
 
-fn run_fig1_panel(class: PlatformClass, scale: ExperimentScale) {
-    let panel = fig1::run_panel(class, scale, ArrivalProcess::AllAtZero);
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_runtime(args: &[String]) -> SweepConfig {
+    let threads = parse_flag(args, "--threads")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or_else(|| default_threads(64));
+    SweepConfig {
+        threads,
+        cache_dir: None,
+    }
+}
+
+fn run_fig1_panel(class: PlatformClass, scale: ExperimentScale, config: &SweepConfig) {
+    let panel = fig1::run_panel_with(class, scale, ArrivalProcess::AllAtZero, config);
     println!("{}", panel.render());
     let path = panel.write_artifacts();
     println!("artifacts: {}\n", path.display());
 }
 
-fn run_table1() {
-    let report = table1::run();
+fn run_table1(config: &SweepConfig) {
+    let report = table1::run_with(config);
     println!("{}", report.render());
     let path = report.write_artifacts();
     println!("artifacts: {}\n", path.display());
     assert!(report.all_verified(), "a bound was violated — see above");
 }
 
-fn run_fig2(scale: ExperimentScale) {
+fn run_fig2(scale: ExperimentScale, config: &SweepConfig) {
     // Physical reading of the paper's "size of the matrix ... by a factor
     // of up to 10 %": the linear dimension jitters by ±10 %, so shipping
     // (N² entries) scales quadratically and the determinant (O(N³))
     // cubically. `Perturbation::linear` is the conservative alternative.
-    let report = fig2::run(
+    let report = fig2::run_with(
         scale,
         ArrivalProcess::UniformStream { load: 0.9 },
         Perturbation::matrix(0.1),
+        config,
     );
     println!("{}", report.render());
     let path = report.write_artifacts();
     println!("artifacts: {}\n", path.display());
 }
 
+fn run_sweep(args: &[String]) {
+    let Some(spec_path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("sweep: missing spec path");
+        usage();
+    };
+    let spec = match mss_sweep::spec_from_path(std::path::Path::new(spec_path)) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut config = parse_runtime(args);
+    if !args.iter().any(|a| a == "--no-cache") {
+        let dir = parse_flag(args, "--cache-dir")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| {
+                PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                    .join("../../target/sweep-cache")
+                    .join(&spec.name)
+            });
+        config.cache_dir = Some(dir);
+    }
+    let baseline = match parse_flag(args, "--baseline") {
+        Some(name) => match Algorithm::from_name(&name) {
+            Some(a) => Some(a),
+            None => {
+                eprintln!("sweep: unknown baseline algorithm `{name}`");
+                std::process::exit(2);
+            }
+        },
+        None => Some(Algorithm::Srpt),
+    };
+
+    let cells = match spec.expand() {
+        Ok(cells) => cells,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "sweep `{}`: {} cells on {} threads{}",
+        spec.name,
+        cells.len(),
+        config.threads,
+        match &config.cache_dir {
+            Some(d) => format!(", cache at {}", d.display()),
+            None => ", cache disabled".to_string(),
+        }
+    );
+    let outcome = mss_sweep::run_cells(cells, &config);
+    let rows = outcome.aggregate(baseline);
+
+    let mut table = AsciiTable::new(vec![
+        "scenario".to_string(),
+        "alg".to_string(),
+        "makespan (mean±ci95)".to_string(),
+        "vs LB".to_string(),
+        "vs base".to_string(),
+    ]);
+    for row in &rows {
+        table.row(vec![
+            row.group.clone(),
+            row.algorithm.clone(),
+            format!("{}±{}", fmt3(row.makespan.mean), fmt3(row.makespan.ci95)),
+            fmt4(row.ratio_vs_lb.mean),
+            row.normalized
+                .as_ref()
+                .map(|s| fmt3(s.mean))
+                .unwrap_or_else(|| "-".to_string()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let name = format!("sweep_{}", spec.name);
+    write_json(&name, &rows);
+    let csv_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.group.clone(),
+                r.algorithm.clone(),
+                format!("{}", r.makespan.mean),
+                format!("{}", r.makespan.min),
+                format!("{}", r.makespan.max),
+                format!("{}", r.makespan.ci95),
+                format!("{}", r.ratio_vs_lb.mean),
+                r.normalized
+                    .as_ref()
+                    .map(|s| format!("{}", s.mean))
+                    .unwrap_or_default(),
+            ]
+        })
+        .collect();
+    let path = write_csv(
+        &name,
+        &[
+            "scenario",
+            "algorithm",
+            "makespan_mean",
+            "makespan_min",
+            "makespan_max",
+            "makespan_ci95",
+            "ratio_vs_lb_mean",
+            "normalized_mean",
+        ],
+        &csv_rows,
+    );
+    println!(
+        "executed {} cells, {} from cache{}; artifacts: {}",
+        outcome.executed,
+        outcome.cached,
+        if outcome.dropped > 0 {
+            format!(" ({} torn records re-run)", outcome.dropped)
+        } else {
+            String::new()
+        },
+        path.display()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { usage() };
-    let scale = parse_scale(&args[1..]);
+    let rest = &args[1..];
+    let scale = parse_scale(rest);
+    let runtime = parse_runtime(rest);
 
     match command.as_str() {
-        "table1" => run_table1(),
-        "fig1a" => run_fig1_panel(PlatformClass::Homogeneous, scale),
-        "fig1b" => run_fig1_panel(PlatformClass::CommHomogeneous, scale),
-        "fig1c" => run_fig1_panel(PlatformClass::CompHomogeneous, scale),
-        "fig1d" => run_fig1_panel(PlatformClass::Heterogeneous, scale),
+        "table1" => run_table1(&runtime),
+        "fig1a" => run_fig1_panel(PlatformClass::Homogeneous, scale, &runtime),
+        "fig1b" => run_fig1_panel(PlatformClass::CommHomogeneous, scale, &runtime),
+        "fig1c" => run_fig1_panel(PlatformClass::CompHomogeneous, scale, &runtime),
+        "fig1d" => run_fig1_panel(PlatformClass::Heterogeneous, scale, &runtime),
         "fig1" => {
             for class in [
                 PlatformClass::Homogeneous,
@@ -99,51 +251,62 @@ fn main() {
                 PlatformClass::CompHomogeneous,
                 PlatformClass::Heterogeneous,
             ] {
-                run_fig1_panel(class, scale);
+                run_fig1_panel(class, scale, &runtime);
             }
         }
-        "fig2" => run_fig2(scale),
+        "fig2" => run_fig2(scale, &runtime),
+        "sweep" => run_sweep(rest),
         "ablation-buffer" => {
-            let report = ablations::buffer_sweep(scale);
+            let report = ablations::buffer_sweep_with(scale, &runtime);
             println!("{}", report.render());
             println!("artifacts: {}\n", report.write_artifacts().display());
         }
         "ablation-sljf" => {
-            let report = ablations::sljf_quality(200, scale.seed);
+            let report = ablations::sljf_quality_with(200, scale.seed, &runtime);
             println!("{}", report.render());
             println!("artifacts: {}\n", report.write_artifacts().display());
         }
         "ablation-arrivals" => {
-            let report = ablations::arrival_sweep(scale);
+            let report = ablations::arrival_sweep_with(scale, &runtime);
             println!("{}", report.render());
             println!("artifacts: {}\n", report.write_artifacts().display());
         }
         "ablation-heterogeneity" => {
-            let report = ablations::heterogeneity_impact(scale.tasks, scale.platforms, scale.seed);
+            let report = ablations::heterogeneity_impact_with(
+                scale.tasks,
+                scale.platforms,
+                scale.seed,
+                &runtime,
+            );
             println!("{}", report.render());
             println!("artifacts: {}\n", report.write_artifacts().display());
         }
         "all" => {
-            run_table1();
+            run_table1(&runtime);
             for class in [
                 PlatformClass::Homogeneous,
                 PlatformClass::CommHomogeneous,
                 PlatformClass::CompHomogeneous,
                 PlatformClass::Heterogeneous,
             ] {
-                run_fig1_panel(class, scale);
+                run_fig1_panel(class, scale, &runtime);
             }
-            run_fig2(scale);
-            let a1 = ablations::buffer_sweep(scale);
+            run_fig2(scale, &runtime);
+            let a1 = ablations::buffer_sweep_with(scale, &runtime);
             println!("{}", a1.render());
             a1.write_artifacts();
-            let a2 = ablations::sljf_quality(200, scale.seed);
+            let a2 = ablations::sljf_quality_with(200, scale.seed, &runtime);
             println!("{}", a2.render());
             a2.write_artifacts();
-            let a3 = ablations::arrival_sweep(scale);
+            let a3 = ablations::arrival_sweep_with(scale, &runtime);
             println!("{}", a3.render());
             a3.write_artifacts();
-            let a4 = ablations::heterogeneity_impact(scale.tasks, scale.platforms, scale.seed);
+            let a4 = ablations::heterogeneity_impact_with(
+                scale.tasks,
+                scale.platforms,
+                scale.seed,
+                &runtime,
+            );
             println!("{}", a4.render());
             a4.write_artifacts();
         }

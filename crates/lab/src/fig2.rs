@@ -13,8 +13,9 @@
 //! arrival-process note).
 
 use crate::report::{fmt3, write_csv, write_json, AsciiTable, ExperimentScale};
-use mss_core::{simulate, Algorithm, Objective, PlatformClass, SimConfig};
-use mss_workload::{ArrivalProcess, Perturbation, PlatformSampler};
+use mss_core::{Algorithm, PlatformClass};
+use mss_sweep::{run_cells, Cell, PerturbCell, PlatformCell, SweepConfig};
+use mss_workload::{ArrivalProcess, Perturbation};
 
 /// One algorithm's robustness ratios.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
@@ -38,32 +39,63 @@ pub struct Fig2Report {
     pub rows: Vec<Fig2Row>,
 }
 
-/// Runs the robustness experiment on fully heterogeneous platforms.
-pub fn run(
+/// The robustness grid as sweep cells: each platform draw × each algorithm
+/// appears twice — once with exact sizes and once perturbed — with the
+/// harness's historical seed derivation.
+pub fn report_cells(
     scale: ExperimentScale,
     arrival: ArrivalProcess,
     perturbation: Perturbation,
+) -> Vec<Cell> {
+    let mut cells = Vec::with_capacity(scale.platforms * 2 * Algorithm::ALL.len());
+    for pi in 0..scale.platforms {
+        for perturbed in [false, true] {
+            for &algorithm in &Algorithm::ALL {
+                cells.push(Cell {
+                    platform: PlatformCell::Class {
+                        class: PlatformClass::Heterogeneous,
+                        slaves: 5,
+                        seed: scale.seed,
+                        index: pi,
+                    },
+                    arrival,
+                    perturbation: perturbed.then_some(PerturbCell {
+                        delta: perturbation.delta,
+                        comm_exponent: perturbation.comm_exponent,
+                        comp_exponent: perturbation.comp_exponent,
+                        seed: scale.seed ^ 0x9e37 ^ (pi as u64) << 9,
+                    }),
+                    tasks: scale.tasks,
+                    algorithm,
+                    replicate: 0,
+                    task_seed: scale.seed ^ (pi as u64) << 17,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Runs the robustness experiment through `mss-sweep` with the given
+/// runtime.
+pub fn run_with(
+    scale: ExperimentScale,
+    arrival: ArrivalProcess,
+    perturbation: Perturbation,
+    config: &SweepConfig,
 ) -> Fig2Report {
-    let sampler = PlatformSampler::default();
-    let platforms = sampler.sample_many(PlatformClass::Heterogeneous, scale.platforms, scale.seed);
+    let outcome = run_cells(report_cells(scale, arrival, perturbation), config);
 
     let mut ratio_sum = vec![[0.0f64; 3]; Algorithm::ALL.len()];
 
-    for (pi, platform) in platforms.iter().enumerate() {
-        let nominal = arrival.generate(scale.tasks, platform, scale.seed ^ (pi as u64) << 17);
-        let perturbed = perturbation.apply(&nominal, scale.seed ^ 0x9e37 ^ (pi as u64) << 9);
-        let cfg = SimConfig::with_horizon(scale.tasks);
-        for (ai, a) in Algorithm::ALL.iter().enumerate() {
-            let base = simulate(platform, &nominal, &cfg, &mut a.build())
-                .unwrap_or_else(|e| panic!("{a} failed (nominal): {e}"));
-            let pert = simulate(platform, &perturbed, &cfg, &mut a.build())
-                .unwrap_or_else(|e| panic!("{a} failed (perturbed): {e}"));
-            for (k, obj) in [Objective::Makespan, Objective::MaxFlow, Objective::SumFlow]
-                .into_iter()
-                .enumerate()
-            {
-                ratio_sum[ai][k] += obj.evaluate(&pert) / obj.evaluate(&base);
-            }
+    // Cells per platform: 7 nominal then 7 perturbed.
+    let per_platform = 2 * Algorithm::ALL.len();
+    for chunk in outcome.metrics.chunks(per_platform) {
+        let (nominal, perturbed) = chunk.split_at(Algorithm::ALL.len());
+        for (ai, (base, pert)) in nominal.iter().zip(perturbed).enumerate() {
+            ratio_sum[ai][0] += pert.makespan / base.makespan;
+            ratio_sum[ai][1] += pert.max_flow / base.max_flow;
+            ratio_sum[ai][2] += pert.sum_flow / base.sum_flow;
         }
     }
 
@@ -87,6 +119,15 @@ pub fn run(
         perturbation,
         rows,
     }
+}
+
+/// Runs the robustness experiment with the default parallel runtime.
+pub fn run(
+    scale: ExperimentScale,
+    arrival: ArrivalProcess,
+    perturbation: Perturbation,
+) -> Fig2Report {
+    run_with(scale, arrival, perturbation, &SweepConfig::default())
 }
 
 impl Fig2Report {
@@ -135,7 +176,12 @@ impl Fig2Report {
         write_json("fig2", self);
         write_csv(
             "fig2",
-            &["algorithm", "makespan_ratio", "maxflow_ratio", "sumflow_ratio"],
+            &[
+                "algorithm",
+                "makespan_ratio",
+                "maxflow_ratio",
+                "sumflow_ratio",
+            ],
             &rows,
         )
     }

@@ -8,10 +8,16 @@
 //! | Figure 1(a–d) (heuristic comparison) | [`fig1`] | `ms-lab fig1a` … `fig1d` |
 //! | Figure 2 (robustness) | [`fig2`] | `ms-lab fig2` |
 //! | Ablations A1–A3 (DESIGN.md) | [`ablations`] | `ms-lab ablation-*` |
+//! | user-defined scenario grids | `mss_sweep` | `ms-lab sweep <spec.toml>` |
 //!
 //! Each experiment prints an ASCII table mirroring the paper's layout and
 //! writes CSV + JSON artifacts under `target/lab/`. EXPERIMENTS.md records
 //! the paper-vs-measured comparison for every cell.
+//!
+//! Every experiment expresses its grid as `mss_sweep` cells and runs them
+//! through the sweep executor (parallel, deterministic for any thread
+//! count); the emitted tables and CSVs are identical to the original
+//! serial implementation's.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -96,8 +96,7 @@ impl AsciiTable {
 
 /// Directory where experiment artifacts land (`target/lab/`).
 pub fn artifact_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/lab");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/lab");
     std::fs::create_dir_all(&dir).expect("create target/lab");
     dir
 }

@@ -44,22 +44,40 @@ pub struct Table1Report {
     pub cells: Vec<Table1Cell>,
 }
 
-/// Plays all nine games against all seven heuristics.
+/// Plays all nine games against all seven heuristics with the default
+/// parallel runtime.
 pub fn run() -> Table1Report {
+    run_with(&mss_sweep::SweepConfig::default())
+}
+
+/// Plays all nine games against all seven heuristics. The 63 games are
+/// independent, so they run through `mss-sweep`'s deterministic parallel
+/// executor; the fold below consumes them in (theorem, algorithm) order so
+/// the report is identical to a serial run.
+pub fn run_with(config: &mss_sweep::SweepConfig) -> Table1Report {
+    let pairs: Vec<(TheoremId, Algorithm)> = TheoremId::ALL
+        .iter()
+        .flat_map(|&id| Algorithm::ALL.iter().map(move |&a| (id, a)))
+        .collect();
+    let played = mss_sweep::parallel_map(&pairs, config.threads, |_, &(id, a)| {
+        let factory = move || a.build();
+        play(id, &factory)
+    });
+
     let cells = TheoremId::ALL
         .iter()
-        .map(|&id| {
+        .enumerate()
+        .map(|(ti, &id)| {
             let mut measured = Vec::new();
             let mut min_measured = f64::INFINITY;
             let mut verified = true;
             let mut info = None;
-            for a in Algorithm::ALL {
-                let factory = move || a.build();
-                let result = play(id, &factory);
+            for (ai, a) in Algorithm::ALL.iter().enumerate() {
+                let result = &played[ti * Algorithm::ALL.len() + ai];
                 min_measured = min_measured.min(result.ratio);
                 verified &= result.holds();
                 measured.push((a.name().to_string(), result.ratio));
-                info = Some(result.info);
+                info = Some(result.info.clone());
             }
             let info = info.expect("at least one algorithm");
             Table1Cell {
@@ -135,7 +153,11 @@ impl Table1Report {
                 fmt4(c.bound),
                 fmt4(c.certified),
                 fmt4(c.min_measured),
-                if c.verified { "verified".into() } else { "VIOLATED".to_string() },
+                if c.verified {
+                    "verified".into()
+                } else {
+                    "VIOLATED".to_string()
+                },
             ]);
         }
 

@@ -67,7 +67,10 @@ pub fn optimal_bag_makespan(platform: &Platform, n: usize) -> f64 {
     );
 
     // Bracket: lower bound from physics, upper bound by doubling.
-    let min_p = platform.iter().map(|(_, s)| s.p).fold(f64::INFINITY, f64::min);
+    let min_p = platform
+        .iter()
+        .map(|(_, s)| s.p)
+        .fold(f64::INFINITY, f64::min);
     let mut lo = (n as f64 * c + min_p).max(c + min_p);
     if feasible(platform, n, c, lo) {
         return lo;
@@ -143,8 +146,7 @@ mod tests {
         // The headline property imported from [23], now checked at the
         // experiment scale instead of n ≤ 5: SLJF's DES makespan equals the
         // true optimum for 1000 tasks on a comm-homogeneous platform.
-        let platform =
-            Platform::from_vectors(&[0.05; 5], &[0.35, 1.1, 2.4, 4.9, 7.3]);
+        let platform = Platform::from_vectors(&[0.05; 5], &[0.35, 1.1, 2.4, 4.9, 7.3]);
         let n = 1000;
         let trace = simulate(
             &platform,

@@ -8,7 +8,9 @@
 //! tiny adversary instances (≤ 4 tasks, ≤ 3 slaves) we simply enumerate all
 //! `n! · m^n` outcomes — in exact arithmetic when the instance demands it.
 
-use crate::schedule::{eager_completions, goal_value_exact, goal_value_f64, Goal, Instance, SchedTime};
+use crate::schedule::{
+    eager_completions, goal_value_exact, goal_value_f64, Goal, Instance, SchedTime,
+};
 use mss_exact::Surd;
 
 /// Maximum `n! · m^n` the search will accept before panicking; protects

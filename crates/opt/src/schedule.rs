@@ -96,7 +96,10 @@ pub fn eager_completions<T: SchedTime>(
         assert!(task < n, "order[{k}] references unknown task {task}");
         assert!(!seen[task], "task {task} sent twice");
         seen[task] = true;
-        assert!(slave < inst.num_slaves(), "assignment[{k}] references unknown slave");
+        assert!(
+            slave < inst.num_slaves(),
+            "assignment[{k}] references unknown slave"
+        );
 
         let send_start = port.maximum(inst.r[task]);
         let send_end = send_start + inst.c[slave];

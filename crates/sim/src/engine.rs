@@ -312,8 +312,8 @@ impl<'a> Engine<'a> {
         let rt = &mut self.slaves[j.0];
         rt.computing = Some(t);
         rt.cur_pred_end = now + self.platform.p(j); // nominal estimate
-        // The head of `outstanding` must be the task that starts computing:
-        // sends are FIFO per slave and computes are FIFO, so this holds.
+                                                    // The head of `outstanding` must be the task that starts computing:
+                                                    // sends are FIFO per slave and computes are FIFO, so this holds.
         debug_assert_eq!(rt.outstanding.front().map(|o| o.id), Some(t));
         self.push(Time::new(now + actual), Event::ComputeComplete(t, j));
     }
@@ -323,13 +323,18 @@ impl<'a> Engine<'a> {
         if self.link_busy_until > now {
             return Err(SimError::InvalidDecision {
                 at: now,
-                reason: format!("send of {t} while the port is busy until {}", self.link_busy_until),
+                reason: format!(
+                    "send of {t} while the port is busy until {}",
+                    self.link_busy_until
+                ),
             });
         }
         let Some(pos) = self.pending.iter().position(|&x| x == t) else {
             return Err(SimError::InvalidDecision {
                 at: now,
-                reason: format!("send of {t} which is not pending (unreleased, or already assigned)"),
+                reason: format!(
+                    "send of {t} which is not pending (unreleased, or already assigned)"
+                ),
             });
         };
         if j.0 >= self.platform.num_slaves() {
@@ -543,7 +548,13 @@ mod tests {
     #[test]
     fn single_task_timing() {
         let pf = platform();
-        let trace = simulate(&pf, &bag_of_tasks(1), &SimConfig::default(), &mut AllToFirst).unwrap();
+        let trace = simulate(
+            &pf,
+            &bag_of_tasks(1),
+            &SimConfig::default(),
+            &mut AllToFirst,
+        )
+        .unwrap();
         let r = trace.record(TaskId(0));
         assert_eq!(r.send_start, Time::ZERO);
         assert_eq!(r.send_end, Time::new(1.0));
@@ -556,7 +567,13 @@ mod tests {
     fn pipeline_on_one_slave() {
         // Three tasks to P1: sends at 0,1,2; computes at 1-4, 4-7, 7-10.
         let pf = platform();
-        let trace = simulate(&pf, &bag_of_tasks(3), &SimConfig::default(), &mut AllToFirst).unwrap();
+        let trace = simulate(
+            &pf,
+            &bag_of_tasks(3),
+            &SimConfig::default(),
+            &mut AllToFirst,
+        )
+        .unwrap();
         assert!((trace.makespan() - 10.0).abs() < 1e-12);
         assert!(validate(&trace, &pf).is_empty());
         let r2 = trace.record(TaskId(2));
@@ -592,7 +609,14 @@ mod tests {
     fn lazy_scheduler_stalls() {
         let pf = platform();
         let err = simulate(&pf, &bag_of_tasks(2), &SimConfig::default(), &mut Lazy).unwrap_err();
-        assert!(matches!(err, SimError::Stalled { completed: 0, total: 2, .. }));
+        assert!(matches!(
+            err,
+            SimError::Stalled {
+                completed: 0,
+                total: 2,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -663,8 +687,10 @@ mod tests {
                 "probe".into()
             }
             fn on_event(&mut self, view: &SimView<'_>, e: SchedulerEvent) -> Decision {
-                self.estimates
-                    .push((view.now().as_f64(), view.slave(SlaveId(0)).ready_estimate.as_f64()));
+                self.estimates.push((
+                    view.now().as_f64(),
+                    view.slave(SlaveId(0)).ready_estimate.as_f64(),
+                ));
                 if matches!(e, SchedulerEvent::Released(_)) {
                     if let Some(&t) = view.pending_tasks().first() {
                         if view.link_idle() {

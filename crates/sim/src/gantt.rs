@@ -62,7 +62,11 @@ pub fn render(trace: &Trace, platform: &Platform, width: usize) -> String {
                 ch
             } else if covered > 0.0 {
                 // Minority coverage still rendered, in lowercase-ish form.
-                if ch == '#' { '+' } else { '.' }
+                if ch == '#' {
+                    '+'
+                } else {
+                    '.'
+                }
             } else {
                 ' '
             });
@@ -73,7 +77,11 @@ pub fn render(trace: &Trace, platform: &Platform, width: usize) -> String {
     for (j, data) in slaves.iter().enumerate() {
         row(&format!("P{}", j + 1), data, '#');
     }
-    let _ = writeln!(out, "{:<label_width$}|0 .. {makespan:.3}s ({width} cols)", "t");
+    let _ = writeln!(
+        out,
+        "{:<label_width$}|0 .. {makespan:.3}s ({width} cols)",
+        "t"
+    );
     out
 }
 
@@ -105,7 +113,13 @@ mod tests {
     #[test]
     fn renders_rows_for_port_and_slaves() {
         let pf = Platform::from_vectors(&[1.0, 1.0], &[3.0, 7.0]);
-        let trace = simulate(&pf, &bag_of_tasks(3), &SimConfig::default(), &mut AllToFirst).unwrap();
+        let trace = simulate(
+            &pf,
+            &bag_of_tasks(3),
+            &SimConfig::default(),
+            &mut AllToFirst,
+        )
+        .unwrap();
         let chart = render(&trace, &pf, 40);
         let lines: Vec<&str> = chart.lines().collect();
         assert_eq!(lines.len(), 4); // port + P1 + P2 + time axis

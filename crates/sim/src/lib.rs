@@ -50,8 +50,8 @@
 mod engine;
 mod gantt;
 mod platform;
-mod stats;
 mod scheduler;
+mod stats;
 mod task;
 mod time;
 mod trace;
@@ -59,9 +59,9 @@ mod view;
 
 pub use engine::{simulate, SimConfig, SimError};
 pub use gantt::render as render_gantt;
-pub use stats::{trace_stats, SlaveStats, TraceStats};
 pub use platform::{Platform, PlatformClass, SlaveId, SlaveSpec};
 pub use scheduler::{Decision, OnlineScheduler, SchedulerEvent};
+pub use stats::{trace_stats, SlaveStats, TraceStats};
 pub use task::{bag_of_tasks, released_at, TaskArrival, TaskId};
 pub use time::{Time, TIME_EPS};
 pub use trace::{validate, TaskRecord, Trace, TraceViolation};

@@ -10,7 +10,9 @@
 use std::fmt;
 
 /// Index of a slave processor (`P_{0} … P_{m−1}`; the paper numbers from 1).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct SlaveId(pub usize);
 
 impl fmt::Debug for SlaveId {
@@ -72,7 +74,10 @@ impl Platform {
     /// Panics if there is no slave or any `c_j`/`p_j` is not strictly
     /// positive and finite.
     pub fn new(slaves: Vec<SlaveSpec>) -> Self {
-        assert!(!slaves.is_empty(), "Platform::new: at least one slave required");
+        assert!(
+            !slaves.is_empty(),
+            "Platform::new: at least one slave required"
+        );
         for (j, s) in slaves.iter().enumerate() {
             assert!(
                 s.c.is_finite() && s.c > 0.0 && s.p.is_finite() && s.p > 0.0,
@@ -85,12 +90,7 @@ impl Platform {
     /// Builds a platform from parallel `c` and `p` vectors.
     pub fn from_vectors(c: &[f64], p: &[f64]) -> Self {
         assert_eq!(c.len(), p.len(), "Platform::from_vectors: length mismatch");
-        Platform::new(
-            c.iter()
-                .zip(p)
-                .map(|(&c, &p)| SlaveSpec { c, p })
-                .collect(),
-        )
+        Platform::new(c.iter().zip(p).map(|(&c, &p)| SlaveSpec { c, p }).collect())
     }
 
     /// Builds a fully homogeneous platform of `m` identical slaves.

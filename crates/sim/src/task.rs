@@ -10,7 +10,9 @@ use crate::time::Time;
 use std::fmt;
 
 /// Index of a task (`T_0 … T_{n−1}`; the paper numbers from 1).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct TaskId(pub usize);
 
 impl fmt::Debug for TaskId {

@@ -57,7 +57,10 @@ impl Trace {
     /// Panics if the records are not exactly `T0..T{n-1}` in order.
     pub fn new(records: Vec<TaskRecord>) -> Self {
         for (i, r) in records.iter().enumerate() {
-            assert_eq!(r.task.0, i, "Trace::new: records must be indexed by task id");
+            assert_eq!(
+                r.task.0, i,
+                "Trace::new: records must be indexed by task id"
+            );
         }
         Trace { records }
     }
@@ -92,7 +95,10 @@ impl Trace {
 
     /// Maximum response time `max (C_i − r_i)`.
     pub fn max_flow(&self) -> f64 {
-        self.records.iter().map(TaskRecord::flow).fold(0.0, f64::max)
+        self.records
+            .iter()
+            .map(TaskRecord::flow)
+            .fold(0.0, f64::max)
     }
 
     /// Sum of response times `Σ (C_i − r_i)`.
@@ -188,11 +194,7 @@ pub fn validate(trace: &Trace, platform: &Platform) -> Vec<TraceViolation> {
 
     // Per-slave mutual exclusion.
     for j in platform.slave_ids() {
-        let mut on_j: Vec<&TaskRecord> = trace
-            .records()
-            .iter()
-            .filter(|r| r.slave == j)
-            .collect();
+        let mut on_j: Vec<&TaskRecord> = trace.records().iter().filter(|r| r.slave == j).collect();
         on_j.sort_by_key(|r| r.compute_start);
         for w in on_j.windows(2) {
             let (a, b) = (w[0], w[1]);

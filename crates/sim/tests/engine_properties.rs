@@ -55,11 +55,10 @@ impl OnlineScheduler for TapeScheduler {
 }
 
 fn arb_platform() -> impl Strategy<Value = Platform> {
-    proptest::collection::vec((0.01f64..2.0, 0.1f64..8.0), 1..6)
-        .prop_map(|specs| {
-            let (c, p): (Vec<f64>, Vec<f64>) = specs.into_iter().unzip();
-            Platform::from_vectors(&c, &p)
-        })
+    proptest::collection::vec((0.01f64..2.0, 0.1f64..8.0), 1..6).prop_map(|specs| {
+        let (c, p): (Vec<f64>, Vec<f64>) = specs.into_iter().unzip();
+        Platform::from_vectors(&c, &p)
+    })
 }
 
 fn arb_tasks() -> impl Strategy<Value = Vec<TaskArrival>> {

@@ -1,0 +1,233 @@
+//! Aggregation: cell metrics → per-group, per-algorithm summaries.
+//!
+//! Groups are "everything but the algorithm and the replication indices":
+//! all replicates of all platform draws of one scenario land in one group,
+//! and within it each algorithm gets mean/min/max/std/CI95 of the raw
+//! objectives, of the ratio against the certified makespan lower bound,
+//! and (when a baseline algorithm is designated) of the per-point makespan
+//! normalized to that baseline — the paper's "normalized to SRPT" view.
+//!
+//! All folds run in the deterministic cell order produced by
+//! [`SweepSpec::expand`](crate::SweepSpec::expand), so aggregate output is
+//! byte-identical regardless of how many threads executed the cells.
+
+use crate::cell::{Cell, CellMetrics};
+use mss_core::Algorithm;
+use std::collections::HashMap;
+
+/// Distribution summary of one metric over a group.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Summary {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample standard deviation (0 for < 2 samples).
+    pub std_dev: f64,
+    /// Half-width of the normal-approximation 95 % confidence interval on
+    /// the mean (`1.96 · s / √n`; 0 for < 2 samples).
+    pub ci95: f64,
+}
+
+/// Summarizes a sample (empty input yields a zeroed summary).
+pub fn summarize(xs: &[f64]) -> Summary {
+    let count = xs.len();
+    if count == 0 {
+        return Summary {
+            count: 0,
+            mean: 0.0,
+            min: 0.0,
+            max: 0.0,
+            std_dev: 0.0,
+            ci95: 0.0,
+        };
+    }
+    let mean = xs.iter().sum::<f64>() / count as f64;
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let (std_dev, ci95) = if count >= 2 {
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count as f64 - 1.0);
+        let sd = var.sqrt();
+        (sd, 1.96 * sd / (count as f64).sqrt())
+    } else {
+        (0.0, 0.0)
+    };
+    Summary {
+        count,
+        mean,
+        min,
+        max,
+        std_dev,
+        ci95,
+    }
+}
+
+/// One aggregated row: a (group, algorithm) pair.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AggregateRow {
+    /// Group label (platform recipe, arrival, perturbation, task count).
+    pub group: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Makespan distribution.
+    pub makespan: Summary,
+    /// Max-flow distribution.
+    pub max_flow: Summary,
+    /// Sum-flow distribution.
+    pub sum_flow: Summary,
+    /// `makespan / certified lower bound` distribution.
+    pub ratio_vs_lb: Summary,
+    /// Per-point `makespan / baseline makespan` distribution, when a
+    /// baseline was requested and present at every point.
+    pub normalized: Option<Summary>,
+}
+
+/// Aggregates executed cells. `cells` and `metrics` are parallel arrays in
+/// expansion order.
+pub fn aggregate(
+    cells: &[Cell],
+    metrics: &[CellMetrics],
+    baseline: Option<Algorithm>,
+) -> Vec<AggregateRow> {
+    assert_eq!(cells.len(), metrics.len(), "cells/metrics length mismatch");
+
+    // Baseline makespan per (group, point).
+    let mut base: HashMap<(String, (u64, u64)), f64> = HashMap::new();
+    if let Some(b) = baseline {
+        for (cell, m) in cells.iter().zip(metrics) {
+            if cell.algorithm == b {
+                base.insert((cell.group_label(), cell.point_id()), m.makespan);
+            }
+        }
+    }
+
+    // Group rows in first-seen (deterministic) order.
+    let mut order: Vec<(String, Algorithm)> = Vec::new();
+    let mut buckets: HashMap<(String, Algorithm), Vec<usize>> = HashMap::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let key = (cell.group_label(), cell.algorithm);
+        buckets
+            .entry(key.clone())
+            .or_insert_with(|| {
+                order.push(key.clone());
+                Vec::new()
+            })
+            .push(i);
+    }
+
+    order
+        .into_iter()
+        .map(|key| {
+            let idxs = &buckets[&key];
+            let pick = |f: &dyn Fn(&CellMetrics) -> f64| -> Vec<f64> {
+                idxs.iter().map(|&i| f(&metrics[i])).collect()
+            };
+            let normalized = if baseline.is_some() {
+                let ratios: Vec<f64> = idxs
+                    .iter()
+                    .filter_map(|&i| {
+                        let cell = &cells[i];
+                        base.get(&(cell.group_label(), cell.point_id()))
+                            .map(|b| metrics[i].makespan / b)
+                    })
+                    .collect();
+                if ratios.len() == idxs.len() {
+                    Some(summarize(&ratios))
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            AggregateRow {
+                group: key.0,
+                algorithm: key.1.name().to_string(),
+                makespan: summarize(&pick(&|m| m.makespan)),
+                max_flow: summarize(&pick(&|m| m.max_flow)),
+                sum_flow: summarize(&pick(&|m| m.sum_flow)),
+                ratio_vs_lb: summarize(&pick(&|m| m.ratio_makespan)),
+                normalized,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::PlatformCell;
+    use mss_core::PlatformClass;
+    use mss_workload::ArrivalProcess;
+
+    #[test]
+    fn summary_statistics() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!(s.ci95 > 0.0);
+        assert_eq!(summarize(&[]).count, 0);
+        assert_eq!(summarize(&[7.0]).std_dev, 0.0);
+    }
+
+    fn cell(index: usize, algorithm: Algorithm) -> Cell {
+        Cell {
+            platform: PlatformCell::Class {
+                class: PlatformClass::Heterogeneous,
+                slaves: 2,
+                seed: 1,
+                index,
+            },
+            arrival: ArrivalProcess::AllAtZero,
+            perturbation: None,
+            tasks: 10,
+            algorithm,
+            replicate: 0,
+            task_seed: 0,
+        }
+    }
+
+    fn metrics(makespan: f64) -> CellMetrics {
+        CellMetrics {
+            makespan,
+            max_flow: makespan,
+            sum_flow: makespan * 10.0,
+            lb_makespan: 1.0,
+            ratio_makespan: makespan,
+        }
+    }
+
+    #[test]
+    fn normalization_joins_points_by_platform_draw() {
+        // Two platform draws; SRPT is 2.0 then 4.0; LS is 1.0 then 3.0.
+        let cells = vec![
+            cell(0, Algorithm::Srpt),
+            cell(0, Algorithm::ListScheduling),
+            cell(1, Algorithm::Srpt),
+            cell(1, Algorithm::ListScheduling),
+        ];
+        let ms = vec![metrics(2.0), metrics(1.0), metrics(4.0), metrics(3.0)];
+        let rows = aggregate(&cells, &ms, Some(Algorithm::Srpt));
+        assert_eq!(rows.len(), 2);
+        let srpt = &rows[0];
+        assert_eq!(srpt.algorithm, "SRPT");
+        assert!((srpt.normalized.as_ref().unwrap().mean - 1.0).abs() < 1e-12);
+        let ls = &rows[1];
+        // (1/2 + 3/4) / 2 = 0.625 — per-point, not mean-of-means.
+        assert!((ls.normalized.as_ref().unwrap().mean - 0.625).abs() < 1e-12);
+        assert!((ls.makespan.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_baseline_means_no_normalization() {
+        let cells = vec![cell(0, Algorithm::Srpt)];
+        let rows = aggregate(&cells, &[metrics(2.0)], None);
+        assert!(rows[0].normalized.is_none());
+    }
+}

@@ -1,0 +1,91 @@
+//! The deterministic parallel executor.
+//!
+//! Cells of a sweep are embarrassingly parallel: each is a pure function of
+//! its own spec and seeds. The executor hands cells to worker threads
+//! through a shared atomic cursor (dynamic load balancing — late, slow
+//! cells cannot stall a fixed pre-partition), and every result is written
+//! back to the slot of its original index. Aggregation downstream always
+//! reads slots in index order, so **results are bit-identical for any
+//! thread count** — the scheduling only decides who computes a slot, never
+//! what ends up in it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use when the caller does not care: the
+/// machine's available parallelism, at most `cap`.
+pub fn default_threads(cap: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, cap.max(1))
+}
+
+/// Applies `f` to every item, possibly in parallel, and returns the results
+/// in item order. `f(i, &items[i])` must be a pure function of its inputs
+/// for the determinism guarantee to mean anything.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let sink: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    let workers = threads.min(items.len());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                // Each worker batches results locally and merges once at the
+                // end, so the sink lock is taken `threads` times, not
+                // `items` times.
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                sink.lock().unwrap().extend(local);
+            });
+        }
+    });
+
+    let mut tagged = sink.into_inner().unwrap();
+    tagged.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(tagged.len(), items.len());
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let seq = parallel_map(&items, 1, |i, &x| i * 1000 + x);
+        let par = parallel_map(&items, 8, |i, &x| i * 1000 + x);
+        assert_eq!(seq, par);
+        assert_eq!(seq[42], 42 * 1000 + 42);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u8> = vec![];
+        assert!(parallel_map(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[7u8], 4, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items = [1, 2, 3];
+        assert_eq!(parallel_map(&items, 64, |_, &x| x * 2), vec![2, 4, 6]);
+    }
+}

@@ -1,0 +1,184 @@
+//! # mss-sweep — parallel, cacheable scenario-sweep orchestration
+//!
+//! The experiment engine the lab runs on. A sweep is described by a
+//! [`SweepSpec`] (TOML/JSON): the cartesian grid over platform recipes,
+//! task counts, arrival processes, perturbations, replicate seeds and
+//! algorithms. The engine:
+//!
+//! 1. **expands** the grid into independent [`Cell`]s with content-derived
+//!    per-cell seeds ([`SweepSpec::expand`]);
+//! 2. **executes** cells across threads with dynamic load balancing
+//!    ([`exec::parallel_map`]) — results are bit-identical for any thread
+//!    count because each cell is a pure function of itself;
+//! 3. **caches** completed cells in a sharded JSONL [`ResultStore`] keyed
+//!    by content hash, so re-runs skip finished work and interrupted
+//!    sweeps resume (torn shard lines are detected and re-run);
+//! 4. **aggregates** metrics (mean/min/max/std/CI95 of objectives, ratios
+//!    against certified lower bounds, normalization to a baseline
+//!    algorithm) in deterministic order ([`agg::aggregate`]).
+//!
+//! ```
+//! use mss_sweep::{run_cells, SweepConfig, SweepSpec};
+//!
+//! let spec: SweepSpec = mss_sweep::spec_from_toml(r#"
+//!     name = "doc"
+//!     seed = 7
+//!     tasks = [30]
+//!     algorithms = ["SRPT", "LS"]
+//!     [[platforms]]
+//!     kind = "class"
+//!     class = "het"
+//!     count = 2
+//!     slaves = 3
+//!     [[arrivals]]
+//!     kind = "bag"
+//! "#).unwrap();
+//! let cells = spec.expand().unwrap();
+//! assert_eq!(cells.len(), 4);
+//! let outcome = run_cells(cells, &SweepConfig { threads: 2, cache_dir: None });
+//! assert_eq!(outcome.executed, 4);
+//! let rows = outcome.aggregate(Some(mss_core::Algorithm::Srpt));
+//! assert_eq!(rows.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod cell;
+pub mod exec;
+pub mod spec;
+pub mod store;
+pub mod toml_lite;
+
+use std::path::PathBuf;
+
+pub use agg::{aggregate, summarize, AggregateRow, Summary};
+pub use cell::{Cell, CellMetrics, PerturbCell, PlatformCell};
+pub use exec::{default_threads, parallel_map};
+pub use spec::{ArrivalAxis, PerturbAxis, PlatformAxis, SpecError, SweepSpec};
+pub use store::{cell_key, ResultStore, CODE_VERSION_SALT};
+
+/// How a sweep executes.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Worker threads (1 = sequential). The aggregated output is
+    /// bit-identical for any value.
+    pub threads: usize,
+    /// Result-store directory; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            threads: default_threads(64),
+            cache_dir: None,
+        }
+    }
+}
+
+/// A completed sweep: cells, their metrics (parallel arrays in expansion
+/// order), and cache accounting.
+pub struct SweepOutcome {
+    /// The expanded cells, in deterministic order.
+    pub cells: Vec<Cell>,
+    /// Metrics per cell (same order as `cells`).
+    pub metrics: Vec<CellMetrics>,
+    /// Cells actually simulated this run.
+    pub executed: usize,
+    /// Cells served from the result store.
+    pub cached: usize,
+    /// Corrupt/truncated store lines that were dropped (their cells were
+    /// re-run and counted under `executed`).
+    pub dropped: usize,
+}
+
+impl SweepOutcome {
+    /// Aggregates the outcome (see [`agg::aggregate`]).
+    pub fn aggregate(&self, baseline: Option<mss_core::Algorithm>) -> Vec<AggregateRow> {
+        aggregate(&self.cells, &self.metrics, baseline)
+    }
+}
+
+/// Executes a list of cells under `config` (the engine behind both the lab
+/// experiments and `ms-lab sweep`).
+///
+/// # Panics
+/// Panics if the cache directory cannot be created or written.
+pub fn run_cells(cells: Vec<Cell>, config: &SweepConfig) -> SweepOutcome {
+    let keys: Vec<String> = cells.iter().map(cell_key).collect();
+
+    let (store, known, dropped) = match &config.cache_dir {
+        Some(dir) => {
+            let store = ResultStore::open(dir).expect("open sweep result store");
+            let loaded = store.load().expect("load sweep result store");
+            (Some(store), loaded.results, loaded.dropped)
+        }
+        None => (None, Default::default(), 0),
+    };
+
+    // Indices still to run.
+    let missing: Vec<usize> = (0..cells.len())
+        .filter(|&i| !known.contains_key(&keys[i]))
+        .collect();
+
+    let fresh = parallel_map(&missing, config.threads, |_, &i| cells[i].run());
+
+    if let Some(store) = &store {
+        let records: Vec<(String, CellMetrics)> = missing
+            .iter()
+            .zip(&fresh)
+            .map(|(&i, m)| (keys[i].clone(), m.clone()))
+            .collect();
+        store.append(&records).expect("append sweep results");
+    }
+
+    let mut fresh_by_index: std::collections::HashMap<usize, CellMetrics> =
+        missing.iter().copied().zip(fresh).collect();
+    let metrics: Vec<CellMetrics> = (0..cells.len())
+        .map(|i| match fresh_by_index.remove(&i) {
+            Some(m) => m,
+            None => known[&keys[i]].clone(),
+        })
+        .collect();
+
+    SweepOutcome {
+        executed: missing.len(),
+        cached: cells.len() - missing.len(),
+        dropped,
+        cells,
+        metrics,
+    }
+}
+
+/// Expands and executes a spec.
+pub fn run_spec(spec: &SweepSpec, config: &SweepConfig) -> Result<SweepOutcome, SpecError> {
+    Ok(run_cells(spec.expand()?, config))
+}
+
+/// Parses a spec from TOML (see `examples/sweep_grid.toml` for the schema).
+pub fn spec_from_toml(input: &str) -> Result<SweepSpec, SpecError> {
+    let value = toml_lite::parse(input).map_err(|e| SpecError(e.to_string()))?;
+    serde::Deserialize::from_value(&value).map_err(|e| SpecError(e.to_string()))
+}
+
+/// Parses a spec from JSON.
+pub fn spec_from_json(input: &str) -> Result<SweepSpec, SpecError> {
+    serde_json::from_str(input).map_err(|e| SpecError(e.to_string()))
+}
+
+/// Parses a spec from a file path, dispatching on the `.json` / `.toml`
+/// extension (anything that is not `.json` is treated as TOML).
+pub fn spec_from_path(path: &std::path::Path) -> Result<SweepSpec, SpecError> {
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| SpecError(format!("cannot read {}: {e}", path.display())))?;
+    if path
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("json"))
+    {
+        spec_from_json(&body)
+    } else {
+        spec_from_toml(&body)
+    }
+}

@@ -1,0 +1,225 @@
+//! The sharded on-disk result store.
+//!
+//! Completed cells are appended as JSON lines to one of 16 shard files
+//! under the cache directory, keyed by a content hash of the cell plus a
+//! code-version salt. Loading tolerates torn writes: any line that fails to
+//! parse (e.g. a shard truncated mid-record by a crash) is dropped, and the
+//! affected cell simply re-runs. Re-running a sweep therefore skips every
+//! intact completed cell and resumes interrupted ones.
+
+use crate::cell::{Cell, CellMetrics};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Bump when a change to the simulator/heuristics/workload invalidates
+/// previously stored results; old keys then simply never match.
+pub const CODE_VERSION_SALT: &str = "mss-sweep-v1";
+
+/// FNV-1a, 64-bit — stable across platforms and runs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Content key of a cell: hash of its canonical JSON plus the salt.
+/// 128 hash bits (two seeded FNV passes) keep collisions negligible at
+/// experiment scale.
+pub fn cell_key(cell: &Cell) -> String {
+    let canon = serde_json::to_string(cell).expect("serialize cell");
+    let lo = fnv1a(canon.as_bytes());
+    let salted = format!("{CODE_VERSION_SALT}|{canon}");
+    let hi = fnv1a(salted.as_bytes());
+    format!("{hi:016x}{lo:016x}")
+}
+
+/// One stored line.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+struct StoredRecord {
+    key: String,
+    metrics: CellMetrics,
+}
+
+/// Sharded JSONL store rooted at a directory.
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+/// Number of shard files (`shard_00.jsonl` … `shard_0f.jsonl`).
+const SHARDS: usize = 16;
+
+impl ResultStore {
+    /// Opens (and creates) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultStore { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn shard_path(&self, key: &str) -> PathBuf {
+        // First hex digit of the key selects the shard.
+        let digit = key
+            .as_bytes()
+            .first()
+            .map(|b| (*b as char).to_digit(16).unwrap_or(0) as usize)
+            .unwrap_or(0)
+            % SHARDS;
+        self.dir.join(format!("shard_{digit:02x}.jsonl"))
+    }
+
+    /// Loads every intact record. Corrupt or truncated lines are counted
+    /// and skipped — their cells will re-run.
+    pub fn load(&self) -> std::io::Result<LoadedResults> {
+        let mut results = HashMap::new();
+        let mut dropped = 0usize;
+        for shard in 0..SHARDS {
+            let path = self.dir.join(format!("shard_{shard:02x}.jsonl"));
+            let Ok(body) = std::fs::read_to_string(&path) else {
+                continue; // missing shard: nothing stored yet
+            };
+            for line in body.lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match serde_json::from_str::<StoredRecord>(line) {
+                    Ok(rec) if rec.metrics.makespan.is_finite() => {
+                        results.insert(rec.key, rec.metrics);
+                    }
+                    _ => dropped += 1,
+                }
+            }
+        }
+        Ok(LoadedResults { results, dropped })
+    }
+
+    /// Appends completed cells to their shards.
+    pub fn append(&self, records: &[(String, CellMetrics)]) -> std::io::Result<()> {
+        let mut by_shard: HashMap<PathBuf, String> = HashMap::new();
+        for (key, metrics) in records {
+            let rec = StoredRecord {
+                key: key.clone(),
+                metrics: metrics.clone(),
+            };
+            let line = serde_json::to_string(&rec).expect("serialize record");
+            let buf = by_shard.entry(self.shard_path(key)).or_default();
+            buf.push_str(&line);
+            buf.push('\n');
+        }
+        for (path, body) in by_shard {
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?;
+            file.write_all(body.as_bytes())?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of [`ResultStore::load`].
+pub struct LoadedResults {
+    /// Intact records by cell key.
+    pub results: HashMap<String, CellMetrics>,
+    /// Number of corrupt/truncated lines skipped.
+    pub dropped: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Cell, PlatformCell};
+    use mss_core::{Algorithm, PlatformClass};
+    use mss_workload::ArrivalProcess;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mss-sweep-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cell(i: usize) -> Cell {
+        Cell {
+            platform: PlatformCell::Class {
+                class: PlatformClass::Heterogeneous,
+                slaves: 2,
+                seed: 1,
+                index: i,
+            },
+            arrival: ArrivalProcess::AllAtZero,
+            perturbation: None,
+            tasks: 5,
+            algorithm: Algorithm::Srpt,
+            replicate: 0,
+            task_seed: i as u64,
+        }
+    }
+
+    fn metrics(v: f64) -> CellMetrics {
+        CellMetrics {
+            makespan: v,
+            max_flow: v,
+            sum_flow: v,
+            lb_makespan: 1.0,
+            ratio_makespan: v,
+        }
+    }
+
+    #[test]
+    fn keys_are_stable_and_distinct() {
+        assert_eq!(cell_key(&cell(0)), cell_key(&cell(0)));
+        assert_ne!(cell_key(&cell(0)), cell_key(&cell(1)));
+        let mut salted = cell(0);
+        salted.task_seed += 1;
+        assert_ne!(cell_key(&cell(0)), cell_key(&salted));
+    }
+
+    #[test]
+    fn append_then_load_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let store = ResultStore::open(&dir).unwrap();
+        let records: Vec<(String, CellMetrics)> = (0..40)
+            .map(|i| (cell_key(&cell(i)), metrics(i as f64 + 1.0)))
+            .collect();
+        store.append(&records).unwrap();
+        let loaded = store.load().unwrap();
+        assert_eq!(loaded.dropped, 0);
+        assert_eq!(loaded.results.len(), 40);
+        for (key, m) in &records {
+            assert_eq!(&loaded.results[key], m);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_line_is_dropped_not_fatal() {
+        let dir = temp_dir("truncated");
+        let store = ResultStore::open(&dir).unwrap();
+        let records: Vec<(String, CellMetrics)> = (0..8)
+            .map(|i| (cell_key(&cell(i)), metrics(i as f64 + 1.0)))
+            .collect();
+        store.append(&records).unwrap();
+
+        // Truncate one shard mid-line, as a crash during append would.
+        let shard = (0..16)
+            .map(|s| dir.join(format!("shard_{s:02x}.jsonl")))
+            .find(|p| p.exists() && std::fs::metadata(p).unwrap().len() > 0)
+            .expect("at least one shard written");
+        let body = std::fs::read_to_string(&shard).unwrap();
+        std::fs::write(&shard, &body[..body.len() - 15]).unwrap();
+
+        let loaded = store.load().unwrap();
+        assert_eq!(loaded.dropped, 1, "exactly the torn record drops");
+        assert_eq!(loaded.results.len(), 7);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,161 @@
+//! The sweep subsystem's contract, as stated in the roadmap:
+//!
+//! * same spec + same seeds ⇒ byte-identical aggregated results at 1
+//!   thread vs N threads;
+//! * a second run against a warm store executes zero cells;
+//! * a truncated shard file is detected and only the affected cell re-runs.
+
+use mss_core::Algorithm;
+use mss_sweep::{run_spec, spec_from_toml, SweepConfig, SweepSpec};
+use std::path::PathBuf;
+
+/// A 2-class × 4-platform × 2-arrival × 7-algorithm grid: 112 cells, all
+/// small enough to keep the test fast.
+fn spec() -> SweepSpec {
+    spec_from_toml(
+        r#"
+        name = "contract"
+        seed = 42
+        replicates = 1
+        tasks = [40]
+        algorithms = ["all"]
+
+        [[platforms]]
+        kind = "class"
+        class = "comm-homogeneous"
+        count = 4
+        slaves = 4
+
+        [[platforms]]
+        kind = "class"
+        class = "heterogeneous"
+        count = 4
+        slaves = 4
+
+        [[arrivals]]
+        kind = "bag"
+
+        [[arrivals]]
+        kind = "poisson"
+        load = 0.9
+        "#,
+    )
+    .unwrap()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mss-sweep-contract-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Serializes aggregates to the exact bytes a report would contain.
+fn aggregate_bytes(outcome: &mss_sweep::SweepOutcome) -> String {
+    serde_json::to_string_pretty(&outcome.aggregate(Some(Algorithm::Srpt))).unwrap()
+}
+
+#[test]
+fn hundred_plus_cells_bit_identical_across_thread_counts() {
+    let spec = spec();
+    assert!(
+        spec.expand().unwrap().len() >= 100,
+        "grid must be ≥ 100 cells"
+    );
+
+    let single = run_spec(
+        &spec,
+        &SweepConfig {
+            threads: 1,
+            cache_dir: None,
+        },
+    )
+    .unwrap();
+    let bytes_single = aggregate_bytes(&single);
+
+    for threads in [2, 4, 8] {
+        let parallel = run_spec(
+            &spec,
+            &SweepConfig {
+                threads,
+                cache_dir: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(parallel.executed, single.executed);
+        assert_eq!(
+            aggregate_bytes(&parallel),
+            bytes_single,
+            "aggregated output must be byte-identical at {threads} threads"
+        );
+        // Not just the aggregates: every raw metric bit-matches.
+        assert_eq!(parallel.metrics, single.metrics);
+    }
+}
+
+#[test]
+fn second_run_completes_entirely_from_cache() {
+    let dir = temp_dir("cache");
+    let spec = spec();
+    let config = SweepConfig {
+        threads: 4,
+        cache_dir: Some(dir.clone()),
+    };
+
+    let first = run_spec(&spec, &config).unwrap();
+    assert_eq!(first.cached, 0);
+    assert_eq!(first.executed, spec.expand().unwrap().len());
+
+    let second = run_spec(&spec, &config).unwrap();
+    assert_eq!(second.executed, 0, "warm cache must execute zero cells");
+    assert_eq!(second.cached, first.executed);
+    assert_eq!(aggregate_bytes(&second), aggregate_bytes(&first));
+
+    // A different spec seed misses the cache entirely.
+    let mut reseeded = spec.clone();
+    reseeded.seed = 43;
+    let third = run_spec(&reseeded, &config).unwrap();
+    assert_eq!(third.cached, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_shard_reruns_only_the_torn_cells() {
+    let dir = temp_dir("torn");
+    let spec = spec();
+    let config = SweepConfig {
+        threads: 4,
+        cache_dir: Some(dir.clone()),
+    };
+    let first = run_spec(&spec, &config).unwrap();
+    let reference = aggregate_bytes(&first);
+
+    // Tear the tail off one shard, as an interrupted append would.
+    let shard = (0..16)
+        .map(|s| dir.join(format!("shard_{s:02x}.jsonl")))
+        .find(|p| p.exists() && std::fs::metadata(p).unwrap().len() > 40)
+        .expect("a populated shard");
+    let body = std::fs::read_to_string(&shard).unwrap();
+    std::fs::write(&shard, &body[..body.len() - 20]).unwrap();
+
+    let resumed = run_spec(&spec, &config).unwrap();
+    assert_eq!(resumed.dropped, 1, "exactly one torn record detected");
+    assert_eq!(resumed.executed, 1, "only the torn cell re-runs");
+    assert_eq!(resumed.cached, first.executed - 1);
+    assert_eq!(
+        aggregate_bytes(&resumed),
+        reference,
+        "resume must reproduce the original aggregates"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn json_specs_are_equivalent_to_toml() {
+    let toml_spec = spec();
+    let json = serde_json::to_string(&toml_spec).unwrap();
+    let json_spec = mss_sweep::spec_from_json(&json).unwrap();
+    assert_eq!(json_spec, toml_spec);
+    assert_eq!(json_spec.expand().unwrap(), toml_spec.expand().unwrap());
+}

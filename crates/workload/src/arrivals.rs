@@ -41,9 +41,7 @@ impl ArrivalProcess {
             ArrivalProcess::AllAtZero => mss_core::bag_of_tasks(n),
             ArrivalProcess::UniformStream { load } => {
                 let gap = Self::gap(load, platform);
-                (0..n)
-                    .map(|i| TaskArrival::at(i as f64 * gap))
-                    .collect()
+                (0..n).map(|i| TaskArrival::at(i as f64 * gap)).collect()
             }
             ArrivalProcess::Poisson { load } => {
                 let gap = Self::gap(load, platform);

@@ -166,7 +166,10 @@ mod tests {
             let ps: Vec<f64> = pf.iter().map(|(_, s)| s.p).collect();
             let spread = ps.iter().cloned().fold(0.0f64, f64::max)
                 / ps.iter().cloned().fold(f64::INFINITY, f64::min);
-            assert!(spread >= prev_spread - 1e-12, "h = {h}: {spread} < {prev_spread}");
+            assert!(
+                spread >= prev_spread - 1e-12,
+                "h = {h}: {spread} < {prev_spread}"
+            );
             prev_spread = spread;
         }
     }

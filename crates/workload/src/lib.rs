@@ -33,7 +33,7 @@ mod perturbation;
 mod platforms;
 
 pub use arrivals::ArrivalProcess;
-pub use heterogeneity::{HeterogeneityAxis, HeterogeneityFamily};
 pub use calibration::{calibrate, Calibration};
+pub use heterogeneity::{HeterogeneityAxis, HeterogeneityFamily};
 pub use perturbation::Perturbation;
 pub use platforms::PlatformSampler;

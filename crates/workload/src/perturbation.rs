@@ -73,7 +73,10 @@ mod tests {
         for t in &tasks {
             assert!((0.9..=1.1).contains(&t.size_c));
             assert!((0.9..=1.1).contains(&t.size_p));
-            assert!((t.size_c - t.size_p).abs() < 1e-12, "linear mode is symmetric");
+            assert!(
+                (t.size_c - t.size_p).abs() < 1e-12,
+                "linear mode is symmetric"
+            );
         }
     }
 
@@ -90,9 +93,7 @@ mod tests {
 
     #[test]
     fn reproducible_and_preserves_releases() {
-        let base: Vec<TaskArrival> = (0..10)
-            .map(|i| TaskArrival::at(i as f64))
-            .collect();
+        let base: Vec<TaskArrival> = (0..10).map(|i| TaskArrival::at(i as f64)).collect();
         let a = Perturbation::linear(0.1).apply(&base, 9);
         let b = Perturbation::linear(0.1).apply(&base, 9);
         assert_eq!(a, b);

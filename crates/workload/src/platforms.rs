@@ -63,12 +63,7 @@ impl PlatformSampler {
 
     /// Draws the paper's "ten random platforms" for one figure panel,
     /// reproducibly from a seed.
-    pub fn sample_many(
-        &self,
-        class: PlatformClass,
-        count: usize,
-        seed: u64,
-    ) -> Vec<Platform> {
+    pub fn sample_many(&self, class: PlatformClass, count: usize, seed: u64) -> Vec<Platform> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..count).map(|_| self.sample(class, &mut rng)).collect()
     }

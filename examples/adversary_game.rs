@@ -20,9 +20,7 @@ fn main() {
         let result = play(TheoremId::T1, &factory);
 
         println!("=== Theorem 1 adversary vs {} ===", algorithm.name());
-        println!(
-            "platform: c = (1, 1), p = (3, 7)  —  communication-homogeneous"
-        );
+        println!("platform: c = (1, 1), p = (3, 7)  —  communication-homogeneous");
         for line in &result.transcript {
             println!("  adversary: {line}");
         }
@@ -47,7 +45,11 @@ fn main() {
             result.ratio,
             result.info.bound,
             result.info.bound.to_f64(),
-            if result.holds() { "verified" } else { "VIOLATED" }
+            if result.holds() {
+                "verified"
+            } else {
+                "VIOLATED"
+            }
         );
     }
 

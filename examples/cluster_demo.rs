@@ -33,7 +33,10 @@ fn main() {
             cal.achieved.p(j)
         );
     }
-    println!("  max relative error vs target: {:.1}%", cal.max_relative_error * 100.0);
+    println!(
+        "  max relative error vs target: {:.1}%",
+        cal.max_relative_error * 100.0
+    );
 
     let platform = cal.achieved;
     let tasks = bag_of_tasks(30);
@@ -63,11 +66,17 @@ fn main() {
     .expect("cluster run");
 
     let problems = validate_loose(&run.trace, &platform, 0.25);
-    assert!(problems.is_empty(), "cluster invariants violated: {problems:?}");
+    assert!(
+        problems.is_empty(),
+        "cluster invariants violated: {problems:?}"
+    );
 
     println!("\nLS on {} tasks:", tasks.len());
     println!("  DES      makespan: {:>8.3} model-s", des.makespan());
-    println!("  cluster  makespan: {:>8.3} model-s (wall/scale)", run.trace.makespan());
+    println!(
+        "  cluster  makespan: {:>8.3} model-s (wall/scale)",
+        run.trace.makespan()
+    );
     let agree = (0..tasks.len())
         .filter(|&i| {
             des.record(mss_core::TaskId(i)).slave == run.trace.record(mss_core::TaskId(i)).slave

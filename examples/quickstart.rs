@@ -37,8 +37,8 @@ fn main() {
     );
     for algorithm in Algorithm::ALL {
         let mut scheduler = algorithm.build();
-        let trace = simulate(&platform, &tasks, &config, &mut scheduler)
-            .expect("simulation completes");
+        let trace =
+            simulate(&platform, &tasks, &config, &mut scheduler).expect("simulation completes");
         // Every trace is re-checked against the model invariants.
         assert!(validate(&trace, &platform).is_empty());
         println!(

@@ -6,8 +6,10 @@ use master_slave_sched::lab::{fig1, fig2, ExperimentScale};
 use master_slave_sched::workload::{ArrivalProcess, Perturbation};
 
 fn scale() -> ExperimentScale {
+    // 6 platforms rather than the paper's 10: enough to stabilize the
+    // averaged claims under the vendored RNG stream while staying fast.
     ExperimentScale {
-        platforms: 4,
+        platforms: 6,
         tasks: 150,
         seed: 42,
     }
@@ -17,7 +19,11 @@ fn scale() -> ExperimentScale {
 fn fig1a_statics_equal_and_beat_srpt() {
     // "all static algorithms perform equally well on such platforms, and
     // exhibit better performance than the dynamic heuristic SRPT."
-    let panel = fig1::run_panel(PlatformClass::Homogeneous, scale(), ArrivalProcess::AllAtZero);
+    let panel = fig1::run_panel(
+        PlatformClass::Homogeneous,
+        scale(),
+        ArrivalProcess::AllAtZero,
+    );
     let statics = [
         Algorithm::ListScheduling,
         Algorithm::RoundRobin,

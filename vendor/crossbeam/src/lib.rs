@@ -1,0 +1,257 @@
+//! Offline stand-in for the parts of `crossbeam` this workspace uses:
+//! `crossbeam::channel::{bounded, unbounded, Sender, Receiver}` with
+//! `send`, `recv`, `try_recv`, and `recv_timeout`, all clonable (MPMC).
+//!
+//! Implemented as a `Mutex<VecDeque>` + two `Condvar`s. Throughput is far
+//! below real crossbeam's lock-free channels, which is fine for the
+//! cluster executor's per-task message rates.
+
+/// MPMC channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<Inner<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        capacity: Option<usize>,
+    }
+
+    struct Inner<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel empty right now.
+        Empty,
+        /// All senders gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Timed out with nothing received.
+        Timeout,
+        /// All senders gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Sending half; clonable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; clonable (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.queue.lock().unwrap();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                drop(inner);
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.queue.lock().unwrap();
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                drop(inner);
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocking send (blocks while a bounded channel is full).
+        pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.queue.lock().unwrap();
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(item));
+                }
+                match self.shared.capacity {
+                    Some(cap) if inner.items.len() >= cap => {
+                        inner = self.shared.not_full.wait(inner).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            inner.items.push_back(item);
+            drop(inner);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(item) = inner.items.pop_front() {
+                    drop(inner);
+                    self.shared.not_full.notify_one();
+                    return Ok(item);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.shared.not_empty.wait(inner).unwrap();
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.queue.lock().unwrap();
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(item);
+            }
+            if inner.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Receive with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(item) = inner.items.pop_front() {
+                    drop(inner);
+                    self.shared.not_full.notify_one();
+                    return Ok(item);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _res) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap();
+                inner = guard;
+            }
+        }
+    }
+
+    fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Inner {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// Bounded MPMC channel (capacity 0 behaves as capacity 1 here; the
+    /// workspace never uses rendezvous channels).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel(Some(cap.max(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, TryRecvError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_across_threads() {
+        let (tx, rx) = unbounded::<u32>();
+        let handle = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.push(rx.recv().unwrap());
+        }
+        handle.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn disconnect_detected() {
+        let (tx, rx) = bounded::<u32>(4);
+        drop(tx);
+        assert!(rx.recv().is_err());
+        let (tx2, rx2) = unbounded::<u32>();
+        drop(rx2);
+        assert!(tx2.send(1).is_err());
+    }
+
+    #[test]
+    fn try_and_timeout_variants() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(9).unwrap();
+        assert_eq!(rx.try_recv(), Ok(9));
+        assert!(rx.recv_timeout(Duration::from_millis(10)).is_err());
+        tx.send(10).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Ok(10));
+    }
+}

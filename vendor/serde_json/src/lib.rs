@@ -1,0 +1,388 @@
+//! Offline stand-in for `serde_json`: renders and parses the vendored
+//! `serde::Value` tree as JSON.
+//!
+//! Floats are rendered with Rust's `Display`, which emits the shortest
+//! string that round-trips to the same bits — the workspace's
+//! trace/report round-trip tests rely on that exactness.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt::Write as _;
+
+pub use serde::Error;
+
+/// Serializes to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes to pretty JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON and deserializes into `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    T::from_value(&value)
+}
+
+/// Parses JSON into a raw [`Value`].
+pub fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(f) => {
+            if f.is_finite() {
+                let _ = write!(out, "{f}");
+                // Keep a float marker so integral floats parse back as F64.
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error::custom(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error::custom(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error::custom("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(Error::custom("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(Error::custom("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| Error::custom("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::custom("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("bad \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::custom(format!("bad escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: re-decode from the byte slice.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| Error::custom("invalid utf-8 in string"))?;
+                    let c = s.chars().next().unwrap();
+                    self.pos = start + c.len_utf8();
+                    out.push(c);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::custom("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error::custom("expected `,` or `}` in object")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_floats_exactly() {
+        for f in [0.1f64, 1.0 / 3.0, 123456.789, -0.0, 1e-9, 80f64.sqrt()] {
+            let s = to_string(&f).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(f.to_bits(), back.to_bits(), "{s}");
+        }
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        let s = to_string(&4.0f64).unwrap();
+        assert_eq!(s, "4.0");
+        assert_eq!(parse_value(&s).unwrap(), Value::F64(4.0));
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = to_string(&"a\"b\\c\nd".to_string()).unwrap();
+        let back: String = from_str(&s).unwrap();
+        assert_eq!(back, "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn nested_value_round_trip() {
+        let v = Value::Object(vec![
+            (
+                "xs".into(),
+                Value::Array(vec![Value::U64(1), Value::F64(2.5)]),
+            ),
+            ("s".into(), Value::Str("hi".into())),
+            ("n".into(), Value::Null),
+            ("neg".into(), Value::I64(-7)),
+        ]);
+        let compact = {
+            let mut out = String::new();
+            super::write_value(&mut out, &v, None, 0);
+            out
+        };
+        assert_eq!(parse_value(&compact).unwrap(), v);
+        let pretty = {
+            let mut out = String::new();
+            super::write_value(&mut out, &v, Some(2), 0);
+            out
+        };
+        assert_eq!(parse_value(&pretty).unwrap(), v);
+    }
+}
