@@ -9,7 +9,9 @@
 //!   sum-flow);
 //! * the seven on-line [`heuristics`] of Section 4.1 (SRPT, LS, RR, RRC,
 //!   RRP, SLJF, SLJFWC), each an [`OnlineScheduler`];
-//! * the [`Algorithm`] registry that names and constructs them.
+//! * the [`Algorithm`] registry that names and constructs them;
+//! * the [`Redispatch`] fault-aware wrapper that makes any of them live on
+//!   dynamic platforms (slave failures/recoveries, see `mss-scenario`).
 //!
 //! ```
 //! use mss_core::{Algorithm, Objective};
@@ -28,16 +30,19 @@
 
 pub mod heuristics;
 mod objective;
+mod redispatch;
 mod registry;
 
 pub use heuristics::{ListScheduling, PlanKind, Planned, RoundRobin, RrDispatch, RrOrder, Srpt};
 pub use objective::Objective;
+pub use redispatch::Redispatch;
 pub use registry::Algorithm;
 
 // Re-export the simulation vocabulary so downstream crates can depend on
 // `mss-core` alone for the common case.
 pub use mss_sim::{
-    bag_of_tasks, released_at, simulate, validate, Decision, OnlineScheduler, Platform,
-    PlatformClass, SchedulerEvent, SimConfig, SimError, SimView, SlaveId, SlaveSpec, TaskArrival,
-    TaskId, TaskRecord, Time, Trace, TraceViolation,
+    bag_of_tasks, released_at, simulate, simulate_with_events, validate, Decision, OnlineScheduler,
+    Platform, PlatformClass, PlatformEvent, PlatformEventKind, SchedulerEvent, SimConfig, SimError,
+    SimView, SlaveId, SlaveSpec, TaskArrival, TaskId, TaskRecord, Time, Timeline, Trace,
+    TraceViolation,
 };

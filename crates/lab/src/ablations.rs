@@ -402,6 +402,7 @@ pub fn heterogeneity_impact_with(
                         },
                         arrival: ArrivalProcess::AllAtZero,
                         perturbation: None,
+                        scenario: None,
                         tasks,
                         algorithm,
                         replicate: f as u64,

@@ -14,6 +14,11 @@
 //!   ablation-sljf      A2: SLJF/SLJFWC vs exhaustive optimum
 //!   ablation-arrivals  A3: arrival-regime sweep
 //!   ablation-heterogeneity  A4: heterogeneity-degree sweep
+//!   resilience         degradation of all algorithms vs failure rate
+//!                      (Poisson failures, fault-aware redispatch). Extra
+//!                      flag: [--scenario FILE] runs a scenario file (see
+//!                      examples/failure_scenario.toml) against the static
+//!                      baseline instead of the built-in rate ladder
 //!   sweep <spec>       run a user-defined grid (TOML or JSON spec; see
 //!                      examples/sweep_grid.toml). Extra flags:
 //!                      [--cache-dir DIR] [--no-cache] [--baseline ALG]
@@ -22,7 +27,7 @@
 
 use mss_core::{Algorithm, PlatformClass};
 use mss_lab::report::{fmt3, fmt4, write_csv, write_json, AsciiTable, ExperimentScale};
-use mss_lab::{ablations, fig1, fig2, table1};
+use mss_lab::{ablations, fig1, fig2, resilience, table1};
 use mss_sweep::{default_threads, SweepConfig};
 use mss_workload::{ArrivalProcess, Perturbation};
 use std::path::PathBuf;
@@ -30,9 +35,11 @@ use std::path::PathBuf;
 fn usage() -> ! {
     eprintln!(
         "usage: ms-lab <table1|fig1|fig1a|fig1b|fig1c|fig1d|fig2|ablation-buffer|\
-         ablation-sljf|ablation-arrivals|ablation-heterogeneity|sweep <spec.toml>|all>\n\
+         ablation-sljf|ablation-arrivals|ablation-heterogeneity|resilience|\
+         sweep <spec.toml>|all>\n\
          \x20       [--quick] [--seed N] [--tasks N] [--platforms N] [--threads N]\n\
-         \x20       sweep only: [--cache-dir DIR] [--no-cache] [--baseline ALG]"
+         \x20       sweep only: [--cache-dir DIR] [--no-cache] [--baseline ALG]\n\
+         \x20       resilience only: [--scenario FILE]"
     );
     std::process::exit(2);
 }
@@ -231,6 +238,25 @@ fn run_sweep(args: &[String]) {
     );
 }
 
+fn run_resilience(args: &[String], scale: ExperimentScale, config: &SweepConfig) {
+    let arrival = ArrivalProcess::UniformStream { load: 0.9 };
+    let report = match parse_flag(args, "--scenario") {
+        Some(path) => {
+            let spec = match mss_sweep::scenario_from_path(std::path::Path::new(&path)) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    eprintln!("resilience: {e}");
+                    std::process::exit(2);
+                }
+            };
+            resilience::run_scenario_file(scale, arrival, &spec, config)
+        }
+        None => resilience::run_with(scale, arrival, config),
+    };
+    println!("{}", report.render());
+    println!("artifacts: {}\n", report.write_artifacts().display());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { usage() };
@@ -281,6 +307,7 @@ fn main() {
             println!("{}", report.render());
             println!("artifacts: {}\n", report.write_artifacts().display());
         }
+        "resilience" => run_resilience(rest, scale, &runtime),
         "all" => {
             run_table1(&runtime);
             for class in [
@@ -309,6 +336,7 @@ fn main() {
             );
             println!("{}", a4.render());
             a4.write_artifacts();
+            run_resilience(rest, scale, &runtime);
         }
         _ => usage(),
     }

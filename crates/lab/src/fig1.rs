@@ -64,6 +64,7 @@ pub fn panel_cells(
                 },
                 arrival,
                 perturbation: None,
+                scenario: None,
                 tasks: scale.tasks,
                 algorithm,
                 replicate: 0,

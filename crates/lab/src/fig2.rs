@@ -65,6 +65,7 @@ pub fn report_cells(
                         comp_exponent: perturbation.comp_exponent,
                         seed: scale.seed ^ 0x9e37 ^ (pi as u64) << 9,
                     }),
+                    scenario: None,
                     tasks: scale.tasks,
                     algorithm,
                     replicate: 0,

@@ -8,6 +8,7 @@
 //! | Figure 1(a–d) (heuristic comparison) | [`fig1`] | `ms-lab fig1a` … `fig1d` |
 //! | Figure 2 (robustness) | [`fig2`] | `ms-lab fig2` |
 //! | Ablations A1–A3 (DESIGN.md) | [`ablations`] | `ms-lab ablation-*` |
+//! | Resilience (failures, new) | [`resilience`] | `ms-lab resilience` |
 //! | user-defined scenario grids | `mss_sweep` | `ms-lab sweep <spec.toml>` |
 //!
 //! Each experiment prints an ASCII table mirroring the paper's layout and
@@ -26,6 +27,7 @@ pub mod ablations;
 pub mod fig1;
 pub mod fig2;
 pub mod report;
+pub mod resilience;
 pub mod table1;
 
 pub use report::ExperimentScale;

@@ -1,0 +1,66 @@
+//! # mss-scenario — deterministic dynamic-platform scenarios
+//!
+//! The paper (and the seed reproduction) models a *static* heterogeneous
+//! platform: each slave's `(c_j, p_j)` is fixed for the whole run. Real
+//! master-slave deployments see slaves crash, recover, and drift in speed —
+//! the regime the speed-oblivious on-line scheduling literature treats as
+//! the central difficulty. This crate describes such dynamics as data.
+//!
+//! ## The event-timeline model
+//!
+//! A [`ScenarioSpec`] — written programmatically or parsed from TOML/JSON
+//! (see `examples/failure_scenario.toml`) — is *compiled* against a
+//! platform size into an [`mss_sim::Timeline`]: a finite, time-ordered list
+//! of platform events the engine consumes alongside the task events:
+//!
+//! * **`Fail`** — the slave goes down; queued and in-flight work on it is
+//!   lost and re-enters the master's pending queue;
+//! * **`Recover`** — the slave comes back up, empty;
+//! * **`SetLinkFactor` / `SetSpeedFactor`** — the slave's effective
+//!   `c_j` / `p_j` becomes `factor ×` nominal for operations starting from
+//!   that instant.
+//!
+//! Events come from two sources that freely combine: **scripted** one-off
+//! events ([`EventSpec`]) and **generators** ([`GeneratorSpec`]) — Poisson
+//! failures with exponential or Weibull repair, periodic maintenance
+//! windows, and random-walk link/speed drift — expanded over a bounded
+//! `horizon`.
+//!
+//! ## The determinism contract
+//!
+//! Compilation is a pure function of `(spec, num_slaves)`: every generator
+//! draws from its own RNG stream seeded from `spec.seed` and the generator
+//! and slave indices, so adding a generator or a slave never perturbs the
+//! other streams, and the same `(seed, spec)` compiles to the same timeline
+//! on any thread count. Downstream, the engine processes timeline events in
+//! `(time, insertion-seq)` order, so a fixed `(platform, tasks, spec,
+//! scheduler)` quadruple replays bit-for-bit — adversary games and the
+//! sweep cache rely on this. An **empty scenario compiles to the empty
+//! timeline**, under which the engine is bit-identical to the static model.
+//!
+//! ```
+//! use mss_scenario::{GeneratorSpec, ScenarioSpec};
+//!
+//! let spec = ScenarioSpec {
+//!     horizon: Some(500.0),
+//!     seed: 7,
+//!     min_up: Some(1),
+//!     generators: Some(vec![GeneratorSpec {
+//!         kind: "poisson-failures".into(),
+//!         mtbf: Some(120.0),
+//!         repair_mean: Some(15.0),
+//!         ..GeneratorSpec::default()
+//!     }]),
+//!     ..ScenarioSpec::static_spec()
+//! };
+//! let timeline = spec.compile(5).unwrap();
+//! assert_eq!(timeline, spec.compile(5).unwrap()); // pure function
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generators;
+mod spec;
+
+pub use spec::{EventSpec, GeneratorSpec, ScenarioError, ScenarioSpec};

@@ -13,7 +13,14 @@
 //! and all simultaneous events are applied and delivered to the scheduler
 //! before any decision is taken, so a deterministic scheduler always sees
 //! the same history — the adversary games rely on this to replay prefixes.
+//!
+//! [`simulate_with_events`] additionally consumes a platform-event
+//! [`Timeline`] (slave failures, recoveries, link/speed drift — see
+//! [`crate::events`]): timeline events enter the same heap after the task
+//! releases, so the determinism contract extends unchanged to dynamic
+//! platforms, and an empty timeline is bit-for-bit the static engine.
 
+use crate::events::{PlatformEventKind, Timeline};
 use crate::platform::{Platform, SlaveId};
 use crate::scheduler::{Decision, OnlineScheduler, SchedulerEvent};
 use crate::task::{TaskArrival, TaskId};
@@ -21,7 +28,7 @@ use crate::time::Time;
 use crate::trace::{TaskRecord, Trace};
 use crate::view::{SimView, SlaveView};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -104,12 +111,13 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// Internal event kinds.
+/// Internal event kinds. `Platform(i)` indexes into the run's [`Timeline`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Event {
     Release(TaskId),
     SendComplete(TaskId, SlaveId),
     ComputeComplete(TaskId, SlaveId),
+    Platform(usize),
     Wake,
 }
 
@@ -149,8 +157,13 @@ struct SlaveRt {
     queue: VecDeque<TaskId>,
     /// Task currently computing, if any.
     computing: Option<TaskId>,
+    /// Heap sequence of the pending `ComputeComplete` (for cancellation on
+    /// failure); meaningful only while `computing` is `Some`.
+    compute_seq: u64,
     /// Predicted end of the current computation (nominal size).
     cur_pred_end: f64,
+    /// `true` while the slave is failed (scenario timelines only).
+    down: bool,
     completed: usize,
 }
 
@@ -161,6 +174,10 @@ struct PartialRecord {
     send_end: f64,
     compute_start: f64,
     compute_end: f64,
+    /// Billed multipliers of the successful attempt: the task's actual size
+    /// times the drift factor in force when the phase started.
+    billed_c: f64,
+    billed_p: f64,
     slave: usize,
     assigned: bool,
     done: bool,
@@ -170,11 +187,20 @@ struct Engine<'a> {
     platform: &'a Platform,
     tasks: &'a [TaskArrival],
     config: &'a SimConfig,
+    timeline: &'a Timeline,
     clock: Time,
     heap: BinaryHeap<Reverse<HeapItem>>,
     seq: u64,
     link_busy_until: Time,
     slaves: Vec<SlaveRt>,
+    /// Current drift factors; effective `c_j`/`p_j` is nominal × factor.
+    link_factor: Vec<f64>,
+    speed_factor: Vec<f64>,
+    /// The send currently occupying the port, with its heap sequence.
+    in_flight: Option<(TaskId, SlaveId, u64)>,
+    /// Heap sequences of events voided by a failure (aborted transfers,
+    /// computations of lost tasks); popped items with these seqs are skipped.
+    cancelled: HashSet<u64>,
     pending: Vec<TaskId>,
     releases: Vec<Time>,
     records: Vec<PartialRecord>,
@@ -184,16 +210,26 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    fn new(platform: &'a Platform, tasks: &'a [TaskArrival], config: &'a SimConfig) -> Self {
+    fn new(
+        platform: &'a Platform,
+        tasks: &'a [TaskArrival],
+        config: &'a SimConfig,
+        timeline: &'a Timeline,
+    ) -> Self {
         let mut engine = Engine {
             platform,
             tasks,
             config,
+            timeline,
             clock: Time::ZERO,
             heap: BinaryHeap::new(),
             seq: 0,
             link_busy_until: Time::ZERO,
             slaves: vec![SlaveRt::default(); platform.num_slaves()],
+            link_factor: vec![1.0; platform.num_slaves()],
+            speed_factor: vec![1.0; platform.num_slaves()],
+            in_flight: None,
+            cancelled: HashSet::new(),
             pending: Vec::new(),
             releases: vec![Time::ZERO; tasks.len()],
             records: vec![PartialRecord::default(); tasks.len()],
@@ -204,16 +240,31 @@ impl<'a> Engine<'a> {
         for (i, t) in tasks.iter().enumerate() {
             engine.push(t.release, Event::Release(TaskId(i)));
         }
+        // Timeline events queue after every release so that task-release
+        // sequence numbers — and thus every static run — stay unchanged.
+        for (i, e) in timeline.events().iter().enumerate() {
+            engine.push(e.time, Event::Platform(i));
+        }
         engine
     }
 
-    fn push(&mut self, time: Time, event: Event) {
-        self.heap.push(Reverse(HeapItem {
-            time,
-            seq: self.seq,
-            event,
-        }));
+    fn push(&mut self, time: Time, event: Event) -> u64 {
+        let seq = self.seq;
+        self.heap.push(Reverse(HeapItem { time, seq, event }));
         self.seq += 1;
+        seq
+    }
+
+    /// Returns a lost task to the master's pending queue and clears the
+    /// partial record of its failed attempt (its release time survives).
+    fn lose_task(&mut self, t: TaskId) {
+        let r = &mut self.records[t.0];
+        r.send_start = 0.0;
+        r.send_end = 0.0;
+        r.compute_start = 0.0;
+        r.slave = 0;
+        r.assigned = false;
+        self.pending.push(t);
     }
 
     /// Nominal-size ready estimate for slave `j`, anchored at `now`.
@@ -240,6 +291,7 @@ impl<'a> Engine<'a> {
                 outstanding: self.slaves[j].outstanding.len(),
                 ready_estimate: Time::new(self.ready_estimate(j)),
                 completed: self.slaves[j].completed,
+                available: !self.slaves[j].down,
             })
             .collect()
     }
@@ -269,8 +321,21 @@ impl<'a> Engine<'a> {
                 Some(SchedulerEvent::Released(t))
             }
             Event::SendComplete(t, j) => {
-                self.records[t.0].send_end = now;
+                self.in_flight = None;
                 let rt = &mut self.slaves[j.0];
+                if rt.down {
+                    // Arrived at a failed slave: the transfer is wasted and
+                    // the task returns to the pending queue.
+                    let pos = rt
+                        .outstanding
+                        .iter()
+                        .position(|o| o.id == t)
+                        .expect("in-flight task must be outstanding");
+                    rt.outstanding.remove(pos);
+                    self.lose_task(t);
+                    return Some(SchedulerEvent::SendCompleted(t, j));
+                }
+                self.records[t.0].send_end = now;
                 // The slave now actually has the task.
                 if let Some(ot) = rt.outstanding.iter_mut().find(|o| o.id == t) {
                     ot.avail = now;
@@ -301,21 +366,88 @@ impl<'a> Engine<'a> {
                 }
                 Some(SchedulerEvent::ComputeCompleted(t, j))
             }
+            Event::Platform(i) => self.apply_platform_event(i),
             Event::Wake => Some(SchedulerEvent::Wake),
+        }
+    }
+
+    fn apply_platform_event(&mut self, i: usize) -> Option<SchedulerEvent> {
+        let e = self.timeline.events()[i];
+        let j = e.slave;
+        if j.0 >= self.platform.num_slaves() {
+            return None; // scenario written for a larger platform: ignore
+        }
+        match e.kind {
+            PlatformEventKind::Fail => {
+                if self.slaves[j.0].down {
+                    return None;
+                }
+                // Abort a transfer in flight towards the failing slave: the
+                // port frees immediately and its completion event is voided.
+                if let Some((_, target, seq)) = self.in_flight {
+                    if target == j {
+                        self.cancelled.insert(seq);
+                        self.link_busy_until = self.clock;
+                        self.in_flight = None;
+                    }
+                }
+                let (cancel_seq, lost) = {
+                    let rt = &mut self.slaves[j.0];
+                    rt.down = true;
+                    let cancel = rt.computing.take().map(|_| rt.compute_seq);
+                    rt.queue.clear();
+                    let lost: Vec<TaskId> = rt.outstanding.drain(..).map(|o| o.id).collect();
+                    (cancel, lost)
+                };
+                if let Some(seq) = cancel_seq {
+                    self.cancelled.insert(seq);
+                }
+                // Lost tasks re-enter `pending` in their send order, so the
+                // re-release order is deterministic and observable.
+                for t in lost {
+                    self.lose_task(t);
+                }
+                Some(SchedulerEvent::SlaveFailed(j))
+            }
+            PlatformEventKind::Recover => {
+                if !self.slaves[j.0].down {
+                    return None;
+                }
+                // The slave restarts empty. A transfer still in flight (the
+                // master gambled on the recovery) stays in `outstanding` and
+                // is delivered normally at its send-complete.
+                self.slaves[j.0].down = false;
+                Some(SchedulerEvent::SlaveRecovered(j))
+            }
+            PlatformEventKind::SetLinkFactor(f) => {
+                self.link_factor[j.0] = f;
+                None // drift is invisible: schedulers stay speed-oblivious
+            }
+            PlatformEventKind::SetSpeedFactor(f) => {
+                self.speed_factor[j.0] = f;
+                None
+            }
         }
     }
 
     fn start_compute(&mut self, t: TaskId, j: SlaveId) {
         let now = self.clock.as_f64();
-        let actual = self.platform.p(j) * self.tasks[t.0].size_p;
+        // Billed at the *effective* speed in force when the computation
+        // starts; the nominal estimate below is what schedulers see. With
+        // a factor of exactly 1.0 the arithmetic is bit-identical to the
+        // static engine.
+        let billed_p = self.speed_factor[j.0] * self.tasks[t.0].size_p;
+        let actual = self.platform.p(j) * billed_p;
         self.records[t.0].compute_start = now;
+        self.records[t.0].billed_p = billed_p;
+        let seq = self.push(Time::new(now + actual), Event::ComputeComplete(t, j));
         let rt = &mut self.slaves[j.0];
         rt.computing = Some(t);
+        rt.compute_seq = seq;
         rt.cur_pred_end = now + self.platform.p(j); // nominal estimate
                                                     // The head of `outstanding` must be the task that starts computing:
                                                     // sends are FIFO per slave and computes are FIFO, so this holds.
         debug_assert_eq!(rt.outstanding.front().map(|o| o.id), Some(t));
-        self.push(Time::new(now + actual), Event::ComputeComplete(t, j));
     }
 
     fn execute_send(&mut self, t: TaskId, j: SlaveId) -> Result<(), SimError> {
@@ -344,9 +476,11 @@ impl<'a> Engine<'a> {
             });
         }
         self.pending.remove(pos);
-        let actual_c = self.platform.c(j) * self.tasks[t.0].size_c;
+        let billed_c = self.link_factor[j.0] * self.tasks[t.0].size_c;
+        let actual_c = self.platform.c(j) * billed_c;
         let nominal_c = self.platform.c(j);
         self.records[t.0].send_start = now.as_f64();
+        self.records[t.0].billed_c = billed_c;
         self.records[t.0].slave = j.0;
         self.records[t.0].assigned = true;
         self.link_busy_until = now + actual_c;
@@ -354,7 +488,8 @@ impl<'a> Engine<'a> {
             id: t,
             avail: now.as_f64() + nominal_c,
         });
-        self.push(self.link_busy_until, Event::SendComplete(t, j));
+        let seq = self.push(self.link_busy_until, Event::SendComplete(t, j));
+        self.in_flight = Some((t, j, seq));
         Ok(())
     }
 
@@ -384,8 +519,8 @@ impl<'a> Engine<'a> {
                     send_end: Time::new(r.send_end),
                     compute_start: Time::new(r.compute_start),
                     compute_end: Time::new(r.compute_end),
-                    size_c: self.tasks[i].size_c,
-                    size_p: self.tasks[i].size_p,
+                    size_c: r.billed_c,
+                    size_p: r.billed_p,
                 }
             })
             .collect();
@@ -404,7 +539,24 @@ pub fn simulate(
     config: &SimConfig,
     scheduler: &mut dyn OnlineScheduler,
 ) -> Result<Trace, SimError> {
-    let mut engine = Engine::new(platform, tasks, config);
+    simulate_with_events(platform, tasks, config, &Timeline::EMPTY, scheduler)
+}
+
+/// Like [`simulate`], over a *dynamic* platform: `timeline` scripts slave
+/// failures, recoveries, and link/speed drift (see [`crate::events`]).
+///
+/// Tasks on a failing slave are lost and re-enter the pending queue; sends
+/// to a down slave are permitted (the master may be fault-oblivious or
+/// gamble on a recovery) but are lost on arrival while the slave is down.
+/// With an empty timeline this is exactly [`simulate`], bit for bit.
+pub fn simulate_with_events(
+    platform: &Platform,
+    tasks: &[TaskArrival],
+    config: &SimConfig,
+    timeline: &Timeline,
+    scheduler: &mut dyn OnlineScheduler,
+) -> Result<Trace, SimError> {
+    let mut engine = Engine::new(platform, tasks, config, timeline);
 
     {
         let slaves = engine.slave_views();
@@ -450,6 +602,9 @@ pub fn simulate(
                 break;
             }
             engine.heap.pop();
+            if engine.cancelled.remove(&item.seq) {
+                continue; // voided by a failure before it fired
+            }
             engine.step_budget()?;
             if let Some(n) = engine.apply(item.event) {
                 notifications.push(n);
@@ -465,7 +620,9 @@ pub fn simulate(
             };
             match decision {
                 Decision::Send { task, slave } => engine.execute_send(task, slave)?,
-                Decision::WakeAt(t) if t > engine.clock => engine.push(t, Event::Wake),
+                Decision::WakeAt(t) if t > engine.clock => {
+                    engine.push(t, Event::Wake);
+                }
                 _ => {}
             }
         }
@@ -739,6 +896,159 @@ mod tests {
         };
         let err = simulate(&pf, &bag_of_tasks(1), &cfg, &mut WakeLoop).unwrap_err();
         assert!(matches!(err, SimError::BudgetExhausted { .. }));
+    }
+
+    fn timeline(events: Vec<(f64, usize, PlatformEventKind)>) -> Timeline {
+        Timeline::new(
+            events
+                .into_iter()
+                .map(|(t, j, kind)| crate::events::PlatformEvent {
+                    time: Time::new(t),
+                    slave: SlaveId(j),
+                    kind,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn empty_timeline_is_bitwise_identical() {
+        let pf = platform();
+        let tasks = bag_of_tasks(5);
+        let a = simulate(&pf, &tasks, &SimConfig::default(), &mut AllToFirst).unwrap();
+        let b = simulate_with_events(
+            &pf,
+            &tasks,
+            &SimConfig::default(),
+            &Timeline::EMPTY,
+            &mut AllToFirst,
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn failure_loses_work_and_rereleases_tasks() {
+        // 3 tasks to P1 (c=1, p=3): computes 1-4, 4-7, 7-10. P1 fails at
+        // t=5 (T1 computing, T2 queued are lost) and recovers at t=7.5.
+        // AllToFirst keeps gambling on P1; the send in flight at recovery
+        // time is delivered. Expected completion walk-through:
+        //   5-6 resend T1 (lost on arrival), 6-7 resend T2 (lost),
+        //   7-8 resend T1 (P1 recovers at 7.5 -> delivered), computes 8-11,
+        //   8-9 resend T2, computes 11-14.
+        let pf = platform();
+        let tl = timeline(vec![
+            (5.0, 0, PlatformEventKind::Fail),
+            (7.5, 0, PlatformEventKind::Recover),
+        ]);
+        let trace = simulate_with_events(
+            &pf,
+            &bag_of_tasks(3),
+            &SimConfig::default(),
+            &tl,
+            &mut AllToFirst,
+        )
+        .unwrap();
+        assert!(validate(&trace, &pf).is_empty());
+        assert_eq!(trace.record(TaskId(0)).compute_end, Time::new(4.0));
+        let r1 = trace.record(TaskId(1));
+        assert_eq!(r1.send_start, Time::new(7.0));
+        assert_eq!(r1.compute_start, Time::new(8.0));
+        assert_eq!(r1.compute_end, Time::new(11.0));
+        let r2 = trace.record(TaskId(2));
+        assert_eq!(r2.send_start, Time::new(8.0));
+        assert_eq!(r2.compute_end, Time::new(14.0));
+    }
+
+    #[test]
+    fn failure_aborts_in_flight_send_and_frees_port() {
+        // P1 fails at t=0.5 while T0 is in flight: the port frees at 0.5
+        // and the re-send starts immediately.
+        let pf = platform();
+        let tl = timeline(vec![
+            (0.5, 0, PlatformEventKind::Fail),
+            (2.0, 0, PlatformEventKind::Recover),
+        ]);
+        let trace = simulate_with_events(
+            &pf,
+            &bag_of_tasks(1),
+            &SimConfig::default(),
+            &tl,
+            &mut AllToFirst,
+        )
+        .unwrap();
+        let r = trace.record(TaskId(0));
+        // Re-sends: 0.5-1.5 (lost on arrival), 1.5-2.5 (P1 back at 2.0).
+        assert_eq!(r.send_start, Time::new(1.5));
+        assert_eq!(r.compute_end, Time::new(5.5));
+        assert!(validate(&trace, &pf).is_empty());
+    }
+
+    #[test]
+    fn speed_drift_rebills_future_computations_only() {
+        // P1 slows down 2x at t=2: T0 (computing since t=1) keeps its old
+        // rate and ends at 4; T1 starts at 4 and takes 6 seconds.
+        let pf = platform();
+        let tl = timeline(vec![(2.0, 0, PlatformEventKind::SetSpeedFactor(2.0))]);
+        let trace = simulate_with_events(
+            &pf,
+            &bag_of_tasks(2),
+            &SimConfig::default(),
+            &tl,
+            &mut AllToFirst,
+        )
+        .unwrap();
+        assert_eq!(trace.record(TaskId(0)).compute_end, Time::new(4.0));
+        let r1 = trace.record(TaskId(1));
+        assert_eq!(r1.compute_end, Time::new(10.0));
+        assert_eq!(r1.size_p, 2.0, "drift folds into the billed multiplier");
+        assert!(validate(&trace, &pf).is_empty());
+    }
+
+    #[test]
+    fn failure_events_are_observable() {
+        struct Watcher {
+            seen: Vec<&'static str>,
+        }
+        impl OnlineScheduler for Watcher {
+            fn name(&self) -> String {
+                "watcher".into()
+            }
+            fn on_event(&mut self, view: &SimView<'_>, e: SchedulerEvent) -> Decision {
+                match e {
+                    SchedulerEvent::SlaveFailed(j) => {
+                        assert!(!view.slave_available(j));
+                        self.seen.push("failed");
+                    }
+                    SchedulerEvent::SlaveRecovered(j) => {
+                        assert!(view.slave_available(j));
+                        self.seen.push("recovered");
+                    }
+                    _ => {}
+                }
+                // Only dispatch to available slaves.
+                if view.link_idle() {
+                    if let Some(&t) = view.pending_tasks().first() {
+                        if let Some(slave) = view.available_slaves().next() {
+                            return Decision::Send { task: t, slave };
+                        }
+                    }
+                }
+                Decision::Idle
+            }
+        }
+        let pf = platform();
+        let tl = timeline(vec![
+            (0.5, 0, PlatformEventKind::Fail),
+            (2.0, 0, PlatformEventKind::Recover),
+        ]);
+        let mut w = Watcher { seen: vec![] };
+        let trace = simulate_with_events(&pf, &bag_of_tasks(2), &SimConfig::default(), &tl, &mut w)
+            .unwrap();
+        assert_eq!(w.seen, vec!["failed", "recovered"]);
+        // The watcher fell back to P2 (the only available slave) after the
+        // failure; everything still validates.
+        assert!(validate(&trace, &pf).is_empty());
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //! P1   |...###....
 //! P2   |.....#####
 //! ```
+//!
+//! For failure scenarios, [`render_with_downtime`] additionally shades the
+//! intervals a slave was down with `x`, so lost work and re-dispatch are
+//! visually debuggable (get the intervals from
+//! [`Timeline::downtime_intervals`](crate::Timeline::downtime_intervals)).
 
 use crate::platform::Platform;
 use crate::trace::Trace;
@@ -21,6 +26,19 @@ use std::fmt::Write as _;
 /// occupying the majority of the column (communication wins ties so short
 /// sends stay visible). Returns a multi-line string.
 pub fn render(trace: &Trace, platform: &Platform, width: usize) -> String {
+    render_with_downtime(trace, platform, width, &[])
+}
+
+/// Like [`render`], with per-slave downtime intervals `[start, end)` drawn
+/// as `x` wherever the slave was down for the majority of a column and not
+/// computing. `downtime` may be empty or shorter than the slave count;
+/// missing rows mean "always up".
+pub fn render_with_downtime(
+    trace: &Trace,
+    platform: &Platform,
+    width: usize,
+    downtime: &[Vec<(f64, f64)>],
+) -> String {
     assert!(width >= 10, "gantt: width must be at least 10 columns");
     let makespan = trace.makespan();
     if trace.is_empty() || makespan <= 0.0 {
@@ -53,11 +71,19 @@ pub fn render(trace: &Trace, platform: &Platform, width: usize) -> String {
         );
     }
 
+    // Downtime coverage per slave row (empty when no scenario is given).
+    let mut down = vec![vec![0.0f64; width]; m];
+    for (j, intervals) in downtime.iter().enumerate().take(m) {
+        for &(start, end) in intervals {
+            overlap(&mut down[j], start, end.min(makespan));
+        }
+    }
+
     let label_width = format!("P{m}").len().max(4);
     let mut out = String::new();
-    let mut row = |label: &str, data: &[f64], ch: char| {
+    let mut row = |label: &str, data: &[f64], down: Option<&[f64]>, ch: char| {
         let _ = write!(out, "{label:<label_width$}|");
-        for &covered in data {
+        for (k, &covered) in data.iter().enumerate() {
             out.push(if covered >= col * 0.5 {
                 ch
             } else if covered > 0.0 {
@@ -67,15 +93,17 @@ pub fn render(trace: &Trace, platform: &Platform, width: usize) -> String {
                 } else {
                     '.'
                 }
+            } else if down.is_some_and(|d| d[k] >= col * 0.5) {
+                'x'
             } else {
                 ' '
             });
         }
         out.push('\n');
     };
-    row("port", &port, '-');
+    row("port", &port, None, '-');
     for (j, data) in slaves.iter().enumerate() {
-        row(&format!("P{}", j + 1), data, '#');
+        row(&format!("P{}", j + 1), data, Some(&down[j]), '#');
     }
     let _ = writeln!(
         out,
@@ -128,6 +156,41 @@ mod tests {
         assert!(!lines[2].contains('#'), "P2 idle: {chart}");
         // Port activity happens before the last computation ends.
         assert!(lines[0].contains('-'));
+    }
+
+    #[test]
+    fn downtime_rendered_as_x() {
+        use crate::events::{PlatformEvent, PlatformEventKind, Timeline};
+        use crate::time::Time;
+
+        let pf = Platform::from_vectors(&[1.0, 1.0], &[3.0, 7.0]);
+        let trace = simulate(
+            &pf,
+            &bag_of_tasks(3),
+            &SimConfig::default(),
+            &mut AllToFirst,
+        )
+        .unwrap();
+        // P2 never computes here; mark it down over the middle of the run.
+        let tl = Timeline::new(vec![
+            PlatformEvent {
+                time: Time::new(trace.makespan() * 0.25),
+                slave: crate::platform::SlaveId(1),
+                kind: PlatformEventKind::Fail,
+            },
+            PlatformEvent {
+                time: Time::new(trace.makespan() * 0.75),
+                slave: crate::platform::SlaveId(1),
+                kind: PlatformEventKind::Recover,
+            },
+        ]);
+        let downtime = tl.downtime_intervals(pf.num_slaves(), trace.makespan());
+        let chart = render_with_downtime(&trace, &pf, 40, &downtime);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert!(lines[2].contains('x'), "P2 downtime shaded: {chart}");
+        assert!(!lines[1].contains('x'), "P1 never down: {chart}");
+        // Without downtime info the same trace renders no shading.
+        assert!(!render(&trace, &pf, 40).contains('x'));
     }
 
     #[test]

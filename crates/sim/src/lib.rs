@@ -9,7 +9,11 @@
 //! * `m` **slaves** `P_j`, each receiving a task in `c_j` seconds and then
 //!   executing it in `p_j` seconds, serially and FIFO;
 //! * **on-line releases**: task `i` appears at the master at `r_i`, unknown
-//!   beforehand.
+//!   beforehand;
+//! * **dynamic platforms** (optional): a [`Timeline`] of platform [`events`]
+//!   — slave failures with lost-work re-release, recoveries, link/speed
+//!   drift — consumed by [`simulate_with_events`]; an empty timeline is
+//!   bit-for-bit the paper's static model.
 //!
 //! Schedulers implement [`OnlineScheduler`] and observe the world through
 //! [`SimView`]; [`simulate`] produces a [`Trace`] from which makespan,
@@ -48,6 +52,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod events;
 mod gantt;
 mod platform;
 mod scheduler;
@@ -57,8 +62,10 @@ mod time;
 mod trace;
 mod view;
 
-pub use engine::{simulate, SimConfig, SimError};
+pub use engine::{simulate, simulate_with_events, SimConfig, SimError};
+pub use events::{PlatformEvent, PlatformEventKind, Timeline};
 pub use gantt::render as render_gantt;
+pub use gantt::render_with_downtime;
 pub use platform::{Platform, PlatformClass, SlaveId, SlaveSpec};
 pub use scheduler::{Decision, OnlineScheduler, SchedulerEvent};
 pub use stats::{trace_stats, SlaveStats, TraceStats};

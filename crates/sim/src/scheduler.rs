@@ -28,6 +28,12 @@ pub enum SchedulerEvent {
     SendCompleted(TaskId, SlaveId),
     /// `slave` finished computing `task`.
     ComputeCompleted(TaskId, SlaveId),
+    /// `slave` crashed (scenario timelines only). Its in-flight and queued
+    /// tasks were lost and have re-entered the pending queue; a transfer
+    /// that was in flight towards it was aborted (the port is free again).
+    SlaveFailed(SlaveId),
+    /// `slave` came back up, empty (scenario timelines only).
+    SlaveRecovered(SlaveId),
     /// A wake-up previously requested via [`Decision::WakeAt`].
     Wake,
     /// No new information — the engine is polling because the port is idle

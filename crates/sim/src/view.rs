@@ -21,6 +21,10 @@ pub struct SlaveView {
     pub ready_estimate: Time,
     /// Total number of tasks completed by this slave so far.
     pub completed: usize,
+    /// `false` while the slave is failed (scenario timelines; always `true`
+    /// on a static platform). The master observes failures, so availability
+    /// is part of the on-line information model.
+    pub available: bool,
 }
 
 /// Owned observable state from which a [`SimView`] can be borrowed.
@@ -64,6 +68,7 @@ impl ViewState {
                     outstanding: 0,
                     ready_estimate: Time::ZERO,
                     completed: 0,
+                    available: true,
                 };
                 m
             ],
@@ -150,6 +155,21 @@ impl<'a> SimView<'a> {
     /// a *free* slave).
     pub fn slave_idle(&self, j: SlaveId) -> bool {
         self.slaves[j.0].outstanding == 0
+    }
+
+    /// `true` iff slave `j` is up (not failed). Always `true` on a static
+    /// platform.
+    pub fn slave_available(&self, j: SlaveId) -> bool {
+        self.slaves[j.0].available
+    }
+
+    /// Ids of the currently available (up) slaves, in index order.
+    pub fn available_slaves(&self) -> impl Iterator<Item = SlaveId> + '_ {
+        self.slaves
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.available)
+            .map(|(j, _)| SlaveId(j))
     }
 
     /// Estimated completion time of a *new nominal task* if the master

@@ -186,6 +186,7 @@ mod tests {
             },
             arrival: ArrivalProcess::AllAtZero,
             perturbation: None,
+            scenario: None,
             tasks: 10,
             algorithm,
             replicate: 0,

@@ -9,9 +9,13 @@
 //! * **cacheability** — the cell's canonical JSON is content-hashed into
 //!   the result-store key, so a re-run of an unchanged cell is a lookup.
 
-use mss_core::{simulate, Algorithm, Platform, PlatformClass, SimConfig};
+use mss_core::{
+    simulate_with_events, Algorithm, OnlineScheduler, Platform, PlatformClass, Redispatch,
+    SimConfig, Timeline,
+};
 use mss_opt::bounds::{makespan_lower_bound, max_flow_lower_bound, sum_flow_lower_bound};
 use mss_opt::schedule::Instance;
+use mss_scenario::ScenarioSpec;
 use mss_workload::{
     ArrivalProcess, HeterogeneityAxis, HeterogeneityFamily, Perturbation, PlatformSampler,
 };
@@ -149,6 +153,28 @@ impl PerturbCell {
     }
 }
 
+/// Dynamic-platform axis of a cell: a failure/drift scenario plus the
+/// fault policy the algorithm runs under.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScenarioCell {
+    /// The scenario, compiled against the cell's platform at run time. Its
+    /// `seed` is derived from the cell identity (like perturbation seeds),
+    /// and the whole spec is content-hashed into the cache key.
+    pub spec: ScenarioSpec,
+    /// `true` wraps the algorithm in [`Redispatch`] (the default; plain
+    /// fault-oblivious algorithms may livelock against a down slave and
+    /// abort the cell with a budget error).
+    pub fault_aware: bool,
+}
+
+impl ScenarioCell {
+    /// Label for grouping.
+    pub fn label(&self) -> String {
+        let policy = if self.fault_aware { "+RD" } else { "plain" };
+        format!("{}[{policy}]", self.spec.label())
+    }
+}
+
 /// One grid cell: a fully specified scenario for one algorithm.
 #[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Cell {
@@ -158,6 +184,8 @@ pub struct Cell {
     pub arrival: ArrivalProcess,
     /// Optional task-size jitter.
     pub perturbation: Option<PerturbCell>,
+    /// Optional dynamic-platform scenario (`None` = the static model).
+    pub scenario: Option<ScenarioCell>,
     /// Number of tasks.
     pub tasks: usize,
     /// Algorithm under test.
@@ -186,11 +214,14 @@ pub struct CellMetrics {
 
 impl Cell {
     /// Runs the cell: realize platform → generate arrivals → perturb →
-    /// simulate → evaluate objectives against the certified lower bounds.
+    /// compile scenario → simulate → evaluate objectives against the
+    /// certified lower bounds.
     ///
     /// # Panics
-    /// Panics if the simulation fails (all seven heuristics are proven to
-    /// complete on valid instances; a failure indicates a harness bug).
+    /// Panics if the scenario does not compile or the simulation fails
+    /// (all seven heuristics complete on valid static instances; under
+    /// failures, a `fault_aware: false` cell may legitimately abort when
+    /// the fault-oblivious algorithm livelocks — see [`ScenarioCell`]).
     pub fn run(&self) -> CellMetrics {
         let platform = self.platform.realize();
         let nominal = self.arrival.generate(self.tasks, &platform, self.task_seed);
@@ -198,8 +229,19 @@ impl Cell {
             Some(p) => p.to_perturbation().apply(&nominal, p.seed),
             None => nominal.clone(),
         };
+        let timeline = match &self.scenario {
+            Some(s) => s
+                .spec
+                .compile(platform.num_slaves())
+                .unwrap_or_else(|e| panic!("scenario failed to compile: {e}")),
+            None => Timeline::EMPTY,
+        };
+        let mut scheduler: Box<dyn OnlineScheduler> = match &self.scenario {
+            Some(s) if s.fault_aware => Box::new(Redispatch::wrap(self.algorithm)),
+            _ => self.algorithm.build(),
+        };
         let cfg = SimConfig::with_horizon(self.tasks);
-        let trace = simulate(&platform, &tasks, &cfg, &mut self.algorithm.build())
+        let trace = simulate_with_events(&platform, &tasks, &cfg, &timeline, &mut scheduler)
             .unwrap_or_else(|e| panic!("{} failed on {:?}: {e}", self.algorithm, self.platform));
 
         let inst = Instance {
@@ -229,11 +271,18 @@ impl Cell {
             Some(p) => p.label(),
             None => "exact".to_string(),
         };
+        // Static cells keep the historical label shape; a scenario adds a
+        // column between the perturbation and the task count.
+        let scenario = match &self.scenario {
+            Some(s) => format!(" | {}", s.label()),
+            None => String::new(),
+        };
         format!(
-            "{} | {} | {} | n={}",
+            "{} | {} | {}{} | n={}",
             self.platform.group_label(),
             self.arrival.label(),
             pert,
+            scenario,
             self.tasks
         )
     }
@@ -260,11 +309,32 @@ mod tests {
             },
             arrival: ArrivalProcess::AllAtZero,
             perturbation: None,
+            scenario: None,
             tasks: 30,
             algorithm,
             replicate: 0,
             task_seed: 7,
         }
+    }
+
+    fn faulty(algorithm: Algorithm) -> Cell {
+        let mut c = cell(algorithm);
+        c.scenario = Some(ScenarioCell {
+            spec: ScenarioSpec {
+                seed: 11,
+                horizon: Some(500.0),
+                min_up: Some(1),
+                generators: Some(vec![mss_scenario::GeneratorSpec {
+                    kind: "poisson-failures".into(),
+                    mtbf: Some(60.0),
+                    repair_mean: Some(10.0),
+                    ..mss_scenario::GeneratorSpec::default()
+                }]),
+                ..ScenarioSpec::static_spec()
+            },
+            fault_aware: true,
+        });
+        c
     }
 
     #[test]
@@ -305,7 +375,7 @@ mod tests {
 
     #[test]
     fn cells_round_trip_through_json() {
-        let mut c = cell(Algorithm::Sljfwc);
+        let mut c = faulty(Algorithm::Sljfwc);
         c.perturbation = Some(PerturbCell {
             delta: 0.1,
             comm_exponent: 1.0,
@@ -315,5 +385,41 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: Cell = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn static_scenario_cell_matches_no_scenario() {
+        // An empty scenario (even fault-aware) is the identity.
+        let mut static_cell = cell(Algorithm::ListScheduling);
+        static_cell.scenario = Some(ScenarioCell {
+            spec: ScenarioSpec::static_spec(),
+            fault_aware: true,
+        });
+        assert_eq!(static_cell.run(), cell(Algorithm::ListScheduling).run());
+    }
+
+    #[test]
+    fn failure_scenario_runs_deterministically_and_degrades() {
+        let a = faulty(Algorithm::ListScheduling).run();
+        let b = faulty(Algorithm::ListScheduling).run();
+        assert_eq!(a, b, "scenario cells replay bit-for-bit");
+        let clean = cell(Algorithm::ListScheduling).run();
+        assert!(
+            a.makespan >= clean.makespan,
+            "failures cannot improve the makespan: {} vs {}",
+            a.makespan,
+            clean.makespan
+        );
+        assert_eq!(a.lb_makespan, clean.lb_makespan, "bounds ignore failures");
+    }
+
+    #[test]
+    fn scenario_labels_group_cells() {
+        let c = faulty(Algorithm::Srpt);
+        assert!(c.group_label().contains("+RD"), "{}", c.group_label());
+        assert!(
+            !cell(Algorithm::Srpt).group_label().contains("+RD"),
+            "static label unchanged"
+        );
     }
 }

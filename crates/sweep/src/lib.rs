@@ -47,6 +47,7 @@
 pub mod agg;
 pub mod cell;
 pub mod exec;
+pub mod schema;
 pub mod spec;
 pub mod store;
 pub mod toml_lite;
@@ -54,9 +55,9 @@ pub mod toml_lite;
 use std::path::PathBuf;
 
 pub use agg::{aggregate, summarize, AggregateRow, Summary};
-pub use cell::{Cell, CellMetrics, PerturbCell, PlatformCell};
+pub use cell::{Cell, CellMetrics, PerturbCell, PlatformCell, ScenarioCell};
 pub use exec::{default_threads, parallel_map};
-pub use spec::{ArrivalAxis, PerturbAxis, PlatformAxis, SpecError, SweepSpec};
+pub use spec::{ArrivalAxis, PerturbAxis, PlatformAxis, ScenarioAxis, SpecError, SweepSpec};
 pub use store::{cell_key, ResultStore, CODE_VERSION_SALT};
 
 /// How a sweep executes.
@@ -157,15 +158,20 @@ pub fn run_spec(spec: &SweepSpec, config: &SweepConfig) -> Result<SweepOutcome, 
     Ok(run_cells(spec.expand()?, config))
 }
 
-/// Parses a spec from TOML (see `examples/sweep_grid.toml` for the schema).
+/// Parses a spec from TOML (see `examples/sweep_grid.toml` for the
+/// schema). Unknown keys are rejected with a located error rather than
+/// silently ignored.
 pub fn spec_from_toml(input: &str) -> Result<SweepSpec, SpecError> {
     let value = toml_lite::parse(input).map_err(|e| SpecError(e.to_string()))?;
+    schema::validate_sweep_spec(&value)?;
     serde::Deserialize::from_value(&value).map_err(|e| SpecError(e.to_string()))
 }
 
-/// Parses a spec from JSON.
+/// Parses a spec from JSON (same schema and strict-key rules as TOML).
 pub fn spec_from_json(input: &str) -> Result<SweepSpec, SpecError> {
-    serde_json::from_str(input).map_err(|e| SpecError(e.to_string()))
+    let value = serde_json::parse_value(input).map_err(|e| SpecError(e.to_string()))?;
+    schema::validate_sweep_spec(&value)?;
+    serde::Deserialize::from_value(&value).map_err(|e| SpecError(e.to_string()))
 }
 
 /// Parses a spec from a file path, dispatching on the `.json` / `.toml`
@@ -180,5 +186,40 @@ pub fn spec_from_path(path: &std::path::Path) -> Result<SweepSpec, SpecError> {
         spec_from_json(&body)
     } else {
         spec_from_toml(&body)
+    }
+}
+
+/// Parses a standalone scenario file from TOML
+/// (see `examples/failure_scenario.toml`), with strict-key validation.
+pub fn scenario_from_toml(input: &str) -> Result<mss_scenario::ScenarioSpec, SpecError> {
+    let value = toml_lite::parse(input).map_err(|e| SpecError(e.to_string()))?;
+    schema::validate_scenario_spec(&value)?;
+    let spec: mss_scenario::ScenarioSpec =
+        serde::Deserialize::from_value(&value).map_err(|e| SpecError(e.to_string()))?;
+    spec.validate().map_err(|e| SpecError(e.to_string()))?;
+    Ok(spec)
+}
+
+/// Parses a standalone scenario file from JSON, with strict-key validation.
+pub fn scenario_from_json(input: &str) -> Result<mss_scenario::ScenarioSpec, SpecError> {
+    let value = serde_json::parse_value(input).map_err(|e| SpecError(e.to_string()))?;
+    schema::validate_scenario_spec(&value)?;
+    let spec: mss_scenario::ScenarioSpec =
+        serde::Deserialize::from_value(&value).map_err(|e| SpecError(e.to_string()))?;
+    spec.validate().map_err(|e| SpecError(e.to_string()))?;
+    Ok(spec)
+}
+
+/// Parses a scenario file by path (`.json` is JSON, anything else TOML).
+pub fn scenario_from_path(path: &std::path::Path) -> Result<mss_scenario::ScenarioSpec, SpecError> {
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| SpecError(format!("cannot read {}: {e}", path.display())))?;
+    if path
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("json"))
+    {
+        scenario_from_json(&body)
+    } else {
+        scenario_from_toml(&body)
     }
 }

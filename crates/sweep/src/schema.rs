@@ -1,0 +1,251 @@
+//! Strict key validation for TOML/JSON spec files.
+//!
+//! The vendored value-tree deserializer reads absent fields as `None`, so a
+//! typo (`platfroms`, `repar_mean`, …) would silently degrade a spec to
+//! defaults. Every spec entry point therefore walks the parsed value tree
+//! first and rejects any key outside the documented schema, naming the
+//! offending key, its location, and the allowed set.
+
+use crate::spec::SpecError;
+use serde::Value;
+
+/// Per-element validator for array-of-tables entries.
+type SubValidator = fn(&Value, &str) -> Result<(), SpecError>;
+
+/// One allowed key, optionally with a validator for its table elements.
+struct Key {
+    name: &'static str,
+    sub: Option<SubValidator>,
+}
+
+const fn leaf(name: &'static str) -> Key {
+    Key { name, sub: None }
+}
+
+const fn table(name: &'static str, sub: SubValidator) -> Key {
+    Key {
+        name,
+        sub: Some(sub),
+    }
+}
+
+/// Checks that every key of the object `v` (if it is one — type mismatches
+/// are left to the deserializer, which reports them with field context) is
+/// in `allowed`, recursing into array-of-tables entries.
+fn check_table(v: &Value, ctx: &str, allowed: &[Key]) -> Result<(), SpecError> {
+    let Some(entries) = v.as_object() else {
+        return Ok(());
+    };
+    for (key, value) in entries {
+        let Some(spec) = allowed.iter().find(|k| k.name == key) else {
+            let names: Vec<&str> = allowed.iter().map(|k| k.name).collect();
+            return Err(SpecError(format!(
+                "unknown key `{key}` in {ctx} (allowed: {}) — \
+                 unknown keys are rejected so typos cannot silently \
+                 degrade to defaults",
+                names.join(", ")
+            )));
+        };
+        if let Some(sub) = spec.sub {
+            match value {
+                Value::Array(items) => {
+                    for (i, item) in items.iter().enumerate() {
+                        sub(item, &format!("{ctx}.{key}[{i}]"))?;
+                    }
+                }
+                other => sub(other, &format!("{ctx}.{key}"))?,
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_platform(v: &Value, ctx: &str) -> Result<(), SpecError> {
+    check_table(
+        v,
+        ctx,
+        &[
+            leaf("kind"),
+            leaf("class"),
+            leaf("count"),
+            leaf("slaves"),
+            leaf("axis"),
+            leaf("levels"),
+            leaf("families"),
+            leaf("c"),
+            leaf("p"),
+        ],
+    )
+}
+
+fn check_arrival(v: &Value, ctx: &str) -> Result<(), SpecError> {
+    check_table(v, ctx, &[leaf("kind"), leaf("load")])
+}
+
+fn check_perturbation(v: &Value, ctx: &str) -> Result<(), SpecError> {
+    check_table(v, ctx, &[leaf("mode"), leaf("delta")])
+}
+
+fn check_event(v: &Value, ctx: &str) -> Result<(), SpecError> {
+    check_table(
+        v,
+        ctx,
+        &[leaf("at"), leaf("slave"), leaf("kind"), leaf("factor")],
+    )
+}
+
+fn check_generator(v: &Value, ctx: &str) -> Result<(), SpecError> {
+    check_table(
+        v,
+        ctx,
+        &[
+            leaf("kind"),
+            leaf("slaves"),
+            leaf("mtbf"),
+            leaf("repair"),
+            leaf("repair_mean"),
+            leaf("repair_scale"),
+            leaf("shape"),
+            leaf("period"),
+            leaf("duration"),
+            leaf("offset"),
+            leaf("stagger"),
+            leaf("step"),
+            leaf("sigma"),
+            leaf("min_factor"),
+            leaf("max_factor"),
+        ],
+    )
+}
+
+fn check_scenario_axis(v: &Value, ctx: &str) -> Result<(), SpecError> {
+    check_table(
+        v,
+        ctx,
+        &[
+            leaf("kind"),
+            leaf("fault"),
+            leaf("name"),
+            leaf("horizon"),
+            leaf("min_up"),
+            table("events", check_event),
+            table("generators", check_generator),
+        ],
+    )
+}
+
+/// Validates a parsed sweep spec against the `SweepSpec` schema.
+pub fn validate_sweep_spec(v: &Value) -> Result<(), SpecError> {
+    check_table(
+        v,
+        "the sweep spec",
+        &[
+            leaf("name"),
+            leaf("seed"),
+            leaf("replicates"),
+            leaf("tasks"),
+            leaf("algorithms"),
+            table("platforms", check_platform),
+            table("arrivals", check_arrival),
+            table("perturbations", check_perturbation),
+            table("scenarios", check_scenario_axis),
+        ],
+    )
+}
+
+/// Validates a parsed standalone scenario file against the `ScenarioSpec`
+/// schema (`examples/failure_scenario.toml`).
+pub fn validate_scenario_spec(v: &Value) -> Result<(), SpecError> {
+    check_table(
+        v,
+        "the scenario spec",
+        &[
+            leaf("name"),
+            leaf("seed"),
+            leaf("horizon"),
+            leaf("min_up"),
+            table("events", check_event),
+            table("generators", check_generator),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toml_lite;
+
+    #[test]
+    fn accepts_the_documented_schema() {
+        let v = toml_lite::parse(
+            r#"
+            name = "ok"
+            seed = 1
+            tasks = [10]
+            algorithms = ["all"]
+            [[platforms]]
+            kind = "class"
+            class = "het"
+            [[arrivals]]
+            kind = "bag"
+            [[perturbations]]
+            mode = "linear"
+            delta = 0.1
+            [[scenarios]]
+            kind = "dynamic"
+            horizon = 100.0
+            [[scenarios.generators]]
+            kind = "poisson-failures"
+            mtbf = 50.0
+            repair_mean = 5.0
+            [[scenarios.events]]
+            at = 3.0
+            slave = 0
+            kind = "fail"
+            "#,
+        )
+        .unwrap();
+        validate_sweep_spec(&v).unwrap();
+    }
+
+    #[test]
+    fn rejects_top_level_typo_with_context() {
+        let v = toml_lite::parse("name = \"x\"\nseed = 1\ntasks = [1]\nplatfroms = 2").unwrap();
+        let err = validate_sweep_spec(&v).unwrap_err();
+        assert!(err.0.contains("platfroms"), "{err}");
+        assert!(err.0.contains("allowed"), "{err}");
+    }
+
+    #[test]
+    fn rejects_nested_typo_with_location() {
+        let v = toml_lite::parse(
+            r#"
+            name = "x"
+            [[platforms]]
+            kind = "class"
+            clas = "het"
+            "#,
+        )
+        .unwrap();
+        let err = validate_sweep_spec(&v).unwrap_err();
+        assert!(err.0.contains("clas"), "{err}");
+        assert!(err.0.contains("platforms[0]"), "{err}");
+    }
+
+    #[test]
+    fn rejects_generator_typo_in_scenario_file() {
+        let v = toml_lite::parse(
+            r#"
+            seed = 1
+            horizon = 10.0
+            [[generators]]
+            kind = "poisson-failures"
+            mtfb = 5.0
+            "#,
+        )
+        .unwrap();
+        let err = validate_scenario_spec(&v).unwrap_err();
+        assert!(err.0.contains("mtfb"), "{err}");
+        assert!(err.0.contains("generators[0]"), "{err}");
+    }
+}

@@ -10,8 +10,9 @@
 //! Specs are written as TOML (see `examples/sweep_grid.toml`) or JSON; the
 //! field names below are the schema.
 
-use crate::cell::{Cell, PerturbCell, PlatformCell};
+use crate::cell::{Cell, PerturbCell, PlatformCell, ScenarioCell};
 use mss_core::{Algorithm, PlatformClass};
+use mss_scenario::{EventSpec, GeneratorSpec, ScenarioSpec};
 use mss_workload::{ArrivalProcess, HeterogeneityAxis};
 
 /// A malformed spec.
@@ -74,6 +75,30 @@ pub struct PerturbAxis {
     pub delta: Option<f64>,
 }
 
+/// One scenario axis entry: a dynamic-platform script for the cells of
+/// this grid point (see `mss-scenario` for the event model).
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScenarioAxis {
+    /// `"static"` (no platform events) or `"dynamic"`.
+    pub kind: String,
+    /// Fault policy for `dynamic`: `"redispatch"` (default — wrap the
+    /// algorithm in the fault-aware redispatcher) or `"plain"` (run the
+    /// fault-oblivious algorithm as-is; may livelock under failures).
+    pub fault: Option<String>,
+    /// Optional label for report rows.
+    pub name: Option<String>,
+    /// Generator horizon (required when `generators` is present). The
+    /// scenario seed is derived per cell from the master seed, so it is
+    /// not part of the axis.
+    pub horizon: Option<f64>,
+    /// Minimum number of up slaves (default 1).
+    pub min_up: Option<usize>,
+    /// Scripted one-off events.
+    pub events: Option<Vec<EventSpec>>,
+    /// Event generators (Poisson failures, maintenance, drift).
+    pub generators: Option<Vec<GeneratorSpec>>,
+}
+
 /// The declarative sweep description.
 #[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SweepSpec {
@@ -94,6 +119,8 @@ pub struct SweepSpec {
     pub arrivals: Vec<ArrivalAxis>,
     /// Perturbation axes (default: a single `none`).
     pub perturbations: Option<Vec<PerturbAxis>>,
+    /// Scenario axes (default: a single `static`).
+    pub scenarios: Option<Vec<ScenarioAxis>>,
 }
 
 /// `(delta, comm_exponent, comp_exponent)` of one perturbation axis entry;
@@ -276,14 +303,68 @@ impl SweepSpec {
         Ok(out)
     }
 
+    /// Scenario templates, one per axis entry; `None` is the static model.
+    /// The embedded spec seeds are zero here and filled per cell.
+    fn scenario_set(&self) -> Result<Vec<Option<ScenarioCell>>, SpecError> {
+        let Some(axes) = &self.scenarios else {
+            return Ok(vec![None]);
+        };
+        let mut out = Vec::new();
+        for (i, s) in axes.iter().enumerate() {
+            match s.kind.to_ascii_lowercase().as_str() {
+                "static" | "none" => out.push(None),
+                "dynamic" | "faults" => {
+                    let fault_aware = match s.fault.as_deref().unwrap_or("redispatch") {
+                        "redispatch" => true,
+                        "plain" => false,
+                        other => {
+                            return Err(SpecError(format!(
+                                "scenario {i}: unknown fault policy `{other}` \
+                                 (redispatch, plain)"
+                            )))
+                        }
+                    };
+                    let spec = ScenarioSpec {
+                        name: s.name.clone(),
+                        seed: 0,
+                        horizon: s.horizon,
+                        min_up: s.min_up,
+                        events: s.events.clone(),
+                        generators: s.generators.clone(),
+                    };
+                    if spec.is_static() {
+                        return Err(SpecError(format!(
+                            "scenario {i}: `dynamic` without events or generators \
+                             (use kind = \"static\")"
+                        )));
+                    }
+                    // Fail at spec time, not mid-sweep in a worker thread.
+                    spec.validate()
+                        .map_err(|e| SpecError(format!("scenario {i}: {e}")))?;
+                    out.push(Some(ScenarioCell { spec, fault_aware }));
+                }
+                other => {
+                    return Err(SpecError(format!(
+                        "scenario {i}: unknown kind `{other}` (static, dynamic)"
+                    )))
+                }
+            }
+        }
+        if out.is_empty() {
+            out.push(None);
+        }
+        Ok(out)
+    }
+
     /// Expands the grid into concrete cells, in a deterministic order:
-    /// platforms → tasks → arrivals → perturbations → replicates →
-    /// algorithms (the innermost axis varies fastest).
+    /// platforms → tasks → arrivals → perturbations → scenarios →
+    /// replicates → algorithms (the innermost axis varies fastest).
     pub fn expand(&self) -> Result<Vec<Cell>, SpecError> {
         let algorithms = self.algorithm_set()?;
         let recipes = self.platform_recipes()?;
         let arrivals = self.arrival_set()?;
         let perturbs = self.perturb_set()?;
+        let scenarios = self.scenario_set()?;
         let replicates = self.replicates.unwrap_or(1).max(1);
         if self.tasks.is_empty() {
             return Err(SpecError("no task counts".into()));
@@ -294,40 +375,49 @@ impl SweepSpec {
             for &tasks in &self.tasks {
                 for arrival in &arrivals {
                     for perturb in &perturbs {
-                        for replicate in 0..replicates {
-                            for &algorithm in &algorithms {
-                                // Seeds derive from the grid *point*
-                                // (identity with zeroed seeds and a fixed
-                                // algorithm placeholder) hashed with the
-                                // master seed — independent of enumeration
-                                // order, and shared across algorithms so
-                                // they face identical instances.
-                                let mut cell = Cell {
-                                    platform: platform.clone(),
-                                    arrival: *arrival,
-                                    perturbation: perturb.map(|(delta, ec, ep)| PerturbCell {
-                                        delta,
-                                        comm_exponent: ec,
-                                        comp_exponent: ep,
-                                        seed: 0,
-                                    }),
-                                    tasks,
-                                    algorithm: Algorithm::Srpt,
-                                    replicate,
-                                    task_seed: 0,
-                                };
-                                let identity =
-                                    serde_json::to_string(&cell).expect("serialize cell identity");
-                                let id_hash = fnv1a(identity.as_bytes());
-                                cell.algorithm = algorithm;
-                                cell.task_seed =
-                                    mix(self.seed ^ id_hash.rotate_left(17) ^ replicate);
-                                if let Some(p) = &mut cell.perturbation {
-                                    p.seed = mix(self.seed
-                                        ^ id_hash.rotate_left(43)
-                                        ^ replicate.wrapping_mul(0x9e37));
+                        for scenario in &scenarios {
+                            for replicate in 0..replicates {
+                                for &algorithm in &algorithms {
+                                    // Seeds derive from the grid *point*
+                                    // (identity with zeroed seeds and a
+                                    // fixed algorithm placeholder) hashed
+                                    // with the master seed — independent of
+                                    // enumeration order, and shared across
+                                    // algorithms so they face identical
+                                    // instances.
+                                    let mut cell = Cell {
+                                        platform: platform.clone(),
+                                        arrival: *arrival,
+                                        perturbation: perturb.map(|(delta, ec, ep)| PerturbCell {
+                                            delta,
+                                            comm_exponent: ec,
+                                            comp_exponent: ep,
+                                            seed: 0,
+                                        }),
+                                        scenario: scenario.clone(),
+                                        tasks,
+                                        algorithm: Algorithm::Srpt,
+                                        replicate,
+                                        task_seed: 0,
+                                    };
+                                    let identity = serde_json::to_string(&cell)
+                                        .expect("serialize cell identity");
+                                    let id_hash = fnv1a(identity.as_bytes());
+                                    cell.algorithm = algorithm;
+                                    cell.task_seed =
+                                        mix(self.seed ^ id_hash.rotate_left(17) ^ replicate);
+                                    if let Some(p) = &mut cell.perturbation {
+                                        p.seed = mix(self.seed
+                                            ^ id_hash.rotate_left(43)
+                                            ^ replicate.wrapping_mul(0x9e37));
+                                    }
+                                    if let Some(s) = &mut cell.scenario {
+                                        s.spec.seed = mix(self.seed
+                                            ^ id_hash.rotate_left(29)
+                                            ^ replicate.wrapping_mul(0xa5a5));
+                                    }
+                                    cells.push(cell);
                                 }
-                                cells.push(cell);
                             }
                         }
                     }
@@ -371,6 +461,24 @@ mod tests {
                 },
             ],
             perturbations: None,
+            scenarios: None,
+        }
+    }
+
+    fn dynamic_axis() -> ScenarioAxis {
+        ScenarioAxis {
+            kind: "dynamic".into(),
+            fault: None,
+            name: None,
+            horizon: Some(300.0),
+            min_up: Some(1),
+            events: None,
+            generators: Some(vec![GeneratorSpec {
+                kind: "poisson-failures".into(),
+                mtbf: Some(60.0),
+                repair_mean: Some(10.0),
+                ..GeneratorSpec::default()
+            }]),
         }
     }
 
@@ -427,6 +535,78 @@ mod tests {
         let mut s = spec();
         s.arrivals[0].kind = "burst".into();
         assert!(s.expand().is_err());
+        let mut s = spec();
+        s.scenarios = Some(vec![ScenarioAxis {
+            kind: "apocalypse".into(),
+            ..dynamic_axis()
+        }]);
+        assert!(s.expand().is_err());
+        let mut s = spec();
+        s.scenarios = Some(vec![ScenarioAxis {
+            fault: Some("yolo".into()),
+            ..dynamic_axis()
+        }]);
+        assert!(s.expand().is_err());
+    }
+
+    #[test]
+    fn scenario_axis_expands_and_seeds_cells() {
+        let mut s = spec();
+        s.scenarios = Some(vec![
+            ScenarioAxis {
+                kind: "static".into(),
+                fault: None,
+                name: None,
+                horizon: None,
+                min_up: None,
+                events: None,
+                generators: None,
+            },
+            dynamic_axis(),
+        ]);
+        let cells = s.expand().unwrap();
+        // The scenario axis doubles the grid of `grid_size_is_the_axis_product`.
+        assert_eq!(cells.len(), 2 * (3 * 2 * 2 * 2 * 2));
+        let dynamic: Vec<&Cell> = cells.iter().filter(|c| c.scenario.is_some()).collect();
+        assert_eq!(dynamic.len(), cells.len() / 2);
+        // Every dynamic cell is fault-aware by default and carries a
+        // content-derived, replicate-distinct scenario seed.
+        let mut seeds = std::collections::HashSet::new();
+        for c in &dynamic {
+            let s = c.scenario.as_ref().unwrap();
+            assert!(s.fault_aware);
+            seeds.insert((c.platform.replicate_index(), c.replicate, s.spec.seed));
+        }
+        // Same point, different algorithm share a scenario seed; different
+        // points differ. 3 platforms × 2 tasks × 2 arrivals × 2 replicates
+        // distinct (platform, replicate, seed) triples... per task/arrival.
+        assert!(seeds.len() >= dynamic.len() / 2 - 1);
+        // And the expansion is reproducible.
+        assert_eq!(s.expand().unwrap(), cells);
+    }
+
+    #[test]
+    fn dynamic_axis_without_events_is_rejected() {
+        let mut s = spec();
+        s.scenarios = Some(vec![ScenarioAxis {
+            generators: None,
+            ..dynamic_axis()
+        }]);
+        let err = s.expand().unwrap_err();
+        assert!(err.0.contains("without events"), "{err}");
+    }
+
+    #[test]
+    fn malformed_dynamic_axis_fails_at_expand_not_at_cell_run() {
+        // Generators without a horizon must be a spec error, not a panic
+        // inside a sweep worker thread.
+        let mut s = spec();
+        s.scenarios = Some(vec![ScenarioAxis {
+            horizon: None,
+            ..dynamic_axis()
+        }]);
+        let err = s.expand().unwrap_err();
+        assert!(err.0.contains("horizon"), "{err}");
     }
 
     #[test]

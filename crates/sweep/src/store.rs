@@ -14,7 +14,8 @@ use std::path::{Path, PathBuf};
 
 /// Bump when a change to the simulator/heuristics/workload invalidates
 /// previously stored results; old keys then simply never match.
-pub const CODE_VERSION_SALT: &str = "mss-sweep-v1";
+/// v2: the cell schema gained the dynamic-platform `scenario` axis.
+pub const CODE_VERSION_SALT: &str = "mss-sweep-v2";
 
 /// FNV-1a, 64-bit — stable across platforms and runs.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -157,6 +158,7 @@ mod tests {
             },
             arrival: ArrivalProcess::AllAtZero,
             perturbation: None,
+            scenario: None,
             tasks: 5,
             algorithm: Algorithm::Srpt,
             replicate: 0,

@@ -159,3 +159,133 @@ fn json_specs_are_equivalent_to_toml() {
     assert_eq!(json_spec, toml_spec);
     assert_eq!(json_spec.expand().unwrap(), toml_spec.expand().unwrap());
 }
+
+/// A small grid with a dynamic (Poisson failures + drift) scenario axis:
+/// the determinism and caching contracts must extend to faulty platforms.
+fn faulty_spec() -> SweepSpec {
+    spec_from_toml(
+        r#"
+        name = "contract-faults"
+        seed = 7
+        replicates = 2
+        tasks = [30]
+        algorithms = ["SRPT", "LS", "SLJFWC"]
+
+        [[platforms]]
+        kind = "class"
+        class = "het"
+        count = 2
+        slaves = 4
+
+        [[arrivals]]
+        kind = "bag"
+
+        [[scenarios]]
+        kind = "static"
+
+        [[scenarios]]
+        kind = "dynamic"
+        horizon = 400.0
+        min_up = 1
+
+        [[scenarios.generators]]
+        kind = "poisson-failures"
+        mtbf = 40.0
+        repair_mean = 8.0
+
+        [[scenarios.generators]]
+        kind = "speed-drift"
+        step = 20.0
+        sigma = 0.3
+        "#,
+    )
+    .unwrap()
+}
+
+#[test]
+fn scenario_grids_are_bit_identical_across_thread_counts() {
+    let spec = faulty_spec();
+    let cells = spec.expand().unwrap();
+    assert_eq!(cells.len(), 2 * 2 * 2 * 3, "platforms×scenarios×reps×algs");
+    assert!(cells.iter().filter(|c| c.scenario.is_some()).count() == cells.len() / 2);
+
+    let single = run_spec(
+        &spec,
+        &SweepConfig {
+            threads: 1,
+            cache_dir: None,
+        },
+    )
+    .unwrap();
+    for threads in [2, 8] {
+        let parallel = run_spec(
+            &spec,
+            &SweepConfig {
+                threads,
+                cache_dir: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(parallel.metrics, single.metrics);
+        assert_eq!(aggregate_bytes(&parallel), aggregate_bytes(&single));
+    }
+}
+
+#[test]
+fn scenario_cells_hit_the_cache_and_failures_change_the_key() {
+    let dir = temp_dir("faulty-cache");
+    let spec = faulty_spec();
+    let config = SweepConfig {
+        threads: 4,
+        cache_dir: Some(dir.clone()),
+    };
+    let first = run_spec(&spec, &config).unwrap();
+    assert_eq!(first.cached, 0);
+    let second = run_spec(&spec, &config).unwrap();
+    assert_eq!(second.executed, 0, "scenario cells must be cacheable");
+
+    // The static and dynamic halves of the grid must never share cache
+    // keys: the scenario is part of the cell identity.
+    let cells = spec.expand().unwrap();
+    let static_keys: std::collections::HashSet<String> = cells
+        .iter()
+        .filter(|c| c.scenario.is_none())
+        .map(mss_sweep::cell_key)
+        .collect();
+    let dynamic_keys: std::collections::HashSet<String> = cells
+        .iter()
+        .filter(|c| c.scenario.is_some())
+        .map(mss_sweep::cell_key)
+        .collect();
+    assert!(static_keys.is_disjoint(&dynamic_keys));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_keys_in_specs_are_rejected() {
+    // Top-level typo.
+    let err = spec_from_toml("name = \"x\"\nseed = 1\nreplicas = 2").unwrap_err();
+    assert!(err.to_string().contains("replicas"), "{err}");
+    // Nested typo inside an axis entry.
+    let err = spec_from_toml(
+        r#"
+        name = "x"
+        seed = 1
+        tasks = [10]
+        algorithms = ["all"]
+        [[platforms]]
+        kind = "class"
+        class = "het"
+        slave = 5
+        [[arrivals]]
+        kind = "bag"
+        "#,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("`slave`"), "{err}");
+    assert!(err.to_string().contains("platforms[0]"), "{err}");
+    // JSON goes through the same validation.
+    let err = mss_sweep::spec_from_json(r#"{"name":"x","sede":1}"#).unwrap_err();
+    assert!(err.to_string().contains("sede"), "{err}");
+}

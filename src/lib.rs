@@ -15,6 +15,8 @@
 //! * [`opt`] — offline optimal machinery (exhaustive exact optimum,
 //!   homogeneous closed forms, count optimizers);
 //! * [`adversary`] — the nine lower-bound theorems as executable games;
+//! * [`scenario`] — dynamic-platform scenarios: deterministic, seedable
+//!   timelines of slave failures, recoveries, and link/speed drift;
 //! * [`workload`] — platform generators, arrival processes, perturbations,
 //!   and the Section 4.2 calibration procedure;
 //! * [`cluster`] — a threaded master-worker executor with real
@@ -30,5 +32,6 @@ pub use mss_core as core;
 pub use mss_exact as exact;
 pub use mss_lab as lab;
 pub use mss_opt as opt;
+pub use mss_scenario as scenario;
 pub use mss_sim as sim;
 pub use mss_workload as workload;
