@@ -2,7 +2,7 @@
 //! instance and platform grow.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mss_core::{bag_of_tasks, simulate, Algorithm, Platform, SimConfig};
+use mss_core::{bag_of_tasks, simulate, simulate_in, Algorithm, Platform, SimConfig, SimWorkspace};
 use mss_workload::ArrivalProcess;
 
 fn bench_task_scaling(c: &mut Criterion) {
@@ -71,10 +71,35 @@ fn bench_streamed_arrivals(c: &mut Criterion) {
     });
 }
 
+fn bench_workspace_reuse(c: &mut Criterion) {
+    // The steady-state hot loop `ms-lab bench` records in BENCH_engine.json:
+    // same workload as engine/tasks/2000, but on a reused SimWorkspace so
+    // every iteration after the first runs allocation-free.
+    let platform = Platform::from_vectors(&[0.1, 0.3, 0.5, 0.7, 0.9], &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    let n = 2000usize;
+    let tasks = bag_of_tasks(n);
+    let cfg = SimConfig::with_horizon(n);
+    let mut ws = SimWorkspace::new();
+    c.bench_function("engine/reuse-2000", |b| {
+        b.iter(|| {
+            simulate_in(
+                &mut ws,
+                &platform,
+                &tasks,
+                &cfg,
+                &mut Algorithm::ListScheduling.build(),
+            )
+            .unwrap()
+            .len()
+        });
+    });
+}
+
 criterion_group!(
     benches,
     bench_task_scaling,
     bench_slave_scaling,
-    bench_streamed_arrivals
+    bench_streamed_arrivals,
+    bench_workspace_reuse
 );
 criterion_main!(benches);

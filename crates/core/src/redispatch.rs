@@ -20,6 +20,12 @@
 //! redirection may therefore violate the inner policy's invariants (e.g.
 //! queue on a busy slave under SRPT). That is deliberate: the wrapper
 //! trades policy purity for liveness, which is the fault-tolerance contract.
+//!
+//! The wrapper sits on the engine's zero-allocation hot path: it reads the
+//! same borrowed [`SimView`] it hands to the inner scheduler (the engine's
+//! incrementally maintained per-slave state — see `mss_sim`'s engine docs)
+//! and redirects without allocating, so wrapping adds only an O(m) argmin
+//! to the per-decision cost.
 
 use mss_sim::{Decision, OnlineScheduler, SchedulerEvent, SimView, SlaveId};
 

@@ -1,0 +1,236 @@
+//! `ms-lab bench` — the reproducible performance baseline.
+//!
+//! Runs the two hot loops the Criterion suite tracks (`bench_engine`'s
+//! task-scaling loop and `bench_sweep`'s cells/second grid) with plain
+//! wall-clock timing and emits a schema-stable `BENCH_engine.json`, so the
+//! repository records a perf trajectory point per change instead of only
+//! printing transient bench output. CI's `bench-smoke` job runs
+//! `ms-lab bench --quick` and uploads the JSON as an artifact.
+//!
+//! Metrics:
+//!
+//! * **events/sec** — discrete events through [`mss_core::simulate_in`] on
+//!   the reference workload (5-slave heterogeneous platform, bag of tasks,
+//!   List Scheduling, reused [`SimWorkspace`]). A static run processes
+//!   exactly `3·n` events (release, send-complete, compute-complete per
+//!   task), so the count is deterministic and comparable across machines
+//!   of the same class. Best-of-`iters` timing (robust to scheduler noise).
+//! * **cells/sec** — sweep-grid cells through [`mss_sweep::run_cells`]
+//!   (cache disabled) at the requested thread count.
+//! * **allocs_per_event_steady_state** — the engine's zero-allocation
+//!   contract. Not measured here (a global counting allocator would tax
+//!   every run); it is *enforced* at 0 by
+//!   `crates/sim/tests/zero_alloc.rs` and recorded for the schema.
+
+use mss_core::{bag_of_tasks, simulate_in, Algorithm, Platform, SimConfig, SimWorkspace};
+use mss_sweep::{run_cells, spec_from_toml, SweepConfig};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Schema identifier written into the JSON (bump on layout changes).
+pub const BENCH_SCHEMA: &str = "mss-bench/v1";
+
+/// Timing of the engine hot loop.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct EngineBench {
+    /// Tasks per run.
+    pub tasks: usize,
+    /// Slaves on the reference platform.
+    pub slaves: usize,
+    /// Timed iterations (after one warm-up).
+    pub iters: usize,
+    /// Events processed per iteration (`3 · tasks`, exact).
+    pub events_per_iter: u64,
+    /// Best iteration wall time, seconds.
+    pub best_secs: f64,
+    /// Mean iteration wall time, seconds.
+    pub mean_secs: f64,
+    /// `events_per_iter / best_secs`.
+    pub events_per_sec: f64,
+}
+
+/// Timing of the sweep-orchestrator hot loop.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct SweepBench {
+    /// Cells in the reference grid.
+    pub cells: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Timed iterations (after one warm-up).
+    pub iters: usize,
+    /// Best iteration wall time, seconds.
+    pub best_secs: f64,
+    /// `cells / best_secs`.
+    pub cells_per_sec: f64,
+}
+
+/// The full `BENCH_engine.json` payload.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct BenchReport {
+    /// Schema tag ([`BENCH_SCHEMA`]).
+    pub schema: String,
+    /// `true` for `--quick` (reduced workload; numbers are not comparable
+    /// with full-scale entries).
+    pub quick: bool,
+    /// Engine hot-loop timing.
+    pub engine: EngineBench,
+    /// Sweep hot-loop timing.
+    pub sweep: SweepBench,
+    /// Steady-state heap allocations per engine event — the contract
+    /// enforced by `crates/sim/tests/zero_alloc.rs`.
+    pub allocs_per_event_steady_state: f64,
+}
+
+fn time_loop<F: FnMut()>(iters: usize, mut f: F) -> (f64, f64) {
+    f(); // warm-up (also sizes reusable buffers)
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        let secs = start.elapsed().as_secs_f64();
+        best = best.min(secs);
+        total += secs;
+    }
+    (best, total / iters as f64)
+}
+
+fn engine_bench(quick: bool) -> EngineBench {
+    // The reference workload of `bench_engine`'s task-scaling group.
+    let platform = Platform::from_vectors(&[0.1, 0.3, 0.5, 0.7, 0.9], &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    let (tasks_n, iters) = if quick { (500, 5) } else { (2000, 15) };
+    let tasks = bag_of_tasks(tasks_n);
+    let cfg = SimConfig::with_horizon(tasks_n);
+    let mut ws = SimWorkspace::new();
+    let (best, mean) = time_loop(iters, || {
+        let trace = simulate_in(
+            &mut ws,
+            &platform,
+            &tasks,
+            &cfg,
+            &mut Algorithm::ListScheduling.build(),
+        )
+        .expect("reference workload simulates");
+        assert_eq!(trace.len(), tasks_n);
+    });
+    let events = 3 * tasks_n as u64;
+    EngineBench {
+        tasks: tasks_n,
+        slaves: platform.num_slaves(),
+        iters,
+        events_per_iter: events,
+        best_secs: best,
+        mean_secs: mean,
+        events_per_sec: events as f64 / best,
+    }
+}
+
+fn sweep_bench(quick: bool, threads: usize) -> SweepBench {
+    // The reference grid of `bench_sweep`, scaled down under --quick.
+    let (tasks, count, iters) = if quick { (60, 2, 2) } else { (120, 4, 3) };
+    let spec = spec_from_toml(&format!(
+        r#"
+        name = "bench-grid"
+        seed = 42
+        tasks = [{tasks}]
+        algorithms = ["all"]
+
+        [[platforms]]
+        kind = "class"
+        class = "heterogeneous"
+        count = {count}
+        slaves = 5
+
+        [[arrivals]]
+        kind = "bag"
+
+        [[arrivals]]
+        kind = "poisson"
+        load = 0.9
+        "#
+    ))
+    .expect("bench grid parses");
+    let cells = spec.expand().expect("bench grid expands");
+    let n = cells.len();
+    let config = SweepConfig {
+        threads,
+        cache_dir: None,
+    };
+    let (best, _) = time_loop(iters, || {
+        let outcome = run_cells(cells.clone(), &config);
+        assert_eq!(outcome.executed, n);
+    });
+    SweepBench {
+        cells: n,
+        threads,
+        iters,
+        best_secs: best,
+        cells_per_sec: n as f64 / best,
+    }
+}
+
+/// Runs both hot loops and assembles the report.
+pub fn run(quick: bool, threads: usize) -> BenchReport {
+    BenchReport {
+        schema: BENCH_SCHEMA.to_string(),
+        quick,
+        engine: engine_bench(quick),
+        sweep: sweep_bench(quick, threads),
+        allocs_per_event_steady_state: 0.0,
+    }
+}
+
+impl BenchReport {
+    /// Human-readable summary for the terminal.
+    pub fn render(&self) -> String {
+        format!(
+            "engine: {} tasks x {} slaves, {} events/iter, best {:.3} ms -> {:.0} events/sec\n\
+             sweep:  {} cells on {} threads, best {:.3} s -> {:.1} cells/sec\n\
+             allocs/event (steady state): {} (enforced by crates/sim/tests/zero_alloc.rs)",
+            self.engine.tasks,
+            self.engine.slaves,
+            self.engine.events_per_iter,
+            self.engine.best_secs * 1e3,
+            self.engine.events_per_sec,
+            self.sweep.cells,
+            self.sweep.threads,
+            self.sweep.best_secs,
+            self.sweep.cells_per_sec,
+            self.allocs_per_event_steady_state,
+        )
+    }
+
+    /// Writes the report as pretty JSON to `path`; returns the path.
+    ///
+    /// # Panics
+    /// Panics if the file cannot be written.
+    pub fn write(&self, path: &Path) -> PathBuf {
+        let body = serde_json::to_string_pretty(self).expect("serialize bench report");
+        std::fs::write(path, body).expect("write bench report");
+        path.to_path_buf()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_runs_and_round_trips() {
+        let report = run(true, 2);
+        assert_eq!(report.schema, BENCH_SCHEMA);
+        assert!(report.quick);
+        assert_eq!(
+            report.engine.events_per_iter,
+            3 * report.engine.tasks as u64
+        );
+        assert!(report.engine.events_per_sec > 0.0);
+        assert!(report.sweep.cells_per_sec > 0.0);
+        assert_eq!(report.allocs_per_event_steady_state, 0.0);
+
+        let json = serde_json::to_string(&report).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.engine.tasks, report.engine.tasks);
+        assert!(report.render().contains("events/sec"));
+    }
+}

@@ -22,7 +22,11 @@
 //!   sweep <spec>       run a user-defined grid (TOML or JSON spec; see
 //!                      examples/sweep_grid.toml). Extra flags:
 //!                      [--cache-dir DIR] [--no-cache] [--baseline ALG]
-//!   all                everything above except `sweep`
+//!   bench              time the engine and sweep hot loops and write the
+//!                      schema-stable BENCH_engine.json perf-trajectory
+//!                      point. Extra flag: [--out PATH] (default
+//!                      ./BENCH_engine.json)
+//!   all                everything above except `sweep` and `bench`
 //! ```
 
 use mss_core::{Algorithm, PlatformClass};
@@ -36,10 +40,11 @@ fn usage() -> ! {
     eprintln!(
         "usage: ms-lab <table1|fig1|fig1a|fig1b|fig1c|fig1d|fig2|ablation-buffer|\
          ablation-sljf|ablation-arrivals|ablation-heterogeneity|resilience|\
-         sweep <spec.toml>|all>\n\
+         sweep <spec.toml>|bench|all>\n\
          \x20       [--quick] [--seed N] [--tasks N] [--platforms N] [--threads N]\n\
          \x20       sweep only: [--cache-dir DIR] [--no-cache] [--baseline ALG]\n\
-         \x20       resilience only: [--scenario FILE]"
+         \x20       resilience only: [--scenario FILE]\n\
+         \x20       bench only: [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -238,6 +243,17 @@ fn run_sweep(args: &[String]) {
     );
 }
 
+fn run_bench(args: &[String], config: &SweepConfig) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let report = mss_lab::bench::run(quick, config.threads);
+    println!("{}", report.render());
+    let out = parse_flag(args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_engine.json"));
+    let path = report.write(&out);
+    println!("perf-trajectory point: {}", path.display());
+}
+
 fn run_resilience(args: &[String], scale: ExperimentScale, config: &SweepConfig) {
     let arrival = ArrivalProcess::UniformStream { load: 0.9 };
     let report = match parse_flag(args, "--scenario") {
@@ -282,6 +298,7 @@ fn main() {
         }
         "fig2" => run_fig2(scale, &runtime),
         "sweep" => run_sweep(rest),
+        "bench" => run_bench(rest, &runtime),
         "ablation-buffer" => {
             let report = ablations::buffer_sweep_with(scale, &runtime);
             println!("{}", report.render());

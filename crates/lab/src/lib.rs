@@ -10,6 +10,7 @@
 //! | Ablations A1–A3 (DESIGN.md) | [`ablations`] | `ms-lab ablation-*` |
 //! | Resilience (failures, new) | [`resilience`] | `ms-lab resilience` |
 //! | user-defined scenario grids | `mss_sweep` | `ms-lab sweep <spec.toml>` |
+//! | perf baseline (`BENCH_engine.json`) | [`bench`](mod@bench) | `ms-lab bench` |
 //!
 //! Each experiment prints an ASCII table mirroring the paper's layout and
 //! writes CSV + JSON artifacts under `target/lab/`. EXPERIMENTS.md records
@@ -24,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod bench;
 pub mod fig1;
 pub mod fig2;
 pub mod report;

@@ -4,7 +4,7 @@
 //! platform and returns the full [`Trace`]. The engine owns the two scarce
 //! resources of the model and enforces them *by construction*:
 //!
-//! * the master's **one port** — a single [`LinkState`]; a send can only
+//! * the master's **one port** — a single link state; a send can only
 //!   start when the port is idle, and occupies it for `c_j · size_c` seconds;
 //! * each slave's **serial execution** — a slave computes the tasks it has
 //!   received one at a time, FIFO, each for `p_j · size_p` seconds.
@@ -19,6 +19,35 @@
 //! [`crate::events`]): timeline events enter the same heap after the task
 //! releases, so the determinism contract extends unchanged to dynamic
 //! platforms, and an empty timeline is bit-for-bit the static engine.
+//!
+//! # The zero-allocation hot path
+//!
+//! The event loop performs **no heap allocation in steady state**: every
+//! buffer it touches lives in a [`SimWorkspace`] that is sized once and
+//! reused, both across the events of one run and — through [`simulate_in`]
+//! and [`simulate_with_events_in`] — across runs (the sweep executor keeps
+//! one workspace per worker thread). Three mechanisms make this possible:
+//!
+//! * **incrementally maintained slave views** — the [`SlaveView`] handed to
+//!   the scheduler is cached per slave and recomputed only when an event
+//!   touched that slave (dirty flag) or the clock passed the instant up to
+//!   which the cached nominal estimate is provably exact (`view_valid_until`).
+//!   The recomputation replays the *same sequential float arithmetic* as a
+//!   from-scratch evaluation, so cached and fresh views are bit-identical —
+//!   a `debug_assertions` oracle re-derives every view from scratch after
+//!   each refresh and asserts bitwise equality;
+//! * **an indexed task-phase map** — pending-membership checks in
+//!   [`Decision::Send`] validation are O(1) array lookups instead of a scan
+//!   of the pending queue, and the pending queue itself is a ring buffer
+//!   (front pops — the common case for every paper heuristic — are O(1) and
+//!   move no memory);
+//! * **pre-sized, reused event heap and notification buffers** — pushes in
+//!   steady state never grow capacity.
+//!
+//! The determinism contract above is unaffected: this module's refactor is
+//! observationally transparent (fig1a–d/fig2/table1 artifacts are
+//! byte-identical to the pre-refactor engine, enforced by the lab's
+//! regression suite).
 
 use crate::events::{PlatformEventKind, Timeline};
 use crate::platform::{Platform, SlaveId};
@@ -151,7 +180,7 @@ struct OutTask {
 #[derive(Clone, Debug, Default)]
 struct SlaveRt {
     /// Sent-and-not-completed tasks, in send order. Index 0 is the one
-    /// currently computing when `cur_pred_end` is `Some`.
+    /// currently computing when `computing` is `Some`.
     outstanding: VecDeque<OutTask>,
     /// Received tasks waiting to compute (subset of `outstanding`).
     queue: VecDeque<TaskId>,
@@ -165,6 +194,19 @@ struct SlaveRt {
     /// `true` while the slave is failed (scenario timelines only).
     down: bool,
     completed: usize,
+}
+
+impl SlaveRt {
+    /// Clears per-run state while keeping buffer capacity.
+    fn reset(&mut self) {
+        self.outstanding.clear();
+        self.queue.clear();
+        self.computing = None;
+        self.compute_seq = 0;
+        self.cur_pred_end = 0.0;
+        self.down = false;
+        self.completed = 0;
+    }
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -183,27 +225,154 @@ struct PartialRecord {
     done: bool,
 }
 
+/// Lifecycle phase of a task, indexed by `TaskId` — the slot map behind O(1)
+/// pending-membership checks (no scan of the pending queue).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TaskPhase {
+    /// Release event not yet processed.
+    Unreleased,
+    /// Released and waiting at the master (member of the pending queue).
+    Pending,
+    /// Sent (or in flight) to a slave.
+    Assigned,
+    /// Computation completed.
+    Done,
+}
+
+/// Reusable simulation buffers — the allocation arena of the engine.
+///
+/// A workspace owns every growable structure the event loop touches: the
+/// event heap, per-slave runtime queues, the pending ring buffer, the task
+/// phase/record arrays, and the incrementally maintained [`SlaveView`]
+/// cache. [`simulate_in`] sizes them once per run and the loop then runs
+/// allocation-free in steady state; reusing one workspace across runs (as
+/// the `mss-sweep` executor does per worker thread) also skips the sizing.
+///
+/// Results are bit-identical whether a workspace is fresh or reused — every
+/// field is re-initialized per run.
+///
+/// # Examples
+/// ```
+/// use mss_sim::{simulate_in, SimConfig, SimWorkspace, Platform, bag_of_tasks};
+/// use mss_sim::{Decision, OnlineScheduler, SchedulerEvent, SimView, SlaveId};
+///
+/// struct FirstSlave;
+/// impl OnlineScheduler for FirstSlave {
+///     fn name(&self) -> String { "first".into() }
+///     fn on_event(&mut self, view: &SimView<'_>, _e: SchedulerEvent) -> Decision {
+///         match (view.link_idle(), view.pending_tasks().first()) {
+///             (true, Some(&task)) => Decision::Send { task, slave: SlaveId(0) },
+///             _ => Decision::Idle,
+///         }
+///     }
+/// }
+///
+/// let platform = Platform::from_vectors(&[1.0], &[2.0]);
+/// let mut ws = SimWorkspace::new();
+/// // Buffers warmed by the first run are reused by the second.
+/// let a = simulate_in(&mut ws, &platform, &bag_of_tasks(5), &SimConfig::default(),
+///                     &mut FirstSlave).unwrap();
+/// let b = simulate_in(&mut ws, &platform, &bag_of_tasks(5), &SimConfig::default(),
+///                     &mut FirstSlave).unwrap();
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Default)]
+pub struct SimWorkspace {
+    heap: BinaryHeap<Reverse<HeapItem>>,
+    slaves: Vec<SlaveRt>,
+    /// Current drift factors; effective `c_j`/`p_j` is nominal × factor.
+    link_factor: Vec<f64>,
+    speed_factor: Vec<f64>,
+    /// Heap sequences of events voided by a failure (aborted transfers,
+    /// computations of lost tasks); popped items with these seqs are skipped.
+    cancelled: HashSet<u64>,
+    /// Released, unassigned tasks in FIFO order. A ring buffer so that the
+    /// dominant removal pattern (the oldest task) is O(1); kept contiguous
+    /// so `SimView::pending_tasks` can hand out a plain slice.
+    pending: VecDeque<TaskId>,
+    /// Task lifecycle phases, indexed by `TaskId` (the slot map).
+    phases: Vec<TaskPhase>,
+    releases: Vec<Time>,
+    records: Vec<PartialRecord>,
+    /// Cached per-slave observable state, maintained incrementally.
+    views: Vec<SlaveView>,
+    /// Instant up to which `views[j].ready_estimate` is exact without
+    /// recomputation (see [`Engine::recompute_view`]).
+    view_valid_until: Vec<f64>,
+    /// `dirty[j]` — an event touched slave `j` since its view was cached.
+    dirty: Vec<bool>,
+    /// Per-batch notification buffer (reused across batches).
+    notifications: Vec<SchedulerEvent>,
+    /// Scratch for tasks lost to a slave failure.
+    lost: Vec<TaskId>,
+}
+
+impl SimWorkspace {
+    /// A fresh, empty workspace.
+    pub fn new() -> Self {
+        SimWorkspace::default()
+    }
+
+    /// Re-initializes every buffer for a run of `tasks` over `platform`,
+    /// keeping capacity from previous runs.
+    fn reset(&mut self, platform: &Platform, tasks: &[TaskArrival], timeline: &Timeline) {
+        let m = platform.num_slaves();
+        let n = tasks.len();
+        self.heap.clear();
+        // Live heap size: un-popped releases + timeline events + one send,
+        // one compute and a few wakes in flight.
+        self.heap.reserve(n + timeline.events().len() + 8);
+        for s in &mut self.slaves {
+            s.reset();
+        }
+        if self.slaves.len() > m {
+            self.slaves.truncate(m);
+        } else {
+            self.slaves.resize_with(m, SlaveRt::default);
+        }
+        self.link_factor.clear();
+        self.link_factor.resize(m, 1.0);
+        self.speed_factor.clear();
+        self.speed_factor.resize(m, 1.0);
+        self.cancelled.clear();
+        self.pending.clear();
+        self.pending.reserve(n);
+        self.phases.clear();
+        self.phases.resize(n, TaskPhase::Unreleased);
+        self.releases.clear();
+        self.releases.resize(n, Time::ZERO);
+        self.records.clear();
+        self.records.resize(n, PartialRecord::default());
+        self.views.clear();
+        self.views.resize(
+            m,
+            SlaveView {
+                outstanding: 0,
+                ready_estimate: Time::ZERO,
+                completed: 0,
+                available: true,
+            },
+        );
+        self.view_valid_until.clear();
+        self.view_valid_until.resize(m, f64::NEG_INFINITY);
+        self.dirty.clear();
+        self.dirty.resize(m, true);
+        self.notifications.clear();
+        self.lost.clear();
+    }
+}
+
 struct Engine<'a> {
     platform: &'a Platform,
     tasks: &'a [TaskArrival],
     config: &'a SimConfig,
     timeline: &'a Timeline,
+    ws: &'a mut SimWorkspace,
     clock: Time,
-    heap: BinaryHeap<Reverse<HeapItem>>,
     seq: u64,
     link_busy_until: Time,
-    slaves: Vec<SlaveRt>,
-    /// Current drift factors; effective `c_j`/`p_j` is nominal × factor.
-    link_factor: Vec<f64>,
-    speed_factor: Vec<f64>,
     /// The send currently occupying the port, with its heap sequence.
     in_flight: Option<(TaskId, SlaveId, u64)>,
-    /// Heap sequences of events voided by a failure (aborted transfers,
-    /// computations of lost tasks); popped items with these seqs are skipped.
-    cancelled: HashSet<u64>,
-    pending: Vec<TaskId>,
-    releases: Vec<Time>,
-    records: Vec<PartialRecord>,
     released_count: usize,
     completed_count: usize,
     steps: usize,
@@ -215,24 +384,19 @@ impl<'a> Engine<'a> {
         tasks: &'a [TaskArrival],
         config: &'a SimConfig,
         timeline: &'a Timeline,
+        ws: &'a mut SimWorkspace,
     ) -> Self {
+        ws.reset(platform, tasks, timeline);
         let mut engine = Engine {
             platform,
             tasks,
             config,
             timeline,
+            ws,
             clock: Time::ZERO,
-            heap: BinaryHeap::new(),
             seq: 0,
             link_busy_until: Time::ZERO,
-            slaves: vec![SlaveRt::default(); platform.num_slaves()],
-            link_factor: vec![1.0; platform.num_slaves()],
-            speed_factor: vec![1.0; platform.num_slaves()],
             in_flight: None,
-            cancelled: HashSet::new(),
-            pending: Vec::new(),
-            releases: vec![Time::ZERO; tasks.len()],
-            records: vec![PartialRecord::default(); tasks.len()],
             released_count: 0,
             completed_count: 0,
             steps: 0,
@@ -250,7 +414,7 @@ impl<'a> Engine<'a> {
 
     fn push(&mut self, time: Time, event: Event) -> u64 {
         let seq = self.seq;
-        self.heap.push(Reverse(HeapItem { time, seq, event }));
+        self.ws.heap.push(Reverse(HeapItem { time, seq, event }));
         self.seq += 1;
         seq
     }
@@ -258,20 +422,33 @@ impl<'a> Engine<'a> {
     /// Returns a lost task to the master's pending queue and clears the
     /// partial record of its failed attempt (its release time survives).
     fn lose_task(&mut self, t: TaskId) {
-        let r = &mut self.records[t.0];
+        let r = &mut self.ws.records[t.0];
         r.send_start = 0.0;
         r.send_end = 0.0;
         r.compute_start = 0.0;
         r.slave = 0;
         r.assigned = false;
-        self.pending.push(t);
+        self.ws.phases[t.0] = TaskPhase::Pending;
+        self.ws.pending.push_back(t);
     }
 
-    /// Nominal-size ready estimate for slave `j`, anchored at `now`.
-    fn ready_estimate(&self, j: usize) -> f64 {
+    /// Recomputes the cached view of slave `j` at the current clock and
+    /// records how long the result stays exact.
+    ///
+    /// The nominal ready estimate is the sequential fold
+    /// `t ← max(t, avail_k) + p` over the outstanding tasks, anchored at
+    /// `max(cur_pred_end, now)` (computing) or `now` (otherwise) — the same
+    /// arithmetic, in the same order, as a from-scratch evaluation, so the
+    /// cache is bitwise transparent. `now` only enters the fold through its
+    /// first `max`: as long as the clock has not passed that anchor (the
+    /// predicted end of the current computation, or the arrival instant of
+    /// the in-flight head), the folded value is independent of `now` and the
+    /// cache stays valid without recomputation; an idle slave's estimate is
+    /// `now` itself and is only valid at the instant it was computed.
+    fn recompute_view(&mut self, j: usize) {
         let now = self.clock.as_f64();
         let p = self.platform.p(SlaveId(j));
-        let rt = &self.slaves[j];
+        let rt = &self.ws.slaves[j];
         let mut t = now;
         for (k, ot) in rt.outstanding.iter().enumerate() {
             if k == 0 && rt.computing.is_some() {
@@ -282,28 +459,79 @@ impl<'a> Engine<'a> {
                 t = t.max(ot.avail) + p;
             }
         }
-        t
+        let anchor = if rt.computing.is_some() {
+            rt.cur_pred_end
+        } else if let Some(front) = rt.outstanding.front() {
+            front.avail
+        } else {
+            f64::NEG_INFINITY
+        };
+        self.ws.view_valid_until[j] = anchor.max(now);
+        self.ws.views[j] = SlaveView {
+            outstanding: rt.outstanding.len(),
+            ready_estimate: Time::new(t),
+            completed: rt.completed,
+            available: !rt.down,
+        };
+        self.ws.dirty[j] = false;
     }
 
-    fn slave_views(&self) -> Vec<SlaveView> {
-        (0..self.slaves.len())
-            .map(|j| SlaveView {
-                outstanding: self.slaves[j].outstanding.len(),
-                ready_estimate: Time::new(self.ready_estimate(j)),
-                completed: self.slaves[j].completed,
-                available: !self.slaves[j].down,
-            })
-            .collect()
+    /// Brings every cached slave view up to date with the current clock and
+    /// makes the pending ring contiguous, so [`Engine::view`] is a pure
+    /// borrow. Called before every scheduler callback.
+    fn refresh_views(&mut self) {
+        if !self.ws.pending.as_slices().1.is_empty() {
+            self.ws.pending.make_contiguous();
+        }
+        let now = self.clock.as_f64();
+        for j in 0..self.ws.slaves.len() {
+            if self.ws.dirty[j] || now > self.ws.view_valid_until[j] {
+                self.recompute_view(j);
+            }
+        }
+        #[cfg(debug_assertions)]
+        self.assert_views_match_fresh();
     }
 
-    fn view<'b>(&'b self, slaves: &'b [SlaveView]) -> SimView<'b> {
+    /// Debug oracle: every cached view must be bit-identical to a
+    /// from-scratch recomputation (the contract `recompute_view` documents).
+    #[cfg(debug_assertions)]
+    fn assert_views_match_fresh(&self) {
+        let now = self.clock.as_f64();
+        for (j, rt) in self.ws.slaves.iter().enumerate() {
+            let p = self.platform.p(SlaveId(j));
+            let mut t = now;
+            for (k, ot) in rt.outstanding.iter().enumerate() {
+                if k == 0 && rt.computing.is_some() {
+                    t = rt.cur_pred_end.max(now);
+                } else {
+                    t = t.max(ot.avail) + p;
+                }
+            }
+            let v = &self.ws.views[j];
+            assert_eq!(
+                v.ready_estimate.as_f64().to_bits(),
+                t.to_bits(),
+                "slave {j}: cached estimate {} != fresh {} at t={now}",
+                v.ready_estimate.as_f64(),
+                t
+            );
+            assert_eq!(v.outstanding, rt.outstanding.len(), "slave {j} count");
+            assert_eq!(v.completed, rt.completed, "slave {j} completed");
+            assert_eq!(v.available, !rt.down, "slave {j} availability");
+        }
+    }
+
+    fn view(&self) -> SimView<'_> {
+        let (pending, wrapped) = self.ws.pending.as_slices();
+        debug_assert!(wrapped.is_empty(), "refresh_views keeps pending contiguous");
         SimView {
             now: self.clock,
             platform: self.platform,
             link_busy_until: self.link_busy_until,
-            slaves,
-            pending: &self.pending,
-            releases: &self.releases,
+            slaves: &self.ws.views,
+            pending,
+            releases: &self.ws.releases,
             horizon: self.config.horizon_hint,
             released_count: self.released_count,
             completed_count: self.completed_count,
@@ -314,15 +542,17 @@ impl<'a> Engine<'a> {
         let now = self.clock.as_f64();
         match event {
             Event::Release(t) => {
-                self.releases[t.0] = self.tasks[t.0].release;
-                self.records[t.0].release = self.tasks[t.0].release.as_f64();
-                self.pending.push(t);
+                self.ws.releases[t.0] = self.tasks[t.0].release;
+                self.ws.records[t.0].release = self.tasks[t.0].release.as_f64();
+                self.ws.phases[t.0] = TaskPhase::Pending;
+                self.ws.pending.push_back(t);
                 self.released_count += 1;
                 Some(SchedulerEvent::Released(t))
             }
             Event::SendComplete(t, j) => {
                 self.in_flight = None;
-                let rt = &mut self.slaves[j.0];
+                self.ws.dirty[j.0] = true;
+                let rt = &mut self.ws.slaves[j.0];
                 if rt.down {
                     // Arrived at a failed slave: the transfer is wasted and
                     // the task returns to the pending queue.
@@ -335,10 +565,16 @@ impl<'a> Engine<'a> {
                     self.lose_task(t);
                     return Some(SchedulerEvent::SendCompleted(t, j));
                 }
-                self.records[t.0].send_end = now;
-                // The slave now actually has the task.
-                if let Some(ot) = rt.outstanding.iter_mut().find(|o| o.id == t) {
-                    ot.avail = now;
+                self.ws.records[t.0].send_end = now;
+                // The slave now actually has the task. Sends are serial on
+                // the one port, so the arriving task is the most recent push.
+                match rt.outstanding.back_mut() {
+                    Some(ot) if ot.id == t => ot.avail = now,
+                    _ => {
+                        if let Some(ot) = rt.outstanding.iter_mut().find(|o| o.id == t) {
+                            ot.avail = now;
+                        }
+                    }
                 }
                 if rt.computing.is_none() {
                     self.start_compute(t, j);
@@ -348,19 +584,21 @@ impl<'a> Engine<'a> {
                 Some(SchedulerEvent::SendCompleted(t, j))
             }
             Event::ComputeComplete(t, j) => {
-                self.records[t.0].compute_end = now;
-                self.records[t.0].done = true;
+                self.ws.records[t.0].compute_end = now;
+                self.ws.records[t.0].done = true;
+                self.ws.phases[t.0] = TaskPhase::Done;
                 self.completed_count += 1;
-                let rt = &mut self.slaves[j.0];
+                self.ws.dirty[j.0] = true;
+                let rt = &mut self.ws.slaves[j.0];
                 debug_assert_eq!(rt.computing, Some(t));
                 rt.computing = None;
                 rt.completed += 1;
-                let pos = rt
+                // Computes are FIFO: the finished task is the head.
+                let head = rt
                     .outstanding
-                    .iter()
-                    .position(|o| o.id == t)
+                    .pop_front()
                     .expect("completed task must be outstanding");
-                rt.outstanding.remove(pos);
+                debug_assert_eq!(head.id, t);
                 if let Some(next) = rt.queue.pop_front() {
                     self.start_compute(next, j);
                 }
@@ -379,52 +617,54 @@ impl<'a> Engine<'a> {
         }
         match e.kind {
             PlatformEventKind::Fail => {
-                if self.slaves[j.0].down {
+                if self.ws.slaves[j.0].down {
                     return None;
                 }
                 // Abort a transfer in flight towards the failing slave: the
                 // port frees immediately and its completion event is voided.
                 if let Some((_, target, seq)) = self.in_flight {
                     if target == j {
-                        self.cancelled.insert(seq);
+                        self.ws.cancelled.insert(seq);
                         self.link_busy_until = self.clock;
                         self.in_flight = None;
                     }
                 }
-                let (cancel_seq, lost) = {
-                    let rt = &mut self.slaves[j.0];
-                    rt.down = true;
-                    let cancel = rt.computing.take().map(|_| rt.compute_seq);
-                    rt.queue.clear();
-                    let lost: Vec<TaskId> = rt.outstanding.drain(..).map(|o| o.id).collect();
-                    (cancel, lost)
-                };
+                self.ws.dirty[j.0] = true;
+                let ws = &mut *self.ws;
+                let rt = &mut ws.slaves[j.0];
+                rt.down = true;
+                let cancel_seq = rt.computing.take().map(|_| rt.compute_seq);
+                rt.queue.clear();
+                ws.lost.clear();
+                ws.lost.extend(rt.outstanding.drain(..).map(|o| o.id));
                 if let Some(seq) = cancel_seq {
-                    self.cancelled.insert(seq);
+                    self.ws.cancelled.insert(seq);
                 }
                 // Lost tasks re-enter `pending` in their send order, so the
                 // re-release order is deterministic and observable.
-                for t in lost {
+                for k in 0..self.ws.lost.len() {
+                    let t = self.ws.lost[k];
                     self.lose_task(t);
                 }
                 Some(SchedulerEvent::SlaveFailed(j))
             }
             PlatformEventKind::Recover => {
-                if !self.slaves[j.0].down {
+                if !self.ws.slaves[j.0].down {
                     return None;
                 }
                 // The slave restarts empty. A transfer still in flight (the
                 // master gambled on the recovery) stays in `outstanding` and
                 // is delivered normally at its send-complete.
-                self.slaves[j.0].down = false;
+                self.ws.slaves[j.0].down = false;
+                self.ws.dirty[j.0] = true;
                 Some(SchedulerEvent::SlaveRecovered(j))
             }
             PlatformEventKind::SetLinkFactor(f) => {
-                self.link_factor[j.0] = f;
+                self.ws.link_factor[j.0] = f;
                 None // drift is invisible: schedulers stay speed-oblivious
             }
             PlatformEventKind::SetSpeedFactor(f) => {
-                self.speed_factor[j.0] = f;
+                self.ws.speed_factor[j.0] = f;
                 None
             }
         }
@@ -436,12 +676,13 @@ impl<'a> Engine<'a> {
         // starts; the nominal estimate below is what schedulers see. With
         // a factor of exactly 1.0 the arithmetic is bit-identical to the
         // static engine.
-        let billed_p = self.speed_factor[j.0] * self.tasks[t.0].size_p;
+        let billed_p = self.ws.speed_factor[j.0] * self.tasks[t.0].size_p;
         let actual = self.platform.p(j) * billed_p;
-        self.records[t.0].compute_start = now;
-        self.records[t.0].billed_p = billed_p;
+        self.ws.records[t.0].compute_start = now;
+        self.ws.records[t.0].billed_p = billed_p;
         let seq = self.push(Time::new(now + actual), Event::ComputeComplete(t, j));
-        let rt = &mut self.slaves[j.0];
+        self.ws.dirty[j.0] = true;
+        let rt = &mut self.ws.slaves[j.0];
         rt.computing = Some(t);
         rt.compute_seq = seq;
         rt.cur_pred_end = now + self.platform.p(j); // nominal estimate
@@ -461,30 +702,46 @@ impl<'a> Engine<'a> {
                 ),
             });
         }
-        let Some(pos) = self.pending.iter().position(|&x| x == t) else {
+        // O(1) membership check through the phase slot map (no queue scan);
+        // an out-of-range id is "never released" and takes the same error.
+        if self.ws.phases.get(t.0) != Some(&TaskPhase::Pending) {
             return Err(SimError::InvalidDecision {
                 at: now,
                 reason: format!(
                     "send of {t} which is not pending (unreleased, or already assigned)"
                 ),
             });
-        };
+        }
         if j.0 >= self.platform.num_slaves() {
             return Err(SimError::InvalidDecision {
                 at: now,
                 reason: format!("send of {t} to unknown slave index {}", j.0),
             });
         }
-        self.pending.remove(pos);
-        let billed_c = self.link_factor[j.0] * self.tasks[t.0].size_c;
+        // Every paper heuristic dispatches the oldest pending task, so the
+        // O(1) front pop is the hot path; cherry-picks fall back to a scan.
+        if self.ws.pending.front() == Some(&t) {
+            self.ws.pending.pop_front();
+        } else {
+            let pos = self
+                .ws
+                .pending
+                .iter()
+                .position(|&x| x == t)
+                .expect("task in Pending phase is in the pending queue");
+            self.ws.pending.remove(pos);
+        }
+        self.ws.phases[t.0] = TaskPhase::Assigned;
+        let billed_c = self.ws.link_factor[j.0] * self.tasks[t.0].size_c;
         let actual_c = self.platform.c(j) * billed_c;
         let nominal_c = self.platform.c(j);
-        self.records[t.0].send_start = now.as_f64();
-        self.records[t.0].billed_c = billed_c;
-        self.records[t.0].slave = j.0;
-        self.records[t.0].assigned = true;
+        self.ws.records[t.0].send_start = now.as_f64();
+        self.ws.records[t.0].billed_c = billed_c;
+        self.ws.records[t.0].slave = j.0;
+        self.ws.records[t.0].assigned = true;
         self.link_busy_until = now + actual_c;
-        self.slaves[j.0].outstanding.push_back(OutTask {
+        self.ws.dirty[j.0] = true;
+        self.ws.slaves[j.0].outstanding.push_back(OutTask {
             id: t,
             avail: now.as_f64() + nominal_c,
         });
@@ -506,6 +763,7 @@ impl<'a> Engine<'a> {
 
     fn finish(self) -> Trace {
         let records = self
+            .ws
             .records
             .iter()
             .enumerate()
@@ -533,6 +791,33 @@ impl<'a> Engine<'a> {
 /// The scheduler sees nominal task sizes; the engine bills actual
 /// (possibly perturbed) ones. Fails if the scheduler stalls, produces an
 /// invalid decision, or exhausts the step budget.
+///
+/// Allocates a fresh [`SimWorkspace`] internally; use [`simulate_in`] to
+/// amortize buffer set-up over many runs.
+///
+/// # Examples
+/// ```
+/// use mss_sim::{simulate, SimConfig, Platform, bag_of_tasks};
+/// use mss_sim::{Decision, OnlineScheduler, SchedulerEvent, SimView, SlaveId};
+///
+/// /// Sends every pending task to slave 0 as soon as the port is free.
+/// struct FirstSlave;
+/// impl OnlineScheduler for FirstSlave {
+///     fn name(&self) -> String { "first".into() }
+///     fn on_event(&mut self, view: &SimView<'_>, _e: SchedulerEvent) -> Decision {
+///         match (view.link_idle(), view.pending_tasks().first()) {
+///             (true, Some(&task)) => Decision::Send { task, slave: SlaveId(0) },
+///             _ => Decision::Idle,
+///         }
+///     }
+/// }
+///
+/// // One slave with c = 1, p = 2: three tasks pipeline to makespan 1 + 3·2.
+/// let platform = Platform::from_vectors(&[1.0], &[2.0]);
+/// let trace = simulate(&platform, &bag_of_tasks(3), &SimConfig::default(),
+///                      &mut FirstSlave).unwrap();
+/// assert_eq!(trace.makespan(), 7.0);
+/// ```
 pub fn simulate(
     platform: &Platform,
     tasks: &[TaskArrival],
@@ -542,6 +827,19 @@ pub fn simulate(
     simulate_with_events(platform, tasks, config, &Timeline::EMPTY, scheduler)
 }
 
+/// [`simulate`] with caller-provided buffers: runs entirely inside `ws`,
+/// so repeated calls (a sweep, a benchmark loop) allocate nothing once the
+/// workspace is warm. Results are identical to [`simulate`].
+pub fn simulate_in(
+    ws: &mut SimWorkspace,
+    platform: &Platform,
+    tasks: &[TaskArrival],
+    config: &SimConfig,
+    scheduler: &mut dyn OnlineScheduler,
+) -> Result<Trace, SimError> {
+    simulate_with_events_in(ws, platform, tasks, config, &Timeline::EMPTY, scheduler)
+}
+
 /// Like [`simulate`], over a *dynamic* platform: `timeline` scripts slave
 /// failures, recoveries, and link/speed drift (see [`crate::events`]).
 ///
@@ -549,6 +847,31 @@ pub fn simulate(
 /// to a down slave are permitted (the master may be fault-oblivious or
 /// gamble on a recovery) but are lost on arrival while the slave is down.
 /// With an empty timeline this is exactly [`simulate`], bit for bit.
+///
+/// # Examples
+/// ```
+/// use mss_sim::{simulate, simulate_with_events, SimConfig, Platform, Timeline,
+///               bag_of_tasks};
+/// # use mss_sim::{Decision, OnlineScheduler, SchedulerEvent, SimView, SlaveId};
+/// # struct FirstSlave;
+/// # impl OnlineScheduler for FirstSlave {
+/// #     fn name(&self) -> String { "first".into() }
+/// #     fn on_event(&mut self, view: &SimView<'_>, _e: SchedulerEvent) -> Decision {
+/// #         match (view.link_idle(), view.pending_tasks().first()) {
+/// #             (true, Some(&task)) => Decision::Send { task, slave: SlaveId(0) },
+/// #             _ => Decision::Idle,
+/// #         }
+/// #     }
+/// # }
+/// let platform = Platform::from_vectors(&[1.0], &[2.0]);
+/// let tasks = bag_of_tasks(3);
+/// // An empty timeline is bit-for-bit the static engine.
+/// let dynamic = simulate_with_events(&platform, &tasks, &SimConfig::default(),
+///                                    &Timeline::EMPTY, &mut FirstSlave).unwrap();
+/// let static_ = simulate(&platform, &tasks, &SimConfig::default(),
+///                        &mut FirstSlave).unwrap();
+/// assert_eq!(dynamic, static_);
+/// ```
 pub fn simulate_with_events(
     platform: &Platform,
     tasks: &[TaskArrival],
@@ -556,24 +879,32 @@ pub fn simulate_with_events(
     timeline: &Timeline,
     scheduler: &mut dyn OnlineScheduler,
 ) -> Result<Trace, SimError> {
-    let mut engine = Engine::new(platform, tasks, config, timeline);
+    let mut ws = SimWorkspace::new();
+    simulate_with_events_in(&mut ws, platform, tasks, config, timeline, scheduler)
+}
 
-    {
-        let slaves = engine.slave_views();
-        let view = engine.view(&slaves);
-        scheduler.init(&view);
-    }
+/// [`simulate_with_events`] with caller-provided buffers (see
+/// [`simulate_in`]).
+pub fn simulate_with_events_in(
+    ws: &mut SimWorkspace,
+    platform: &Platform,
+    tasks: &[TaskArrival],
+    config: &SimConfig,
+    timeline: &Timeline,
+    scheduler: &mut dyn OnlineScheduler,
+) -> Result<Trace, SimError> {
+    let mut engine = Engine::new(platform, tasks, config, timeline, ws);
+
+    engine.refresh_views();
+    scheduler.init(&engine.view());
 
     while engine.completed_count < tasks.len() {
         engine.step_budget()?;
 
-        let Some(&Reverse(first)) = engine.heap.peek() else {
+        let Some(&Reverse(first)) = engine.ws.heap.peek() else {
             // Nothing scheduled: give the scheduler one last chance to act.
-            let decision = {
-                let slaves = engine.slave_views();
-                let view = engine.view(&slaves);
-                scheduler.on_event(&view, SchedulerEvent::PortIdle)
-            };
+            engine.refresh_views();
+            let decision = scheduler.on_event(&engine.view(), SchedulerEvent::PortIdle);
             match decision {
                 Decision::Send { task, slave } => {
                     engine.execute_send(task, slave)?;
@@ -596,28 +927,27 @@ pub fn simulate_with_events(
         // Pop and apply the whole batch of simultaneous events first, so the
         // scheduler always decides on a fully settled state.
         engine.clock = first.time;
-        let mut notifications = Vec::new();
-        while let Some(&Reverse(item)) = engine.heap.peek() {
+        engine.ws.notifications.clear();
+        while let Some(&Reverse(item)) = engine.ws.heap.peek() {
             if item.time != engine.clock {
                 break;
             }
-            engine.heap.pop();
-            if engine.cancelled.remove(&item.seq) {
+            engine.ws.heap.pop();
+            if engine.ws.cancelled.remove(&item.seq) {
                 continue; // voided by a failure before it fired
             }
             engine.step_budget()?;
             if let Some(n) = engine.apply(item.event) {
-                notifications.push(n);
+                engine.ws.notifications.push(n);
             }
         }
 
-        // Deliver notifications; each may carry a decision.
-        for n in notifications {
-            let decision = {
-                let slaves = engine.slave_views();
-                let view = engine.view(&slaves);
-                scheduler.on_event(&view, n)
-            };
+        // Deliver notifications; each may carry a decision. (Decisions can
+        // change engine state, never extend this batch's notifications.)
+        for i in 0..engine.ws.notifications.len() {
+            let n = engine.ws.notifications[i];
+            engine.refresh_views();
+            let decision = scheduler.on_event(&engine.view(), n);
             match decision {
                 Decision::Send { task, slave } => engine.execute_send(task, slave)?,
                 Decision::WakeAt(t) if t > engine.clock => {
@@ -630,14 +960,11 @@ pub fn simulate_with_events(
         // Poll while the port is idle and the scheduler keeps acting.
         loop {
             engine.step_budget()?;
-            if engine.link_busy_until > engine.clock || engine.pending.is_empty() {
+            if engine.link_busy_until > engine.clock || engine.ws.pending.is_empty() {
                 break;
             }
-            let decision = {
-                let slaves = engine.slave_views();
-                let view = engine.view(&slaves);
-                scheduler.on_event(&view, SchedulerEvent::PortIdle)
-            };
+            engine.refresh_views();
+            let decision = scheduler.on_event(&engine.view(), SchedulerEvent::PortIdle);
             match decision {
                 Decision::Send { task, slave } => engine.execute_send(task, slave)?,
                 Decision::WakeAt(t) if t > engine.clock => {
@@ -798,6 +1125,70 @@ mod tests {
     }
 
     #[test]
+    fn unknown_task_send_errors_not_panics() {
+        // A task id that was never part of the instance must produce the
+        // same InvalidDecision as an unreleased one — the phase slot map
+        // bounds-checks before indexing.
+        struct SendGhost;
+        impl OnlineScheduler for SendGhost {
+            fn name(&self) -> String {
+                "ghost".into()
+            }
+            fn on_event(&mut self, _v: &SimView<'_>, _e: SchedulerEvent) -> Decision {
+                Decision::Send {
+                    task: TaskId(usize::MAX),
+                    slave: SlaveId(0),
+                }
+            }
+        }
+        let pf = platform();
+        let err =
+            simulate(&pf, &bag_of_tasks(1), &SimConfig::default(), &mut SendGhost).unwrap_err();
+        match err {
+            SimError::InvalidDecision { reason, .. } => {
+                assert!(reason.contains("not pending"), "{reason}");
+            }
+            other => panic!("expected InvalidDecision, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn already_assigned_task_send_errors() {
+        // Sending the same task twice: the second send must be rejected.
+        struct SendTwice {
+            sent: usize,
+        }
+        impl OnlineScheduler for SendTwice {
+            fn name(&self) -> String {
+                "send-twice".into()
+            }
+            fn on_event(&mut self, _v: &SimView<'_>, e: SchedulerEvent) -> Decision {
+                if matches!(
+                    e,
+                    SchedulerEvent::Released(_) | SchedulerEvent::SendCompleted(..)
+                ) && self.sent < 2
+                {
+                    self.sent += 1;
+                    return Decision::Send {
+                        task: TaskId(0),
+                        slave: SlaveId(0),
+                    };
+                }
+                Decision::Idle
+            }
+        }
+        let pf = platform();
+        let err = simulate(
+            &pf,
+            &bag_of_tasks(1),
+            &SimConfig::default(),
+            &mut SendTwice { sent: 0 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::InvalidDecision { .. }), "{err:?}");
+    }
+
+    #[test]
     fn wake_at_is_honored() {
         /// Waits until t=3 before sending the single task.
         struct Sleeper {
@@ -925,6 +1316,54 @@ mod tests {
         )
         .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bitwise_identical() {
+        // A warm workspace (even one warmed on a different platform shape)
+        // must not change any result.
+        let pf = platform();
+        let tasks = bag_of_tasks(7);
+        let fresh = simulate(&pf, &tasks, &SimConfig::default(), &mut AllToFirst).unwrap();
+        let mut ws = SimWorkspace::new();
+        let other_pf = Platform::from_vectors(&[0.5, 0.5, 0.5], &[1.0, 2.0, 3.0]);
+        simulate_in(
+            &mut ws,
+            &other_pf,
+            &bag_of_tasks(20),
+            &SimConfig::default(),
+            &mut AllToFirst,
+        )
+        .unwrap();
+        let reused =
+            simulate_in(&mut ws, &pf, &tasks, &SimConfig::default(), &mut AllToFirst).unwrap();
+        assert_eq!(fresh, reused);
+    }
+
+    #[test]
+    fn workspace_survives_error_and_reruns() {
+        // An errored run must not poison the workspace for the next one.
+        let pf = platform();
+        let mut ws = SimWorkspace::new();
+        let err = simulate_in(
+            &mut ws,
+            &pf,
+            &bag_of_tasks(2),
+            &SimConfig::default(),
+            &mut Lazy,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::Stalled { .. }));
+        let trace = simulate_in(
+            &mut ws,
+            &pf,
+            &bag_of_tasks(3),
+            &SimConfig::default(),
+            &mut AllToFirst,
+        )
+        .unwrap();
+        assert!((trace.makespan() - 10.0).abs() < 1e-12);
+        assert!(validate(&trace, &pf).is_empty());
     }
 
     #[test]

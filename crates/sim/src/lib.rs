@@ -62,7 +62,10 @@ mod time;
 mod trace;
 mod view;
 
-pub use engine::{simulate, simulate_with_events, SimConfig, SimError};
+pub use engine::{
+    simulate, simulate_in, simulate_with_events, simulate_with_events_in, SimConfig, SimError,
+    SimWorkspace,
+};
 pub use events::{PlatformEvent, PlatformEventKind, Timeline};
 pub use gantt::render as render_gantt;
 pub use gantt::render_with_downtime;

@@ -98,6 +98,25 @@ impl ViewState {
 
 /// Immutable snapshot handed to [`OnlineScheduler`](crate::OnlineScheduler)
 /// callbacks.
+///
+/// Inside the engine this is a pure borrow of incrementally maintained
+/// state — constructing and reading a view allocates nothing. Outside the
+/// engine, borrow one from an owned [`ViewState`]:
+///
+/// ```
+/// use mss_sim::{Platform, SlaveId, TaskId, Time, ViewState};
+///
+/// let mut state = ViewState::new(Platform::from_vectors(&[1.0, 2.0], &[3.0, 5.0]), 4, None);
+/// state.pending.push(TaskId(0));
+/// state.released_count = 1;
+/// let view = state.view();
+/// assert_eq!(view.num_slaves(), 2);
+/// assert_eq!(view.pending_tasks(), &[TaskId(0)]);
+/// assert!(view.link_idle());
+/// // Both slaves are idle: a new task finishes at c_j + p_j.
+/// assert_eq!(view.completion_estimate(SlaveId(0)), Time::new(4.0));
+/// assert_eq!(view.completion_estimate(SlaveId(1)), Time::new(7.0));
+/// ```
 pub struct SimView<'a> {
     pub(crate) now: Time,
     pub(crate) platform: &'a Platform,
@@ -127,6 +146,16 @@ impl<'a> SimView<'a> {
     }
 
     /// When the master's port is next free (`== now()` if idle).
+    ///
+    /// # Examples
+    /// ```
+    /// use mss_sim::{Platform, Time, ViewState};
+    /// let mut state = ViewState::new(Platform::from_vectors(&[1.0], &[2.0]), 1, None);
+    /// state.now = Time::new(3.0);
+    /// state.link_busy_until = Time::new(5.0);
+    /// assert_eq!(state.view().link_free_at(), Time::new(5.0));
+    /// assert!(!state.view().link_idle());
+    /// ```
     pub fn link_free_at(&self) -> Time {
         self.link_busy_until.max(self.now)
     }
@@ -137,6 +166,14 @@ impl<'a> SimView<'a> {
     }
 
     /// Released tasks not yet assigned to any slave, in FIFO release order.
+    ///
+    /// # Examples
+    /// ```
+    /// use mss_sim::{Platform, TaskId, ViewState};
+    /// let mut state = ViewState::new(Platform::from_vectors(&[1.0], &[2.0]), 2, None);
+    /// state.pending.extend([TaskId(1), TaskId(0)]); // FIFO: release order, not id order
+    /// assert_eq!(state.view().pending_tasks().first(), Some(&TaskId(1)));
+    /// ```
     pub fn pending_tasks(&self) -> &[TaskId] {
         self.pending
     }
@@ -147,6 +184,17 @@ impl<'a> SimView<'a> {
     }
 
     /// Observable state of slave `j`.
+    ///
+    /// # Examples
+    /// ```
+    /// use mss_sim::{Platform, SlaveId, Time, ViewState};
+    /// let mut state = ViewState::new(Platform::from_vectors(&[1.0], &[2.0]), 0, None);
+    /// state.slaves[0].outstanding = 3;
+    /// state.slaves[0].ready_estimate = Time::new(9.0);
+    /// let view = state.view();
+    /// assert_eq!(view.slave(SlaveId(0)).outstanding, 3);
+    /// assert!(!view.slave_idle(SlaveId(0)));
+    /// ```
     pub fn slave(&self, j: SlaveId) -> SlaveView {
         self.slaves[j.0]
     }
@@ -164,6 +212,16 @@ impl<'a> SimView<'a> {
     }
 
     /// Ids of the currently available (up) slaves, in index order.
+    ///
+    /// # Examples
+    /// ```
+    /// use mss_sim::{Platform, SlaveId, ViewState};
+    /// let mut state = ViewState::new(Platform::from_vectors(&[1.0, 1.0], &[2.0, 3.0]), 0, None);
+    /// state.slaves[0].available = false; // P1 is down
+    /// let view = state.view();
+    /// assert!(!view.slave_available(SlaveId(0)));
+    /// assert_eq!(view.available_slaves().collect::<Vec<_>>(), vec![SlaveId(1)]);
+    /// ```
     pub fn available_slaves(&self) -> impl Iterator<Item = SlaveId> + '_ {
         self.slaves
             .iter()

@@ -3,8 +3,9 @@
 //! folds agree with a straightforward recomputation.
 
 use mss_sim::{
-    bag_of_tasks, simulate, validate, Decision, OnlineScheduler, Platform, SchedulerEvent,
-    SimConfig, SimView, SlaveId, TaskArrival, Time,
+    bag_of_tasks, simulate, simulate_with_events, simulate_with_events_in, validate, Decision,
+    OnlineScheduler, Platform, PlatformEvent, PlatformEventKind, SchedulerEvent, SimConfig,
+    SimView, SimWorkspace, SlaveId, TaskArrival, Time, Timeline,
 };
 use proptest::prelude::*;
 
@@ -133,5 +134,67 @@ proptest! {
         let tasks = bag_of_tasks(n);
         prop_assert_eq!(tasks.len(), n);
         prop_assert!(tasks.iter().all(|t| t.release == Time::ZERO));
+    }
+
+    /// The incremental slave-view cache and the workspace reuse are
+    /// observationally transparent under arbitrary event sequences.
+    ///
+    /// Two layers of checking: (1) this is a debug build, so the engine's
+    /// internal oracle re-derives every cached `SlaveView` from scratch
+    /// before each scheduler callback and asserts *bitwise* equality with
+    /// the incrementally maintained one — any divergence panics the run;
+    /// (2) the same scenario simulated on a fresh workspace, on a reused
+    /// (dirty) workspace, and through the plain allocating entry point must
+    /// produce identical results, including identical errors.
+    #[test]
+    fn incremental_views_and_workspace_reuse_are_exact(
+        platform in arb_platform(),
+        tasks in arb_tasks(),
+        tape in proptest::collection::vec(0u32..1000, 8..64),
+        faults in proptest::collection::vec(
+            (0usize..8, 0.0f64..25.0, 0.1f64..10.0, 0.25f64..3.0), 0..5),
+    ) {
+        // Crash/recover pairs plus drift on pseudo-random slaves (indices
+        // past the platform are deliberately kept: the engine must ignore
+        // them). Tape schedulers may gamble on down slaves forever, so a
+        // tight step budget turns livelocks into a (deterministic) error.
+        let mut events = Vec::new();
+        for &(j, at, up_after, factor) in &faults {
+            events.push(PlatformEvent {
+                time: Time::new(at),
+                slave: SlaveId(j),
+                kind: PlatformEventKind::Fail,
+            });
+            events.push(PlatformEvent {
+                time: Time::new(at + up_after),
+                slave: SlaveId(j),
+                kind: PlatformEventKind::Recover,
+            });
+            events.push(PlatformEvent {
+                time: Time::new(at / 2.0),
+                slave: SlaveId(j),
+                kind: PlatformEventKind::SetSpeedFactor(factor),
+            });
+        }
+        let timeline = Timeline::new(events);
+        let cfg = SimConfig { max_steps: 100_000, ..SimConfig::default() };
+
+        let mut ws = SimWorkspace::new();
+        let fresh_ws = simulate_with_events_in(
+            &mut ws, &platform, &tasks, &cfg, &timeline,
+            &mut TapeScheduler::new(tape.clone()));
+        let reused_ws = simulate_with_events_in(
+            &mut ws, &platform, &tasks, &cfg, &timeline,
+            &mut TapeScheduler::new(tape.clone()));
+        let plain = simulate_with_events(
+            &platform, &tasks, &cfg, &timeline, &mut TapeScheduler::new(tape));
+
+        prop_assert_eq!(&fresh_ws, &reused_ws);
+        prop_assert_eq!(&fresh_ws, &plain);
+        if let Ok(trace) = fresh_ws {
+            let violations = validate(&trace, &platform);
+            prop_assert!(violations.is_empty(), "violations: {violations:?}");
+            prop_assert_eq!(trace.len(), tasks.len());
+        }
     }
 }

@@ -1,0 +1,99 @@
+//! Steady-state allocation contract of the engine hot path.
+//!
+//! A counting global allocator measures heap allocations during a full
+//! simulation on a *warm* [`SimWorkspace`]: the event loop itself must not
+//! allocate at all — the only permitted allocations of a run are the
+//! returned [`Trace`]'s record vector. `ms-lab bench` reports this contract
+//! (`allocs_per_event_steady_state`) in `BENCH_engine.json`; this test is
+//! what enforces it.
+//!
+//! This file deliberately contains a single `#[test]` so no sibling test
+//! thread can allocate concurrently and pollute the counter.
+
+use mss_sim::{
+    bag_of_tasks, simulate_in, Decision, OnlineScheduler, Platform, SchedulerEvent, SimConfig,
+    SimView, SimWorkspace, SlaveId, Trace,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+/// Forwards to the system allocator, counting every allocation.
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Allocation-free greedy scheduler: oldest pending task to the slave with
+/// the earliest nominal completion estimate.
+struct Greedy;
+
+impl OnlineScheduler for Greedy {
+    fn name(&self) -> String {
+        "greedy".into()
+    }
+
+    fn on_event(&mut self, view: &SimView<'_>, _e: SchedulerEvent) -> Decision {
+        if !view.link_idle() {
+            return Decision::Idle;
+        }
+        let Some(&task) = view.pending_tasks().first() else {
+            return Decision::Idle;
+        };
+        let mut best = SlaveId(0);
+        for j in 1..view.num_slaves() {
+            if view.completion_estimate(SlaveId(j)) < view.completion_estimate(best) {
+                best = SlaveId(j);
+            }
+        }
+        Decision::Send { task, slave: best }
+    }
+}
+
+#[test]
+fn steady_state_events_allocate_nothing() {
+    let platform = Platform::from_vectors(&[0.2, 0.5, 0.9], &[1.0, 2.0, 3.0]);
+    let n = 400;
+    let tasks = bag_of_tasks(n);
+    let cfg = SimConfig::with_horizon(n);
+    let mut ws = SimWorkspace::new();
+
+    // Warm-up run sizes every workspace buffer.
+    let warm: Trace = simulate_in(&mut ws, &platform, &tasks, &cfg, &mut Greedy).unwrap();
+    assert_eq!(warm.len(), n);
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let trace = simulate_in(&mut ws, &platform, &tasks, &cfg, &mut Greedy).unwrap();
+    let during = ALLOCS.load(Ordering::SeqCst) - before;
+    assert_eq!(trace, warm, "warm rerun must be bit-identical");
+
+    // The run processed 3n events (release, send-complete, compute-complete
+    // per task) plus hundreds of scheduler polls. The only allocation we
+    // accept is the returned trace's record vector (plus minuscule slack
+    // for Trace plumbing); any per-event allocation would show up as
+    // hundreds of counts here.
+    assert!(
+        during <= 4,
+        "expected an allocation-free event loop, counted {during} allocations \
+         over {} events (≈{:.3} per event)",
+        3 * n,
+        during as f64 / (3 * n) as f64
+    );
+}

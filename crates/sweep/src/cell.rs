@@ -10,8 +10,8 @@
 //!   the result-store key, so a re-run of an unchanged cell is a lookup.
 
 use mss_core::{
-    simulate_with_events, Algorithm, OnlineScheduler, Platform, PlatformClass, Redispatch,
-    SimConfig, Timeline,
+    simulate_with_events_in, Algorithm, OnlineScheduler, Platform, PlatformClass, Redispatch,
+    SimConfig, SimWorkspace, Timeline,
 };
 use mss_opt::bounds::{makespan_lower_bound, max_flow_lower_bound, sum_flow_lower_bound};
 use mss_opt::schedule::Instance;
@@ -223,6 +223,15 @@ impl Cell {
     /// failures, a `fault_aware: false` cell may legitimately abort when
     /// the fault-oblivious algorithm livelocks — see [`ScenarioCell`]).
     pub fn run(&self) -> CellMetrics {
+        self.run_in(&mut SimWorkspace::new())
+    }
+
+    /// [`Cell::run`] with caller-provided simulator buffers: the sweep
+    /// executor keeps one [`SimWorkspace`] per worker thread, so the
+    /// engine's zero-allocation hot path stays warm across the whole grid.
+    /// Results are bit-identical to [`Cell::run`] (the engine re-initializes
+    /// the workspace per run).
+    pub fn run_in(&self, ws: &mut SimWorkspace) -> CellMetrics {
         let platform = self.platform.realize();
         let nominal = self.arrival.generate(self.tasks, &platform, self.task_seed);
         let tasks = match &self.perturbation {
@@ -241,7 +250,7 @@ impl Cell {
             _ => self.algorithm.build(),
         };
         let cfg = SimConfig::with_horizon(self.tasks);
-        let trace = simulate_with_events(&platform, &tasks, &cfg, &timeline, &mut scheduler)
+        let trace = simulate_with_events_in(ws, &platform, &tasks, &cfg, &timeline, &mut scheduler)
             .unwrap_or_else(|e| panic!("{} failed on {:?}: {e}", self.algorithm, self.platform));
 
         let inst = Instance {
@@ -346,6 +355,21 @@ mod tests {
         .sample_many(PlatformClass::Heterogeneous, 2, 42);
         let realized = cell(Algorithm::Srpt).platform.realize();
         assert_eq!(realized, direct[1]);
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_runs() {
+        // One workspace across heterogeneous cells (different algorithms,
+        // platforms, scenarios) must reproduce every fresh-run result.
+        let mut ws = SimWorkspace::new();
+        for c in [
+            cell(Algorithm::ListScheduling),
+            cell(Algorithm::Srpt),
+            faulty(Algorithm::ListScheduling),
+            cell(Algorithm::Sljfwc),
+        ] {
+            assert_eq!(c.run_in(&mut ws), c.run(), "{}", c.algorithm);
+        }
     }
 
     #[test]

@@ -30,8 +30,34 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    parallel_map_with(items, threads, || (), move |(), i, t| f(i, t))
+}
+
+/// [`parallel_map`] with per-worker scratch state: `init()` runs once on
+/// each worker thread and the resulting value is threaded through every
+/// `f(&mut scratch, i, &items[i])` call that worker executes.
+///
+/// This is how the sweep's per-cell loop reuses one
+/// [`SimWorkspace`](mss_core::SimWorkspace) per worker — the simulator's
+/// zero-allocation buffers are warmed by the first cell and recycled by
+/// every subsequent cell on that thread. Scratch state must not influence
+/// results (`f` stays a pure function of `(i, items[i])` observationally),
+/// which the engine guarantees by re-initializing the workspace per run;
+/// determinism for any thread count is unchanged.
+pub fn parallel_map_with<T, R, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
     if threads <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut scratch = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut scratch, i, t))
+            .collect();
     }
 
     let cursor = AtomicUsize::new(0);
@@ -44,13 +70,14 @@ where
                 // Each worker batches results locally and merges once at the
                 // end, so the sink lock is taken `threads` times, not
                 // `items` times.
+                let mut scratch = init();
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= items.len() {
                         break;
                     }
-                    local.push((i, f(i, &items[i])));
+                    local.push((i, f(&mut scratch, i, &items[i])));
                 }
                 sink.lock().unwrap().extend(local);
             });
@@ -87,5 +114,34 @@ mod tests {
     fn more_threads_than_items() {
         let items = [1, 2, 3];
         assert_eq!(parallel_map(&items, 64, |_, &x| x * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn scratch_state_is_per_worker_and_reused() {
+        // The scratch counter grows along each worker's private sequence of
+        // items; results must still land in item order regardless.
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map_with(
+            &items,
+            4,
+            || 0usize,
+            |calls, i, &x| {
+                *calls += 1;
+                assert!(*calls >= 1);
+                i * 2 + x - x // pure in (i, x)
+            },
+        );
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        // Sequential path threads one scratch through all items.
+        let seq = parallel_map_with(
+            &items,
+            1,
+            || 0usize,
+            |c, i, _| {
+                *c += 1;
+                (*c, i + 1)
+            },
+        );
+        assert_eq!(seq.last(), Some(&(100, 100)));
     }
 }

@@ -56,7 +56,7 @@ use std::path::PathBuf;
 
 pub use agg::{aggregate, summarize, AggregateRow, Summary};
 pub use cell::{Cell, CellMetrics, PerturbCell, PlatformCell, ScenarioCell};
-pub use exec::{default_threads, parallel_map};
+pub use exec::{default_threads, parallel_map, parallel_map_with};
 pub use spec::{ArrivalAxis, PerturbAxis, PlatformAxis, ScenarioAxis, SpecError, SweepSpec};
 pub use store::{cell_key, ResultStore, CODE_VERSION_SALT};
 
@@ -124,7 +124,16 @@ pub fn run_cells(cells: Vec<Cell>, config: &SweepConfig) -> SweepOutcome {
         .filter(|&i| !known.contains_key(&keys[i]))
         .collect();
 
-    let fresh = parallel_map(&missing, config.threads, |_, &i| cells[i].run());
+    // One simulator workspace per worker thread: the engine's
+    // zero-allocation buffers are warmed by the first cell a worker runs
+    // and reused for every subsequent one (results are independent of the
+    // reuse — each run re-initializes the workspace).
+    let fresh = parallel_map_with(
+        &missing,
+        config.threads,
+        mss_core::SimWorkspace::new,
+        |ws, _, &i| cells[i].run_in(ws),
+    );
 
     if let Some(store) = &store {
         let records: Vec<(String, CellMetrics)> = missing
