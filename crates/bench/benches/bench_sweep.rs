@@ -1,8 +1,10 @@
 //! Bench for the `mss-sweep` orchestrator: cells/second on a small grid at
-//! 1, 2, and max threads, plus the overhead of a fully cached re-run. This
-//! establishes the scaling trajectory tracked in BENCH_*.json entries.
+//! 1, 2, and max threads, the instance-major-vs-cell-major comparison, and
+//! the overhead of a fully cached re-run. This establishes the scaling
+//! trajectory tracked in BENCH_*.json entries.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mss_core::SimWorkspace;
 use mss_sweep::{run_cells, spec_from_toml, SweepConfig, SweepSpec};
 
 fn small_grid() -> SweepSpec {
@@ -58,6 +60,39 @@ fn bench_thread_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Instance-major batched execution (the production path of `run_cells`)
+/// against the historical cell-major loop (every cell re-materializes its
+/// own platform/task stream/bounds), both single-threaded on the same
+/// 56-cell reference grid. The gap is the tentpole's shared-materialization
+/// win; results of the two paths are bit-identical (enforced by
+/// `crates/sweep/tests/batch_equivalence.rs`).
+fn bench_instance_vs_cell_major(c: &mut Criterion) {
+    let spec = small_grid();
+    let cells = spec.expand().expect("bench spec expands");
+    let n = cells.len() as u64;
+
+    let mut group = c.benchmark_group("sweep/instance-major-vs-cell-major");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("instance-major", |b| {
+        let config = SweepConfig {
+            threads: 1,
+            cache_dir: None,
+        };
+        b.iter(|| run_cells(cells.clone(), &config).metrics.len());
+    });
+    group.bench_function("cell-major", |b| {
+        let mut ws = SimWorkspace::new();
+        b.iter(|| {
+            cells
+                .iter()
+                .map(|cell| cell.run_in(&mut ws).makespan)
+                .sum::<f64>()
+        });
+    });
+    group.finish();
+}
+
 fn bench_cache_hit(c: &mut Criterion) {
     let spec = small_grid();
     let dir = std::env::temp_dir().join(format!("mss-sweep-bench-{}", std::process::id()));
@@ -83,5 +118,10 @@ fn bench_cache_hit(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-criterion_group!(benches, bench_thread_scaling, bench_cache_hit);
+criterion_group!(
+    benches,
+    bench_thread_scaling,
+    bench_instance_vs_cell_major,
+    bench_cache_hit
+);
 criterion_main!(benches);

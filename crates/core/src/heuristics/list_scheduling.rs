@@ -33,6 +33,10 @@ impl OnlineScheduler for ListScheduling {
         let slave = argmin_slave(view, |j| view.completion_estimate(j).as_f64());
         Decision::Send { task, slave }
     }
+
+    fn poll_driven(&self) -> bool {
+        true // stateless; acts only on (idle port, pending task)
+    }
 }
 
 #[cfg(test)]

@@ -120,6 +120,12 @@ impl OnlineScheduler for Planned {
             self.fallback.on_event(view, event)
         }
     }
+
+    fn poll_driven(&self) -> bool {
+        // The plan is only (lazily) built, and `next` only advances, after
+        // the idle-port and pending-task guards pass.
+        true
+    }
 }
 
 #[cfg(test)]

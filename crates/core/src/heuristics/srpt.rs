@@ -32,23 +32,23 @@ impl OnlineScheduler for Srpt {
         };
         // Fastest *free* slave; a slave is free when it has no outstanding
         // work at all (not computing, nothing queued, nothing in flight).
-        let free: Vec<_> = view
-            .platform()
-            .slave_ids()
-            .filter(|&j| view.slave_idle(j))
-            .collect();
-        if free.is_empty() {
-            // Wait for the next completion event; the engine will call again.
-            return Decision::Idle;
-        }
-        let slave = argmin_slave(view, |j| {
+        // Single allocation-free scan (ties go to the lowest index); when
+        // no slave is free, wait for the next completion event — the engine
+        // will call again.
+        match argmin_slave(view, |j| {
             if view.slave_idle(j) {
                 view.platform().p(j)
             } else {
                 f64::INFINITY
             }
-        });
-        Decision::Send { task, slave }
+        }) {
+            slave if view.slave_idle(slave) => Decision::Send { task, slave },
+            _ => Decision::Idle,
+        }
+    }
+
+    fn poll_driven(&self) -> bool {
+        true // stateless; acts only on (idle port, pending task)
     }
 }
 

@@ -3,17 +3,26 @@
 use mss_sim::{SimView, SlaveId};
 
 /// Returns the slave minimizing `key(j)`, ties broken by the lowest index.
-/// Keys must not be NaN.
+/// Keys must not be NaN. Single pass, one key evaluation per slave (this
+/// sits on every heuristic's per-decision hot path).
 pub(crate) fn argmin_slave<F: FnMut(SlaveId) -> f64>(view: &SimView<'_>, mut key: F) -> SlaveId {
-    view.platform()
-        .slave_ids()
-        .min_by(|&a, &b| {
-            key(a)
-                .partial_cmp(&key(b))
-                .expect("heuristic key must not be NaN")
-                .then(a.0.cmp(&b.0))
-        })
-        .expect("platform has at least one slave")
+    let mut ids = view.platform().slave_ids();
+    let first = ids.next().expect("platform has at least one slave");
+    let mut best = first;
+    let mut best_key = key(first);
+    debug_assert!(!best_key.is_nan(), "heuristic key must not be NaN");
+    for j in ids {
+        let k = key(j);
+        debug_assert!(!k.is_nan(), "heuristic key must not be NaN");
+        // Strict `<` keeps the lowest index on ties; NaN never wins here,
+        // so even in release builds a (contract-violating) NaN key can
+        // only be skipped, never propagated as the winner.
+        if k < best_key {
+            best = j;
+            best_key = k;
+        }
+    }
+    best
 }
 
 /// The oldest pending task (FIFO by release then id), if any.

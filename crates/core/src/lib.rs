@@ -41,8 +41,9 @@ pub use registry::Algorithm;
 // Re-export the simulation vocabulary so downstream crates can depend on
 // `mss-core` alone for the common case.
 pub use mss_sim::{
-    bag_of_tasks, released_at, simulate, simulate_in, simulate_with_events,
+    bag_of_tasks, released_at, simulate, simulate_in, simulate_objectives_in, simulate_with_events,
     simulate_with_events_in, validate, Decision, OnlineScheduler, Platform, PlatformClass,
-    PlatformEvent, PlatformEventKind, SchedulerEvent, SimConfig, SimError, SimView, SimWorkspace,
-    SlaveId, SlaveSpec, TaskArrival, TaskId, TaskRecord, Time, Timeline, Trace, TraceViolation,
+    PlatformEvent, PlatformEventKind, RunObjectives, SchedulerEvent, SimConfig, SimError, SimView,
+    SimWorkspace, SlaveId, SlaveSpec, TaskArrival, TaskId, TaskRecord, Time, Timeline, Trace,
+    TraceViolation,
 };

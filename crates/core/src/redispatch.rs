@@ -83,6 +83,12 @@ impl<S: OnlineScheduler> OnlineScheduler for Redispatch<S> {
             other => other,
         }
     }
+
+    fn poll_driven(&self) -> bool {
+        // Pure decision transformer: quiescent exactly when the inner
+        // scheduler is.
+        self.inner.poll_driven()
+    }
 }
 
 #[cfg(test)]

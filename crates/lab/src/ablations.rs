@@ -399,6 +399,7 @@ pub fn heterogeneity_impact_with(
                             level: h,
                             slaves: 5,
                             seed: seed ^ (f as u64 * 7919),
+                            family: f as u64,
                         },
                         arrival: ArrivalProcess::AllAtZero,
                         perturbation: None,

@@ -7,7 +7,7 @@
 //! printing transient bench output. CI's `bench-smoke` job runs
 //! `ms-lab bench --quick` and uploads the JSON as an artifact.
 //!
-//! Metrics:
+//! Metrics (schema v2):
 //!
 //! * **events/sec** — discrete events through [`mss_core::simulate_in`] on
 //!   the reference workload (5-slave heterogeneous platform, bag of tasks,
@@ -16,11 +16,18 @@
 //!   task), so the count is deterministic and comparable across machines
 //!   of the same class. Best-of-`iters` timing (robust to scheduler noise).
 //! * **cells/sec** — sweep-grid cells through [`mss_sweep::run_cells`]
-//!   (cache disabled) at the requested thread count.
+//!   (cache disabled, instance-major batched execution), reported three
+//!   ways: the 56-cell reference grid at **1 thread** (directly comparable
+//!   with every earlier trajectory point), the same grid at **max
+//!   threads** (`--threads`; captures parallel scaling), and a larger
+//!   multi-algorithm grid (two task counts, eight platform draws) at max
+//!   threads.
 //! * **allocs_per_event_steady_state** — the engine's zero-allocation
 //!   contract. Not measured here (a global counting allocator would tax
 //!   every run); it is *enforced* at 0 by
-//!   `crates/sim/tests/zero_alloc.rs` and recorded for the schema.
+//!   `crates/sim/tests/zero_alloc.rs` and recorded for the schema (CI's
+//!   bench-smoke job fails if it ever reads non-zero or the schema tag
+//!   drifts from the committed BENCH_engine.json).
 
 use mss_core::{bag_of_tasks, simulate_in, Algorithm, Platform, SimConfig, SimWorkspace};
 use mss_sweep::{run_cells, spec_from_toml, SweepConfig};
@@ -28,7 +35,8 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Schema identifier written into the JSON (bump on layout changes).
-pub const BENCH_SCHEMA: &str = "mss-bench/v1";
+/// v2: sweep timings split into 1-thread / max-threads / large-grid.
+pub const BENCH_SCHEMA: &str = "mss-bench/v2";
 
 /// Timing of the engine hot loop.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
@@ -74,8 +82,12 @@ pub struct BenchReport {
     pub quick: bool,
     /// Engine hot-loop timing.
     pub engine: EngineBench,
-    /// Sweep hot-loop timing.
+    /// Reference sweep at 1 thread (the trajectory-comparable number).
     pub sweep: SweepBench,
+    /// Reference sweep at max threads (parallel scaling).
+    pub sweep_max: SweepBench,
+    /// Larger multi-algorithm grid at max threads.
+    pub sweep_large: SweepBench,
     /// Steady-state heap allocations per engine event — the contract
     /// enforced by `crates/sim/tests/zero_alloc.rs`.
     pub allocs_per_event_steady_state: f64,
@@ -125,14 +137,12 @@ fn engine_bench(quick: bool) -> EngineBench {
     }
 }
 
-fn sweep_bench(quick: bool, threads: usize) -> SweepBench {
-    // The reference grid of `bench_sweep`, scaled down under --quick.
-    let (tasks, count, iters) = if quick { (60, 2, 2) } else { (120, 4, 3) };
-    let spec = spec_from_toml(&format!(
+fn grid_spec(name: &str, tasks: &str, count: usize) -> mss_sweep::SweepSpec {
+    spec_from_toml(&format!(
         r#"
-        name = "bench-grid"
+        name = "{name}"
         seed = 42
-        tasks = [{tasks}]
+        tasks = {tasks}
         algorithms = ["all"]
 
         [[platforms]]
@@ -149,7 +159,10 @@ fn sweep_bench(quick: bool, threads: usize) -> SweepBench {
         load = 0.9
         "#
     ))
-    .expect("bench grid parses");
+    .expect("bench grid parses")
+}
+
+fn sweep_bench(spec: &mss_sweep::SweepSpec, iters: usize, threads: usize) -> SweepBench {
     let cells = spec.expand().expect("bench grid expands");
     let n = cells.len();
     let config = SweepConfig {
@@ -169,13 +182,33 @@ fn sweep_bench(quick: bool, threads: usize) -> SweepBench {
     }
 }
 
-/// Runs both hot loops and assembles the report.
+/// Runs the hot loops and assembles the report. `threads` is the "max
+/// threads" used for the parallel-scaling entries (the 1-thread reference
+/// entry is always measured as well).
 pub fn run(quick: bool, threads: usize) -> BenchReport {
+    // The reference grid of `bench_sweep` (56 cells at full scale, the
+    // grid every BENCH_engine.json trajectory point reports), scaled down
+    // under --quick; plus a larger multi-algorithm grid.
+    let (reference, large, iters) = if quick {
+        (
+            grid_spec("bench-grid", "[60]", 2),
+            grid_spec("bench-grid-large", "[60, 120]", 4),
+            2,
+        )
+    } else {
+        (
+            grid_spec("bench-grid", "[120]", 4),
+            grid_spec("bench-grid-large", "[120, 240]", 8),
+            3,
+        )
+    };
     BenchReport {
         schema: BENCH_SCHEMA.to_string(),
         quick,
         engine: engine_bench(quick),
-        sweep: sweep_bench(quick, threads),
+        sweep: sweep_bench(&reference, iters, 1),
+        sweep_max: sweep_bench(&reference, iters, threads),
+        sweep_large: sweep_bench(&large, iters, threads),
         allocs_per_event_steady_state: 0.0,
     }
 }
@@ -183,19 +216,24 @@ pub fn run(quick: bool, threads: usize) -> BenchReport {
 impl BenchReport {
     /// Human-readable summary for the terminal.
     pub fn render(&self) -> String {
+        let sweep_line = |label: &str, s: &SweepBench| {
+            format!(
+                "{label} {} cells on {} threads, best {:.3} s -> {:.1} cells/sec",
+                s.cells, s.threads, s.best_secs, s.cells_per_sec
+            )
+        };
         format!(
             "engine: {} tasks x {} slaves, {} events/iter, best {:.3} ms -> {:.0} events/sec\n\
-             sweep:  {} cells on {} threads, best {:.3} s -> {:.1} cells/sec\n\
+             {}\n{}\n{}\n\
              allocs/event (steady state): {} (enforced by crates/sim/tests/zero_alloc.rs)",
             self.engine.tasks,
             self.engine.slaves,
             self.engine.events_per_iter,
             self.engine.best_secs * 1e3,
             self.engine.events_per_sec,
-            self.sweep.cells,
-            self.sweep.threads,
-            self.sweep.best_secs,
-            self.sweep.cells_per_sec,
+            sweep_line("sweep:      ", &self.sweep),
+            sweep_line("sweep(max): ", &self.sweep_max),
+            sweep_line("sweep(large):", &self.sweep_large),
             self.allocs_per_event_steady_state,
         )
     }

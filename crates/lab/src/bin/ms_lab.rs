@@ -24,8 +24,11 @@
 //!                      [--cache-dir DIR] [--no-cache] [--baseline ALG]
 //!   bench              time the engine and sweep hot loops and write the
 //!                      schema-stable BENCH_engine.json perf-trajectory
-//!                      point. Extra flag: [--out PATH] (default
-//!                      ./BENCH_engine.json)
+//!                      point: the reference sweep at 1 thread and at max
+//!                      threads, plus a larger multi-algorithm grid.
+//!                      Extra flags: [--out PATH] (default
+//!                      ./BENCH_engine.json); [--threads N] caps the
+//!                      max-threads entries
 //!   all                everything above except `sweep` and `bench`
 //! ```
 
@@ -44,7 +47,7 @@ fn usage() -> ! {
          \x20       [--quick] [--seed N] [--tasks N] [--platforms N] [--threads N]\n\
          \x20       sweep only: [--cache-dir DIR] [--no-cache] [--baseline ALG]\n\
          \x20       resilience only: [--scenario FILE]\n\
-         \x20       bench only: [--out PATH]"
+         \x20       bench only: [--out PATH] (--threads caps the max-thread entries)"
     );
     std::process::exit(2);
 }

@@ -29,9 +29,10 @@
 //! one workspace per worker thread). Three mechanisms make this possible:
 //!
 //! * **incrementally maintained slave views** — the [`SlaveView`] handed to
-//!   the scheduler is cached per slave and recomputed only when an event
-//!   touched that slave (dirty flag) or the clock passed the instant up to
-//!   which the cached nominal estimate is provably exact (`view_valid_until`).
+//!   the scheduler is cached per slave and recomputed only when stale — an
+//!   event touched that slave (a `NEG_INFINITY` sentinel) or the clock
+//!   passed the instant up to which the cached nominal estimate is provably
+//!   exact (`view_valid_until`) — one float compare per slave.
 //!   The recomputation replays the *same sequential float arithmetic* as a
 //!   from-scratch evaluation, so cached and fresh views are bit-identical —
 //!   a `debug_assertions` oracle re-derives every view from scratch after
@@ -297,14 +298,24 @@ pub struct SimWorkspace {
     /// Cached per-slave observable state, maintained incrementally.
     views: Vec<SlaveView>,
     /// Instant up to which `views[j].ready_estimate` is exact without
-    /// recomputation (see [`Engine::recompute_view`]).
+    /// recomputation (see [`Engine::recompute_view`]); `NEG_INFINITY` is
+    /// the "dirty" sentinel (an event touched the slave since its view was
+    /// cached), so staleness is a single float compare per slave.
     view_valid_until: Vec<f64>,
-    /// `dirty[j]` — an event touched slave `j` since its view was cached.
-    dirty: Vec<bool>,
     /// Per-batch notification buffer (reused across batches).
     notifications: Vec<SchedulerEvent>,
     /// Scratch for tasks lost to a slave failure.
     lost: Vec<TaskId>,
+    /// Task indices in release order — stably sorted by `(release, index)`,
+    /// which equals the historical `(time, seq)` heap order of release
+    /// events. Releases are *streamed* from this array instead of living in
+    /// the heap, so the heap only ever holds the O(m) runtime events
+    /// (sends, computes, wakes) and its operations stay near-constant.
+    release_order: Vec<u32>,
+    /// Timeline event indices, stably sorted by `(time, index)` (the
+    /// historical order of their heap entries, which carried sequence
+    /// numbers `n..n+k`).
+    timeline_order: Vec<u32>,
 }
 
 impl SimWorkspace {
@@ -319,9 +330,28 @@ impl SimWorkspace {
         let m = platform.num_slaves();
         let n = tasks.len();
         self.heap.clear();
-        // Live heap size: un-popped releases + timeline events + one send,
-        // one compute and a few wakes in flight.
-        self.heap.reserve(n + timeline.events().len() + 8);
+        // Releases and timeline events are streamed from the sorted arrays
+        // below; the live heap only holds runtime events: at most one
+        // compute per slave, one send in flight, and a few wakes.
+        self.heap.reserve(m + 8);
+        self.release_order.clear();
+        self.release_order.extend(0..n as u32);
+        // Stable order by (release, index): indices are distinct, so an
+        // unstable sort on the pair is stable in effect. Arrival processes
+        // produce non-decreasing releases, so the sortedness pre-check makes
+        // the common case a plain sequential scan.
+        if !tasks.windows(2).all(|w| w[0].release <= w[1].release) {
+            self.release_order
+                .sort_unstable_by_key(|&i| (tasks[i as usize].release, i));
+        }
+        self.timeline_order.clear();
+        self.timeline_order
+            .extend(0..timeline.events().len() as u32);
+        let tl = timeline.events();
+        if !tl.windows(2).all(|w| w[0].time <= w[1].time) {
+            self.timeline_order
+                .sort_unstable_by_key(|&i| (tl[i as usize].time, i));
+        }
         for s in &mut self.slaves {
             s.reset();
         }
@@ -355,8 +385,6 @@ impl SimWorkspace {
         );
         self.view_valid_until.clear();
         self.view_valid_until.resize(m, f64::NEG_INFINITY);
-        self.dirty.clear();
-        self.dirty.resize(m, true);
         self.notifications.clear();
         self.lost.clear();
     }
@@ -376,6 +404,10 @@ struct Engine<'a> {
     released_count: usize,
     completed_count: usize,
     steps: usize,
+    /// Next entry of `ws.release_order` to stream.
+    release_cursor: usize,
+    /// Next entry of `ws.timeline_order` to stream.
+    timeline_cursor: usize,
 }
 
 impl<'a> Engine<'a> {
@@ -387,29 +419,93 @@ impl<'a> Engine<'a> {
         ws: &'a mut SimWorkspace,
     ) -> Self {
         ws.reset(platform, tasks, timeline);
-        let mut engine = Engine {
+        // Sequence numbering is unchanged from the heap-resident layout:
+        // release `i` owns seq `i`, timeline event `i` owns seq `n + i`, and
+        // runtime events count on from `n + k` — so the merged stream below
+        // replays the exact historical `(time, seq)` event order.
+        let seq = (tasks.len() + timeline.events().len()) as u64;
+        Engine {
             platform,
             tasks,
             config,
             timeline,
             ws,
             clock: Time::ZERO,
-            seq: 0,
+            seq,
             link_busy_until: Time::ZERO,
             in_flight: None,
             released_count: 0,
             completed_count: 0,
             steps: 0,
-        };
-        for (i, t) in tasks.iter().enumerate() {
-            engine.push(t.release, Event::Release(TaskId(i)));
+            release_cursor: 0,
+            timeline_cursor: 0,
         }
-        // Timeline events queue after every release so that task-release
-        // sequence numbers — and thus every static run — stay unchanged.
-        for (i, e) in timeline.events().iter().enumerate() {
-            engine.push(e.time, Event::Platform(i));
+    }
+
+    /// Pops the next event across the three sources (release stream,
+    /// timeline stream, runtime heap) in `(time, seq)` order; `None` when
+    /// all are exhausted. With `at = Some(t)`, only an event at exactly `t`
+    /// is popped (the batch-draining mode). Returns
+    /// `(event, heap_seq, from_heap, time)`; `heap_seq` is meaningful only
+    /// for heap events (the only ones cancellation can target). Cancelled
+    /// heap entries are still popped and counted here — exactly as they
+    /// were when they occupied the heap — and skipped by the caller.
+    ///
+    /// Time ties resolve by the historical sequence layout without any seq
+    /// arithmetic: releases (seqs `0..n`) beat timeline events
+    /// (`n..n+k`), which beat runtime events (`n+k..`); within each source
+    /// the stream/heap order is already the seq order.
+    fn pop_next(&mut self, at: Option<Time>) -> Option<(Event, u64, bool, Time)> {
+        let release_t = self
+            .ws
+            .release_order
+            .get(self.release_cursor)
+            .map(|&i| self.tasks[i as usize].release);
+        // Batch-drain fast path: while draining the batch at time `a`, no
+        // source can hold anything earlier than `a`, and a release at `a`
+        // beats every same-time candidate (it has the smallest seq) — so it
+        // pops without consulting the other two sources at all. This makes
+        // a bag-of-tasks release flood a straight cursor walk.
+        if let (Some(a), Some(rt)) = (at, release_t) {
+            if rt == a {
+                let i = self.ws.release_order[self.release_cursor];
+                self.release_cursor += 1;
+                return Some((Event::Release(TaskId(i as usize)), 0, false, rt));
+            }
         }
-        engine
+        let timeline_t = self
+            .ws
+            .timeline_order
+            .get(self.timeline_cursor)
+            .map(|&i| self.timeline.events()[i as usize].time);
+        let heap_t = self.ws.heap.peek().map(|&Reverse(item)| item.time);
+
+        if let Some(rt) = release_t {
+            if timeline_t.is_none_or(|t| rt <= t) && heap_t.is_none_or(|t| rt <= t) {
+                if at.is_some_and(|a| rt != a) {
+                    return None;
+                }
+                let i = self.ws.release_order[self.release_cursor];
+                self.release_cursor += 1;
+                return Some((Event::Release(TaskId(i as usize)), 0, false, rt));
+            }
+        }
+        if let Some(tt) = timeline_t {
+            if heap_t.is_none_or(|t| tt <= t) {
+                if at.is_some_and(|a| tt != a) {
+                    return None;
+                }
+                let i = self.ws.timeline_order[self.timeline_cursor];
+                self.timeline_cursor += 1;
+                return Some((Event::Platform(i as usize), 0, false, tt));
+            }
+        }
+        let ht = heap_t?;
+        if at.is_some_and(|a| ht != a) {
+            return None;
+        }
+        let Reverse(item) = self.ws.heap.pop().expect("heap top just peeked");
+        Some((item.event, item.seq, true, item.time))
     }
 
     fn push(&mut self, time: Time, event: Event) -> u64 {
@@ -473,7 +569,6 @@ impl<'a> Engine<'a> {
             completed: rt.completed,
             available: !rt.down,
         };
-        self.ws.dirty[j] = false;
     }
 
     /// Brings every cached slave view up to date with the current clock and
@@ -485,7 +580,7 @@ impl<'a> Engine<'a> {
         }
         let now = self.clock.as_f64();
         for j in 0..self.ws.slaves.len() {
-            if self.ws.dirty[j] || now > self.ws.view_valid_until[j] {
+            if now > self.ws.view_valid_until[j] {
                 self.recompute_view(j);
             }
         }
@@ -551,7 +646,7 @@ impl<'a> Engine<'a> {
             }
             Event::SendComplete(t, j) => {
                 self.in_flight = None;
-                self.ws.dirty[j.0] = true;
+                self.ws.view_valid_until[j.0] = f64::NEG_INFINITY;
                 let rt = &mut self.ws.slaves[j.0];
                 if rt.down {
                     // Arrived at a failed slave: the transfer is wasted and
@@ -588,7 +683,7 @@ impl<'a> Engine<'a> {
                 self.ws.records[t.0].done = true;
                 self.ws.phases[t.0] = TaskPhase::Done;
                 self.completed_count += 1;
-                self.ws.dirty[j.0] = true;
+                self.ws.view_valid_until[j.0] = f64::NEG_INFINITY;
                 let rt = &mut self.ws.slaves[j.0];
                 debug_assert_eq!(rt.computing, Some(t));
                 rt.computing = None;
@@ -629,7 +724,7 @@ impl<'a> Engine<'a> {
                         self.in_flight = None;
                     }
                 }
-                self.ws.dirty[j.0] = true;
+                self.ws.view_valid_until[j.0] = f64::NEG_INFINITY;
                 let ws = &mut *self.ws;
                 let rt = &mut ws.slaves[j.0];
                 rt.down = true;
@@ -656,7 +751,7 @@ impl<'a> Engine<'a> {
                 // master gambled on the recovery) stays in `outstanding` and
                 // is delivered normally at its send-complete.
                 self.ws.slaves[j.0].down = false;
-                self.ws.dirty[j.0] = true;
+                self.ws.view_valid_until[j.0] = f64::NEG_INFINITY;
                 Some(SchedulerEvent::SlaveRecovered(j))
             }
             PlatformEventKind::SetLinkFactor(f) => {
@@ -681,7 +776,7 @@ impl<'a> Engine<'a> {
         self.ws.records[t.0].compute_start = now;
         self.ws.records[t.0].billed_p = billed_p;
         let seq = self.push(Time::new(now + actual), Event::ComputeComplete(t, j));
-        self.ws.dirty[j.0] = true;
+        self.ws.view_valid_until[j.0] = f64::NEG_INFINITY;
         let rt = &mut self.ws.slaves[j.0];
         rt.computing = Some(t);
         rt.compute_seq = seq;
@@ -740,7 +835,7 @@ impl<'a> Engine<'a> {
         self.ws.records[t.0].slave = j.0;
         self.ws.records[t.0].assigned = true;
         self.link_busy_until = now + actual_c;
-        self.ws.dirty[j.0] = true;
+        self.ws.view_valid_until[j.0] = f64::NEG_INFINITY;
         self.ws.slaves[j.0].outstanding.push_back(OutTask {
             id: t,
             avail: now.as_f64() + nominal_c,
@@ -748,6 +843,18 @@ impl<'a> Engine<'a> {
         let seq = self.push(self.link_busy_until, Event::SendComplete(t, j));
         self.in_flight = Some((t, j, seq));
         Ok(())
+    }
+
+    /// Batched form of [`Engine::step_budget`]: charges `k` steps at once.
+    fn charge_steps(&mut self, k: usize) -> Result<(), SimError> {
+        self.steps += k;
+        if self.steps > self.config.max_steps {
+            Err(SimError::BudgetExhausted {
+                max_steps: self.config.max_steps,
+            })
+        } else {
+            Ok(())
+        }
     }
 
     fn step_budget(&mut self) -> Result<(), SimError> {
@@ -759,30 +866,6 @@ impl<'a> Engine<'a> {
         } else {
             Ok(())
         }
-    }
-
-    fn finish(self) -> Trace {
-        let records = self
-            .ws
-            .records
-            .iter()
-            .enumerate()
-            .map(|(i, r)| {
-                debug_assert!(r.done);
-                TaskRecord {
-                    task: TaskId(i),
-                    release: Time::new(r.release),
-                    slave: SlaveId(r.slave),
-                    send_start: Time::new(r.send_start),
-                    send_end: Time::new(r.send_end),
-                    compute_start: Time::new(r.compute_start),
-                    compute_end: Time::new(r.compute_end),
-                    size_c: r.billed_c,
-                    size_p: r.billed_p,
-                }
-            })
-            .collect();
-        Trace::new(records)
     }
 }
 
@@ -893,7 +976,89 @@ pub fn simulate_with_events_in(
     timeline: &Timeline,
     scheduler: &mut dyn OnlineScheduler,
 ) -> Result<Trace, SimError> {
+    drive(ws, platform, tasks, config, timeline, scheduler)?;
+    Ok(trace_from(ws))
+}
+
+/// The objective values of one completed run.
+///
+/// Computed directly from the engine's internal records with the *same
+/// folds, in the same order,* as [`Trace::makespan`], [`Trace::max_flow`]
+/// and [`Trace::sum_flow`], so the numbers are bit-identical to going
+/// through a [`Trace`] — without materializing one.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunObjectives {
+    /// Makespan `max C_i` (0 for an empty run).
+    pub makespan: f64,
+    /// Maximum response time `max (C_i − r_i)`.
+    pub max_flow: f64,
+    /// Sum of response times `Σ (C_i − r_i)`.
+    pub sum_flow: f64,
+}
+
+/// [`simulate_with_events_in`] for callers that only need the objective
+/// values: skips building the per-task [`Trace`] (the one remaining
+/// per-run output allocation), which is what a sweep over thousands of
+/// cells measures anyway. Results are bit-identical to computing the same
+/// objectives from the returned trace.
+pub fn simulate_objectives_in(
+    ws: &mut SimWorkspace,
+    platform: &Platform,
+    tasks: &[TaskArrival],
+    config: &SimConfig,
+    timeline: &Timeline,
+    scheduler: &mut dyn OnlineScheduler,
+) -> Result<RunObjectives, SimError> {
+    drive(ws, platform, tasks, config, timeline, scheduler)?;
+    let records = &ws.records;
+    Ok(RunObjectives {
+        makespan: records.iter().map(|r| r.compute_end).fold(0.0, f64::max),
+        max_flow: records
+            .iter()
+            .map(|r| r.compute_end - r.release)
+            .fold(0.0, f64::max),
+        sum_flow: records.iter().map(|r| r.compute_end - r.release).sum(),
+    })
+}
+
+/// Builds the [`Trace`] out of a driven workspace.
+fn trace_from(ws: &SimWorkspace) -> Trace {
+    let records = ws
+        .records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            debug_assert!(r.done);
+            TaskRecord {
+                task: TaskId(i),
+                release: Time::new(r.release),
+                slave: SlaveId(r.slave),
+                send_start: Time::new(r.send_start),
+                send_end: Time::new(r.send_end),
+                compute_start: Time::new(r.compute_start),
+                compute_end: Time::new(r.compute_end),
+                size_c: r.billed_c,
+                size_p: r.billed_p,
+            }
+        })
+        .collect();
+    Trace::new(records)
+}
+
+/// Runs the event loop to completion, leaving the run's records in `ws`.
+fn drive(
+    ws: &mut SimWorkspace,
+    platform: &Platform,
+    tasks: &[TaskArrival],
+    config: &SimConfig,
+    timeline: &Timeline,
+    scheduler: &mut dyn OnlineScheduler,
+) -> Result<(), SimError> {
     let mut engine = Engine::new(platform, tasks, config, timeline, ws);
+    // Poll-driven schedulers promise to answer Idle (with no state change)
+    // whenever the port is busy or nothing is pending, so those
+    // notification callbacks can be elided without observable effect.
+    let poll_driven = scheduler.poll_driven();
 
     engine.refresh_views();
     scheduler.init(&engine.view());
@@ -901,7 +1066,8 @@ pub fn simulate_with_events_in(
     while engine.completed_count < tasks.len() {
         engine.step_budget()?;
 
-        let Some(&Reverse(first)) = engine.ws.heap.peek() else {
+        let Some((first_event, first_seq, first_from_heap, first_time)) = engine.pop_next(None)
+        else {
             // Nothing scheduled: give the scheduler one last chance to act.
             engine.refresh_views();
             let decision = scheduler.on_event(&engine.view(), SchedulerEvent::PortIdle);
@@ -924,27 +1090,50 @@ pub fn simulate_with_events_in(
             }
         };
 
-        // Pop and apply the whole batch of simultaneous events first, so the
-        // scheduler always decides on a fully settled state.
-        engine.clock = first.time;
+        // Apply the whole batch of simultaneous events first, so the
+        // scheduler always decides on a fully settled state (the head of
+        // the batch is already popped; drain the rest at the same time).
+        engine.clock = first_time;
         engine.ws.notifications.clear();
-        while let Some(&Reverse(item)) = engine.ws.heap.peek() {
-            if item.time != engine.clock {
-                break;
+        let mut next = Some((first_event, first_seq, first_from_heap));
+        let mut batch_steps = 0usize;
+        while let Some((event, seq, from_heap)) = next {
+            if !(from_heap && !engine.ws.cancelled.is_empty() && engine.ws.cancelled.remove(&seq)) {
+                batch_steps += 1;
+                if let Some(n) = engine.apply(event) {
+                    engine.ws.notifications.push(n);
+                }
             }
-            engine.ws.heap.pop();
-            if engine.ws.cancelled.remove(&item.seq) {
-                continue; // voided by a failure before it fired
-            }
-            engine.step_budget()?;
-            if let Some(n) = engine.apply(item.event) {
-                engine.ws.notifications.push(n);
-            }
+            next = engine
+                .pop_next(Some(first_time))
+                .map(|(e, s, f, _)| (e, s, f));
         }
+        // Budget accounting is batched: one add + one check per batch
+        // instead of per event. A budget crossing mid-batch surfaces as the
+        // same `BudgetExhausted` error before any callback of the batch is
+        // delivered — errored runs return nothing else, so the relaxation
+        // is unobservable.
+        engine.charge_steps(batch_steps)?;
 
         // Deliver notifications; each may carry a decision. (Decisions can
         // change engine state, never extend this batch's notifications.)
         for i in 0..engine.ws.notifications.len() {
+            if poll_driven
+                && (engine.link_busy_until > engine.clock || engine.ws.pending.is_empty())
+            {
+                // The poll-driven contract makes this callback a no-op; the
+                // debug oracle performs it anyway and holds the promise.
+                #[cfg(debug_assertions)]
+                {
+                    engine.refresh_views();
+                    let decision = scheduler.on_event(&engine.view(), engine.ws.notifications[i]);
+                    assert!(
+                        matches!(decision, Decision::Idle),
+                        "poll_driven scheduler acted on a busy/empty callback: {decision:?}"
+                    );
+                }
+                continue;
+            }
             let n = engine.ws.notifications[i];
             engine.refresh_views();
             let decision = scheduler.on_event(&engine.view(), n);
@@ -976,7 +1165,7 @@ pub fn simulate_with_events_in(
         }
     }
 
-    Ok(engine.finish())
+    Ok(())
 }
 
 #[cfg(test)]

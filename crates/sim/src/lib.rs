@@ -63,8 +63,8 @@ mod trace;
 mod view;
 
 pub use engine::{
-    simulate, simulate_in, simulate_with_events, simulate_with_events_in, SimConfig, SimError,
-    SimWorkspace,
+    simulate, simulate_in, simulate_objectives_in, simulate_with_events, simulate_with_events_in,
+    RunObjectives, SimConfig, SimError, SimWorkspace,
 };
 pub use events::{PlatformEvent, PlatformEventKind, Timeline};
 pub use gantt::render as render_gantt;

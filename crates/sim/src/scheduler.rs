@@ -67,12 +67,35 @@ pub trait OnlineScheduler {
     /// Human-readable algorithm name (used in reports and figures).
     fn name(&self) -> String;
 
-    /// Called once before the simulation starts.
+    /// Called once before the simulation starts. Implementations must
+    /// fully reset any internal state here: executors may reuse one
+    /// scheduler instance across many runs (as the sweep's batch workers
+    /// do), and a run on a reused instance must be bit-identical to a run
+    /// on a fresh one.
     fn init(&mut self, _view: &SimView<'_>) {}
 
     /// Called after each batch of simultaneous events, and repeatedly after
     /// each accepted [`Decision::Send`], while the port is idle.
     fn on_event(&mut self, view: &SimView<'_>, event: SchedulerEvent) -> Decision;
+
+    /// Declares the *poll-driven* contract, which lets the engine skip
+    /// notification callbacks that provably cannot matter. Returning `true`
+    /// promises that whenever the port is busy **or** no task is pending,
+    /// [`OnlineScheduler::on_event`] returns [`Decision::Idle`] without any
+    /// observable state change — and that the scheduler never returns
+    /// [`Decision::WakeAt`]. Under this contract the engine may elide such
+    /// callbacks entirely (their decision is known), which removes most
+    /// per-event scheduler work without changing a single bit of any trace;
+    /// a `debug_assertions` oracle still performs the elided callbacks and
+    /// asserts they answer `Idle`.
+    ///
+    /// The default is `false` (every callback is delivered). All seven paper
+    /// heuristics satisfy the contract: they act only when the port is idle
+    /// and a pending task exists, and mutate internal state only when
+    /// acting.
+    fn poll_driven(&self) -> bool {
+        false
+    }
 }
 
 impl<T: OnlineScheduler + ?Sized> OnlineScheduler for Box<T> {
@@ -84,5 +107,8 @@ impl<T: OnlineScheduler + ?Sized> OnlineScheduler for Box<T> {
     }
     fn on_event(&mut self, view: &SimView<'_>, event: SchedulerEvent) -> Decision {
         (**self).on_event(view, event)
+    }
+    fn poll_driven(&self) -> bool {
+        (**self).poll_driven()
     }
 }

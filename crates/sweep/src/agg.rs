@@ -231,4 +231,52 @@ mod tests {
         let rows = aggregate(&cells, &[metrics(2.0)], None);
         assert!(rows[0].normalized.is_none());
     }
+
+    #[test]
+    fn same_seed_heterogeneity_families_aggregate_separately() {
+        // Regression: `PlatformCell::Heterogeneity` used to report the raw
+        // `seed` as its replicate index, so two families sharing a seed
+        // collapsed onto one aggregation point — their baselines
+        // overwrote each other in the per-point normalization join. The
+        // `family` counter keeps the points distinct even with equal seeds.
+        use mss_workload::HeterogeneityAxis;
+        let het = |family: u64, algorithm: Algorithm| Cell {
+            platform: PlatformCell::Heterogeneity {
+                axis: HeterogeneityAxis::Both,
+                level: 0.5,
+                slaves: 2,
+                seed: 99, // deliberately identical across families
+                family,
+            },
+            arrival: ArrivalProcess::AllAtZero,
+            perturbation: None,
+            scenario: None,
+            tasks: 10,
+            algorithm,
+            replicate: 0,
+            task_seed: family, // distinct instances per family
+        };
+        let cells = vec![
+            het(0, Algorithm::Srpt),
+            het(0, Algorithm::ListScheduling),
+            het(1, Algorithm::Srpt),
+            het(1, Algorithm::ListScheduling),
+        ];
+        assert_ne!(
+            cells[0].point_id(),
+            cells[2].point_id(),
+            "same-seed families must be distinct replication points"
+        );
+        // SRPT baselines: 2.0 (family 0) and 4.0 (family 1); LS: 1.0, 3.0.
+        let ms = vec![metrics(2.0), metrics(1.0), metrics(4.0), metrics(3.0)];
+        let rows = aggregate(&cells, &ms, Some(Algorithm::Srpt));
+        assert_eq!(rows.len(), 2, "one group, two algorithms");
+        let ls = &rows[1];
+        assert_eq!(ls.algorithm, "LS");
+        let n = ls.normalized.as_ref().expect("baseline present everywhere");
+        assert_eq!(n.count, 2);
+        // Per-point join: (1/2 + 3/4) / 2 — a seed-keyed join would have
+        // divided both LS runs by one surviving baseline instead.
+        assert!((n.mean - 0.625).abs() < 1e-12, "normalized mean {}", n.mean);
+    }
 }

@@ -1,0 +1,227 @@
+//! Instance-major batched execution.
+//!
+//! A sweep grid is algorithm-innermost: the cells of one *instance* — same
+//! platform recipe, arrival process, perturbation, scenario, task count,
+//! replicate and task seed, differing only in `algorithm` — sit next to
+//! each other in expansion order. Cell-major execution rebuilt that
+//! instance from scratch for every algorithm; this module groups
+//! consecutive same-instance cells into batches, materializes the
+//! platform, task streams, compiled timeline and the three certified lower
+//! bounds **once** per batch, and fans the algorithms out against the
+//! shared [`MaterializedInstance`](crate::cell::MaterializedInstance). With the paper's seven algorithms this
+//! removes ~6/7 of all instance-construction and bound work.
+//!
+//! **Batching is observationally pure** (the contract the executor and its
+//! property tests enforce): per-cell results, cache keys, store contents
+//! and every downstream artifact are bit-identical to cell-major execution
+//! for any thread count and any batch grouping. It holds because a batch
+//! only shares *inputs* that are themselves bit-identical to what the cell
+//! would have built alone: the memoized sampler stream replays the exact
+//! `sample_many` sequence ([`mss_workload::PlatformStream`]), and the
+//! engine re-initializes its [`SimWorkspace`] per run.
+
+use crate::cell::{Cell, CellError, CellMetrics};
+use mss_core::{Algorithm, OnlineScheduler, Platform, PlatformClass, Redispatch, SimWorkspace};
+use mss_workload::{PlatformSampler, PlatformStream};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Per-worker memoized platform-sampler streams, keyed by
+/// `(class, slaves, seed)`. Each stream extends lazily to the highest
+/// index requested and replays [`PlatformSampler::sample_many`] bit for
+/// bit, so cached and from-scratch realizations are interchangeable.
+#[derive(Default)]
+pub struct SamplerCache {
+    streams: HashMap<(PlatformClass, usize, u64), PlatformStream>,
+}
+
+impl SamplerCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SamplerCache::default()
+    }
+
+    /// Platform `index` of the `(class, slaves, seed)` sampler stream.
+    pub fn get(
+        &mut self,
+        class: PlatformClass,
+        slaves: usize,
+        seed: u64,
+        index: usize,
+    ) -> Platform {
+        self.streams
+            .entry((class, slaves, seed))
+            .or_insert_with(|| {
+                PlatformSampler {
+                    num_slaves: slaves,
+                    ..PlatformSampler::default()
+                }
+                .stream(class, seed)
+            })
+            .get(index)
+            .clone()
+    }
+
+    /// Number of distinct streams opened so far.
+    pub fn streams(&self) -> usize {
+        self.streams.len()
+    }
+}
+
+/// Per-worker scratch of the batched executor: the reusable simulator
+/// buffers plus the memoized sampler streams. Scratch never influences
+/// results (the workspace re-initializes per run; the cache is
+/// bit-transparent), so the executor's any-thread-count determinism is
+/// untouched.
+#[derive(Default)]
+pub struct BatchWorker {
+    /// Reusable simulator buffers (one per worker thread).
+    pub ws: SimWorkspace,
+    /// Memoized sampler streams (one set per worker thread).
+    pub samplers: SamplerCache,
+    /// Reusable scheduler instances keyed by `(algorithm, fault_aware)`.
+    /// The engine calls `init` before every run (the documented full-reset
+    /// point of [`OnlineScheduler`]), so reuse is bit-transparent.
+    schedulers: HashMap<(Algorithm, bool), Box<dyn OnlineScheduler>>,
+}
+
+impl BatchWorker {
+    /// Fresh worker scratch.
+    pub fn new() -> Self {
+        BatchWorker::default()
+    }
+}
+
+/// The (reused) scheduler instance a cell runs under.
+fn scheduler_for<'a>(
+    schedulers: &'a mut HashMap<(Algorithm, bool), Box<dyn OnlineScheduler>>,
+    cell: &Cell,
+) -> &'a mut dyn OnlineScheduler {
+    let fault_aware = cell.scenario.as_ref().is_some_and(|s| s.fault_aware);
+    schedulers
+        .entry((cell.algorithm, fault_aware))
+        .or_insert_with(|| {
+            if fault_aware {
+                Box::new(Redispatch::wrap(cell.algorithm))
+            } else {
+                cell.algorithm.build()
+            }
+        })
+        .as_mut()
+}
+
+/// Groups `indices` (ascending positions into `cells`, e.g. the not-yet-
+/// cached subset) into maximal consecutive runs of same-instance cells.
+/// Returned ranges index into `indices`, partition it, and preserve order —
+/// the grouping is a pure function of the cell list, independent of thread
+/// count.
+pub fn group_instances(cells: &[Cell], indices: &[usize]) -> Vec<Range<usize>> {
+    let mut batches = Vec::new();
+    let mut start = 0usize;
+    for k in 1..indices.len() {
+        if !cells[indices[k - 1]].same_instance(&cells[indices[k]]) {
+            batches.push(start..k);
+            start = k;
+        }
+    }
+    if start < indices.len() {
+        batches.push(start..indices.len());
+    }
+    batches
+}
+
+/// Runs one batch (a `group_instances` range over `indices`): materializes
+/// the shared instance once, then every cell of the batch against it, in
+/// order. Each result is bit-identical to the cell's own
+/// [`Cell::try_run_in`].
+pub fn run_batch(
+    cells: &[Cell],
+    indices: &[usize],
+    batch: Range<usize>,
+    worker: &mut BatchWorker,
+    out: &mut Vec<Result<CellMetrics, CellError>>,
+) {
+    let BatchWorker {
+        ws,
+        samplers,
+        schedulers,
+    } = worker;
+    let head = &cells[indices[batch.start]];
+    let mat = head.materialize_with(samplers);
+    for k in batch {
+        let cell = &cells[indices[k]];
+        let scheduler = scheduler_for(schedulers, cell);
+        out.push(cell.try_run_scheduled(&mat, ws, scheduler));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::PlatformCell;
+    use mss_core::Algorithm;
+    use mss_workload::ArrivalProcess;
+
+    fn cell(index: usize, algorithm: Algorithm) -> Cell {
+        Cell {
+            platform: PlatformCell::Class {
+                class: PlatformClass::Heterogeneous,
+                slaves: 3,
+                seed: 42,
+                index,
+            },
+            arrival: ArrivalProcess::AllAtZero,
+            perturbation: None,
+            scenario: None,
+            tasks: 20,
+            algorithm,
+            replicate: 0,
+            task_seed: 7,
+        }
+    }
+
+    #[test]
+    fn sampler_cache_matches_direct_realization() {
+        let mut cache = SamplerCache::new();
+        // Deliberately access indices out of order and twice.
+        for &i in &[2usize, 0, 3, 2] {
+            let c = cell(i, Algorithm::Srpt);
+            assert_eq!(c.platform.realize_with(&mut cache), c.platform.realize());
+        }
+        assert_eq!(cache.streams(), 1, "one (class, slaves, seed) stream");
+    }
+
+    #[test]
+    fn grouping_is_maximal_consecutive_runs() {
+        let cells = vec![
+            cell(0, Algorithm::Srpt),
+            cell(0, Algorithm::ListScheduling),
+            cell(0, Algorithm::RoundRobin),
+            cell(1, Algorithm::Srpt),
+            cell(1, Algorithm::ListScheduling),
+            cell(0, Algorithm::Sljf), // same instance as the first run, but not adjacent
+        ];
+        let all: Vec<usize> = (0..cells.len()).collect();
+        assert_eq!(group_instances(&cells, &all), vec![0..3, 3..5, 5..6]);
+        // A cached hole in the middle must not split the run.
+        let holey = [0usize, 2, 3, 5];
+        assert_eq!(group_instances(&cells, &holey), vec![0..2, 2..3, 3..4]);
+        assert!(group_instances(&cells, &[]).is_empty());
+    }
+
+    #[test]
+    fn batch_results_match_per_cell_runs() {
+        let cells: Vec<Cell> = Algorithm::ALL.iter().map(|&a| cell(1, a)).collect();
+        let all: Vec<usize> = (0..cells.len()).collect();
+        let batches = group_instances(&cells, &all);
+        assert_eq!(batches, vec![0..cells.len()]);
+        let mut worker = BatchWorker::new();
+        let mut out = Vec::new();
+        for b in batches {
+            run_batch(&cells, &all, b, &mut worker, &mut out);
+        }
+        for (c, r) in cells.iter().zip(&out) {
+            assert_eq!(r.as_ref().unwrap(), &c.run(), "{}", c.algorithm);
+        }
+    }
+}

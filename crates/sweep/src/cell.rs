@@ -9,9 +9,10 @@
 //! * **cacheability** — the cell's canonical JSON is content-hashed into
 //!   the result-store key, so a re-run of an unchanged cell is a lookup.
 
+use crate::batch::SamplerCache;
 use mss_core::{
-    simulate_with_events_in, Algorithm, OnlineScheduler, Platform, PlatformClass, Redispatch,
-    SimConfig, SimWorkspace, Timeline,
+    simulate_objectives_in, Algorithm, OnlineScheduler, Platform, PlatformClass, Redispatch,
+    SimConfig, SimWorkspace, TaskArrival, Timeline,
 };
 use mss_opt::bounds::{makespan_lower_bound, max_flow_lower_bound, sum_flow_lower_bound};
 use mss_opt::schedule::Instance;
@@ -45,6 +46,12 @@ pub enum PlatformCell {
         slaves: usize,
         /// Family seed (fixes the per-slave directions).
         seed: u64,
+        /// Replicate identity of this family within its group (the axis
+        /// entry's family counter). [`PlatformCell::replicate_index`]
+        /// returns this — never the raw `seed`, which two families may
+        /// legitimately share and which would then collapse their
+        /// per-point aggregation joins.
+        family: u64,
     },
     /// An explicit platform (e.g. calibrated from a real testbed).
     Explicit {
@@ -56,7 +63,15 @@ pub enum PlatformCell {
 }
 
 impl PlatformCell {
-    /// Materializes the platform.
+    /// Materializes the platform without a sampler cache.
+    ///
+    /// For `Class` recipes this draws `index + 1` platforms and keeps the
+    /// last, exactly reproducing the paper harness's sequential stream
+    /// while staying a pure function of the cell — at the cost of
+    /// O(index) redundant draws. The sweep executor avoids that cost with
+    /// [`PlatformCell::realize_with`], which resumes a memoized
+    /// [`mss_workload::PlatformStream`] instead; both produce bit-identical
+    /// platforms.
     pub fn realize(&self) -> Platform {
         match self {
             PlatformCell::Class {
@@ -69,13 +84,6 @@ impl PlatformCell {
                     num_slaves: *slaves,
                     ..PlatformSampler::default()
                 };
-                // Drawing `index + 1` platforms and keeping the last exactly
-                // reproduces the paper harness's sequential stream, while
-                // staying independent of which other cells run. This costs
-                // O(index) redundant draws per cell — accepted so cells stay
-                // pure functions of themselves (the property caching and
-                // thread-count determinism rest on); a platform draw is tens
-                // of RNG calls, negligible next to simulating the cell.
                 sampler
                     .sample_many(*class, *index + 1, *seed)
                     .pop()
@@ -86,8 +94,25 @@ impl PlatformCell {
                 level,
                 slaves,
                 seed,
+                ..
             } => HeterogeneityFamily::paper_ranges(*slaves, *seed).platform(*axis, *level),
             PlatformCell::Explicit { c, p } => Platform::from_vectors(c, p),
+        }
+    }
+
+    /// [`PlatformCell::realize`] through a per-worker [`SamplerCache`]:
+    /// `Class` recipes resume the memoized sampler stream for
+    /// `(class, slaves, seed)` (no redundant draws), the other recipes
+    /// realize directly. Bit-identical to [`PlatformCell::realize`].
+    pub fn realize_with(&self, cache: &mut SamplerCache) -> Platform {
+        match self {
+            PlatformCell::Class {
+                class,
+                slaves,
+                seed,
+                index,
+            } => cache.get(*class, *slaves, *seed, *index),
+            _ => self.realize(),
         }
     }
 
@@ -108,11 +133,15 @@ impl PlatformCell {
         }
     }
 
-    /// Index distinguishing replicated platforms within a group.
+    /// Index distinguishing replicated platforms within a group: the
+    /// stream index for `Class` recipes and the family counter for
+    /// `Heterogeneity` ones (a replicate identity — *not* the raw seed,
+    /// which may coincide across families and would merge their points in
+    /// per-point aggregation joins).
     pub fn replicate_index(&self) -> u64 {
         match self {
             PlatformCell::Class { index, .. } => *index as u64,
-            PlatformCell::Heterogeneity { seed, .. } => *seed,
+            PlatformCell::Heterogeneity { family, .. } => *family,
             PlatformCell::Explicit { .. } => 0,
         }
     }
@@ -196,6 +225,45 @@ pub struct Cell {
     pub task_seed: u64,
 }
 
+/// A cell whose simulation could not complete (e.g. a fault-oblivious
+/// algorithm livelocking against a down slave until the step budget
+/// aborts). Carries the human-readable description the legacy panicking
+/// API raises.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellError(pub String);
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CellError {}
+
+/// Everything shareable across the cells of one *instance* — cells that
+/// differ only in `algorithm` (see [`Cell::same_instance`]): the realized
+/// platform, the nominal and perturbed task streams, the compiled platform
+/// timeline, and the three certified lower bounds. Materialized **once**
+/// per instance by the batched executor instead of once per cell; running
+/// a cell against it is bit-identical to [`Cell::try_run_in`].
+pub struct MaterializedInstance {
+    /// The realized platform.
+    pub platform: Platform,
+    /// Nominal-size task stream (what schedulers and bounds see).
+    pub nominal: Vec<TaskArrival>,
+    /// Perturbed task stream, when the cell carries a perturbation (the
+    /// engine bills these; `None` means the nominal sizes are billed).
+    pub perturbed: Option<Vec<TaskArrival>>,
+    /// Compiled platform-event timeline (empty for static cells).
+    pub timeline: Timeline,
+    /// Certified lower bound on the optimal makespan (nominal sizes).
+    pub lb_makespan: f64,
+    /// Certified lower bound on the optimal max-flow.
+    pub lb_max_flow: f64,
+    /// Certified lower bound on the optimal sum-flow.
+    pub lb_sum_flow: f64,
+}
+
 /// Measured objectives of one cell, with certified lower bounds.
 #[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CellMetrics {
@@ -232,12 +300,39 @@ impl Cell {
     /// Results are bit-identical to [`Cell::run`] (the engine re-initializes
     /// the workspace per run).
     pub fn run_in(&self, ws: &mut SimWorkspace) -> CellMetrics {
-        let platform = self.platform.realize();
+        self.try_run_in(ws).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`Cell::run_in`]: a cell that legitimately aborts
+    /// (see [`ScenarioCell`]) comes back as a [`CellError`] value instead,
+    /// so batched executors can carry it to the right result slot.
+    pub fn try_run_in(&self, ws: &mut SimWorkspace) -> Result<CellMetrics, CellError> {
+        let mat = self.materialize();
+        self.try_run_materialized(&mat, ws)
+    }
+
+    /// Materializes this cell's instance from scratch (no sampler cache).
+    ///
+    /// # Panics
+    /// Panics if the scenario does not compile (specs are validated at
+    /// expansion time, so this is a harness bug, not a data condition).
+    pub fn materialize(&self) -> MaterializedInstance {
+        self.materialize_parts(self.platform.realize())
+    }
+
+    /// [`Cell::materialize`] resuming platform-sampler streams from a
+    /// per-worker [`SamplerCache`] (kills the O(index) redundant draws of
+    /// [`PlatformCell::realize`]). Bit-identical to [`Cell::materialize`].
+    pub fn materialize_with(&self, cache: &mut SamplerCache) -> MaterializedInstance {
+        self.materialize_parts(self.platform.realize_with(cache))
+    }
+
+    fn materialize_parts(&self, platform: Platform) -> MaterializedInstance {
         let nominal = self.arrival.generate(self.tasks, &platform, self.task_seed);
-        let tasks = match &self.perturbation {
-            Some(p) => p.to_perturbation().apply(&nominal, p.seed),
-            None => nominal.clone(),
-        };
+        let perturbed = self
+            .perturbation
+            .as_ref()
+            .map(|p| p.to_perturbation().apply(&nominal, p.seed));
         let timeline = match &self.scenario {
             Some(s) => s
                 .spec
@@ -245,32 +340,100 @@ impl Cell {
                 .unwrap_or_else(|e| panic!("scenario failed to compile: {e}")),
             None => Timeline::EMPTY,
         };
-        let mut scheduler: Box<dyn OnlineScheduler> = match &self.scenario {
-            Some(s) if s.fault_aware => Box::new(Redispatch::wrap(self.algorithm)),
-            _ => self.algorithm.build(),
-        };
-        let cfg = SimConfig::with_horizon(self.tasks);
-        let trace = simulate_with_events_in(ws, &platform, &tasks, &cfg, &timeline, &mut scheduler)
-            .unwrap_or_else(|e| panic!("{} failed on {:?}: {e}", self.algorithm, self.platform));
-
         let inst = Instance {
             c: platform.iter().map(|(_, s)| s.c).collect(),
             p: platform.iter().map(|(_, s)| s.p).collect(),
             r: nominal.iter().map(|t| t.release.as_f64()).collect(),
         };
-        let lb = makespan_lower_bound(&inst);
-        // The flow bounds are computed for completeness of the record even
-        // though current reports only use the makespan ratio.
-        let _ = (max_flow_lower_bound(&inst), sum_flow_lower_bound(&inst));
-
-        let makespan = trace.makespan();
-        CellMetrics {
-            makespan,
-            max_flow: trace.max_flow(),
-            sum_flow: trace.sum_flow(),
-            lb_makespan: lb,
-            ratio_makespan: if lb > 0.0 { makespan / lb } else { f64::NAN },
+        // All three certified bounds are computed here — once per
+        // *instance* under the batched executor, not once per cell.
+        MaterializedInstance {
+            lb_makespan: makespan_lower_bound(&inst),
+            lb_max_flow: max_flow_lower_bound(&inst),
+            lb_sum_flow: sum_flow_lower_bound(&inst),
+            platform,
+            nominal,
+            perturbed,
+            timeline,
         }
+    }
+
+    /// Runs this cell against a shared materialization. `mat` must come
+    /// from [`Cell::materialize`]/[`Cell::materialize_with`] of a cell for
+    /// which [`Cell::same_instance`] holds (the caller's grouping
+    /// invariant); results are then bit-identical to [`Cell::try_run_in`].
+    pub fn try_run_materialized(
+        &self,
+        mat: &MaterializedInstance,
+        ws: &mut SimWorkspace,
+    ) -> Result<CellMetrics, CellError> {
+        let mut scheduler: Box<dyn OnlineScheduler> = match &self.scenario {
+            Some(s) if s.fault_aware => Box::new(Redispatch::wrap(self.algorithm)),
+            _ => self.algorithm.build(),
+        };
+        self.try_run_scheduled(mat, ws, &mut scheduler)
+    }
+
+    /// [`Cell::try_run_materialized`] with a caller-provided scheduler
+    /// instance (which the engine fully re-initializes per run, so reuse
+    /// across cells is bit-transparent). The scheduler must be the one this
+    /// cell would build: `Redispatch`-wrapped iff the cell is fault-aware.
+    pub fn try_run_scheduled(
+        &self,
+        mat: &MaterializedInstance,
+        ws: &mut SimWorkspace,
+        scheduler: &mut dyn OnlineScheduler,
+    ) -> Result<CellMetrics, CellError> {
+        let cfg = SimConfig {
+            horizon_hint: Some(self.tasks),
+            // Instance-scaled step budget: a clean run takes ~4 steps per
+            // task, and each platform-timeline event adds at most a
+            // handful of steps plus O(tasks) re-releases/re-sends, so this
+            // is two-plus orders of magnitude of headroom even for extreme
+            // user scenarios — while livelocking fault-oblivious cells
+            // abort promptly instead of burning the engine-default
+            // 10M-step budget. The budget is not part of the cell identity
+            // and no artifact-producing path contains aborting cells, so
+            // observable outputs are unchanged.
+            max_steps: 50_000
+                + 5_000 * self.tasks
+                + mat.timeline.events().len() * (10 + 2 * self.tasks),
+        };
+        let tasks = mat.perturbed.as_deref().unwrap_or(&mat.nominal);
+        let run = simulate_objectives_in(ws, &mat.platform, tasks, &cfg, &mat.timeline, scheduler)
+            .map_err(|e| {
+                CellError(format!(
+                    "{} failed on {:?}: {e}",
+                    self.algorithm, self.platform
+                ))
+            })?;
+
+        let lb = mat.lb_makespan;
+        Ok(CellMetrics {
+            makespan: run.makespan,
+            max_flow: run.max_flow,
+            sum_flow: run.sum_flow,
+            lb_makespan: lb,
+            ratio_makespan: if lb > 0.0 {
+                run.makespan / lb
+            } else {
+                f64::NAN
+            },
+        })
+    }
+
+    /// `true` iff `other` describes the same *instance* — every field but
+    /// the algorithm agrees — so both cells can run against one
+    /// [`MaterializedInstance`]. This is the batched executor's grouping
+    /// key.
+    pub fn same_instance(&self, other: &Cell) -> bool {
+        self.platform == other.platform
+            && self.arrival == other.arrival
+            && self.perturbation == other.perturbation
+            && self.scenario == other.scenario
+            && self.tasks == other.tasks
+            && self.replicate == other.replicate
+            && self.task_seed == other.task_seed
     }
 
     /// Label of the aggregation group this cell belongs to (everything but

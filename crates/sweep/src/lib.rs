@@ -8,8 +8,11 @@
 //! 1. **expands** the grid into independent [`Cell`]s with content-derived
 //!    per-cell seeds ([`SweepSpec::expand`]);
 //! 2. **executes** cells across threads with dynamic load balancing
-//!    ([`exec::parallel_map`]) — results are bit-identical for any thread
-//!    count because each cell is a pure function of itself;
+//!    ([`exec::parallel_map_with`]), *instance-major*: consecutive cells
+//!    that differ only in algorithm share one materialized platform, task
+//!    stream, compiled timeline, and set of certified lower bounds
+//!    ([`batch`]) — results are bit-identical for any thread count and any
+//!    batch grouping because each cell stays a pure function of itself;
 //! 3. **caches** completed cells in a sharded JSONL [`ResultStore`] keyed
 //!    by content hash, so re-runs skip finished work and interrupted
 //!    sweeps resume (torn shard lines are detected and re-run);
@@ -45,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod agg;
+pub mod batch;
 pub mod cell;
 pub mod exec;
 pub mod schema;
@@ -55,7 +59,10 @@ pub mod toml_lite;
 use std::path::PathBuf;
 
 pub use agg::{aggregate, summarize, AggregateRow, Summary};
-pub use cell::{Cell, CellMetrics, PerturbCell, PlatformCell, ScenarioCell};
+pub use batch::{group_instances, BatchWorker, SamplerCache};
+pub use cell::{
+    Cell, CellError, CellMetrics, MaterializedInstance, PerturbCell, PlatformCell, ScenarioCell,
+};
 pub use exec::{default_threads, parallel_map, parallel_map_with};
 pub use spec::{ArrivalAxis, PerturbAxis, PlatformAxis, ScenarioAxis, SpecError, SweepSpec};
 pub use store::{cell_key, ResultStore, CODE_VERSION_SALT};
@@ -102,61 +109,118 @@ impl SweepOutcome {
     }
 }
 
-/// Executes a list of cells under `config` (the engine behind both the lab
-/// experiments and `ms-lab sweep`).
+/// A sweep executed through the non-panicking API: per-cell results in
+/// expansion order, including error-carrying cells (e.g. budget aborts of
+/// fault-oblivious algorithms under failures).
+pub struct CheckedOutcome {
+    /// One result per input cell, in input order.
+    pub results: Vec<Result<CellMetrics, CellError>>,
+    /// Cells actually simulated this run.
+    pub executed: usize,
+    /// Cells served from the result store.
+    pub cached: usize,
+    /// Corrupt/truncated store lines that were dropped.
+    pub dropped: usize,
+}
+
+/// Executes cells under `config` without panicking on cell errors: every
+/// slot of `results` carries that cell's own outcome, bit-identical to a
+/// per-cell [`Cell::try_run_in`] for any thread count.
+///
+/// This is the engine behind [`run_cells`]. Execution is **instance-major**
+/// (see [`batch`]): not-yet-cached cells are grouped into maximal
+/// consecutive same-instance batches, each batch materializes its
+/// platform/task-streams/timeline/bounds once, and worker threads pick up
+/// whole batches through the dynamic load balancer. Only `Ok` results
+/// enter the store.
 ///
 /// # Panics
 /// Panics if the cache directory cannot be created or written.
-pub fn run_cells(cells: Vec<Cell>, config: &SweepConfig) -> SweepOutcome {
-    let keys: Vec<String> = cells.iter().map(cell_key).collect();
-
+pub fn try_run_cells(cells: &[Cell], config: &SweepConfig) -> CheckedOutcome {
     let (store, known, dropped) = match &config.cache_dir {
         Some(dir) => {
             let store = ResultStore::open(dir).expect("open sweep result store");
             let loaded = store.load().expect("load sweep result store");
             (Some(store), loaded.results, loaded.dropped)
         }
-        None => (None, Default::default(), 0),
+        None => (None, std::collections::HashMap::new(), 0),
+    };
+    // Content keys are only needed to talk to the store; an uncached sweep
+    // skips their serialization cost entirely.
+    let keys: Option<Vec<String>> = store.as_ref().map(|_| cells.iter().map(cell_key).collect());
+
+    // Indices still to run, in expansion order.
+    let missing: Vec<usize> = match &keys {
+        Some(keys) => (0..cells.len())
+            .filter(|&i| !known.contains_key(&keys[i]))
+            .collect(),
+        None => (0..cells.len()).collect(),
     };
 
-    // Indices still to run.
-    let missing: Vec<usize> = (0..cells.len())
-        .filter(|&i| !known.contains_key(&keys[i]))
-        .collect();
+    // Instance-major fan-out: each work item is one batch of consecutive
+    // same-instance cells; each worker thread owns one BatchWorker (the
+    // reused SimWorkspace + memoized sampler streams). Batch results are
+    // slotted back by index, so output order — and every bit of it — is
+    // independent of thread count and of the grouping itself.
+    let batches = group_instances(cells, &missing);
+    let fresh = parallel_map_with(&batches, config.threads, BatchWorker::new, |w, _, b| {
+        let mut out = Vec::with_capacity(b.len());
+        batch::run_batch(cells, &missing, b.clone(), w, &mut out);
+        out
+    });
+    // Batches partition `missing` in order, so the flattened results align
+    // one-to-one with `missing`.
+    let flat: Vec<Result<CellMetrics, CellError>> = fresh.into_iter().flatten().collect();
+    debug_assert_eq!(flat.len(), missing.len());
 
-    // One simulator workspace per worker thread: the engine's
-    // zero-allocation buffers are warmed by the first cell a worker runs
-    // and reused for every subsequent one (results are independent of the
-    // reuse — each run re-initializes the workspace).
-    let fresh = parallel_map_with(
-        &missing,
-        config.threads,
-        mss_core::SimWorkspace::new,
-        |ws, _, &i| cells[i].run_in(ws),
-    );
-
-    if let Some(store) = &store {
+    if let (Some(store), Some(keys)) = (&store, &keys) {
         let records: Vec<(String, CellMetrics)> = missing
             .iter()
-            .zip(&fresh)
-            .map(|(&i, m)| (keys[i].clone(), m.clone()))
+            .zip(&flat)
+            .filter_map(|(&i, r)| r.as_ref().ok().map(|m| (keys[i].clone(), m.clone())))
             .collect();
         store.append(&records).expect("append sweep results");
     }
 
-    let mut fresh_by_index: std::collections::HashMap<usize, CellMetrics> =
-        missing.iter().copied().zip(fresh).collect();
-    let metrics: Vec<CellMetrics> = (0..cells.len())
-        .map(|i| match fresh_by_index.remove(&i) {
-            Some(m) => m,
-            None => known[&keys[i]].clone(),
+    let mut flat_iter = flat.into_iter();
+    let mut missing_iter = missing.iter().peekable();
+    let results = (0..cells.len())
+        .map(|i| {
+            if missing_iter.peek() == Some(&&i) {
+                missing_iter.next();
+                flat_iter.next().expect("one result per missing cell")
+            } else {
+                let keys = keys.as_ref().expect("cached cells imply a store");
+                Ok(known[&keys[i]].clone())
+            }
         })
         .collect();
 
-    SweepOutcome {
+    CheckedOutcome {
+        results,
         executed: missing.len(),
         cached: cells.len() - missing.len(),
         dropped,
+    }
+}
+
+/// Executes a list of cells under `config` (the engine behind both the lab
+/// experiments and `ms-lab sweep`).
+///
+/// # Panics
+/// Panics if the cache directory cannot be created or written, or if a
+/// cell fails (use [`try_run_cells`] to receive failures as values).
+pub fn run_cells(cells: Vec<Cell>, config: &SweepConfig) -> SweepOutcome {
+    let checked = try_run_cells(&cells, config);
+    let metrics = checked
+        .results
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+        .collect();
+    SweepOutcome {
+        executed: checked.executed,
+        cached: checked.cached,
+        dropped: checked.dropped,
         cells,
         metrics,
     }

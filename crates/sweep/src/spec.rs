@@ -221,6 +221,7 @@ impl SweepSpec {
                                 level,
                                 slaves,
                                 seed: self.seed ^ fam.wrapping_mul(7919),
+                                family: fam,
                             });
                         }
                     }

@@ -11,11 +11,13 @@ use crate::cell::{Cell, CellMetrics};
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// Bump when a change to the simulator/heuristics/workload invalidates
 /// previously stored results; old keys then simply never match.
 /// v2: the cell schema gained the dynamic-platform `scenario` axis.
-pub const CODE_VERSION_SALT: &str = "mss-sweep-v2";
+/// v3: `PlatformCell::Heterogeneity` gained the `family` replicate index.
+pub const CODE_VERSION_SALT: &str = "mss-sweep-v3";
 
 /// FNV-1a, 64-bit — stable across platforms and runs.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -48,6 +50,11 @@ struct StoredRecord {
 /// Sharded JSONL store rooted at a directory.
 pub struct ResultStore {
     dir: PathBuf,
+    /// Reusable per-shard serialization buffers: appends serialize records
+    /// straight into these (no per-record `to_string` allocation) and each
+    /// non-empty shard is flushed with a single write. Kept across
+    /// [`ResultStore::append`] calls so repeated appends stay warm.
+    bufs: Mutex<Vec<Vec<u8>>>,
 }
 
 /// Number of shard files (`shard_00.jsonl` … `shard_0f.jsonl`).
@@ -58,7 +65,10 @@ impl ResultStore {
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(ResultStore { dir })
+        Ok(ResultStore {
+            dir,
+            bufs: Mutex::new(vec![Vec::new(); SHARDS]),
+        })
     }
 
     /// The store's root directory.
@@ -66,14 +76,18 @@ impl ResultStore {
         &self.dir
     }
 
-    fn shard_path(&self, key: &str) -> PathBuf {
-        // First hex digit of the key selects the shard.
-        let digit = key
-            .as_bytes()
+    /// First hex digit of the key selects the shard.
+    fn shard_index(key: &str) -> usize {
+        key.as_bytes()
             .first()
             .map(|b| (*b as char).to_digit(16).unwrap_or(0) as usize)
             .unwrap_or(0)
-            % SHARDS;
+            % SHARDS
+    }
+
+    #[cfg(test)]
+    fn shard_path(&self, key: &str) -> PathBuf {
+        let digit = Self::shard_index(key);
         self.dir.join(format!("shard_{digit:02x}.jsonl"))
     }
 
@@ -103,24 +117,43 @@ impl ResultStore {
     }
 
     /// Appends completed cells to their shards.
+    ///
+    /// Fast path: each record serializes *directly* into the store's
+    /// reusable per-shard buffer — no per-record `String` — and every
+    /// shard that received records is flushed with one batched
+    /// `write_all`. The emitted JSONL bytes are identical to serializing a
+    /// `StoredRecord` with `serde_json::to_string` line by line (a test
+    /// pins that format), so torn-line recovery semantics are unchanged.
     pub fn append(&self, records: &[(String, CellMetrics)]) -> std::io::Result<()> {
-        let mut by_shard: HashMap<PathBuf, String> = HashMap::new();
-        for (key, metrics) in records {
-            let rec = StoredRecord {
-                key: key.clone(),
-                metrics: metrics.clone(),
-            };
-            let line = serde_json::to_string(&rec).expect("serialize record");
-            let buf = by_shard.entry(self.shard_path(key)).or_default();
-            buf.push_str(&line);
-            buf.push('\n');
+        let mut bufs = self.bufs.lock().expect("store buffer lock");
+        // Start from empty buffers (they are only kept for capacity): a
+        // previous append that failed mid-flush must not leak its
+        // already-flushed bytes into this call as duplicate lines.
+        for buf in bufs.iter_mut() {
+            buf.clear();
         }
-        for (path, body) in by_shard {
+        for (key, metrics) in records {
+            let buf = &mut bufs[Self::shard_index(key)];
+            // `{"key":<key>,"metrics":<metrics>}` — field order and float
+            // formatting exactly as StoredRecord's derived serialization.
+            buf.extend_from_slice(b"{\"key\":");
+            serde_json::to_writer(&mut *buf, key.as_str()).expect("serialize record key");
+            buf.extend_from_slice(b",\"metrics\":");
+            serde_json::to_writer(&mut *buf, metrics).expect("serialize record metrics");
+            buf.extend_from_slice(b"}\n");
+        }
+        for shard in 0..SHARDS {
+            let buf = &mut bufs[shard];
+            if buf.is_empty() {
+                continue;
+            }
+            let path = self.dir.join(format!("shard_{shard:02x}.jsonl"));
             let mut file = std::fs::OpenOptions::new()
                 .create(true)
                 .append(true)
                 .open(path)?;
-            file.write_all(body.as_bytes())?;
+            file.write_all(buf)?;
+            buf.clear(); // keep capacity for the next append
         }
         Ok(())
     }
@@ -199,6 +232,34 @@ mod tests {
         for (key, m) in &records {
             assert_eq!(&loaded.results[key], m);
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_bytes_match_derived_record_serialization() {
+        // The buffered fast path must emit exactly the bytes of serializing
+        // a StoredRecord per line — the JSONL format contract that load()
+        // and torn-line recovery rest on.
+        let dir = temp_dir("format");
+        let store = ResultStore::open(&dir).unwrap();
+        let rec = (
+            cell_key(&cell(3)),
+            CellMetrics {
+                makespan: 12.0625,
+                max_flow: 0.1,
+                sum_flow: 1e-3,
+                lb_makespan: 7.25,
+                ratio_makespan: 12.0625 / 7.25,
+            },
+        );
+        store.append(std::slice::from_ref(&rec)).unwrap();
+        let body = std::fs::read_to_string(store.shard_path(&rec.0)).unwrap();
+        let expected = serde_json::to_string(&StoredRecord {
+            key: rec.0.clone(),
+            metrics: rec.1.clone(),
+        })
+        .unwrap();
+        assert_eq!(body, format!("{expected}\n"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -36,4 +36,4 @@ pub use arrivals::ArrivalProcess;
 pub use calibration::{calibrate, Calibration};
 pub use heterogeneity::{HeterogeneityAxis, HeterogeneityFamily};
 pub use perturbation::Perturbation;
-pub use platforms::PlatformSampler;
+pub use platforms::{PlatformSampler, PlatformStream};

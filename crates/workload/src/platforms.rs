@@ -67,6 +67,51 @@ impl PlatformSampler {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..count).map(|_| self.sample(class, &mut rng)).collect()
     }
+
+    /// Opens a *resumable* view of the sampler stream `(class, seed)`:
+    /// [`PlatformStream::get`] returns platform `i` of exactly the sequence
+    /// [`PlatformSampler::sample_many`] would produce, but the underlying
+    /// RNG advances lazily and every drawn platform is memoized — asking
+    /// for index `i` costs at most the draws not yet taken, and re-asking
+    /// is a slice lookup. This is what lets a sweep executor kill the
+    /// O(index) redundant-draw cost of materializing stream platforms cell
+    /// by cell without changing a single sampled bit.
+    pub fn stream(&self, class: PlatformClass, seed: u64) -> PlatformStream {
+        PlatformStream {
+            sampler: self.clone(),
+            class,
+            rng: StdRng::seed_from_u64(seed),
+            drawn: Vec::new(),
+        }
+    }
+}
+
+/// A lazily extended, memoized view of one `(sampler, class, seed)` stream
+/// (see [`PlatformSampler::stream`]).
+#[derive(Clone, Debug)]
+pub struct PlatformStream {
+    sampler: PlatformSampler,
+    class: PlatformClass,
+    rng: StdRng,
+    drawn: Vec<Platform>,
+}
+
+impl PlatformStream {
+    /// Platform `index` of the stream — bit-identical to
+    /// `sampler.sample_many(class, index + 1, seed)[index]`, at the cost of
+    /// only the draws beyond the highest index seen so far.
+    pub fn get(&mut self, index: usize) -> &Platform {
+        while self.drawn.len() <= index {
+            let next = self.sampler.sample(self.class, &mut self.rng);
+            self.drawn.push(next);
+        }
+        &self.drawn[index]
+    }
+
+    /// Number of platforms drawn (and memoized) so far.
+    pub fn drawn(&self) -> usize {
+        self.drawn.len()
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +154,19 @@ mod tests {
         assert_eq!(a, b);
         let c = sampler.sample_many(PlatformClass::Heterogeneous, 10, 124);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stream_matches_sample_many_in_any_access_order() {
+        let sampler = PlatformSampler::default();
+        let reference = sampler.sample_many(PlatformClass::Heterogeneous, 10, 77);
+        let mut stream = sampler.stream(PlatformClass::Heterogeneous, 77);
+        // Out-of-order, repeated, and backward accesses all hit the same
+        // memoized sequence.
+        for &i in &[3usize, 0, 7, 3, 9, 1, 9, 0] {
+            assert_eq!(stream.get(i), &reference[i], "index {i}");
+        }
+        assert_eq!(stream.drawn(), 10);
     }
 
     #[test]

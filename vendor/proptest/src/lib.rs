@@ -168,7 +168,24 @@ pub mod strategy {
         (A.0, B.1, C.2),
         (A.0, B.1, C.2, D.3),
         (A.0, B.1, C.2, D.3, E.4),
+        (A.0, B.1, C.2, D.3, E.4, F.5),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7),
     );
+
+    /// Uniform choice among boxed strategies of one value type (the
+    /// stand-in behind [`prop_oneof!`](crate::prop_oneof); the real crate's
+    /// weighted forms are not supported).
+    pub struct Union<T>(pub Vec<Box<dyn Strategy<Value = T>>>);
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> Option<T> {
+            use rand::Rng as _;
+            let pick = rng.gen_range(0..self.0.len());
+            self.0[pick].sample(rng)
+        }
+    }
 }
 
 use rand::Rng as _;
@@ -219,11 +236,47 @@ pub mod collection {
     }
 }
 
+/// `Option<T>` strategies, mirroring `proptest::option`.
+pub mod option {
+    use super::strategy::Strategy;
+    use rand::Rng as _;
+
+    /// See [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    /// Produces `None` half the time and `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut rand::rngs::StdRng) -> Option<Option<S::Value>> {
+            if rng.gen_range(0..2) == 0 {
+                Some(None)
+            } else {
+                self.0.sample(rng).map(Some)
+            }
+        }
+    }
+}
+
+/// Uniform choice among strategies producing the same type (unweighted
+/// subset of the real macro).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {{
+        let options: Vec<Box<dyn $crate::strategy::Strategy<Value = _>>> =
+            vec![$(Box::new($s)),+];
+        $crate::strategy::Union(options)
+    }};
+}
+
 /// The common imports, mirroring `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
 /// Defines property tests; see the crate docs for the supported grammar.

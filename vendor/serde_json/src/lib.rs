@@ -6,7 +6,6 @@
 //! trace/report round-trip tests rely on that exactness.
 
 use serde::{Deserialize, Serialize, Value};
-use std::fmt::Write as _;
 
 pub use serde::Error;
 
@@ -22,6 +21,36 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), Some(2), 0);
     Ok(out)
+}
+
+/// Serializes compact JSON into an [`std::io::Write`] sink (same API shape
+/// as the real `serde_json::to_writer`). Appending to a reused `Vec<u8>`
+/// buffer avoids the per-value `String` allocation of [`to_string`].
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    struct IoFmt<W: std::io::Write> {
+        writer: W,
+        error: Option<std::io::Error>,
+    }
+    impl<W: std::io::Write> std::fmt::Write for IoFmt<W> {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            self.writer.write_all(s.as_bytes()).map_err(|e| {
+                self.error = Some(e);
+                std::fmt::Error
+            })
+        }
+    }
+    let mut out = IoFmt {
+        writer,
+        error: None,
+    };
+    write_value(&mut out, &value.to_value(), None, 0);
+    match out.error {
+        Some(e) => Err(Error::custom(format!("io error: {e}"))),
+        None => Ok(()),
+    }
 }
 
 /// Parses JSON and deserializes into `T`.
@@ -48,10 +77,14 @@ pub fn parse_value(s: &str) -> Result<Value, Error> {
     Ok(v)
 }
 
-fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+fn write_value<W: std::fmt::Write>(out: &mut W, v: &Value, indent: Option<usize>, depth: usize) {
     match v {
-        Value::Null => out.push_str("null"),
-        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Null => {
+            let _ = out.write_str("null");
+        }
+        Value::Bool(b) => {
+            let _ = out.write_str(if *b { "true" } else { "false" });
+        }
         Value::U64(n) => {
             let _ = write!(out, "{n}");
         }
@@ -63,76 +96,88 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
                 let _ = write!(out, "{f}");
                 // Keep a float marker so integral floats parse back as F64.
                 if f.fract() == 0.0 && f.abs() < 1e15 {
-                    out.push_str(".0");
+                    let _ = out.write_str(".0");
                 }
             } else {
-                out.push_str("null");
+                let _ = out.write_str("null");
             }
         }
         Value::Str(s) => write_string(out, s),
         Value::Array(items) => {
             if items.is_empty() {
-                out.push_str("[]");
+                let _ = out.write_str("[]");
                 return;
             }
-            out.push('[');
+            let _ = out.write_char('[');
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    let _ = out.write_char(',');
                 }
                 newline_indent(out, indent, depth + 1);
                 write_value(out, item, indent, depth + 1);
             }
             newline_indent(out, indent, depth);
-            out.push(']');
+            let _ = out.write_char(']');
         }
         Value::Object(entries) => {
             if entries.is_empty() {
-                out.push_str("{}");
+                let _ = out.write_str("{}");
                 return;
             }
-            out.push('{');
+            let _ = out.write_char('{');
             for (i, (k, item)) in entries.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    let _ = out.write_char(',');
                 }
                 newline_indent(out, indent, depth + 1);
                 write_string(out, k);
-                out.push(':');
+                let _ = out.write_char(':');
                 if indent.is_some() {
-                    out.push(' ');
+                    let _ = out.write_char(' ');
                 }
                 write_value(out, item, indent, depth + 1);
             }
             newline_indent(out, indent, depth);
-            out.push('}');
+            let _ = out.write_char('}');
         }
     }
 }
 
-fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+fn newline_indent<W: std::fmt::Write>(out: &mut W, indent: Option<usize>, depth: usize) {
     if let Some(w) = indent {
-        out.push('\n');
-        out.push_str(&" ".repeat(w * depth));
+        let _ = out.write_char('\n');
+        let _ = out.write_str(&" ".repeat(w * depth));
     }
 }
 
-fn write_string(out: &mut String, s: &str) {
-    out.push('"');
+fn write_string<W: std::fmt::Write>(out: &mut W, s: &str) {
+    let _ = out.write_char('"');
     for c in s.chars() {
         match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
+            '"' => {
+                let _ = out.write_str("\\\"");
+            }
+            '\\' => {
+                let _ = out.write_str("\\\\");
+            }
+            '\n' => {
+                let _ = out.write_str("\\n");
+            }
+            '\r' => {
+                let _ = out.write_str("\\r");
+            }
+            '\t' => {
+                let _ = out.write_str("\\t");
+            }
             c if (c as u32) < 0x20 => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
-            c => out.push(c),
+            c => {
+                let _ = out.write_char(c);
+            }
         }
     }
-    out.push('"');
+    let _ = out.write_char('"');
 }
 
 struct Parser<'a> {
