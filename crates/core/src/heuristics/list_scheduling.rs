@@ -12,9 +12,13 @@
 //! (verified against the exhaustive optimum in `mss-opt`'s tests).
 
 use crate::heuristics::util::{argmin_slave, oldest_pending};
-use mss_sim::{Decision, OnlineScheduler, SchedulerEvent, SimView};
+use mss_sim::{Decision, InfoTier, OnlineScheduler, SchedulerEvent, SimView};
 
 /// The List Scheduling heuristic. Stateless.
+///
+/// Tier-portable: [`SimView::completion_estimate`] already dispatches on
+/// the view's information tier, so below `Clairvoyant` LS minimizes the
+/// same formula over learned per-slave rates instead of nominal values.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ListScheduling;
 
@@ -36,6 +40,10 @@ impl OnlineScheduler for ListScheduling {
 
     fn poll_driven(&self) -> bool {
         true // stateless; acts only on (idle port, pending task)
+    }
+
+    fn min_tier(&self) -> InfoTier {
+        InfoTier::NonClairvoyant // the tier-dispatched estimate suffices
     }
 }
 

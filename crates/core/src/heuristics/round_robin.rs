@@ -26,7 +26,7 @@
 //! ineligible slaves.
 
 use crate::heuristics::util::oldest_pending;
-use mss_sim::{Decision, OnlineScheduler, SchedulerEvent, SimView, SlaveId};
+use mss_sim::{Decision, InfoTier, OnlineScheduler, SchedulerEvent, SimView, SlaveId};
 
 /// Which key orders the slaves (all ascending, ties by slave index).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -61,14 +61,25 @@ pub enum RrDispatch {
 }
 
 /// A Round-Robin scheduler (RR / RRC / RRP by choice of [`RrOrder`]).
+///
+/// Tier-portable: the ring keys are read through
+/// [`SimView::believed_c`] / [`SimView::believed_p`], so below
+/// `Clairvoyant` the prescribed order is over *learned* rates — the ring
+/// starts in index order (all slaves look identical under the prior) and
+/// re-sorts itself whenever an estimate absorbs a new observation
+/// (tracked via [`SimView::estimate_version`]; at `Clairvoyant` the
+/// version never moves and the ring is computed exactly once, as before).
 #[derive(Clone, Debug)]
 pub struct RoundRobin {
     order_by: RrOrder,
     dispatch: RrDispatch,
     /// A slave is eligible while `outstanding <= buffer`.
     buffer: usize,
-    /// Slave indices in prescribed order; computed on first use.
+    /// Slave indices in prescribed order; computed on first use and
+    /// re-derived when the estimates it was sorted by have changed.
     ring: Vec<SlaveId>,
+    /// `estimate_version` the ring was sorted at.
+    ring_version: u64,
     /// Next ring position (cyclic mode only).
     cursor: usize,
 }
@@ -96,20 +107,22 @@ impl RoundRobin {
             dispatch,
             buffer,
             ring: Vec::new(),
+            ring_version: 0,
             cursor: 0,
         }
     }
 
     fn ensure_ring(&mut self, view: &SimView<'_>) {
-        if self.ring.is_empty() {
-            let mut ids: Vec<SlaveId> = view.platform().slave_ids().collect();
+        if self.ring.is_empty() || self.ring_version != view.estimate_version() {
+            self.ring_version = view.estimate_version();
+            self.ring.clear();
+            self.ring.extend(view.slave_ids());
             let order = self.order_by;
-            ids.sort_by(|&a, &b| {
-                let ka = order.key(view.platform().c(a), view.platform().p(a));
-                let kb = order.key(view.platform().c(b), view.platform().p(b));
+            self.ring.sort_by(|&a, &b| {
+                let ka = order.key(view.believed_c(a), view.believed_p(a));
+                let kb = order.key(view.believed_c(b), view.believed_p(b));
                 ka.partial_cmp(&kb).unwrap().then(a.0.cmp(&b.0))
             });
-            self.ring = ids;
         }
     }
 
@@ -152,6 +165,7 @@ impl OnlineScheduler for RoundRobin {
 
     fn init(&mut self, view: &SimView<'_>) {
         self.ring.clear();
+        self.ring_version = 0;
         self.cursor = 0;
         self.ensure_ring(view);
     }
@@ -171,9 +185,15 @@ impl OnlineScheduler for RoundRobin {
     }
 
     fn poll_driven(&self) -> bool {
-        // The ring is fixed at `init`; the cyclic cursor only advances when
-        // a send is issued, so busy-port/empty-pending callbacks are pure.
+        // The ring is a pure function of the current view (it re-derives
+        // from the believed keys whenever the estimate version moved), and
+        // the cyclic cursor only advances when a send is issued — so
+        // busy-port/empty-pending callbacks are observably pure.
         true
+    }
+
+    fn min_tier(&self) -> InfoTier {
+        InfoTier::NonClairvoyant // ring keys re-derive from learned rates
     }
 }
 

@@ -17,7 +17,7 @@
 use crate::heuristics::list_scheduling::ListScheduling;
 use crate::heuristics::planning::{sljf_dispatch, sljfwc_dispatch};
 use crate::heuristics::util::oldest_pending;
-use mss_sim::{Decision, OnlineScheduler, Platform, SchedulerEvent, SimView, SlaveId};
+use mss_sim::{Decision, InfoTier, OnlineScheduler, Platform, SchedulerEvent, SimView, SlaveId};
 
 /// Which backward construction the scheduler plans with.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -78,7 +78,19 @@ impl Planned {
                 .or(view.horizon())
                 .unwrap_or(view.released_count())
                 .max(1);
-            self.plan = Some(self.kind.dispatch(view.platform(), n));
+            self.plan = Some(match view.info_tier() {
+                InfoTier::Clairvoyant => self.kind.dispatch(view.platform(), n),
+                // Below clairvoyance the plan is built over the *believed*
+                // platform (learned per-slave rates; the neutral prior
+                // before any observation spreads the plan evenly). Plan
+                // construction allocates anyway, so materializing the
+                // believed platform here stays off the per-event hot path.
+                _ => {
+                    let c: Vec<f64> = view.slave_ids().map(|j| view.believed_c(j)).collect();
+                    let p: Vec<f64> = view.slave_ids().map(|j| view.believed_p(j)).collect();
+                    self.kind.dispatch(&Platform::from_vectors(&c, &p), n)
+                }
+            });
         }
     }
 
@@ -125,6 +137,13 @@ impl OnlineScheduler for Planned {
         // The plan is only (lazily) built, and `next` only advances, after
         // the idle-port and pending-task guards pass.
         true
+    }
+
+    fn min_tier(&self) -> InfoTier {
+        // Stays live at every tier: without the horizon hint
+        // (NonClairvoyant) the window falls back to the released count,
+        // and without nominal values the plan is built over learned rates.
+        InfoTier::NonClairvoyant
     }
 }
 

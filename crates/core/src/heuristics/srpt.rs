@@ -12,9 +12,14 @@
 //! Figure 1(a).
 
 use crate::heuristics::util::{argmin_slave, oldest_pending};
-use mss_sim::{Decision, OnlineScheduler, SchedulerEvent, SimView};
+use mss_sim::{Decision, InfoTier, OnlineScheduler, SchedulerEvent, SimView};
 
 /// The SRPT heuristic. Stateless: decisions depend only on the current view.
+///
+/// Tier-portable: "fastest" is read through
+/// [`SimView::believed_p`], so below [`InfoTier::Clairvoyant`] SRPT ranks
+/// slaves by their learned computation rates (all equal under the prior)
+/// and sharpens as completions are observed.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Srpt;
 
@@ -37,7 +42,7 @@ impl OnlineScheduler for Srpt {
         // will call again.
         match argmin_slave(view, |j| {
             if view.slave_idle(j) {
-                view.platform().p(j)
+                view.believed_p(j)
             } else {
                 f64::INFINITY
             }
@@ -49,6 +54,10 @@ impl OnlineScheduler for Srpt {
 
     fn poll_driven(&self) -> bool {
         true // stateless; acts only on (idle port, pending task)
+    }
+
+    fn min_tier(&self) -> InfoTier {
+        InfoTier::NonClairvoyant // lives on believed values at any tier
     }
 }
 

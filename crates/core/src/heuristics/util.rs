@@ -6,7 +6,7 @@ use mss_sim::{SimView, SlaveId};
 /// Keys must not be NaN. Single pass, one key evaluation per slave (this
 /// sits on every heuristic's per-decision hot path).
 pub(crate) fn argmin_slave<F: FnMut(SlaveId) -> f64>(view: &SimView<'_>, mut key: F) -> SlaveId {
-    let mut ids = view.platform().slave_ids();
+    let mut ids = view.slave_ids();
     let first = ids.next().expect("platform has at least one slave");
     let mut best = first;
     let mut best_key = key(first);
@@ -46,9 +46,9 @@ mod tests {
             "probe".into()
         }
         fn on_event(&mut self, view: &SimView<'_>, _e: SchedulerEvent) -> Decision {
-            let fastest = argmin_slave(view, |j| view.platform().p(j));
+            let fastest = argmin_slave(view, |j| view.believed_p(j));
             assert_eq!(fastest, SlaveId(0), "P1 has the smallest p");
-            let cheapest = argmin_slave(view, |j| view.platform().c(j));
+            let cheapest = argmin_slave(view, |j| view.believed_c(j));
             assert_eq!(cheapest, SlaveId(1), "P2 has the smallest c");
             match (view.link_idle(), oldest_pending(view)) {
                 (true, Some(task)) => Decision::Send {

@@ -36,14 +36,14 @@ mod registry;
 pub use heuristics::{ListScheduling, PlanKind, Planned, RoundRobin, RrDispatch, RrOrder, Srpt};
 pub use objective::Objective;
 pub use redispatch::Redispatch;
-pub use registry::Algorithm;
+pub use registry::{Algorithm, AlgorithmMeta, META};
 
 // Re-export the simulation vocabulary so downstream crates can depend on
 // `mss-core` alone for the common case.
 pub use mss_sim::{
     bag_of_tasks, released_at, simulate, simulate_in, simulate_objectives_in, simulate_with_events,
-    simulate_with_events_in, validate, Decision, OnlineScheduler, Platform, PlatformClass,
-    PlatformEvent, PlatformEventKind, RunObjectives, SchedulerEvent, SimConfig, SimError, SimView,
-    SimWorkspace, SlaveId, SlaveSpec, TaskArrival, TaskId, TaskRecord, Time, Timeline, Trace,
-    TraceViolation,
+    simulate_with_events_in, validate, Decision, InfoTier, OnlineScheduler, Platform,
+    PlatformClass, PlatformEvent, PlatformEventKind, RunObjectives, SchedulerEvent, SimConfig,
+    SimError, SimView, SimWorkspace, SlaveEstimate, SlaveId, SlaveSpec, TaskArrival, TaskId,
+    TaskRecord, Time, Timeline, Trace, TraceViolation,
 };

@@ -27,7 +27,7 @@
 //! and redirects without allocating, so wrapping adds only an O(m) argmin
 //! to the per-decision cost.
 
-use mss_sim::{Decision, OnlineScheduler, SchedulerEvent, SimView, SlaveId};
+use mss_sim::{Decision, InfoTier, OnlineScheduler, SchedulerEvent, SimView, SlaveId};
 
 /// Fault-aware redispatch wrapper (see the module docs).
 #[derive(Clone, Debug)]
@@ -88,6 +88,13 @@ impl<S: OnlineScheduler> OnlineScheduler for Redispatch<S> {
         // Pure decision transformer: quiescent exactly when the inner
         // scheduler is.
         self.inner.poll_driven()
+    }
+
+    fn min_tier(&self) -> InfoTier {
+        // The redirection criterion is the tier-dispatched completion
+        // estimate, so the wrapper needs nothing beyond what the inner
+        // scheduler needs.
+        self.inner.min_tier()
     }
 }
 

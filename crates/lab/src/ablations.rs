@@ -16,8 +16,8 @@
 
 use crate::report::{fmt3, fmt4, write_csv, write_json, AsciiTable, ExperimentScale};
 use mss_core::{
-    simulate, Algorithm, Objective, Platform, PlatformClass, RoundRobin, RrDispatch, RrOrder,
-    SimConfig,
+    simulate, Algorithm, InfoTier, Objective, Platform, PlatformClass, RoundRobin, RrDispatch,
+    RrOrder, SimConfig,
 };
 use mss_opt::schedule::{Goal, Instance};
 use mss_sweep::{parallel_map, run_cells, Cell, PlatformCell, SweepConfig};
@@ -406,6 +406,7 @@ pub fn heterogeneity_impact_with(
                         scenario: None,
                         tasks,
                         algorithm,
+                        information: InfoTier::Clairvoyant,
                         replicate: f as u64,
                         task_seed: seed,
                     });

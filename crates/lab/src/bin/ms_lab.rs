@@ -19,6 +19,10 @@
 //!                      flag: [--scenario FILE] runs a scenario file (see
 //!                      examples/failure_scenario.toml) against the static
 //!                      baseline instead of the built-in rate ladder
+//!   oblivion           degradation of all algorithms vs information tier
+//!                      (clairvoyant / speed-oblivious / non-clairvoyant)
+//!                      across the paper's platform-class ladder, each
+//!                      normalized to its own clairvoyant run
 //!   sweep <spec>       run a user-defined grid (TOML or JSON spec; see
 //!                      examples/sweep_grid.toml). Extra flags:
 //!                      [--cache-dir DIR] [--no-cache] [--baseline ALG]
@@ -34,7 +38,7 @@
 
 use mss_core::{Algorithm, PlatformClass};
 use mss_lab::report::{fmt3, fmt4, write_csv, write_json, AsciiTable, ExperimentScale};
-use mss_lab::{ablations, fig1, fig2, resilience, table1};
+use mss_lab::{ablations, fig1, fig2, oblivion, resilience, table1};
 use mss_sweep::{default_threads, SweepConfig};
 use mss_workload::{ArrivalProcess, Perturbation};
 use std::path::PathBuf;
@@ -42,7 +46,7 @@ use std::path::PathBuf;
 fn usage() -> ! {
     eprintln!(
         "usage: ms-lab <table1|fig1|fig1a|fig1b|fig1c|fig1d|fig2|ablation-buffer|\
-         ablation-sljf|ablation-arrivals|ablation-heterogeneity|resilience|\
+         ablation-sljf|ablation-arrivals|ablation-heterogeneity|resilience|oblivion|\
          sweep <spec.toml>|bench|all>\n\
          \x20       [--quick] [--seed N] [--tasks N] [--platforms N] [--threads N]\n\
          \x20       sweep only: [--cache-dir DIR] [--no-cache] [--baseline ALG]\n\
@@ -257,6 +261,13 @@ fn run_bench(args: &[String], config: &SweepConfig) {
     println!("perf-trajectory point: {}", path.display());
 }
 
+fn run_oblivion(scale: ExperimentScale, config: &SweepConfig) {
+    let arrival = ArrivalProcess::UniformStream { load: 0.9 };
+    let report = oblivion::run_with(scale, arrival, config);
+    println!("{}", report.render());
+    println!("artifacts: {}\n", report.write_artifacts().display());
+}
+
 fn run_resilience(args: &[String], scale: ExperimentScale, config: &SweepConfig) {
     let arrival = ArrivalProcess::UniformStream { load: 0.9 };
     let report = match parse_flag(args, "--scenario") {
@@ -328,6 +339,7 @@ fn main() {
             println!("artifacts: {}\n", report.write_artifacts().display());
         }
         "resilience" => run_resilience(rest, scale, &runtime),
+        "oblivion" => run_oblivion(scale, &runtime),
         "all" => {
             run_table1(&runtime);
             for class in [
@@ -357,6 +369,7 @@ fn main() {
             println!("{}", a4.render());
             a4.write_artifacts();
             run_resilience(rest, scale, &runtime);
+            run_oblivion(scale, &runtime);
         }
         _ => usage(),
     }

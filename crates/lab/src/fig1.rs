@@ -6,7 +6,7 @@
 //! makespan / sum-flow / max-flow **normalized to SRPT** (SRPT ≡ 1).
 
 use crate::report::{fmt3, write_csv, write_json, AsciiTable, ExperimentScale};
-use mss_core::{Algorithm, PlatformClass};
+use mss_core::{Algorithm, InfoTier, PlatformClass};
 use mss_sweep::{run_cells, Cell, PlatformCell, SweepConfig};
 use mss_workload::ArrivalProcess;
 
@@ -67,6 +67,7 @@ pub fn panel_cells(
                 scenario: None,
                 tasks: scale.tasks,
                 algorithm,
+                information: InfoTier::Clairvoyant,
                 replicate: 0,
                 task_seed: scale.seed ^ (pi as u64) << 17,
             });

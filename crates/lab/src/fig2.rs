@@ -13,7 +13,7 @@
 //! arrival-process note).
 
 use crate::report::{fmt3, write_csv, write_json, AsciiTable, ExperimentScale};
-use mss_core::{Algorithm, PlatformClass};
+use mss_core::{Algorithm, InfoTier, PlatformClass};
 use mss_sweep::{run_cells, Cell, PerturbCell, PlatformCell, SweepConfig};
 use mss_workload::{ArrivalProcess, Perturbation};
 
@@ -68,6 +68,7 @@ pub fn report_cells(
                     scenario: None,
                     tasks: scale.tasks,
                     algorithm,
+                    information: InfoTier::Clairvoyant,
                     replicate: 0,
                     task_seed: scale.seed ^ (pi as u64) << 17,
                 });

@@ -9,6 +9,7 @@
 //! | Figure 2 (robustness) | [`fig2`] | `ms-lab fig2` |
 //! | Ablations A1–A3 (DESIGN.md) | [`ablations`] | `ms-lab ablation-*` |
 //! | Resilience (failures, new) | [`resilience`] | `ms-lab resilience` |
+//! | Oblivion (information tiers, new) | [`oblivion`] | `ms-lab oblivion` |
 //! | user-defined scenario grids | `mss_sweep` | `ms-lab sweep <spec.toml>` |
 //! | perf baseline (`BENCH_engine.json`) | [`bench`](mod@bench) | `ms-lab bench` |
 //!
@@ -28,6 +29,7 @@ pub mod ablations;
 pub mod bench;
 pub mod fig1;
 pub mod fig2;
+pub mod oblivion;
 pub mod report;
 pub mod resilience;
 pub mod table1;

@@ -14,7 +14,7 @@
 //! byte-identical to the static harness.
 
 use crate::report::{fmt3, write_csv, write_json, AsciiTable, ExperimentScale};
-use mss_core::{Algorithm, PlatformClass};
+use mss_core::{Algorithm, InfoTier, PlatformClass};
 use mss_scenario::{GeneratorSpec, ScenarioSpec};
 use mss_sweep::{run_cells, Cell, PlatformCell, ScenarioCell, SweepConfig};
 use mss_workload::ArrivalProcess;
@@ -132,6 +132,7 @@ pub fn report_cells(
                     scenario: scenario_for(scale, li, level, pi),
                     tasks: scale.tasks,
                     algorithm,
+                    information: InfoTier::Clairvoyant,
                     replicate: 0,
                     task_seed: scale.seed ^ (pi as u64) << 17,
                 });
@@ -244,6 +245,7 @@ pub fn run_scenario_file(
                 }),
                 tasks: scale.tasks,
                 algorithm,
+                information: InfoTier::Clairvoyant,
                 replicate: 0,
                 task_seed: scale.seed ^ (pi as u64) << 17,
             });

@@ -51,6 +51,7 @@
 //! regression suite).
 
 use crate::events::{PlatformEventKind, Timeline};
+use crate::info::{InfoTier, SlaveEstimate};
 use crate::platform::{Platform, SlaveId};
 use crate::scheduler::{Decision, OnlineScheduler, SchedulerEvent};
 use crate::task::{TaskArrival, TaskId};
@@ -70,6 +71,12 @@ pub struct SimConfig {
     /// Hard cap on processed events + scheduler polls, to turn scheduler
     /// bugs (e.g. busy wake loops) into errors instead of hangs.
     pub max_steps: usize,
+    /// Information tier the scheduler's views filter at (see
+    /// [`InfoTier`]). `Clairvoyant` — the default — is the paper's fully
+    /// informed setting and is bit-identical to the historical engine;
+    /// below it the engine additionally maintains the per-slave learned
+    /// rate estimates the filtered views answer from.
+    pub info: InfoTier,
 }
 
 impl Default for SimConfig {
@@ -77,6 +84,7 @@ impl Default for SimConfig {
         SimConfig {
             horizon_hint: None,
             max_steps: 10_000_000,
+            info: InfoTier::Clairvoyant,
         }
     }
 }
@@ -116,6 +124,15 @@ pub enum SimError {
         /// The configured step budget.
         max_steps: usize,
     },
+    /// The run's [`InfoTier`] grants less information than the scheduler
+    /// declared it needs to stay live ([`OnlineScheduler::min_tier`]);
+    /// refused before the first event.
+    InsufficientInformation {
+        /// The tier the run was configured with.
+        granted: InfoTier,
+        /// The scheduler's declared minimum tier.
+        required: InfoTier,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -135,6 +152,10 @@ impl std::fmt::Display for SimError {
             SimError::BudgetExhausted { max_steps } => {
                 write!(f, "step budget of {max_steps} exhausted")
             }
+            SimError::InsufficientInformation { granted, required } => write!(
+                f,
+                "information tier `{granted}` is below the scheduler's declared minimum `{required}`"
+            ),
         }
     }
 }
@@ -302,6 +323,12 @@ pub struct SimWorkspace {
     /// the "dirty" sentinel (an event touched the slave since its view was
     /// cached), so staleness is a single float compare per slave.
     view_valid_until: Vec<f64>,
+    /// Per-slave learned rate estimates (the observable raw material of
+    /// the sub-clairvoyant information tiers). Maintained only when the
+    /// run's tier is below `Clairvoyant`; at `Clairvoyant` the hot path
+    /// never touches them, so the historical engine is unchanged bit for
+    /// bit.
+    estimates: Vec<SlaveEstimate>,
     /// Per-batch notification buffer (reused across batches).
     notifications: Vec<SchedulerEvent>,
     /// Scratch for tasks lost to a slave failure.
@@ -385,6 +412,8 @@ impl SimWorkspace {
         );
         self.view_valid_until.clear();
         self.view_valid_until.resize(m, f64::NEG_INFINITY);
+        self.estimates.clear();
+        self.estimates.resize(m, SlaveEstimate::default());
         self.notifications.clear();
         self.lost.clear();
     }
@@ -404,6 +433,11 @@ struct Engine<'a> {
     released_count: usize,
     completed_count: usize,
     steps: usize,
+    /// `true` iff the run's tier is below `Clairvoyant` and the engine
+    /// therefore maintains the learned per-slave estimates.
+    learning: bool,
+    /// Bumped on every absorbed observation (stays 0 when not learning).
+    estimate_version: u64,
     /// Next entry of `ws.release_order` to stream.
     release_cursor: usize,
     /// Next entry of `ws.timeline_order` to stream.
@@ -437,6 +471,8 @@ impl<'a> Engine<'a> {
             released_count: 0,
             completed_count: 0,
             steps: 0,
+            learning: config.info != InfoTier::Clairvoyant,
+            estimate_version: 0,
             release_cursor: 0,
             timeline_cursor: 0,
         }
@@ -623,8 +659,11 @@ impl<'a> Engine<'a> {
         SimView {
             now: self.clock,
             platform: self.platform,
+            tier: self.config.info,
             link_busy_until: self.link_busy_until,
             slaves: &self.ws.views,
+            estimates: &self.ws.estimates,
+            estimate_version: self.estimate_version,
             pending,
             releases: &self.ws.releases,
             horizon: self.config.horizon_hint,
@@ -647,6 +686,14 @@ impl<'a> Engine<'a> {
             Event::SendComplete(t, j) => {
                 self.in_flight = None;
                 self.ws.view_valid_until[j.0] = f64::NEG_INFINITY;
+                if self.learning {
+                    // The master owns the port: the transfer's duration is
+                    // its own observation (valid even when the destination
+                    // turned out to be down — the port was occupied).
+                    let duration = now - self.ws.records[t.0].send_start;
+                    self.ws.estimates[j.0].observe_send(duration);
+                    self.estimate_version += 1;
+                }
                 let rt = &mut self.ws.slaves[j.0];
                 if rt.down {
                     // Arrived at a failed slave: the transfer is wasted and
@@ -679,6 +726,17 @@ impl<'a> Engine<'a> {
                 Some(SchedulerEvent::SendCompleted(t, j))
             }
             Event::ComputeComplete(t, j) => {
+                if self.learning {
+                    // Computes are FIFO, so the master can date the start
+                    // of this computation from its own observations (the
+                    // later of the task's arrival and the previous
+                    // completion) — which is exactly what the engine
+                    // recorded in `compute_start`.
+                    let duration = now - self.ws.records[t.0].compute_start;
+                    self.ws.estimates[j.0].observe_compute(duration);
+                    self.ws.estimates[j.0].end_compute();
+                    self.estimate_version += 1;
+                }
                 self.ws.records[t.0].compute_end = now;
                 self.ws.records[t.0].done = true;
                 self.ws.phases[t.0] = TaskPhase::Done;
@@ -725,6 +783,11 @@ impl<'a> Engine<'a> {
                     }
                 }
                 self.ws.view_valid_until[j.0] = f64::NEG_INFINITY;
+                if self.learning {
+                    // The master observed the failure: whatever was
+                    // computing is gone (no duration is learned from it).
+                    self.ws.estimates[j.0].end_compute();
+                }
                 let ws = &mut *self.ws;
                 let rt = &mut ws.slaves[j.0];
                 rt.down = true;
@@ -777,6 +840,11 @@ impl<'a> Engine<'a> {
         self.ws.records[t.0].billed_p = billed_p;
         let seq = self.push(Time::new(now + actual), Event::ComputeComplete(t, j));
         self.ws.view_valid_until[j.0] = f64::NEG_INFINITY;
+        if self.learning {
+            // Observable: with FIFO computes, a computation starts exactly
+            // when the engine starts one.
+            self.ws.estimates[j.0].begin_compute(now);
+        }
         let rt = &mut self.ws.slaves[j.0];
         rt.computing = Some(t);
         rt.compute_seq = seq;
@@ -1054,6 +1122,14 @@ fn drive(
     timeline: &Timeline,
     scheduler: &mut dyn OnlineScheduler,
 ) -> Result<(), SimError> {
+    // Capability check before anything runs: a scheduler must never see a
+    // view weaker than the tier it declared it stays live under.
+    if config.info < scheduler.min_tier() {
+        return Err(SimError::InsufficientInformation {
+            granted: config.info,
+            required: scheduler.min_tier(),
+        });
+    }
     let mut engine = Engine::new(platform, tasks, config, timeline, ws);
     // Poll-driven schedulers promise to answer Idle (with no state change)
     // whenever the port is busy or nothing is pending, so those

@@ -1,0 +1,222 @@
+//! The information model: how much the master is allowed to know.
+//!
+//! The paper's seven heuristics assume a fully *clairvoyant* master that
+//! knows every slave's nominal `(c_j, p_j)` and every task's nominal size
+//! exactly. This module withdraws that knowledge in two well-posed steps,
+//! following the speed-oblivious model of Lindermayr, Megow & Rapp (SODA
+//! 2023) and the non-clairvoyant model of Im, Kulkarni, Munagala & Pruhs
+//! (SELFISHMIGRATE, FOCS 2014):
+//!
+//! * [`InfoTier::Clairvoyant`] — today's behavior, bit for bit: the view
+//!   exposes the nominal platform and nominal-size estimates;
+//! * [`InfoTier::SpeedOblivious`] — nominal `c_j`/`p_j` are hidden. The
+//!   workload model stays known: in the paper's setting every task is
+//!   *nominally identical* (unit size — the actual, perturbed sizes are
+//!   hidden from **every** tier, the clairvoyant master included), so the
+//!   size-normalized observation of a transfer or computation is just its
+//!   raw duration, and the master learns per-slave rate estimates
+//!   ([`SlaveEstimate`]) from its own event timestamps;
+//! * [`InfoTier::NonClairvoyant`] — workload knowledge is withdrawn too:
+//!   the view exposes only counts, availability, release observations and
+//!   the learned per-slave rates; in particular the total-task-count hint
+//!   (`horizon`) disappears, because it is knowledge about unseen work.
+//!   (With nominally identical tasks the two sub-clairvoyant tiers learn
+//!   from the same observations; schedulers that never read the horizon
+//!   behave identically under both.)
+//!
+//! The tier is carried by [`SimConfig`](crate::SimConfig) and filtered by
+//! the [`SimView`](crate::SimView) facade; schedulers declare the weakest
+//! tier they stay live under via
+//! [`OnlineScheduler::min_tier`](crate::OnlineScheduler::min_tier).
+
+use std::fmt;
+
+/// How much the scheduler's view reveals. Ordered by information content:
+/// `NonClairvoyant < SpeedOblivious < Clairvoyant`, so
+/// `granted >= required` means "at least as informed as required".
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum InfoTier {
+    /// Neither speeds nor workload knowledge: counts, availability and
+    /// learned rates only; the horizon hint is withdrawn.
+    NonClairvoyant,
+    /// Nominal `c_j`/`p_j` are hidden; the (unit-size) workload model is
+    /// known, and the view exposes per-slave online estimates learned
+    /// from observed send and completion timestamps.
+    SpeedOblivious,
+    /// Full nominal knowledge — the paper's setting (and the default).
+    Clairvoyant,
+}
+
+impl InfoTier {
+    /// All three tiers, from most to least informed (the order the
+    /// `oblivion` experiment reports its columns in).
+    pub const ALL: [InfoTier; 3] = [
+        InfoTier::Clairvoyant,
+        InfoTier::SpeedOblivious,
+        InfoTier::NonClairvoyant,
+    ];
+
+    /// Stable lower-case label (used by sweep specs and artifacts).
+    pub fn label(self) -> &'static str {
+        match self {
+            InfoTier::Clairvoyant => "clairvoyant",
+            InfoTier::SpeedOblivious => "speed-oblivious",
+            InfoTier::NonClairvoyant => "non-clairvoyant",
+        }
+    }
+
+    /// Parses a label (case-insensitive; `_` and `-` are interchangeable).
+    pub fn from_label(s: &str) -> Option<InfoTier> {
+        let lower = s.to_ascii_lowercase().replace('_', "-");
+        InfoTier::ALL.into_iter().find(|t| t.label() == lower)
+    }
+}
+
+impl fmt::Display for InfoTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-slave estimates the master learns from its own observable event
+/// timestamps — the raw material of the sub-clairvoyant tiers.
+///
+/// Everything in here derives from information any master trivially has:
+/// when it started and finished each send (it owns the port), when each
+/// completion was reported, and — because sends and computes are FIFO per
+/// slave — when each computation must have started (the later of the
+/// task's arrival and the previous completion). No nominal platform value
+/// ever enters.
+///
+/// Before the first observation the estimators answer a neutral prior of
+/// [`SlaveEstimate::PRIOR`], so estimate-only schedulers start indifferent
+/// between slaves and sharpen as completions arrive.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SlaveEstimate {
+    c_sum: f64,
+    c_obs: u32,
+    p_sum: f64,
+    p_obs: u32,
+    computing: bool,
+    cur_start: f64,
+}
+
+impl SlaveEstimate {
+    /// The estimate returned before any observation exists (1.0: all
+    /// slaves look identical, like a unit-speed prior).
+    pub const PRIOR: f64 = 1.0;
+
+    /// Learned per-task communication time (mean of observed send
+    /// durations), or [`SlaveEstimate::PRIOR`] with no observations.
+    pub fn c_hat(&self) -> f64 {
+        if self.c_obs == 0 {
+            SlaveEstimate::PRIOR
+        } else {
+            self.c_sum / f64::from(self.c_obs)
+        }
+    }
+
+    /// Learned per-task computation time (mean of observed compute
+    /// durations), or [`SlaveEstimate::PRIOR`] with no observations.
+    pub fn p_hat(&self) -> f64 {
+        if self.p_obs == 0 {
+            SlaveEstimate::PRIOR
+        } else {
+            self.p_sum / f64::from(self.p_obs)
+        }
+    }
+
+    /// Number of observed send durations.
+    pub fn c_observations(&self) -> usize {
+        self.c_obs as usize
+    }
+
+    /// Number of observed compute durations.
+    pub fn p_observations(&self) -> usize {
+        self.p_obs as usize
+    }
+
+    /// `true` while the master believes the slave is computing (FIFO
+    /// inference from its own observations).
+    pub fn computing(&self) -> bool {
+        self.computing
+    }
+
+    /// Observed start of the computation currently believed in progress
+    /// (meaningful only while [`SlaveEstimate::computing`]).
+    pub fn cur_start(&self) -> f64 {
+        self.cur_start
+    }
+
+    pub(crate) fn observe_send(&mut self, duration: f64) {
+        self.c_sum += duration;
+        self.c_obs += 1;
+    }
+
+    pub(crate) fn observe_compute(&mut self, duration: f64) {
+        self.p_sum += duration;
+        self.p_obs += 1;
+    }
+
+    pub(crate) fn begin_compute(&mut self, at: f64) {
+        self.computing = true;
+        self.cur_start = at;
+    }
+
+    pub(crate) fn end_compute(&mut self) {
+        self.computing = false;
+        self.cur_start = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_are_ordered_by_information() {
+        assert!(InfoTier::NonClairvoyant < InfoTier::SpeedOblivious);
+        assert!(InfoTier::SpeedOblivious < InfoTier::Clairvoyant);
+        assert_eq!(InfoTier::ALL[0], InfoTier::Clairvoyant);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for t in InfoTier::ALL {
+            assert_eq!(InfoTier::from_label(t.label()), Some(t));
+            assert_eq!(InfoTier::from_label(&t.label().to_uppercase()), Some(t));
+        }
+        assert_eq!(
+            InfoTier::from_label("speed_oblivious"),
+            Some(InfoTier::SpeedOblivious)
+        );
+        assert_eq!(InfoTier::from_label("psychic"), None);
+    }
+
+    #[test]
+    fn estimates_start_at_the_prior_and_average_observations() {
+        let mut e = SlaveEstimate::default();
+        assert_eq!(e.c_hat(), SlaveEstimate::PRIOR);
+        assert_eq!(e.p_hat(), SlaveEstimate::PRIOR);
+        e.observe_send(2.0);
+        e.observe_send(4.0);
+        e.observe_compute(10.0);
+        assert_eq!(e.c_hat(), 3.0);
+        assert_eq!(e.p_hat(), 10.0);
+        assert_eq!(e.c_observations(), 2);
+        assert_eq!(e.p_observations(), 1);
+    }
+
+    #[test]
+    fn compute_tracking_toggles() {
+        let mut e = SlaveEstimate::default();
+        assert!(!e.computing());
+        e.begin_compute(5.0);
+        assert!(e.computing());
+        assert_eq!(e.cur_start(), 5.0);
+        e.end_compute();
+        assert!(!e.computing());
+    }
+}

@@ -20,6 +20,13 @@
 //! max-flow and sum-flow are computed, and [`validate`] re-checks every model
 //! invariant on the result.
 //!
+//! How much a view reveals is governed by the run's **information tier**
+//! ([`InfoTier`], set on [`SimConfig`]): `Clairvoyant` (the paper's fully
+//! informed master — the default), `SpeedOblivious` (nominal `c_j`/`p_j`
+//! hidden; the view answers from per-slave estimates learned on-line from
+//! observed send/completion timestamps), and `NonClairvoyant` (task-count
+//! hints hidden too; counts, availability and learned rates only).
+//!
 //! ```
 //! use mss_sim::{simulate, Decision, OnlineScheduler, Platform, SchedulerEvent,
 //!               SimConfig, SimView, SlaveId, bag_of_tasks};
@@ -54,6 +61,7 @@
 mod engine;
 pub mod events;
 mod gantt;
+pub mod info;
 mod platform;
 mod scheduler;
 mod stats;
@@ -69,6 +77,7 @@ pub use engine::{
 pub use events::{PlatformEvent, PlatformEventKind, Timeline};
 pub use gantt::render as render_gantt;
 pub use gantt::render_with_downtime;
+pub use info::{InfoTier, SlaveEstimate};
 pub use platform::{Platform, PlatformClass, SlaveId, SlaveSpec};
 pub use scheduler::{Decision, OnlineScheduler, SchedulerEvent};
 pub use stats::{trace_stats, SlaveStats, TraceStats};

@@ -8,10 +8,15 @@
 //!
 //! Schedulers observe the world only through [`SimView`](crate::SimView):
 //! released-but-unassigned tasks, per-slave outstanding work, and
-//! *nominal-size* completion estimates. They never see future releases or
-//! actual (perturbed) task sizes — exactly the information model of the
-//! paper's on-line setting.
+//! completion estimates. They never see future releases or actual
+//! (perturbed) task sizes — exactly the information model of the paper's
+//! on-line setting. How much *more* the view reveals (nominal platform
+//! values, the horizon hint) is governed by the run's
+//! [`InfoTier`](crate::InfoTier): schedulers declare the weakest tier they
+//! stay live under via [`OnlineScheduler::min_tier`], and the engine
+//! refuses to run a scheduler below it.
 
+use crate::info::InfoTier;
 use crate::platform::SlaveId;
 use crate::task::TaskId;
 use crate::time::Time;
@@ -96,6 +101,22 @@ pub trait OnlineScheduler {
     fn poll_driven(&self) -> bool {
         false
     }
+
+    /// The weakest [`InfoTier`] under which this scheduler stays *live*
+    /// (completes every valid instance). The engine checks
+    /// `config.info >= min_tier()` before the first event and refuses the
+    /// run otherwise, so a scheduler that genuinely reads nominal platform
+    /// values through [`SimView::platform`] can declare
+    /// [`InfoTier::Clairvoyant`] and never observe a gated panic.
+    ///
+    /// The default is `Clairvoyant` — the conservative choice for
+    /// schedulers written against the historical, fully informed view. The
+    /// paper's seven heuristics (and the `Redispatch` wrapper) override
+    /// this to `NonClairvoyant`: they consume only believed values and
+    /// degrade gracefully to learned-estimate decisions.
+    fn min_tier(&self) -> InfoTier {
+        InfoTier::Clairvoyant
+    }
 }
 
 impl<T: OnlineScheduler + ?Sized> OnlineScheduler for Box<T> {
@@ -110,5 +131,8 @@ impl<T: OnlineScheduler + ?Sized> OnlineScheduler for Box<T> {
     }
     fn poll_driven(&self) -> bool {
         (**self).poll_driven()
+    }
+    fn min_tier(&self) -> InfoTier {
+        (**self).min_tier()
     }
 }

@@ -1,29 +1,43 @@
 //! The scheduler's window into the simulation.
 //!
-//! [`SimView`] exposes exactly the information an on-line master would have:
-//! the current time, the platform's *nominal* `(c_j, p_j)`, which released
-//! tasks still need a slave, how much work each slave has outstanding, and
-//! nominal-size completion estimates. Unreleased tasks and actual (perturbed)
-//! sizes of unfinished work are invisible.
+//! This module is split into a **raw observable core** and a
+//! **tier-filtering facade**:
+//!
+//! * the raw core is what any master trivially observes regardless of
+//!   information model — the clock, the state of its own port, released
+//!   tasks and their release times, per-slave counts and availability
+//!   ([`SlaveView`]), and the learned per-slave rate estimates
+//!   ([`SlaveEstimate`]) distilled from its own event timestamps;
+//! * the facade is [`SimView`]: every accessor that involves privileged
+//!   knowledge — the nominal platform, nominal-size ready/completion
+//!   estimates, the total-task-count hint — dispatches on the view's
+//!   [`InfoTier`] and answers from nominal values at
+//!   [`InfoTier::Clairvoyant`] (bit-identical to the historical,
+//!   pre-information-model view) or from learned estimates below it.
+//!
+//! Unreleased tasks and actual (perturbed) sizes of unfinished work are
+//! invisible at *every* tier.
 
+use crate::info::{InfoTier, SlaveEstimate};
 use crate::platform::{Platform, SlaveId};
 use crate::task::TaskId;
 use crate::time::Time;
 
-/// Per-slave observable state (snapshot).
+/// Per-slave observable state (snapshot) — the raw core.
 #[derive(Clone, Copy, Debug)]
 pub struct SlaveView {
     /// Tasks sent (or being sent) to this slave and not yet completed.
     pub outstanding: usize,
-    /// Estimated time at which the slave finishes all outstanding work,
-    /// computed with nominal sizes and re-anchored on every observed
-    /// completion. Equals `now` for an idle slave.
+    /// Estimated time at which the slave finishes all outstanding work.
+    /// At [`InfoTier::Clairvoyant`] this is computed with nominal sizes and
+    /// re-anchored on every observed completion; below it, from the learned
+    /// per-slave rates. Equals `now` for an idle slave.
     pub ready_estimate: Time,
     /// Total number of tasks completed by this slave so far.
     pub completed: usize,
     /// `false` while the slave is failed (scenario timelines; always `true`
     /// on a static platform). The master observes failures, so availability
-    /// is part of the on-line information model.
+    /// is part of the on-line information model at every tier.
     pub available: bool,
 }
 
@@ -33,16 +47,25 @@ pub struct SlaveView {
 /// threaded cluster executor of `mss-cluster`, custom harnesses, tests)
 /// maintain a `ViewState` and call [`ViewState::view`] to drive any
 /// [`OnlineScheduler`](crate::OnlineScheduler) outside the simulator.
+/// [`ViewState::new`] starts at [`InfoTier::Clairvoyant`]; set
+/// [`ViewState::tier`] (and maintain [`ViewState::estimates`]) to drive
+/// schedulers under a withdrawn information model.
 #[derive(Clone, Debug)]
 pub struct ViewState {
     /// Current time.
     pub now: Time,
     /// The (nominal) platform.
     pub platform: Platform,
+    /// Information tier the borrowed views filter at.
+    pub tier: InfoTier,
     /// When the master's port frees (≤ `now` when idle).
     pub link_busy_until: Time,
     /// Per-slave observable state.
     pub slaves: Vec<SlaveView>,
+    /// Per-slave learned rate estimates (read below `Clairvoyant`).
+    pub estimates: Vec<SlaveEstimate>,
+    /// Bumped whenever an estimate absorbs a new observation.
+    pub estimate_version: u64,
     /// Released, unassigned tasks in FIFO order.
     pub pending: Vec<TaskId>,
     /// Release time per task id (only entries for released tasks are read).
@@ -56,12 +79,13 @@ pub struct ViewState {
 }
 
 impl ViewState {
-    /// Fresh state at time zero for a platform.
+    /// Fresh state at time zero for a platform (clairvoyant tier).
     pub fn new(platform: Platform, num_tasks: usize, horizon: Option<usize>) -> Self {
         let m = platform.num_slaves();
         ViewState {
             now: Time::ZERO,
             platform,
+            tier: InfoTier::Clairvoyant,
             link_busy_until: Time::ZERO,
             slaves: vec![
                 SlaveView {
@@ -72,6 +96,8 @@ impl ViewState {
                 };
                 m
             ],
+            estimates: vec![SlaveEstimate::default(); m],
+            estimate_version: 0,
             pending: Vec::new(),
             releases: vec![Time::ZERO; num_tasks],
             horizon,
@@ -85,8 +111,11 @@ impl ViewState {
         SimView {
             now: self.now,
             platform: &self.platform,
+            tier: self.tier,
             link_busy_until: self.link_busy_until,
             slaves: &self.slaves,
+            estimates: &self.estimates,
+            estimate_version: self.estimate_version,
             pending: &self.pending,
             releases: &self.releases,
             horizon: self.horizon,
@@ -97,11 +126,11 @@ impl ViewState {
 }
 
 /// Immutable snapshot handed to [`OnlineScheduler`](crate::OnlineScheduler)
-/// callbacks.
+/// callbacks — the tier-filtering facade.
 ///
 /// Inside the engine this is a pure borrow of incrementally maintained
-/// state — constructing and reading a view allocates nothing. Outside the
-/// engine, borrow one from an owned [`ViewState`]:
+/// state — constructing and reading a view allocates nothing, at every
+/// tier. Outside the engine, borrow one from an owned [`ViewState`]:
 ///
 /// ```
 /// use mss_sim::{Platform, SlaveId, TaskId, Time, ViewState};
@@ -120,8 +149,11 @@ impl ViewState {
 pub struct SimView<'a> {
     pub(crate) now: Time,
     pub(crate) platform: &'a Platform,
+    pub(crate) tier: InfoTier,
     pub(crate) link_busy_until: Time,
     pub(crate) slaves: &'a [SlaveView],
+    pub(crate) estimates: &'a [SlaveEstimate],
+    pub(crate) estimate_version: u64,
     pub(crate) pending: &'a [TaskId],
     pub(crate) releases: &'a [Time],
     pub(crate) horizon: Option<usize>,
@@ -135,14 +167,37 @@ impl<'a> SimView<'a> {
         self.now
     }
 
+    /// The information tier this view filters at.
+    pub fn info_tier(&self) -> InfoTier {
+        self.tier
+    }
+
     /// The platform (nominal `c_j`, `p_j`).
+    ///
+    /// **Capability gate:** nominal values are privileged knowledge, so
+    /// this accessor exists only at [`InfoTier::Clairvoyant`] and panics
+    /// below it. Tier-portable schedulers use [`SimView::believed_c`] /
+    /// [`SimView::believed_p`] (and [`SimView::num_slaves`] /
+    /// [`SimView::slave_ids`] for the tier-free topology) instead.
+    #[track_caller]
     pub fn platform(&self) -> &Platform {
+        assert!(
+            self.tier == InfoTier::Clairvoyant,
+            "SimView::platform() is capability-gated: nominal (c_j, p_j) are hidden at \
+             InfoTier::{:?} — use believed_c/believed_p instead",
+            self.tier
+        );
         self.platform
     }
 
-    /// Number of slaves.
+    /// Number of slaves (tier-free: the master always knows its fleet).
     pub fn num_slaves(&self) -> usize {
-        self.platform.num_slaves()
+        self.slaves.len()
+    }
+
+    /// Ids of all slaves in index order (tier-free).
+    pub fn slave_ids(&self) -> impl Iterator<Item = SlaveId> + 'a {
+        (0..self.slaves.len()).map(SlaveId)
     }
 
     /// When the master's port is next free (`== now()` if idle).
@@ -178,12 +233,15 @@ impl<'a> SimView<'a> {
         self.pending
     }
 
-    /// Release time of a task that has already been released.
+    /// Release time of a task that has already been released (an
+    /// observation the master made itself, so it is visible at every tier).
     pub fn release_time(&self, t: TaskId) -> Time {
         self.releases[t.0]
     }
 
-    /// Observable state of slave `j`.
+    /// Observable state of slave `j`. Below [`InfoTier::Clairvoyant`] the
+    /// `ready_estimate` field carries the estimate-based value of
+    /// [`SimView::ready_estimate`] instead of the nominal one.
     ///
     /// # Examples
     /// ```
@@ -196,7 +254,29 @@ impl<'a> SimView<'a> {
     /// assert!(!view.slave_idle(SlaveId(0)));
     /// ```
     pub fn slave(&self, j: SlaveId) -> SlaveView {
-        self.slaves[j.0]
+        match self.tier {
+            InfoTier::Clairvoyant => self.slaves[j.0],
+            _ => SlaveView {
+                ready_estimate: self.ready_estimate(j),
+                ..self.slaves[j.0]
+            },
+        }
+    }
+
+    /// The learned rate estimates for slave `j` (derived purely from the
+    /// master's own observations, so visible at every tier; at
+    /// [`InfoTier::Clairvoyant`] the engine does not maintain them and
+    /// they stay at the prior).
+    pub fn slave_estimate(&self, j: SlaveId) -> SlaveEstimate {
+        self.estimates[j.0]
+    }
+
+    /// Bumped each time a learned estimate absorbs a new observation
+    /// (always `0` at [`InfoTier::Clairvoyant`]). Schedulers that cache
+    /// estimate-derived structures (e.g. the Round-Robin ring order)
+    /// compare this to decide when to rebuild.
+    pub fn estimate_version(&self) -> u64 {
+        self.estimate_version
     }
 
     /// `true` iff slave `j` has no outstanding work at all (SRPT's notion of
@@ -230,23 +310,90 @@ impl<'a> SimView<'a> {
             .map(|(j, _)| SlaveId(j))
     }
 
+    /// The master's belief about slave `j`'s per-task communication time:
+    /// the nominal `c_j` at [`InfoTier::Clairvoyant`], the learned
+    /// [`SlaveEstimate::c_hat`] below it.
+    pub fn believed_c(&self, j: SlaveId) -> f64 {
+        match self.tier {
+            InfoTier::Clairvoyant => self.platform.c(j),
+            _ => self.estimates[j.0].c_hat(),
+        }
+    }
+
+    /// The master's belief about slave `j`'s per-task computation time:
+    /// the nominal `p_j` at [`InfoTier::Clairvoyant`], the learned
+    /// [`SlaveEstimate::p_hat`] below it.
+    pub fn believed_p(&self, j: SlaveId) -> f64 {
+        match self.tier {
+            InfoTier::Clairvoyant => self.platform.p(j),
+            _ => self.estimates[j.0].p_hat(),
+        }
+    }
+
+    /// Estimated time at which slave `j` finishes all outstanding work
+    /// (`now` for an idle slave).
+    ///
+    /// At [`InfoTier::Clairvoyant`] this is the engine's incrementally
+    /// maintained nominal-size estimate, bit-identical to the historical
+    /// `SlaveView::ready_estimate`. Below it, the facade folds the learned
+    /// rates over the observable queue: the computation believed in
+    /// progress ends at `max(now, observed_start + p̂)`, and every other
+    /// outstanding task adds one `p̂`.
+    pub fn ready_estimate(&self, j: SlaveId) -> Time {
+        match self.tier {
+            InfoTier::Clairvoyant => self.slaves[j.0].ready_estimate,
+            _ => {
+                let s = &self.slaves[j.0];
+                let e = &self.estimates[j.0];
+                let now = self.now.as_f64();
+                let p = e.p_hat();
+                let (base, tail) = if e.computing() {
+                    (
+                        (e.cur_start() + p).max(now),
+                        s.outstanding.saturating_sub(1),
+                    )
+                } else {
+                    (now, s.outstanding)
+                };
+                Time::new(base + tail as f64 * p)
+            }
+        }
+    }
+
     /// Estimated completion time of a *new nominal task* if the master
     /// started sending it to `j` as soon as the port is free:
     /// `start = max(link_free, ready_j_estimate_after_comm)`, i.e.
     /// `max(link_free + c_j, ready_j) + p_j`.
     ///
-    /// This is the quantity the paper's List Scheduling heuristic minimizes.
+    /// This is the quantity the paper's List Scheduling heuristic
+    /// minimizes. Below [`InfoTier::Clairvoyant`] the same formula is
+    /// evaluated over believed values and the estimate-based ready time.
     pub fn completion_estimate(&self, j: SlaveId) -> Time {
-        let recv = self.link_free_at() + self.platform.c(j);
-        let start = recv.max(self.slaves[j.0].ready_estimate);
-        start + self.platform.p(j)
+        match self.tier {
+            InfoTier::Clairvoyant => {
+                let recv = self.link_free_at() + self.platform.c(j);
+                let start = recv.max(self.slaves[j.0].ready_estimate);
+                start + self.platform.p(j)
+            }
+            _ => {
+                let recv = self.link_free_at() + self.believed_c(j);
+                let start = recv.max(self.ready_estimate(j));
+                start + self.believed_p(j)
+            }
+        }
     }
 
     /// Total number of tasks the instance will ever contain, when the
     /// scheduler has been granted that knowledge (the paper gives it to SLJF
     /// and SLJFWC); `None` in the pure on-line setting.
+    ///
+    /// At [`InfoTier::NonClairvoyant`] the hint is withdrawn (it is
+    /// knowledge about unseen workload) and this always answers `None`.
     pub fn horizon(&self) -> Option<usize> {
-        self.horizon
+        match self.tier {
+            InfoTier::NonClairvoyant => None,
+            _ => self.horizon,
+        }
     }
 
     /// How many tasks have been released so far.
@@ -257,5 +404,69 @@ impl<'a> SimView<'a> {
     /// How many tasks have completed so far.
     pub fn completed_count(&self) -> usize {
         self.completed_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> ViewState {
+        ViewState::new(Platform::from_vectors(&[1.0, 2.0], &[3.0, 5.0]), 4, Some(4))
+    }
+
+    #[test]
+    fn clairvoyant_believes_nominal_values() {
+        let s = state();
+        let v = s.view();
+        assert_eq!(v.believed_c(SlaveId(1)), 2.0);
+        assert_eq!(v.believed_p(SlaveId(1)), 5.0);
+        assert_eq!(v.horizon(), Some(4));
+        assert_eq!(v.estimate_version(), 0);
+    }
+
+    #[test]
+    fn lower_tiers_answer_from_estimates() {
+        let mut s = state();
+        s.tier = InfoTier::SpeedOblivious;
+        s.estimates[0].observe_send(0.5);
+        s.estimates[0].observe_compute(4.0);
+        let v = s.view();
+        assert_eq!(v.believed_c(SlaveId(0)), 0.5);
+        assert_eq!(v.believed_p(SlaveId(0)), 4.0);
+        // No observations on slave 1 yet: the prior.
+        assert_eq!(v.believed_c(SlaveId(1)), SlaveEstimate::PRIOR);
+        assert_eq!(v.horizon(), Some(4), "horizon survives at speed-oblivious");
+    }
+
+    #[test]
+    fn non_clairvoyant_hides_the_horizon() {
+        let mut s = state();
+        s.tier = InfoTier::NonClairvoyant;
+        assert_eq!(s.view().horizon(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capability-gated")]
+    fn platform_is_gated_below_clairvoyant() {
+        let mut s = state();
+        s.tier = InfoTier::SpeedOblivious;
+        let _ = s.view().platform();
+    }
+
+    #[test]
+    fn estimate_ready_folds_the_observable_queue() {
+        let mut s = state();
+        s.tier = InfoTier::SpeedOblivious;
+        s.now = Time::new(10.0);
+        s.slaves[0].outstanding = 3;
+        s.estimates[0].observe_compute(2.0);
+        s.estimates[0].begin_compute(9.0);
+        let v = s.view();
+        // Current task ends at max(10, 9 + 2) = 11, plus two more at 2 each.
+        assert_eq!(v.ready_estimate(SlaveId(0)), Time::new(15.0));
+        // Idle slave: ready now, completion = link_free + ĉ + p̂ (priors).
+        assert_eq!(v.ready_estimate(SlaveId(1)), Time::new(10.0));
+        assert_eq!(v.completion_estimate(SlaveId(1)), Time::new(12.0));
     }
 }

@@ -160,7 +160,7 @@ pub fn aggregate(
 mod tests {
     use super::*;
     use crate::cell::PlatformCell;
-    use mss_core::PlatformClass;
+    use mss_core::{InfoTier, PlatformClass};
     use mss_workload::ArrivalProcess;
 
     #[test]
@@ -189,6 +189,7 @@ mod tests {
             scenario: None,
             tasks: 10,
             algorithm,
+            information: InfoTier::Clairvoyant,
             replicate: 0,
             task_seed: 0,
         }
@@ -253,6 +254,7 @@ mod tests {
             scenario: None,
             tasks: 10,
             algorithm,
+            information: InfoTier::Clairvoyant,
             replicate: 0,
             task_seed: family, // distinct instances per family
         };

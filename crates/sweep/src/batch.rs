@@ -159,7 +159,7 @@ pub fn run_batch(
 mod tests {
     use super::*;
     use crate::cell::PlatformCell;
-    use mss_core::Algorithm;
+    use mss_core::{Algorithm, InfoTier};
     use mss_workload::ArrivalProcess;
 
     fn cell(index: usize, algorithm: Algorithm) -> Cell {
@@ -175,6 +175,7 @@ mod tests {
             scenario: None,
             tasks: 20,
             algorithm,
+            information: InfoTier::Clairvoyant,
             replicate: 0,
             task_seed: 7,
         }

@@ -11,8 +11,8 @@
 
 use crate::batch::SamplerCache;
 use mss_core::{
-    simulate_objectives_in, Algorithm, OnlineScheduler, Platform, PlatformClass, Redispatch,
-    SimConfig, SimWorkspace, TaskArrival, Timeline,
+    simulate_objectives_in, Algorithm, InfoTier, OnlineScheduler, Platform, PlatformClass,
+    Redispatch, SimConfig, SimWorkspace, TaskArrival, Timeline,
 };
 use mss_opt::bounds::{makespan_lower_bound, max_flow_lower_bound, sum_flow_lower_bound};
 use mss_opt::schedule::Instance;
@@ -219,6 +219,12 @@ pub struct Cell {
     pub tasks: usize,
     /// Algorithm under test.
     pub algorithm: Algorithm,
+    /// Information tier the scheduler's views filter at
+    /// (`Clairvoyant` is the historical, fully informed cell). Like the
+    /// algorithm, the tier does not change the *instance* — only what the
+    /// scheduler is allowed to see of it — so cells differing only here
+    /// share a materialization and their seeds.
+    pub information: InfoTier,
     /// Replicate number (seeds differ per replicate).
     pub replicate: u64,
     /// Seed for the arrival-process stream.
@@ -386,6 +392,7 @@ impl Cell {
     ) -> Result<CellMetrics, CellError> {
         let cfg = SimConfig {
             horizon_hint: Some(self.tasks),
+            info: self.information,
             // Instance-scaled step budget: a clean run takes ~4 steps per
             // task, and each platform-timeline event adds at most a
             // handful of steps plus O(tasks) re-releases/re-sends, so this
@@ -423,8 +430,9 @@ impl Cell {
     }
 
     /// `true` iff `other` describes the same *instance* — every field but
-    /// the algorithm agrees — so both cells can run against one
-    /// [`MaterializedInstance`]. This is the batched executor's grouping
+    /// the algorithm and the information tier agrees — so both cells can
+    /// run against one [`MaterializedInstance`] (the tier only filters the
+    /// scheduler's view of it). This is the batched executor's grouping
     /// key.
     pub fn same_instance(&self, other: &Cell) -> bool {
         self.platform == other.platform
@@ -443,18 +451,24 @@ impl Cell {
             Some(p) => p.label(),
             None => "exact".to_string(),
         };
-        // Static cells keep the historical label shape; a scenario adds a
-        // column between the perturbation and the task count.
+        // Static clairvoyant cells keep the historical label shape; a
+        // scenario adds a column between the perturbation and the task
+        // count, and a sub-clairvoyant tier adds one after it.
         let scenario = match &self.scenario {
             Some(s) => format!(" | {}", s.label()),
             None => String::new(),
         };
+        let info = match self.information {
+            InfoTier::Clairvoyant => String::new(),
+            tier => format!(" | info={tier}"),
+        };
         format!(
-            "{} | {} | {}{} | n={}",
+            "{} | {} | {}{}{} | n={}",
             self.platform.group_label(),
             self.arrival.label(),
             pert,
             scenario,
+            info,
             self.tasks
         )
     }
@@ -484,6 +498,7 @@ mod tests {
             scenario: None,
             tasks: 30,
             algorithm,
+            information: InfoTier::Clairvoyant,
             replicate: 0,
             task_seed: 7,
         }
@@ -598,6 +613,39 @@ mod tests {
             clean.makespan
         );
         assert_eq!(a.lb_makespan, clean.lb_makespan, "bounds ignore failures");
+    }
+
+    #[test]
+    fn information_tiers_share_the_instance_and_stay_live() {
+        let clair = cell(Algorithm::ListScheduling);
+        let mut oblivious = clair.clone();
+        oblivious.information = InfoTier::SpeedOblivious;
+        let mut blind = clair.clone();
+        blind.information = InfoTier::NonClairvoyant;
+
+        // One materialization serves every tier (the batching contract).
+        assert!(clair.same_instance(&oblivious) && clair.same_instance(&blind));
+        let mat = clair.materialize();
+        let mut ws = SimWorkspace::new();
+        let base = clair.try_run_materialized(&mat, &mut ws).unwrap();
+        let oblv = oblivious.try_run_materialized(&mat, &mut ws).unwrap();
+        let nonc = blind.try_run_materialized(&mat, &mut ws).unwrap();
+
+        // Withdrawing knowledge cannot beat the certified lower bound, the
+        // runs complete, and the bounds (instance properties) agree.
+        for m in [&base, &oblv, &nonc] {
+            assert!(m.makespan > 0.0 && m.ratio_makespan >= 1.0 - 1e-9);
+            assert_eq!(m.lb_makespan, base.lb_makespan);
+        }
+        // Tier cells replay bit-for-bit and match the unbatched path.
+        assert_eq!(oblivious.run(), oblv);
+        assert_eq!(blind.run(), nonc);
+
+        // Labels: clairvoyant keeps the historical shape; lower tiers get
+        // their own aggregation groups.
+        assert!(!clair.group_label().contains("info="));
+        assert!(oblivious.group_label().contains("info=speed-oblivious"));
+        assert!(blind.group_label().contains("info=non-clairvoyant"));
     }
 
     #[test]

@@ -43,6 +43,45 @@
 //! let rows = outcome.aggregate(Some(mss_core::Algorithm::Srpt));
 //! assert_eq!(rows.len(), 2);
 //! ```
+//!
+//! ## Information-tier grids
+//!
+//! The `information` key crosses the grid with the scheduler's
+//! [`InfoTier`](mss_core::InfoTier) (see `examples/oblivious_sweep.toml`
+//! for the full algorithm × heterogeneity × information walkthrough).
+//! Tiers of one grid point share their seeds, so every tier faces the
+//! identical instances and the per-point baseline normalization compares
+//! them head-to-head; sub-clairvoyant cells get their own aggregation
+//! groups (labelled `… | info=<tier> | …`):
+//!
+//! ```
+//! use mss_core::InfoTier;
+//! use mss_sweep::{run_cells, SweepConfig, SweepSpec};
+//!
+//! let spec: SweepSpec = mss_sweep::spec_from_toml(r#"
+//!     name = "tiers"
+//!     seed = 7
+//!     tasks = [30]
+//!     algorithms = ["LS"]
+//!     information = ["clairvoyant", "speed-oblivious"]
+//!     [[platforms]]
+//!     kind = "class"
+//!     class = "het"
+//!     count = 1
+//!     slaves = 3
+//!     [[arrivals]]
+//!     kind = "bag"
+//! "#).unwrap();
+//! let cells = spec.expand().unwrap();
+//! assert_eq!(cells.len(), 2);
+//! // Same instance, different knowledge: seeds agree, tiers differ.
+//! assert_eq!(cells[0].task_seed, cells[1].task_seed);
+//! assert_eq!(cells[0].information, InfoTier::Clairvoyant);
+//! assert_eq!(cells[1].information, InfoTier::SpeedOblivious);
+//! let outcome = run_cells(cells, &SweepConfig { threads: 1, cache_dir: None });
+//! // Withdrawing knowledge cannot beat the certified lower bound.
+//! assert!(outcome.metrics.iter().all(|m| m.ratio_makespan >= 1.0 - 1e-9));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

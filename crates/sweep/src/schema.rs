@@ -145,6 +145,7 @@ pub fn validate_sweep_spec(v: &Value) -> Result<(), SpecError> {
             leaf("replicates"),
             leaf("tasks"),
             leaf("algorithms"),
+            leaf("information"),
             table("platforms", check_platform),
             table("arrivals", check_arrival),
             table("perturbations", check_perturbation),

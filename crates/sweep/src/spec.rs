@@ -1,17 +1,20 @@
 //! `SweepSpec` — the declarative description of a scenario grid.
 //!
 //! A spec is the cartesian product of its axes: platform recipes ×
-//! task counts × arrival processes × perturbations × replicates ×
-//! algorithms. [`SweepSpec::expand`] flattens it into concrete
-//! [`Cell`]s with per-cell seeds derived by content hashing, so a cell's
-//! seed depends only on *what* it is — never on enumeration order or
-//! thread count.
+//! task counts × arrival processes × perturbations × scenarios ×
+//! information tiers × replicates × algorithms. [`SweepSpec::expand`]
+//! flattens it into concrete [`Cell`]s with per-cell seeds derived by
+//! content hashing, so a cell's seed depends only on *what* it is — never
+//! on enumeration order or thread count. Like the algorithm, the
+//! information tier is excluded from the seed identity: all tiers of a
+//! grid point face the *same* instance, so tier columns compare
+//! head-to-head (the `ms-lab oblivion` reading).
 //!
 //! Specs are written as TOML (see `examples/sweep_grid.toml`) or JSON; the
 //! field names below are the schema.
 
 use crate::cell::{Cell, PerturbCell, PlatformCell, ScenarioCell};
-use mss_core::{Algorithm, PlatformClass};
+use mss_core::{Algorithm, InfoTier, PlatformClass};
 use mss_scenario::{EventSpec, GeneratorSpec, ScenarioSpec};
 use mss_workload::{ArrivalProcess, HeterogeneityAxis};
 
@@ -121,6 +124,11 @@ pub struct SweepSpec {
     pub perturbations: Option<Vec<PerturbAxis>>,
     /// Scenario axes (default: a single `static`).
     pub scenarios: Option<Vec<ScenarioAxis>>,
+    /// Information-tier axis: any of `clairvoyant`, `speed-oblivious`,
+    /// `non-clairvoyant` (default: a single `clairvoyant`, the paper's
+    /// fully informed master). Tiers of one grid point share seeds, so
+    /// every tier runs the identical instance.
+    pub information: Option<Vec<String>>,
 }
 
 /// `(delta, comm_exponent, comp_exponent)` of one perturbation axis entry;
@@ -357,15 +365,40 @@ impl SweepSpec {
         Ok(out)
     }
 
+    /// Parses the information-tier axis; `None` is a single `clairvoyant`.
+    pub fn information_set(&self) -> Result<Vec<InfoTier>, SpecError> {
+        let Some(axes) = &self.information else {
+            return Ok(vec![InfoTier::Clairvoyant]);
+        };
+        let mut out = Vec::new();
+        for name in axes {
+            out.push(InfoTier::from_label(name).ok_or_else(|| {
+                SpecError(format!(
+                    "unknown information tier `{name}` \
+                     (clairvoyant, speed-oblivious, non-clairvoyant)"
+                ))
+            })?);
+        }
+        if out.is_empty() {
+            out.push(InfoTier::Clairvoyant);
+        }
+        Ok(out)
+    }
+
     /// Expands the grid into concrete cells, in a deterministic order:
     /// platforms → tasks → arrivals → perturbations → scenarios →
-    /// replicates → algorithms (the innermost axis varies fastest).
+    /// replicates → information tiers → algorithms (the innermost axis
+    /// varies fastest). Tiers sit *inside* the replicate loop so that all
+    /// tiers × algorithms of one instance are consecutive — the batched
+    /// executor then materializes that instance exactly once for the
+    /// whole block ([`Cell::same_instance`] ignores both fields).
     pub fn expand(&self) -> Result<Vec<Cell>, SpecError> {
         let algorithms = self.algorithm_set()?;
         let recipes = self.platform_recipes()?;
         let arrivals = self.arrival_set()?;
         let perturbs = self.perturb_set()?;
         let scenarios = self.scenario_set()?;
+        let tiers = self.information_set()?;
         let replicates = self.replicates.unwrap_or(1).max(1);
         if self.tasks.is_empty() {
             return Err(SpecError("no task counts".into()));
@@ -378,46 +411,53 @@ impl SweepSpec {
                     for perturb in &perturbs {
                         for scenario in &scenarios {
                             for replicate in 0..replicates {
-                                for &algorithm in &algorithms {
-                                    // Seeds derive from the grid *point*
-                                    // (identity with zeroed seeds and a
-                                    // fixed algorithm placeholder) hashed
-                                    // with the master seed — independent of
-                                    // enumeration order, and shared across
-                                    // algorithms so they face identical
-                                    // instances.
-                                    let mut cell = Cell {
-                                        platform: platform.clone(),
-                                        arrival: *arrival,
-                                        perturbation: perturb.map(|(delta, ec, ep)| PerturbCell {
-                                            delta,
-                                            comm_exponent: ec,
-                                            comp_exponent: ep,
-                                            seed: 0,
-                                        }),
-                                        scenario: scenario.clone(),
-                                        tasks,
-                                        algorithm: Algorithm::Srpt,
-                                        replicate,
-                                        task_seed: 0,
-                                    };
-                                    let identity = serde_json::to_string(&cell)
-                                        .expect("serialize cell identity");
-                                    let id_hash = fnv1a(identity.as_bytes());
-                                    cell.algorithm = algorithm;
-                                    cell.task_seed =
-                                        mix(self.seed ^ id_hash.rotate_left(17) ^ replicate);
-                                    if let Some(p) = &mut cell.perturbation {
-                                        p.seed = mix(self.seed
-                                            ^ id_hash.rotate_left(43)
-                                            ^ replicate.wrapping_mul(0x9e37));
+                                for &information in &tiers {
+                                    for &algorithm in &algorithms {
+                                        // Seeds derive from the grid *point*
+                                        // (identity with zeroed seeds and
+                                        // fixed algorithm/tier placeholders)
+                                        // hashed with the master seed —
+                                        // independent of enumeration order,
+                                        // and shared across algorithms and
+                                        // tiers so they face identical
+                                        // instances.
+                                        let mut cell = Cell {
+                                            platform: platform.clone(),
+                                            arrival: *arrival,
+                                            perturbation: perturb.map(|(delta, ec, ep)| {
+                                                PerturbCell {
+                                                    delta,
+                                                    comm_exponent: ec,
+                                                    comp_exponent: ep,
+                                                    seed: 0,
+                                                }
+                                            }),
+                                            scenario: scenario.clone(),
+                                            tasks,
+                                            algorithm: Algorithm::Srpt,
+                                            information: InfoTier::Clairvoyant,
+                                            replicate,
+                                            task_seed: 0,
+                                        };
+                                        let identity = serde_json::to_string(&cell)
+                                            .expect("serialize cell identity");
+                                        let id_hash = fnv1a(identity.as_bytes());
+                                        cell.algorithm = algorithm;
+                                        cell.information = information;
+                                        cell.task_seed =
+                                            mix(self.seed ^ id_hash.rotate_left(17) ^ replicate);
+                                        if let Some(p) = &mut cell.perturbation {
+                                            p.seed = mix(self.seed
+                                                ^ id_hash.rotate_left(43)
+                                                ^ replicate.wrapping_mul(0x9e37));
+                                        }
+                                        if let Some(s) = &mut cell.scenario {
+                                            s.spec.seed = mix(self.seed
+                                                ^ id_hash.rotate_left(29)
+                                                ^ replicate.wrapping_mul(0xa5a5));
+                                        }
+                                        cells.push(cell);
                                     }
-                                    if let Some(s) = &mut cell.scenario {
-                                        s.spec.seed = mix(self.seed
-                                            ^ id_hash.rotate_left(29)
-                                            ^ replicate.wrapping_mul(0xa5a5));
-                                    }
-                                    cells.push(cell);
                                 }
                             }
                         }
@@ -463,6 +503,7 @@ mod tests {
             ],
             perturbations: None,
             scenarios: None,
+            information: None,
         }
     }
 
@@ -584,6 +625,44 @@ mod tests {
         assert!(seeds.len() >= dynamic.len() / 2 - 1);
         // And the expansion is reproducible.
         assert_eq!(s.expand().unwrap(), cells);
+    }
+
+    #[test]
+    fn information_axis_expands_and_shares_seeds() {
+        let mut s = spec();
+        s.information = Some(vec![
+            "clairvoyant".into(),
+            "speed-oblivious".into(),
+            "non_clairvoyant".into(), // underscores tolerated
+        ]);
+        let cells = s.expand().unwrap();
+        // The tier axis triples the grid of `grid_size_is_the_axis_product`.
+        assert_eq!(cells.len(), 3 * (3 * 2 * 2 * 2 * 2));
+        // Tiers sit between the replicate and algorithm loops, so every
+        // consecutive block of tiers×algorithms is ONE instance: the same
+        // grid point at a different tier faces the identical instance
+        // (same task seed) and batches against one materialization.
+        let n_alg = 2;
+        for (i, c) in cells.iter().enumerate() {
+            let tier = [
+                InfoTier::Clairvoyant,
+                InfoTier::SpeedOblivious,
+                InfoTier::NonClairvoyant,
+            ][(i / n_alg) % 3];
+            assert_eq!(c.information, tier, "cell {i}");
+        }
+        for instance in cells.chunks(3 * n_alg) {
+            for c in instance {
+                assert_eq!(c.task_seed, instance[0].task_seed);
+                assert!(c.same_instance(&instance[0]));
+            }
+        }
+        // Unknown tiers are rejected with the allowed set.
+        let mut bad = spec();
+        bad.information = Some(vec!["psychic".into()]);
+        let err = bad.expand().unwrap_err();
+        assert!(err.0.contains("psychic"), "{err}");
+        assert!(err.0.contains("speed-oblivious"), "{err}");
     }
 
     #[test]

@@ -17,7 +17,9 @@ use std::sync::Mutex;
 /// previously stored results; old keys then simply never match.
 /// v2: the cell schema gained the dynamic-platform `scenario` axis.
 /// v3: `PlatformCell::Heterogeneity` gained the `family` replicate index.
-pub const CODE_VERSION_SALT: &str = "mss-sweep-v3";
+/// v4: the cell schema gained the `information` tier axis (and expansion
+///     seeds now hash the tier placeholder into the cell identity).
+pub const CODE_VERSION_SALT: &str = "mss-sweep-v4";
 
 /// FNV-1a, 64-bit — stable across platforms and runs.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -194,6 +196,7 @@ mod tests {
             scenario: None,
             tasks: 5,
             algorithm: Algorithm::Srpt,
+            information: mss_core::InfoTier::Clairvoyant,
             replicate: 0,
             task_seed: i as u64,
         }

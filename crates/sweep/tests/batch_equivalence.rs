@@ -93,6 +93,20 @@ fn arb_perturbations() -> impl Strategy<Value = Option<Vec<mss_sweep::PerturbAxi
     }))
 }
 
+/// An optional information-tier axis: cells of every tier must batch with
+/// their clairvoyant siblings (they share the instance) and still come
+/// back bit-identical to solo execution.
+fn arb_information() -> impl Strategy<Value = Option<Vec<String>>> {
+    proptest::option::of(
+        proptest::collection::vec(0usize..3, 1..4).prop_map(|picks| {
+            picks
+                .into_iter()
+                .map(|i| ["clairvoyant", "speed-oblivious", "non-clairvoyant"][i].to_string())
+                .collect()
+        }),
+    )
+}
+
 fn arb_static_spec() -> impl Strategy<Value = SweepSpec> {
     (
         0u64..u64::MAX,
@@ -100,20 +114,24 @@ fn arb_static_spec() -> impl Strategy<Value = SweepSpec> {
         proptest::collection::vec(arb_platform_axis(), 1..3),
         proptest::collection::vec(arb_arrival_axis(), 1..3),
         arb_perturbations(),
+        arb_information(),
         1usize..25,
         1u64..3,
     )
         .prop_map(
-            |(seed, algs, platforms, arrivals, perturbations, tasks, replicates)| SweepSpec {
-                name: "batch-equivalence".into(),
-                seed,
-                replicates: Some(replicates),
-                tasks: vec![tasks],
-                algorithms: algorithms(&algs),
-                platforms,
-                arrivals,
-                perturbations,
-                scenarios: None,
+            |(seed, algs, platforms, arrivals, perturbations, information, tasks, replicates)| {
+                SweepSpec {
+                    name: "batch-equivalence".into(),
+                    seed,
+                    replicates: Some(replicates),
+                    tasks: vec![tasks],
+                    algorithms: algorithms(&algs),
+                    platforms,
+                    arrivals,
+                    perturbations,
+                    scenarios: None,
+                    information,
+                }
             },
         )
 }
@@ -199,6 +217,7 @@ fn arb_scenario_spec() -> impl Strategy<Value = SweepSpec> {
                 }],
                 perturbations: None,
                 scenarios: Some(scenario_axes(with_plain)),
+                information: None,
             },
         )
 }
@@ -318,6 +337,7 @@ fn plain_budget_aborts_land_in_their_slots() {
             fail_fast_slave("plain"),
             fail_fast_slave("redispatch"),
         ]),
+        information: None,
     };
     let cells = spec.expand().unwrap();
     assert_eq!(cells.len(), 4, "2 scenarios × 2 algorithms");

@@ -1,0 +1,54 @@
+//! Spec lint: every example spec in `examples/*.toml` must parse under the
+//! strict unknown-key parser.
+//!
+//! The strict parser rejects unknown keys with located errors, so this
+//! test catches axis/schema drift (e.g. a new spec key like `information`
+//! shipped in an example before the schema allows it, or an example left
+//! behind by a schema rename) at `cargo test` time — and CI runs it as a
+//! dedicated spec-lint step.
+
+use std::path::PathBuf;
+
+fn examples_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples")
+}
+
+#[test]
+fn every_example_toml_parses_strictly() {
+    let mut seen = 0usize;
+    let mut sweep_specs = 0usize;
+    for entry in std::fs::read_dir(examples_dir()).expect("examples/ directory exists") {
+        let path = entry.expect("read dir entry").path();
+        if path.extension().is_none_or(|e| e != "toml") {
+            continue;
+        }
+        seen += 1;
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        // A file is either a sweep spec or a standalone scenario spec; it
+        // must parse strictly as one of the two.
+        match mss_sweep::spec_from_path(&path) {
+            Ok(spec) => {
+                sweep_specs += 1;
+                let cells = spec
+                    .expand()
+                    .unwrap_or_else(|e| panic!("{name}: parses but does not expand: {e}"));
+                assert!(!cells.is_empty(), "{name}: expands to an empty grid");
+            }
+            Err(sweep_err) => {
+                if let Err(scenario_err) = mss_sweep::scenario_from_path(&path) {
+                    panic!(
+                        "{name} parses strictly as neither a sweep spec nor a \
+                         scenario spec:\n  as sweep spec: {sweep_err}\n  as \
+                         scenario spec: {scenario_err}"
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        seen >= 3,
+        "expected at least sweep_grid.toml, failure_scenario.toml and \
+         oblivious_sweep.toml under examples/, found {seen} TOML files"
+    );
+    assert!(sweep_specs >= 2, "expected at least two sweep specs");
+}

@@ -106,6 +106,7 @@ fn dynamic_runs_replay_and_are_thread_count_invariant() {
             }),
             tasks: 60,
             algorithm,
+            information: mss_core::InfoTier::Clairvoyant,
             replicate: 0,
             task_seed: 9,
         })
