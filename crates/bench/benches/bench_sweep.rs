@@ -52,6 +52,7 @@ fn bench_thread_scaling(c: &mut Criterion) {
                 let config = SweepConfig {
                     threads,
                     cache_dir: None,
+                    ..SweepConfig::default()
                 };
                 b.iter(|| run_cells(spec.expand().unwrap(), &config).metrics.len());
             },
@@ -78,6 +79,7 @@ fn bench_instance_vs_cell_major(c: &mut Criterion) {
         let config = SweepConfig {
             threads: 1,
             cache_dir: None,
+            ..SweepConfig::default()
         };
         b.iter(|| run_cells(cells.clone(), &config).metrics.len());
     });
@@ -100,6 +102,7 @@ fn bench_cache_hit(c: &mut Criterion) {
     let config = SweepConfig {
         threads: mss_sweep::default_threads(64),
         cache_dir: Some(dir.clone()),
+        ..SweepConfig::default()
     };
     // Warm the store once; the benched runs then execute zero cells.
     let warm = run_cells(spec.expand().unwrap(), &config);

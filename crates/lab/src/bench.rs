@@ -7,7 +7,7 @@
 //! printing transient bench output. CI's `bench-smoke` job runs
 //! `ms-lab bench --quick` and uploads the JSON as an artifact.
 //!
-//! Metrics (schema v2):
+//! Metrics (schema v3):
 //!
 //! * **events/sec** — discrete events through [`mss_core::simulate_in`] on
 //!   the reference workload (5-slave heterogeneous platform, bag of tasks,
@@ -29,14 +29,20 @@
 //!   bench-smoke job fails if it ever reads non-zero or the schema tag
 //!   drifts from the committed BENCH_engine.json).
 
-use mss_core::{bag_of_tasks, simulate_in, Algorithm, Platform, SimConfig, SimWorkspace};
+use mss_core::{
+    bag_of_tasks, simulate_in, simulate_with_probe_in, Algorithm, Platform, RunCounters, SimConfig,
+    SimWorkspace, Timeline,
+};
 use mss_sweep::{run_cells, spec_from_toml, SweepConfig};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Schema identifier written into the JSON (bump on layout changes).
 /// v2: sweep timings split into 1-thread / max-threads / large-grid.
-pub const BENCH_SCHEMA: &str = "mss-bench/v2";
+/// v3: adds `elided_callback_ratio` (probed reference engine run) and
+/// `batch_reuse_ratio` (instance-major materialization sharing on the
+/// reference grid).
+pub const BENCH_SCHEMA: &str = "mss-bench/v3";
 
 /// Timing of the engine hot loop.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
@@ -91,6 +97,13 @@ pub struct BenchReport {
     /// Steady-state heap allocations per engine event — the contract
     /// enforced by `crates/sim/tests/zero_alloc.rs`.
     pub allocs_per_event_steady_state: f64,
+    /// Fraction of scheduler callbacks the engine elided on the (poll-
+    /// driven) reference workload, measured by a probed re-run of the
+    /// engine bench — the callback-elision optimization in one number.
+    pub elided_callback_ratio: f64,
+    /// Fraction of the reference grid's executed cells that reused a
+    /// batch-mate's materialization (instance-major batching win).
+    pub batch_reuse_ratio: f64,
 }
 
 fn time_loop<F: FnMut()>(iters: usize, mut f: F) -> (f64, f64) {
@@ -107,7 +120,7 @@ fn time_loop<F: FnMut()>(iters: usize, mut f: F) -> (f64, f64) {
     (best, total / iters as f64)
 }
 
-fn engine_bench(quick: bool) -> EngineBench {
+fn engine_bench(quick: bool) -> (EngineBench, f64) {
     // The reference workload of `bench_engine`'s task-scaling group.
     let platform = Platform::from_vectors(&[0.1, 0.3, 0.5, 0.7, 0.9], &[1.0, 2.0, 3.0, 4.0, 5.0]);
     let (tasks_n, iters) = if quick { (500, 5) } else { (2000, 15) };
@@ -125,16 +138,33 @@ fn engine_bench(quick: bool) -> EngineBench {
         .expect("reference workload simulates");
         assert_eq!(trace.len(), tasks_n);
     });
+    // One probed re-run (outside the timed loop, so timings stay
+    // comparable with earlier trajectory points) measures callback elision
+    // on the same workload.
+    let mut counters = RunCounters::new();
+    simulate_with_probe_in(
+        &mut ws,
+        &platform,
+        &tasks,
+        &cfg,
+        &Timeline::EMPTY,
+        &mut Algorithm::ListScheduling.build(),
+        &mut counters,
+    )
+    .expect("probed reference workload simulates");
     let events = 3 * tasks_n as u64;
-    EngineBench {
-        tasks: tasks_n,
-        slaves: platform.num_slaves(),
-        iters,
-        events_per_iter: events,
-        best_secs: best,
-        mean_secs: mean,
-        events_per_sec: events as f64 / best,
-    }
+    (
+        EngineBench {
+            tasks: tasks_n,
+            slaves: platform.num_slaves(),
+            iters,
+            events_per_iter: events,
+            best_secs: best,
+            mean_secs: mean,
+            events_per_sec: events as f64 / best,
+        },
+        counters.elided_callback_ratio(),
+    )
 }
 
 fn grid_spec(name: &str, tasks: &str, count: usize) -> mss_sweep::SweepSpec {
@@ -162,24 +192,30 @@ fn grid_spec(name: &str, tasks: &str, count: usize) -> mss_sweep::SweepSpec {
     .expect("bench grid parses")
 }
 
-fn sweep_bench(spec: &mss_sweep::SweepSpec, iters: usize, threads: usize) -> SweepBench {
+fn sweep_bench(spec: &mss_sweep::SweepSpec, iters: usize, threads: usize) -> (SweepBench, f64) {
     let cells = spec.expand().expect("bench grid expands");
     let n = cells.len();
     let config = SweepConfig {
         threads,
         cache_dir: None,
+        ..SweepConfig::default()
     };
+    let mut reuse = 0.0;
     let (best, _) = time_loop(iters, || {
         let outcome = run_cells(cells.clone(), &config);
         assert_eq!(outcome.executed, n);
+        reuse = outcome.stats.batch_reuse_ratio();
     });
-    SweepBench {
-        cells: n,
-        threads,
-        iters,
-        best_secs: best,
-        cells_per_sec: n as f64 / best,
-    }
+    (
+        SweepBench {
+            cells: n,
+            threads,
+            iters,
+            best_secs: best,
+            cells_per_sec: n as f64 / best,
+        },
+        reuse,
+    )
 }
 
 /// Runs the hot loops and assembles the report. `threads` is the "max
@@ -202,14 +238,20 @@ pub fn run(quick: bool, threads: usize) -> BenchReport {
             3,
         )
     };
+    let (engine, elided_callback_ratio) = engine_bench(quick);
+    let (sweep, batch_reuse_ratio) = sweep_bench(&reference, iters, 1);
+    let (sweep_max, _) = sweep_bench(&reference, iters, threads);
+    let (sweep_large, _) = sweep_bench(&large, iters, threads);
     BenchReport {
         schema: BENCH_SCHEMA.to_string(),
         quick,
-        engine: engine_bench(quick),
-        sweep: sweep_bench(&reference, iters, 1),
-        sweep_max: sweep_bench(&reference, iters, threads),
-        sweep_large: sweep_bench(&large, iters, threads),
+        engine,
+        sweep,
+        sweep_max,
+        sweep_large,
         allocs_per_event_steady_state: 0.0,
+        elided_callback_ratio,
+        batch_reuse_ratio,
     }
 }
 
@@ -225,7 +267,8 @@ impl BenchReport {
         format!(
             "engine: {} tasks x {} slaves, {} events/iter, best {:.3} ms -> {:.0} events/sec\n\
              {}\n{}\n{}\n\
-             allocs/event (steady state): {} (enforced by crates/sim/tests/zero_alloc.rs)",
+             allocs/event (steady state): {} (enforced by crates/sim/tests/zero_alloc.rs)\n\
+             elided callbacks (reference engine run): {:.1}%; batch reuse (reference grid): {:.1}%",
             self.engine.tasks,
             self.engine.slaves,
             self.engine.events_per_iter,
@@ -235,6 +278,8 @@ impl BenchReport {
             sweep_line("sweep(max): ", &self.sweep_max),
             sweep_line("sweep(large):", &self.sweep_large),
             self.allocs_per_event_steady_state,
+            self.elided_callback_ratio * 100.0,
+            self.batch_reuse_ratio * 100.0,
         )
     }
 
@@ -265,6 +310,10 @@ mod tests {
         assert!(report.engine.events_per_sec > 0.0);
         assert!(report.sweep.cells_per_sec > 0.0);
         assert_eq!(report.allocs_per_event_steady_state, 0.0);
+        // LS is poll-driven: most callbacks on the reference run are
+        // elided; and the 7-algorithm grid shares each materialization.
+        assert!(report.elided_callback_ratio > 0.0 && report.elided_callback_ratio <= 1.0);
+        assert!(report.batch_reuse_ratio > 0.5 && report.batch_reuse_ratio < 1.0);
 
         let json = serde_json::to_string(&report).unwrap();
         let back: BenchReport = serde_json::from_str(&json).unwrap();

@@ -26,6 +26,17 @@
 //!   sweep <spec>       run a user-defined grid (TOML or JSON spec; see
 //!                      examples/sweep_grid.toml). Extra flags:
 //!                      [--cache-dir DIR] [--no-cache] [--baseline ALG]
+//!                      [--quiet] (suppress the live progress line)
+//!   profile            phase breakdown (expand / materialize / simulate /
+//!                      store / aggregate) of a representative sweep run
+//!                      with counting probes attached; writes profile.json,
+//!                      profile.csv and the per-worker Chrome-trace
+//!                      timeline profile_workers.json
+//!   trace <spec>       replay one grid cell with a trace recorder and
+//!                      write a Chrome-trace-event JSON (open it at
+//!                      ui.perfetto.dev): per-slave send/compute/downtime
+//!                      tracks with failure instants. Extra flags:
+//!                      [--cell N] [--out PATH]
 //!   bench              time the engine and sweep hot loops and write the
 //!                      schema-stable BENCH_engine.json perf-trajectory
 //!                      point: the reference sweep at 1 thread and at max
@@ -47,10 +58,11 @@ fn usage() -> ! {
     eprintln!(
         "usage: ms-lab <table1|fig1|fig1a|fig1b|fig1c|fig1d|fig2|ablation-buffer|\
          ablation-sljf|ablation-arrivals|ablation-heterogeneity|resilience|oblivion|\
-         sweep <spec.toml>|bench|all>\n\
+         sweep <spec.toml>|profile|trace <spec.toml>|bench|all>\n\
          \x20       [--quick] [--seed N] [--tasks N] [--platforms N] [--threads N]\n\
-         \x20       sweep only: [--cache-dir DIR] [--no-cache] [--baseline ALG]\n\
+         \x20       sweep only: [--cache-dir DIR] [--no-cache] [--baseline ALG] [--quiet]\n\
          \x20       resilience only: [--scenario FILE]\n\
+         \x20       trace only: [--cell N] [--out PATH]\n\
          \x20       bench only: [--out PATH] (--threads caps the max-thread entries)"
     );
     std::process::exit(2);
@@ -93,6 +105,10 @@ fn parse_runtime(args: &[String]) -> SweepConfig {
     SweepConfig {
         threads,
         cache_dir: None,
+        // Additionally gated on stderr being a terminal and no CI
+        // environment inside `mss_obs::Progress`.
+        progress: !args.iter().any(|a| a == "--quiet"),
+        count_events: false,
     }
 }
 
@@ -250,6 +266,60 @@ fn run_sweep(args: &[String]) {
     );
 }
 
+fn run_profile(args: &[String], config: &SweepConfig) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let report = mss_lab::profile::run_with(quick, config.threads);
+    println!("{}", report.render());
+    let dir = report.write_artifacts();
+    println!(
+        "\nartifacts: {} (profile.json, profile.csv, profile_workers.json)",
+        dir.display()
+    );
+}
+
+fn run_trace(args: &[String]) {
+    let Some(spec_path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("trace: missing spec path");
+        usage();
+    };
+    let spec = match mss_sweep::spec_from_path(std::path::Path::new(spec_path)) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("trace: {e}");
+            std::process::exit(2);
+        }
+    };
+    let index = parse_flag(args, "--cell")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(0);
+    let out = parse_flag(args, "--out").map(PathBuf::from);
+    match mss_lab::profile::trace_cell(&spec, index, out) {
+        Ok(t) => {
+            println!("traced {}", t.cell);
+            match &t.result {
+                Ok(m) => println!(
+                    "run completed: makespan {} ({} engine events, {} spans)",
+                    fmt3(m.makespan),
+                    t.counters.events(),
+                    t.spans
+                ),
+                Err(e) => println!(
+                    "run aborted ({e}); partial trace still written ({} spans)",
+                    t.spans
+                ),
+            }
+            println!(
+                "trace: {} (load it at ui.perfetto.dev or chrome://tracing)",
+                t.path.display()
+            );
+        }
+        Err(e) => {
+            eprintln!("trace: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn run_bench(args: &[String], config: &SweepConfig) {
     let quick = args.iter().any(|a| a == "--quick");
     let report = mss_lab::bench::run(quick, config.threads);
@@ -312,6 +382,8 @@ fn main() {
         }
         "fig2" => run_fig2(scale, &runtime),
         "sweep" => run_sweep(rest),
+        "profile" => run_profile(rest, &runtime),
+        "trace" => run_trace(rest),
         "bench" => run_bench(rest, &runtime),
         "ablation-buffer" => {
             let report = ablations::buffer_sweep_with(scale, &runtime);

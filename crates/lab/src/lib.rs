@@ -30,6 +30,7 @@ pub mod bench;
 pub mod fig1;
 pub mod fig2;
 pub mod oblivion;
+pub mod profile;
 pub mod report;
 pub mod resilience;
 pub mod table1;

@@ -319,6 +319,7 @@ mod tests {
             &SweepConfig {
                 threads: 1,
                 cache_dir: None,
+                ..SweepConfig::default()
             },
         );
         let b = run_with(
@@ -327,6 +328,7 @@ mod tests {
             &SweepConfig {
                 threads: 8,
                 cache_dir: None,
+                ..SweepConfig::default()
             },
         );
         assert_eq!(

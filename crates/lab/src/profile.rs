@@ -1,0 +1,291 @@
+//! `ms-lab profile` and `ms-lab trace` — where does the wall-clock go?
+//!
+//! * [`run_with`] replays a representative multi-algorithm sweep with
+//!   counting probes attached and breaks the cost into the pipeline's five
+//!   phases (expand / materialize / simulate / store / aggregate). This is
+//!   the measurement behind the paper-era folklore that simulation
+//!   dominates everything else: the report's headline is the simulate
+//!   share of measured phase time, and `profile.json` / `profile.csv`
+//!   record it machine-readably.
+//! * [`trace_cell`] replays one grid cell with a
+//!   [`TraceRecorder`] attached and writes a
+//!   Chrome-trace-event JSON (load it at `ui.perfetto.dev` or
+//!   `chrome://tracing`): per-slave tracks of send/compute spans, downtime
+//!   bands, and failure/loss instants.
+//!
+//! Probes are observers only, so both commands reproduce exactly the runs
+//! the sweep executor performs (bit-identical metrics), just with the
+//! engine narrating what it does.
+
+use crate::report::artifact_dir;
+use mss_core::{Algorithm, SimWorkspace};
+use mss_obs::{PhaseProfile, RunCounters, SweepMetrics, TraceRecorder};
+use mss_sweep::{run_cells, spec_from_toml, CellError, CellMetrics, SweepConfig, SweepSpec};
+use std::path::PathBuf;
+
+/// The representative grid the profiler replays: every algorithm over
+/// heterogeneous platform draws, bag and Poisson arrivals — the same shape
+/// as the bench reference grid, sized so the phase fractions are stable.
+fn profile_spec(quick: bool) -> SweepSpec {
+    let (tasks, count) = if quick {
+        ("[60]", 2)
+    } else {
+        ("[120, 240]", 6)
+    };
+    spec_from_toml(&format!(
+        r#"
+        name = "profile-grid"
+        seed = 42
+        tasks = {tasks}
+        algorithms = ["all"]
+
+        [[platforms]]
+        kind = "class"
+        class = "heterogeneous"
+        count = {count}
+        slaves = 5
+
+        [[arrivals]]
+        kind = "bag"
+
+        [[arrivals]]
+        kind = "poisson"
+        load = 0.9
+        "#
+    ))
+    .expect("profile grid parses")
+}
+
+/// A completed profiling run: the phase breakdown plus the sweep's own
+/// execution accounting (probe counters, batch-reuse ratio, worker
+/// timelines).
+pub struct ProfileReport {
+    /// Phase timings in pipeline order.
+    pub profile: PhaseProfile,
+    /// The profiled sweep's execution accounting.
+    pub stats: SweepMetrics,
+    /// Cells in the profiled grid.
+    pub cells: usize,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+/// Runs the representative grid with counting probes and a throwaway
+/// result store, and attributes the cost to phases. `materialize` /
+/// `simulate` are CPU seconds summed across workers; `expand` / `store` /
+/// `aggregate` are wall seconds of inherently serial steps — fractions are
+/// therefore shares of *measured work*, not of wall time.
+pub fn run_with(quick: bool, threads: usize) -> ProfileReport {
+    let spec = profile_spec(quick);
+    let mut profile = PhaseProfile::new();
+    let cells = profile.time("expand", || spec.expand().expect("profile grid expands"));
+    let n = cells.len();
+
+    let cache_dir = std::env::temp_dir().join(format!("mss-profile-{}", std::process::id()));
+    let config = SweepConfig {
+        threads,
+        cache_dir: Some(cache_dir.clone()),
+        progress: false,
+        count_events: true,
+    };
+    let outcome = run_cells(cells, &config);
+    profile.add("materialize", outcome.stats.materialize_secs);
+    profile.add("simulate", outcome.stats.simulate_secs);
+    profile.add("store", outcome.stats.store_secs);
+    let rows = profile.time("aggregate", || outcome.aggregate(Some(Algorithm::Srpt)));
+    assert!(!rows.is_empty(), "profiled sweep aggregates");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    ProfileReport {
+        profile,
+        stats: outcome.stats,
+        cells: n,
+        threads,
+    }
+}
+
+impl ProfileReport {
+    /// Human-readable phase table plus the headline simulate share and the
+    /// probe-counter summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "profiled {} cells on {} threads ({:.3} s wall)\n\n",
+            self.cells, self.threads, self.stats.wall_secs
+        ));
+        out.push_str("phase         seconds   share\n");
+        for (name, secs) in self.profile.phases() {
+            out.push_str(&format!(
+                "{name:<12} {secs:>9.4}  {:>5.1}%\n",
+                self.profile.fraction(name) * 100.0
+            ));
+        }
+        let c = &self.stats.counters;
+        out.push_str(&format!(
+            "\nsimulation is {:.1}% of measured phase time\n\
+             engine events: {} ({} sends, {} computes, {} callbacks, {:.1}% elided)\n\
+             batch reuse: {:.1}% of cells shared a materialization ({} batches)\n\
+             store: {} appends, {} bytes, {} contended locks",
+            self.profile.fraction("simulate") * 100.0,
+            c.events(),
+            c.sends_started,
+            c.computes_started,
+            c.callbacks + c.callbacks_elided,
+            c.elided_callback_ratio() * 100.0,
+            self.stats.batch_reuse_ratio() * 100.0,
+            self.stats.batches,
+            self.stats.store.appends,
+            self.stats.store.bytes,
+            self.stats.store.lock_contended,
+        ));
+        out
+    }
+
+    /// Writes `profile.json`, `profile.csv`, and the per-worker sweep
+    /// timeline `profile_workers.json` (Chrome trace) to the artifact
+    /// directory; returns that directory.
+    pub fn write_artifacts(&self) -> PathBuf {
+        let dir = artifact_dir();
+        std::fs::write(dir.join("profile.json"), self.profile.to_json())
+            .expect("write profile.json");
+        std::fs::write(dir.join("profile.csv"), self.profile.to_csv()).expect("write profile.csv");
+        std::fs::write(
+            dir.join("profile_workers.json"),
+            self.stats.to_chrome("profile sweep").render(),
+        )
+        .expect("write profile_workers.json");
+        dir
+    }
+}
+
+/// A completed single-cell trace.
+pub struct TraceOutcome {
+    /// Where the Chrome-trace JSON was written.
+    pub path: PathBuf,
+    /// Engine event counters of the traced run.
+    pub counters: RunCounters,
+    /// Spans recorded (sends + computes + downtime bands).
+    pub spans: usize,
+    /// The traced cell's own result (a budget abort still yields a trace).
+    pub result: Result<CellMetrics, CellError>,
+    /// One-line description of the traced cell.
+    pub cell: String,
+}
+
+/// Replays cell `index` of `spec` with a `(RunCounters, TraceRecorder)`
+/// probe pair and writes the Perfetto-loadable trace to `out` (default:
+/// `trace_<spec>_cell<index>.json` in the artifact directory). The run is
+/// bit-identical to the cell's sweep execution; errors (bad index) are
+/// returned as messages for the CLI to print.
+pub fn trace_cell(
+    spec: &SweepSpec,
+    index: usize,
+    out: Option<PathBuf>,
+) -> Result<TraceOutcome, String> {
+    let cells = spec.expand().map_err(|e| e.to_string())?;
+    let Some(cell) = cells.get(index) else {
+        return Err(format!(
+            "cell index {index} out of range: spec `{}` expands to {} cells",
+            spec.name,
+            cells.len()
+        ));
+    };
+    let mat = cell.materialize();
+    let mut ws = SimWorkspace::new();
+    let mut scheduler = cell.build_scheduler();
+    let mut probe = (RunCounters::new(), TraceRecorder::new());
+    let result = cell.try_run_probed(&mat, &mut ws, scheduler.as_mut(), &mut probe);
+    let (counters, mut recorder) = probe;
+    recorder.finalize(recorder.end_time());
+
+    let label = format!(
+        "{} cell {index}: {} ({:?} info) on {} slaves",
+        spec.name,
+        cell.algorithm,
+        cell.information,
+        mat.platform.num_slaves()
+    );
+    let chrome = recorder.to_chrome(&label, 1e6);
+    let path =
+        out.unwrap_or_else(|| artifact_dir().join(format!("trace_{}_cell{index}.json", spec.name)));
+    std::fs::write(&path, chrome.render()).map_err(|e| format!("write trace: {e}"))?;
+    Ok(TraceOutcome {
+        path,
+        counters,
+        spans: recorder.spans.len(),
+        result,
+        cell: label,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_profile_attributes_phases() {
+        let report = run_with(true, 2);
+        assert!(report.cells > 0);
+        // All five phases are present, in pipeline order.
+        let names: Vec<&str> = report
+            .profile
+            .phases()
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            ["expand", "materialize", "simulate", "store", "aggregate"]
+        );
+        // Simulation dominates the measured phases (the claim the command
+        // exists to quantify) and the counters actually counted.
+        assert!(report.profile.fraction("simulate") > 0.5);
+        assert!(report.stats.counters.events() > 0);
+        assert!(report.render().contains("% of measured phase time"));
+    }
+
+    #[test]
+    fn trace_of_failure_cell_records_downtime() {
+        let spec = spec_from_toml(
+            r#"
+            name = "trace-test"
+            seed = 11
+            tasks = [40]
+            algorithms = ["LS"]
+
+            [[platforms]]
+            kind = "class"
+            class = "heterogeneous"
+            count = 1
+            slaves = 4
+
+            [[arrivals]]
+            kind = "bag"
+
+            [[scenarios]]
+            kind = "dynamic"
+            horizon = 500.0
+
+            [[scenarios.generators]]
+            kind = "poisson-failures"
+            mtbf = 40.0
+            repair_mean = 10.0
+            "#,
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("mss-trace-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("t.json");
+        let got = trace_cell(&spec, 0, Some(out.clone())).unwrap();
+        assert!(got.result.is_ok(), "fault-aware cell completes");
+        assert!(got.spans > 0);
+        assert!(got.counters.failures > 0, "scenario produced failures");
+        let body = std::fs::read_to_string(&out).unwrap();
+        assert!(body.starts_with("{\"traceEvents\":["));
+        assert!(body.contains("\"fail\""));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Out-of-range index is a message, not a panic.
+        assert!(trace_cell(&spec, 99, None).is_err());
+    }
+}

@@ -381,6 +381,7 @@ mod tests {
             &SweepConfig {
                 threads: 1,
                 cache_dir: None,
+                ..SweepConfig::default()
             },
         );
         let b = run_with(
@@ -389,6 +390,7 @@ mod tests {
             &SweepConfig {
                 threads: 8,
                 cache_dir: None,
+                ..SweepConfig::default()
             },
         );
         assert_eq!(

@@ -1,0 +1,170 @@
+//! Chrome Trace Event Format (Perfetto-loadable) JSON builder.
+//!
+//! Emits the object-wrapped flavor `{"traceEvents": [...]}` with complete
+//! (`"ph":"X"`) spans, instant (`"ph":"i"`) markers, and `thread_name`
+//! metadata events, which both `chrome://tracing` and
+//! <https://ui.perfetto.dev> load directly. JSON is rendered by hand (this
+//! crate is dependency-free); all strings pass through a JSON escaper.
+//!
+//! The builder is schedule-agnostic: callers lay out their own
+//! process/thread ids. [`crate::TraceRecorder`] maps a simulation run onto
+//! per-slave tracks; the sweep profiler maps workers onto tracks.
+
+use std::fmt::Write as _;
+
+/// Accumulates Chrome trace events and renders the final JSON document.
+#[derive(Clone, Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<String>,
+}
+
+/// Escapes `s` into `out` as a JSON string literal (without quotes).
+fn escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats a microsecond timestamp: trim to integer when exact (the common
+/// case — Perfetto sorts numerically either way).
+fn fmt_us(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        ChromeTrace::default()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Names thread (track) `tid` of process `pid` in trace viewers.
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        let mut e = String::with_capacity(96);
+        e.push_str(r#"{"name":"thread_name","ph":"M","pid":"#);
+        let _ = write!(e, "{pid},\"tid\":{tid},\"args\":{{\"name\":\"");
+        escape_into(&mut e, name);
+        e.push_str("\"}}");
+        self.events.push(e);
+    }
+
+    /// Names process `pid` in trace viewers.
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        let mut e = String::with_capacity(96);
+        e.push_str(r#"{"name":"process_name","ph":"M","pid":"#);
+        let _ = write!(e, "{pid},\"tid\":0,\"args\":{{\"name\":\"");
+        escape_into(&mut e, name);
+        e.push_str("\"}}");
+        self.events.push(e);
+    }
+
+    /// A complete span (`"ph":"X"`) on track `(pid, tid)`. `ts_us` and
+    /// `dur_us` are microseconds.
+    pub fn complete(&mut self, pid: u64, tid: u64, name: &str, cat: &str, ts_us: f64, dur_us: f64) {
+        let mut e = String::with_capacity(128);
+        e.push_str(r#"{"name":""#);
+        escape_into(&mut e, name);
+        e.push_str("\",\"cat\":\"");
+        escape_into(&mut e, cat);
+        let _ = write!(
+            e,
+            "\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"dur\":{}}}",
+            fmt_us(ts_us),
+            fmt_us(dur_us)
+        );
+        self.events.push(e);
+    }
+
+    /// A thread-scoped instant marker (`"ph":"i"`) on track `(pid, tid)`.
+    pub fn instant(&mut self, pid: u64, tid: u64, name: &str, cat: &str, ts_us: f64) {
+        let mut e = String::with_capacity(128);
+        e.push_str(r#"{"name":""#);
+        escape_into(&mut e, name);
+        e.push_str("\",\"cat\":\"");
+        escape_into(&mut e, cat);
+        let _ = write!(
+            e,
+            "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\"ts\":{}}}",
+            fmt_us(ts_us)
+        );
+        self.events.push(e);
+    }
+
+    /// Renders the final `{"traceEvents": [...]}` document.
+    pub fn render(&self) -> String {
+        let body: usize = self.events.iter().map(|e| e.len() + 1).sum();
+        let mut out = String::with_capacity(body + 32);
+        out.push_str("{\"traceEvents\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(e);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_wrapped_event_array() {
+        let mut t = ChromeTrace::new();
+        t.process_name(1, "sim");
+        t.thread_name(1, 3, "P0 compute");
+        t.complete(1, 3, "task 7", "compute", 1_000_000.0, 500_000.0);
+        t.instant(1, 3, "fail", "platform", 1_250_000.0);
+        let s = t.render();
+        assert!(s.starts_with("{\"traceEvents\":["));
+        assert!(s.trim_end().ends_with("]}"));
+        assert!(s.contains("\"ph\":\"X\""));
+        assert!(s.contains("\"dur\":500000"));
+        assert!(s.contains("\"ph\":\"i\""));
+        assert!(s.contains("P0 compute"));
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut t = ChromeTrace::new();
+        t.complete(1, 1, "quote \" back\\slash\nnl", "c", 0.0, 1.0);
+        let s = t.render();
+        assert!(s.contains(r#"quote \" back\\slash\nnl"#));
+    }
+
+    #[test]
+    fn fractional_timestamps_survive() {
+        let mut t = ChromeTrace::new();
+        t.complete(1, 1, "x", "c", 0.5, 1.25);
+        let s = t.render();
+        assert!(s.contains("\"ts\":0.5"), "{s}");
+        assert!(s.contains("\"dur\":1.25"), "{s}");
+    }
+}

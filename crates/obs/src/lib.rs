@@ -1,0 +1,47 @@
+//! # mss-obs — zero-cost observability for the master-slave simulator
+//!
+//! Instrumentation primitives shared by `mss-sim`, `mss-sweep`, and
+//! `ms-lab`, with one governing rule (`docs/ARCHITECTURE.md`, contract
+//! #11): **instrumentation is zero-cost when disabled and observationally
+//! pure always**.
+//!
+//! - [`Probe`] — the engine's hook trait. Every method defaults to a no-op;
+//!   the engine is generic over `P: Probe`, so the default [`NoopProbe`]
+//!   monomorphizes away completely and the uninstrumented hot path is
+//!   unchanged, instruction for instruction.
+//! - [`RunCounters`] — a probe tallying engine events per kind (elided
+//!   callbacks, view recomputes, estimator updates, failures, …).
+//! - [`TraceRecorder`] — a probe capturing per-slave send/compute/downtime
+//!   spans, exportable as a Chrome trace.
+//! - [`ChromeTrace`] — the Chrome Trace Event Format (Perfetto-loadable)
+//!   JSON builder behind `ms-lab trace`.
+//! - [`SweepMetrics`] / [`WorkerMetrics`] — sweep-level accounting (batch
+//!   reuse, per-worker timelines, store I/O), aggregated thread-locally and
+//!   merged at join.
+//! - [`PhaseProfile`] — scoped wall-clock phase timers behind
+//!   `ms-lab profile`.
+//! - [`Progress`] — a TTY-gated live progress line for sweeps.
+//!
+//! The crate is deliberately **dependency-free** (std only): it sits below
+//! `mss-sim` in the build graph, so the simulator can be generic over
+//! [`Probe`] without a dependency cycle, and enabling it can never change
+//! what the simulator links against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod counters;
+pub mod metrics;
+pub mod phase;
+pub mod probe;
+pub mod progress;
+pub mod recorder;
+
+pub use chrome::ChromeTrace;
+pub use counters::RunCounters;
+pub use metrics::{BatchSpan, StoreStats, SweepMetrics, WorkerMetrics};
+pub use phase::PhaseProfile;
+pub use probe::{NoopProbe, Probe};
+pub use progress::Progress;
+pub use recorder::{Marker, MarkerKind, Span, SpanKind, TraceRecorder};

@@ -1,0 +1,153 @@
+//! Scoped wall-clock phase timers and the `profile.json` / `profile.csv`
+//! renderers behind `ms-lab profile`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Accumulates wall-clock seconds into named phases, preserving first-use
+/// order. Phases may be re-entered; times add up.
+///
+/// # Examples
+/// ```
+/// use mss_obs::PhaseProfile;
+///
+/// let mut p = PhaseProfile::new();
+/// p.add("simulate", 9.6);
+/// p.add("store", 0.4);
+/// assert!((p.fraction("simulate") - 0.96).abs() < 1e-12);
+/// assert!(p.to_json().contains("\"simulate\""));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PhaseProfile {
+    phases: Vec<(String, f64)>,
+}
+
+impl PhaseProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        PhaseProfile::default()
+    }
+
+    /// Adds `secs` to phase `name` (creating it on first use).
+    pub fn add(&mut self, name: &str, secs: f64) {
+        if let Some((_, t)) = self.phases.iter_mut().find(|(n, _)| n == name) {
+            *t += secs;
+        } else {
+            self.phases.push((name.to_string(), secs));
+        }
+    }
+
+    /// Runs `f`, charging its wall-clock time to phase `name`.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.add(name, t0.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Phases in first-use order.
+    pub fn phases(&self) -> &[(String, f64)] {
+        &self.phases
+    }
+
+    /// Seconds accumulated in phase `name` (`0.0` if absent).
+    pub fn secs(&self, name: &str) -> f64 {
+        self.phases
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0.0, |(_, t)| *t)
+    }
+
+    /// Total seconds across all phases.
+    pub fn total(&self) -> f64 {
+        self.phases.iter().map(|(_, t)| t).sum()
+    }
+
+    /// Fraction of the total spent in phase `name` (`0.0` on an empty
+    /// profile).
+    pub fn fraction(&self, name: &str) -> f64 {
+        let total = self.total();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.secs(name) / total
+        }
+    }
+
+    /// Renders `{"total_secs":…,"phases":[{"name":…,"secs":…,"fraction":…}]}`.
+    pub fn to_json(&self) -> String {
+        let total = self.total();
+        let mut out = String::new();
+        let _ = write!(out, "{{\n  \"total_secs\": {total},\n  \"phases\": [");
+        for (i, (name, secs)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let frac = if total == 0.0 { 0.0 } else { secs / total };
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{name}\", \"secs\": {secs}, \"fraction\": {frac}}}"
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Renders `phase,secs,fraction` CSV rows.
+    pub fn to_csv(&self) -> String {
+        let total = self.total();
+        let mut out = String::from("phase,secs,fraction\n");
+        for (name, secs) in &self.phases {
+            let frac = if total == 0.0 { 0.0 } else { secs / total };
+            let _ = writeln!(out, "{name},{secs},{frac}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_in_first_use_order() {
+        let mut p = PhaseProfile::new();
+        p.add("b", 1.0);
+        p.add("a", 2.0);
+        p.add("b", 0.5);
+        assert_eq!(p.phases()[0].0, "b");
+        assert_eq!(p.secs("b"), 1.5);
+        assert_eq!(p.total(), 3.5);
+        assert!((p.fraction("a") - 2.0 / 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_charges_the_closure() {
+        let mut p = PhaseProfile::new();
+        let v = p.time("work", || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(p.secs("work") >= 0.0);
+        assert_eq!(p.phases().len(), 1);
+    }
+
+    #[test]
+    fn renders_json_and_csv() {
+        let mut p = PhaseProfile::new();
+        p.add("simulate", 3.0);
+        p.add("store", 1.0);
+        let json = p.to_json();
+        assert!(json.contains("\"total_secs\": 4"));
+        assert!(json.contains("\"fraction\": 0.75"));
+        let csv = p.to_csv();
+        assert!(csv.starts_with("phase,secs,fraction\n"));
+        assert!(csv.contains("simulate,3,0.75\n"));
+    }
+
+    #[test]
+    fn empty_profile_is_safe() {
+        let p = PhaseProfile::new();
+        assert_eq!(p.total(), 0.0);
+        assert_eq!(p.fraction("x"), 0.0);
+        assert!(p.to_json().contains("\"phases\": [\n  ]"));
+    }
+}

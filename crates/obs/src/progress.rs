@@ -1,0 +1,133 @@
+//! A throttled, thread-safe progress line for long sweeps.
+
+use std::io::{IsTerminal, Write as _};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Milliseconds between repaints: frequent enough to look live, rare enough
+/// that the lock and the write never show up in a profile.
+const REPAINT_MS: u64 = 100;
+
+/// A `\r`-rewritten `cells done/total` line on stderr with throughput and
+/// ETA.
+///
+/// Workers call [`tick`](Progress::tick) from any thread after each cell; a
+/// relaxed atomic counts, and only the worker that crosses the repaint
+/// interval takes the stderr write. The line is emitted **only** when
+/// enabled *and* stderr is a terminal *and* no CI environment is detected,
+/// so logs and CI output stay clean; everything degrades to pure counting
+/// otherwise.
+#[derive(Debug)]
+pub struct Progress {
+    total: usize,
+    done: AtomicUsize,
+    /// Milliseconds from `start` of the last repaint.
+    last_paint_ms: AtomicU64,
+    start: Instant,
+    active: bool,
+}
+
+fn in_ci() -> bool {
+    // Set by GitHub Actions, GitLab, Buildkite, Travis, and most others.
+    std::env::var_os("CI").is_some() || std::env::var_os("GITHUB_ACTIONS").is_some()
+}
+
+impl Progress {
+    /// A progress line over `total` cells. `enabled` is the caller's switch
+    /// (e.g. `!quiet`); TTY and CI gating are applied on top.
+    pub fn new(total: usize, enabled: bool) -> Self {
+        Progress {
+            total,
+            done: AtomicUsize::new(0),
+            last_paint_ms: AtomicU64::new(0),
+            start: Instant::now(),
+            active: enabled && std::io::stderr().is_terminal() && !in_ci(),
+        }
+    }
+
+    /// Whether the line will actually be drawn.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Cells recorded so far.
+    pub fn done(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Records one finished cell; repaints if the repaint interval elapsed.
+    pub fn tick(&self) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.active {
+            return;
+        }
+        let now_ms = self.start.elapsed().as_millis() as u64;
+        let last = self.last_paint_ms.load(Ordering::Relaxed);
+        if now_ms.saturating_sub(last) < REPAINT_MS && done != self.total {
+            return;
+        }
+        // One painter at a time: whoever wins the CAS draws this frame.
+        if self
+            .last_paint_ms
+            .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        self.paint(done, now_ms);
+    }
+
+    fn paint(&self, done: usize, now_ms: u64) {
+        let secs = (now_ms as f64 / 1000.0).max(1e-3);
+        let rate = done as f64 / secs;
+        let eta = if rate > 0.0 && done < self.total {
+            (self.total - done) as f64 / rate
+        } else {
+            0.0
+        };
+        let mut err = std::io::stderr().lock();
+        let _ = write!(
+            err,
+            "\r\x1b[2Ksweep: {done}/{} cells  {rate:.0} cells/s  eta {eta:.0}s",
+            self.total
+        );
+        let _ = err.flush();
+    }
+
+    /// Clears the line (call once when the sweep finishes).
+    pub fn finish(&self) {
+        if !self.active {
+            return;
+        }
+        let mut err = std::io::stderr().lock();
+        let _ = write!(err, "\r\x1b[2K");
+        let _ = err.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_from_any_thread() {
+        let p = Progress::new(100, false);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..25 {
+                        p.tick();
+                    }
+                });
+            }
+        });
+        assert_eq!(p.done(), 100);
+        p.finish();
+    }
+
+    #[test]
+    fn disabled_progress_is_inactive() {
+        // enabled=false must hold regardless of the TTY/CI environment.
+        assert!(!Progress::new(10, false).is_active());
+    }
+}

@@ -58,6 +58,7 @@ use crate::task::{TaskArrival, TaskId};
 use crate::time::Time;
 use crate::trace::{TaskRecord, Trace};
 use crate::view::{SimView, SlaveView};
+use mss_obs::{NoopProbe, Probe};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
 
@@ -419,12 +420,16 @@ impl SimWorkspace {
     }
 }
 
-struct Engine<'a> {
+struct Engine<'a, P: Probe> {
     platform: &'a Platform,
     tasks: &'a [TaskArrival],
     config: &'a SimConfig,
     timeline: &'a Timeline,
     ws: &'a mut SimWorkspace,
+    /// Instrumentation hooks. Monomorphized: with the default [`NoopProbe`]
+    /// every hook call is an empty inlined body and the engine compiles to
+    /// exactly the unprobed code (contract #11).
+    probe: &'a mut P,
     clock: Time,
     seq: u64,
     link_busy_until: Time,
@@ -444,13 +449,14 @@ struct Engine<'a> {
     timeline_cursor: usize,
 }
 
-impl<'a> Engine<'a> {
+impl<'a, P: Probe> Engine<'a, P> {
     fn new(
         platform: &'a Platform,
         tasks: &'a [TaskArrival],
         config: &'a SimConfig,
         timeline: &'a Timeline,
         ws: &'a mut SimWorkspace,
+        probe: &'a mut P,
     ) -> Self {
         ws.reset(platform, tasks, timeline);
         // Sequence numbering is unchanged from the heap-resident layout:
@@ -464,6 +470,7 @@ impl<'a> Engine<'a> {
             config,
             timeline,
             ws,
+            probe,
             clock: Time::ZERO,
             seq,
             link_busy_until: Time::ZERO,
@@ -579,6 +586,7 @@ impl<'a> Engine<'a> {
     /// `now` itself and is only valid at the instant it was computed.
     fn recompute_view(&mut self, j: usize) {
         let now = self.clock.as_f64();
+        self.probe.view_recompute(now, j);
         let p = self.platform.p(SlaveId(j));
         let rt = &self.ws.slaves[j];
         let mut t = now;
@@ -693,6 +701,7 @@ impl<'a> Engine<'a> {
                     let duration = now - self.ws.records[t.0].send_start;
                     self.ws.estimates[j.0].observe_send(duration);
                     self.estimate_version += 1;
+                    self.probe.estimator_update(now, j.0);
                 }
                 let rt = &mut self.ws.slaves[j.0];
                 if rt.down {
@@ -705,6 +714,7 @@ impl<'a> Engine<'a> {
                         .expect("in-flight task must be outstanding");
                     rt.outstanding.remove(pos);
                     self.lose_task(t);
+                    self.probe.send_complete(now, t.0, j.0, false);
                     return Some(SchedulerEvent::SendCompleted(t, j));
                 }
                 self.ws.records[t.0].send_end = now;
@@ -718,6 +728,7 @@ impl<'a> Engine<'a> {
                         }
                     }
                 }
+                self.probe.send_complete(now, t.0, j.0, true);
                 if rt.computing.is_none() {
                     self.start_compute(t, j);
                 } else {
@@ -736,7 +747,9 @@ impl<'a> Engine<'a> {
                     self.ws.estimates[j.0].observe_compute(duration);
                     self.ws.estimates[j.0].end_compute();
                     self.estimate_version += 1;
+                    self.probe.estimator_update(now, j.0);
                 }
+                self.probe.compute_complete(now, t.0, j.0);
                 self.ws.records[t.0].compute_end = now;
                 self.ws.records[t.0].done = true;
                 self.ws.phases[t.0] = TaskPhase::Done;
@@ -798,11 +811,13 @@ impl<'a> Engine<'a> {
                 if let Some(seq) = cancel_seq {
                     self.ws.cancelled.insert(seq);
                 }
+                self.probe.slave_failed(self.clock.as_f64(), j.0);
                 // Lost tasks re-enter `pending` in their send order, so the
                 // re-release order is deterministic and observable.
                 for k in 0..self.ws.lost.len() {
                     let t = self.ws.lost[k];
                     self.lose_task(t);
+                    self.probe.task_lost(self.clock.as_f64(), t.0, j.0);
                 }
                 Some(SchedulerEvent::SlaveFailed(j))
             }
@@ -815,6 +830,7 @@ impl<'a> Engine<'a> {
                 // is delivered normally at its send-complete.
                 self.ws.slaves[j.0].down = false;
                 self.ws.view_valid_until[j.0] = f64::NEG_INFINITY;
+                self.probe.slave_recovered(self.clock.as_f64(), j.0);
                 Some(SchedulerEvent::SlaveRecovered(j))
             }
             PlatformEventKind::SetLinkFactor(f) => {
@@ -830,6 +846,7 @@ impl<'a> Engine<'a> {
 
     fn start_compute(&mut self, t: TaskId, j: SlaveId) {
         let now = self.clock.as_f64();
+        self.probe.compute_start(now, t.0, j.0);
         // Billed at the *effective* speed in force when the computation
         // starts; the nominal estimate below is what schedulers see. With
         // a factor of exactly 1.0 the arithmetic is bit-identical to the
@@ -910,6 +927,7 @@ impl<'a> Engine<'a> {
         });
         let seq = self.push(self.link_busy_until, Event::SendComplete(t, j));
         self.in_flight = Some((t, j, seq));
+        self.probe.send_start(now.as_f64(), t.0, j.0);
         Ok(())
     }
 
@@ -917,6 +935,8 @@ impl<'a> Engine<'a> {
     fn charge_steps(&mut self, k: usize) -> Result<(), SimError> {
         self.steps += k;
         if self.steps > self.config.max_steps {
+            self.probe
+                .budget_abort(self.clock.as_f64(), self.steps as u64);
             Err(SimError::BudgetExhausted {
                 max_steps: self.config.max_steps,
             })
@@ -928,6 +948,8 @@ impl<'a> Engine<'a> {
     fn step_budget(&mut self) -> Result<(), SimError> {
         self.steps += 1;
         if self.steps > self.config.max_steps {
+            self.probe
+                .budget_abort(self.clock.as_f64(), self.steps as u64);
             Err(SimError::BudgetExhausted {
                 max_steps: self.config.max_steps,
             })
@@ -1044,7 +1066,62 @@ pub fn simulate_with_events_in(
     timeline: &Timeline,
     scheduler: &mut dyn OnlineScheduler,
 ) -> Result<Trace, SimError> {
-    drive(ws, platform, tasks, config, timeline, scheduler)?;
+    simulate_with_probe_in(
+        ws,
+        platform,
+        tasks,
+        config,
+        timeline,
+        scheduler,
+        &mut NoopProbe,
+    )
+}
+
+/// [`simulate_with_events_in`] with an instrumentation [`Probe`] observing
+/// every engine boundary (see [`mss_obs::Probe`] for the hook catalogue).
+///
+/// The probe is an observer only: for any probe, the returned trace (or
+/// error) is bit-identical to the unprobed run — probes cannot influence
+/// the engine, only watch it. With [`NoopProbe`] the monomorphized engine
+/// *is* the unprobed engine, instruction for instruction.
+///
+/// # Examples
+/// ```
+/// use mss_sim::{simulate_with_probe_in, SimConfig, SimWorkspace, Platform,
+///               Timeline, bag_of_tasks};
+/// use mss_obs::RunCounters;
+/// # use mss_sim::{Decision, OnlineScheduler, SchedulerEvent, SimView, SlaveId};
+/// # struct FirstSlave;
+/// # impl OnlineScheduler for FirstSlave {
+/// #     fn name(&self) -> String { "first".into() }
+/// #     fn on_event(&mut self, view: &SimView<'_>, _e: SchedulerEvent) -> Decision {
+/// #         match (view.link_idle(), view.pending_tasks().first()) {
+/// #             (true, Some(&task)) => Decision::Send { task, slave: SlaveId(0) },
+/// #             _ => Decision::Idle,
+/// #         }
+/// #     }
+/// # }
+/// let platform = Platform::from_vectors(&[1.0], &[2.0]);
+/// let mut ws = SimWorkspace::new();
+/// let mut counters = RunCounters::new();
+/// let trace = simulate_with_probe_in(&mut ws, &platform, &bag_of_tasks(3),
+///                                    &SimConfig::default(), &Timeline::EMPTY,
+///                                    &mut FirstSlave, &mut counters).unwrap();
+/// assert_eq!(trace.makespan(), 7.0);
+/// assert_eq!(counters.sends_delivered, 3);
+/// assert_eq!(counters.computes_completed, 3);
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_with_probe_in<P: Probe>(
+    ws: &mut SimWorkspace,
+    platform: &Platform,
+    tasks: &[TaskArrival],
+    config: &SimConfig,
+    timeline: &Timeline,
+    scheduler: &mut dyn OnlineScheduler,
+    probe: &mut P,
+) -> Result<Trace, SimError> {
+    drive(ws, platform, tasks, config, timeline, scheduler, probe)?;
     Ok(trace_from(ws))
 }
 
@@ -1077,7 +1154,31 @@ pub fn simulate_objectives_in(
     timeline: &Timeline,
     scheduler: &mut dyn OnlineScheduler,
 ) -> Result<RunObjectives, SimError> {
-    drive(ws, platform, tasks, config, timeline, scheduler)?;
+    simulate_objectives_with_probe_in(
+        ws,
+        platform,
+        tasks,
+        config,
+        timeline,
+        scheduler,
+        &mut NoopProbe,
+    )
+}
+
+/// [`simulate_objectives_in`] with an instrumentation [`Probe`] (see
+/// [`simulate_with_probe_in`]). This is what a counting sweep runs per
+/// cell: objectives only, hooks tallied thread-locally.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_objectives_with_probe_in<P: Probe>(
+    ws: &mut SimWorkspace,
+    platform: &Platform,
+    tasks: &[TaskArrival],
+    config: &SimConfig,
+    timeline: &Timeline,
+    scheduler: &mut dyn OnlineScheduler,
+    probe: &mut P,
+) -> Result<RunObjectives, SimError> {
+    drive(ws, platform, tasks, config, timeline, scheduler, probe)?;
     let records = &ws.records;
     Ok(RunObjectives {
         makespan: records.iter().map(|r| r.compute_end).fold(0.0, f64::max),
@@ -1114,13 +1215,14 @@ fn trace_from(ws: &SimWorkspace) -> Trace {
 }
 
 /// Runs the event loop to completion, leaving the run's records in `ws`.
-fn drive(
+fn drive<P: Probe>(
     ws: &mut SimWorkspace,
     platform: &Platform,
     tasks: &[TaskArrival],
     config: &SimConfig,
     timeline: &Timeline,
     scheduler: &mut dyn OnlineScheduler,
+    probe: &mut P,
 ) -> Result<(), SimError> {
     // Capability check before anything runs: a scheduler must never see a
     // view weaker than the tier it declared it stays live under.
@@ -1130,7 +1232,7 @@ fn drive(
             required: scheduler.min_tier(),
         });
     }
-    let mut engine = Engine::new(platform, tasks, config, timeline, ws);
+    let mut engine = Engine::new(platform, tasks, config, timeline, ws, probe);
     // Poll-driven schedulers promise to answer Idle (with no state change)
     // whenever the port is busy or nothing is pending, so those
     // notification callbacks can be elided without observable effect.
@@ -1146,6 +1248,7 @@ fn drive(
         else {
             // Nothing scheduled: give the scheduler one last chance to act.
             engine.refresh_views();
+            engine.probe.callback(engine.clock.as_f64());
             let decision = scheduler.on_event(&engine.view(), SchedulerEvent::PortIdle);
             match decision {
                 Decision::Send { task, slave } => {
@@ -1199,6 +1302,7 @@ fn drive(
             {
                 // The poll-driven contract makes this callback a no-op; the
                 // debug oracle performs it anyway and holds the promise.
+                engine.probe.callback_elided(engine.clock.as_f64());
                 #[cfg(debug_assertions)]
                 {
                     engine.refresh_views();
@@ -1212,6 +1316,7 @@ fn drive(
             }
             let n = engine.ws.notifications[i];
             engine.refresh_views();
+            engine.probe.callback(engine.clock.as_f64());
             let decision = scheduler.on_event(&engine.view(), n);
             match decision {
                 Decision::Send { task, slave } => engine.execute_send(task, slave)?,
@@ -1229,6 +1334,7 @@ fn drive(
                 break;
             }
             engine.refresh_views();
+            engine.probe.callback(engine.clock.as_f64());
             let decision = scheduler.on_event(&engine.view(), SchedulerEvent::PortIdle);
             match decision {
                 Decision::Send { task, slave } => engine.execute_send(task, slave)?,

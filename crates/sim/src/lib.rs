@@ -27,6 +27,13 @@
 //! observed send/completion timestamps), and `NonClairvoyant` (task-count
 //! hints hidden too; counts, availability and learned rates only).
 //!
+//! Every engine boundary carries an instrumentation hook ([`Probe`], from
+//! `mss-obs`): [`simulate_with_probe_in`] runs with counters
+//! ([`RunCounters`]) or a span recorder ([`TraceRecorder`]) attached, while
+//! the default [`NoopProbe`] monomorphizes the hooks away entirely — the
+//! unprobed entry points are bit-identical *and* instruction-identical to
+//! the pre-instrumentation engine.
+//!
 //! ```
 //! use mss_sim::{simulate, Decision, OnlineScheduler, Platform, SchedulerEvent,
 //!               SimConfig, SimView, SlaveId, bag_of_tasks};
@@ -71,13 +78,17 @@ mod trace;
 mod view;
 
 pub use engine::{
-    simulate, simulate_in, simulate_objectives_in, simulate_with_events, simulate_with_events_in,
-    RunObjectives, SimConfig, SimError, SimWorkspace,
+    simulate, simulate_in, simulate_objectives_in, simulate_objectives_with_probe_in,
+    simulate_with_events, simulate_with_events_in, simulate_with_probe_in, RunObjectives,
+    SimConfig, SimError, SimWorkspace,
 };
 pub use events::{PlatformEvent, PlatformEventKind, Timeline};
 pub use gantt::render as render_gantt;
 pub use gantt::render_with_downtime;
 pub use info::{InfoTier, SlaveEstimate};
+pub use mss_obs::{
+    Marker, MarkerKind, NoopProbe, Probe, RunCounters, Span, SpanKind, TraceRecorder,
+};
 pub use platform::{Platform, PlatformClass, SlaveId, SlaveSpec};
 pub use scheduler::{Decision, OnlineScheduler, SchedulerEvent};
 pub use stats::{trace_stats, SlaveStats, TraceStats};

@@ -11,8 +11,8 @@
 //! thread can allocate concurrently and pollute the counter.
 
 use mss_sim::{
-    bag_of_tasks, simulate_in, Decision, OnlineScheduler, Platform, SchedulerEvent, SimConfig,
-    SimView, SimWorkspace, SlaveId, Trace,
+    bag_of_tasks, simulate_in, simulate_with_probe_in, Decision, NoopProbe, OnlineScheduler,
+    Platform, SchedulerEvent, SimConfig, SimView, SimWorkspace, SlaveId, Timeline, Trace,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -95,5 +95,29 @@ fn steady_state_events_allocate_nothing() {
          over {} events (≈{:.3} per event)",
         3 * n,
         during as f64 / (3 * n) as f64
+    );
+
+    // The disabled-instrumentation path must uphold the same contract: a
+    // probed run with [`NoopProbe`] monomorphizes every hook away, so it
+    // allocates exactly as little as the uninstrumented entry point — and
+    // returns bit-identical results.
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let probed = simulate_with_probe_in(
+        &mut ws,
+        &platform,
+        &tasks,
+        &cfg,
+        &Timeline::EMPTY,
+        &mut Greedy,
+        &mut NoopProbe,
+    )
+    .unwrap();
+    let during = ALLOCS.load(Ordering::SeqCst) - before;
+    assert_eq!(probed, warm, "NoopProbe run must be bit-identical");
+    assert!(
+        during <= 4,
+        "expected the probe-disabled hot path to stay allocation-free, \
+         counted {during} allocations over {} events",
+        3 * n
     );
 }

@@ -21,10 +21,14 @@
 //! engine re-initializes its [`SimWorkspace`] per run.
 
 use crate::cell::{Cell, CellError, CellMetrics};
-use mss_core::{Algorithm, OnlineScheduler, Platform, PlatformClass, Redispatch, SimWorkspace};
+use mss_core::{
+    Algorithm, NoopProbe, OnlineScheduler, Platform, PlatformClass, Redispatch, SimWorkspace,
+};
+use mss_obs::{BatchSpan, WorkerMetrics};
 use mss_workload::{PlatformSampler, PlatformStream};
 use std::collections::HashMap;
 use std::ops::Range;
+use std::time::Instant;
 
 /// Per-worker memoized platform-sampler streams, keyed by
 /// `(class, slaves, seed)`. Each stream extends lazily to the highest
@@ -73,7 +77,6 @@ impl SamplerCache {
 /// results (the workspace re-initializes per run; the cache is
 /// bit-transparent), so the executor's any-thread-count determinism is
 /// untouched.
-#[derive(Default)]
 pub struct BatchWorker {
     /// Reusable simulator buffers (one per worker thread).
     pub ws: SimWorkspace,
@@ -83,12 +86,41 @@ pub struct BatchWorker {
     /// The engine calls `init` before every run (the documented full-reset
     /// point of [`OnlineScheduler`]), so reuse is bit-transparent.
     schedulers: HashMap<(Algorithm, bool), Box<dyn OnlineScheduler>>,
+    /// This worker's thread-local tally: cells, batch timeline, phase
+    /// seconds. Purely observational — nothing in the run path reads it.
+    pub metrics: WorkerMetrics,
+    /// When `true`, cells run with a counting probe and engine events
+    /// accumulate into `metrics.counters` (the `ms-lab profile` path).
+    /// When `false` (the default), cells run with [`NoopProbe`] — the
+    /// unchanged zero-cost hot path.
+    pub count_events: bool,
+    /// Shared sweep epoch that batch-span offsets are measured from.
+    epoch: Instant,
+}
+
+impl Default for BatchWorker {
+    fn default() -> Self {
+        BatchWorker::with_epoch(Instant::now())
+    }
 }
 
 impl BatchWorker {
-    /// Fresh worker scratch.
+    /// Fresh worker scratch (its own epoch).
     pub fn new() -> Self {
         BatchWorker::default()
+    }
+
+    /// Fresh worker scratch measuring batch spans from `epoch` — the sweep
+    /// passes one shared epoch to every worker so their timelines align.
+    pub fn with_epoch(epoch: Instant) -> Self {
+        BatchWorker {
+            ws: SimWorkspace::default(),
+            samplers: SamplerCache::default(),
+            schedulers: HashMap::new(),
+            metrics: WorkerMetrics::new(),
+            count_events: false,
+            epoch,
+        }
     }
 }
 
@@ -145,14 +177,39 @@ pub fn run_batch(
         ws,
         samplers,
         schedulers,
+        metrics,
+        count_events,
+        epoch,
     } = worker;
+    let batch_t0 = Instant::now();
     let head = &cells[indices[batch.start]];
     let mat = head.materialize_with(samplers);
+    let sim_t0 = Instant::now();
+    metrics.materialize_secs += sim_t0.duration_since(batch_t0).as_secs_f64();
+    metrics.materializations += 1;
+    metrics.batches += 1;
+    let batch_cells = batch.len() as u64;
     for k in batch {
         let cell = &cells[indices[k]];
         let scheduler = scheduler_for(schedulers, cell);
-        out.push(cell.try_run_scheduled(&mat, ws, scheduler));
+        let result = if *count_events {
+            cell.try_run_probed(&mat, ws, scheduler, &mut metrics.counters)
+        } else {
+            cell.try_run_probed(&mat, ws, scheduler, &mut NoopProbe)
+        };
+        if result.is_err() {
+            metrics.aborted += 1;
+        }
+        out.push(result);
     }
+    let batch_t1 = Instant::now();
+    metrics.cells += batch_cells;
+    metrics.simulate_secs += batch_t1.duration_since(sim_t0).as_secs_f64();
+    metrics.spans.push(BatchSpan {
+        start: batch_t0.duration_since(*epoch).as_secs_f64(),
+        end: batch_t1.duration_since(*epoch).as_secs_f64(),
+        cells: batch_cells as usize,
+    });
 }
 
 #[cfg(test)]

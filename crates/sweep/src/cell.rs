@@ -11,8 +11,8 @@
 
 use crate::batch::SamplerCache;
 use mss_core::{
-    simulate_objectives_in, Algorithm, InfoTier, OnlineScheduler, Platform, PlatformClass,
-    Redispatch, SimConfig, SimWorkspace, TaskArrival, Timeline,
+    simulate_objectives_with_probe_in, Algorithm, InfoTier, NoopProbe, OnlineScheduler, Platform,
+    PlatformClass, Probe, Redispatch, SimConfig, SimError, SimWorkspace, TaskArrival, Timeline,
 };
 use mss_opt::bounds::{makespan_lower_bound, max_flow_lower_bound, sum_flow_lower_bound};
 use mss_opt::schedule::Instance;
@@ -231,16 +231,50 @@ pub struct Cell {
     pub task_seed: u64,
 }
 
+/// Machine-readable classification of why a cell's simulation aborted.
+/// Stored verbatim in the sweep result store (as its serialized variant
+/// name), so resumed sweeps skip known-aborting cells and reports can
+/// count aborts by kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum AbortKind {
+    /// The step budget ran out (e.g. a fault-oblivious algorithm
+    /// livelocking against a down slave).
+    BudgetExhausted,
+    /// The scheduler idled with tasks unfinished and no events pending.
+    Stalled,
+    /// The scheduler returned a model-violating decision.
+    InvalidDecision,
+    /// The run's information tier is below the scheduler's declared
+    /// minimum.
+    InsufficientInformation,
+}
+
+impl From<&SimError> for AbortKind {
+    fn from(e: &SimError) -> Self {
+        match e {
+            SimError::Stalled { .. } => AbortKind::Stalled,
+            SimError::InvalidDecision { .. } => AbortKind::InvalidDecision,
+            SimError::BudgetExhausted { .. } => AbortKind::BudgetExhausted,
+            SimError::InsufficientInformation { .. } => AbortKind::InsufficientInformation,
+        }
+    }
+}
+
 /// A cell whose simulation could not complete (e.g. a fault-oblivious
 /// algorithm livelocking against a down slave until the step budget
-/// aborts). Carries the human-readable description the legacy panicking
-/// API raises.
-#[derive(Clone, Debug, PartialEq)]
-pub struct CellError(pub String);
+/// aborts). Carries a machine-readable [`AbortKind`] plus the
+/// human-readable description the legacy panicking API raises.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CellError {
+    /// Why the simulation aborted.
+    pub kind: AbortKind,
+    /// Human-readable description (algorithm, platform, engine error).
+    pub message: String,
+}
 
 impl std::fmt::Display for CellError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.message)
     }
 }
 
@@ -373,24 +407,23 @@ impl Cell {
         mat: &MaterializedInstance,
         ws: &mut SimWorkspace,
     ) -> Result<CellMetrics, CellError> {
-        let mut scheduler: Box<dyn OnlineScheduler> = match &self.scenario {
-            Some(s) if s.fault_aware => Box::new(Redispatch::wrap(self.algorithm)),
-            _ => self.algorithm.build(),
-        };
+        let mut scheduler = self.build_scheduler();
         self.try_run_scheduled(mat, ws, &mut scheduler)
     }
 
-    /// [`Cell::try_run_materialized`] with a caller-provided scheduler
-    /// instance (which the engine fully re-initializes per run, so reuse
-    /// across cells is bit-transparent). The scheduler must be the one this
-    /// cell would build: `Redispatch`-wrapped iff the cell is fault-aware.
-    pub fn try_run_scheduled(
-        &self,
-        mat: &MaterializedInstance,
-        ws: &mut SimWorkspace,
-        scheduler: &mut dyn OnlineScheduler,
-    ) -> Result<CellMetrics, CellError> {
-        let cfg = SimConfig {
+    /// Builds the scheduler instance this cell runs:
+    /// [`Redispatch`]-wrapped iff the cell is fault-aware.
+    pub fn build_scheduler(&self) -> Box<dyn OnlineScheduler> {
+        match &self.scenario {
+            Some(s) if s.fault_aware => Box::new(Redispatch::wrap(self.algorithm)),
+            _ => self.algorithm.build(),
+        }
+    }
+
+    /// The exact engine configuration this cell simulates under (also used
+    /// by `ms-lab trace` to replay a single cell with probes attached).
+    pub fn sim_config(&self, mat: &MaterializedInstance) -> SimConfig {
+        SimConfig {
             horizon_hint: Some(self.tasks),
             info: self.information,
             // Instance-scaled step budget: a clean run takes ~4 steps per
@@ -405,15 +438,52 @@ impl Cell {
             max_steps: 50_000
                 + 5_000 * self.tasks
                 + mat.timeline.events().len() * (10 + 2 * self.tasks),
-        };
+        }
+    }
+
+    fn abort_error(&self, e: &SimError) -> CellError {
+        CellError {
+            kind: AbortKind::from(e),
+            message: format!("{} failed on {:?}: {e}", self.algorithm, self.platform),
+        }
+    }
+
+    /// [`Cell::try_run_materialized`] with a caller-provided scheduler
+    /// instance (which the engine fully re-initializes per run, so reuse
+    /// across cells is bit-transparent). The scheduler must be the one this
+    /// cell would build: `Redispatch`-wrapped iff the cell is fault-aware.
+    pub fn try_run_scheduled(
+        &self,
+        mat: &MaterializedInstance,
+        ws: &mut SimWorkspace,
+        scheduler: &mut dyn OnlineScheduler,
+    ) -> Result<CellMetrics, CellError> {
+        self.try_run_probed(mat, ws, scheduler, &mut NoopProbe)
+    }
+
+    /// [`Cell::try_run_scheduled`] with an instrumentation [`Probe`]
+    /// observing the engine run. Results are bit-identical for any probe
+    /// (probes are observers only); with [`NoopProbe`] this *is*
+    /// `try_run_scheduled`.
+    pub fn try_run_probed<P: Probe>(
+        &self,
+        mat: &MaterializedInstance,
+        ws: &mut SimWorkspace,
+        scheduler: &mut dyn OnlineScheduler,
+        probe: &mut P,
+    ) -> Result<CellMetrics, CellError> {
+        let cfg = self.sim_config(mat);
         let tasks = mat.perturbed.as_deref().unwrap_or(&mat.nominal);
-        let run = simulate_objectives_in(ws, &mat.platform, tasks, &cfg, &mat.timeline, scheduler)
-            .map_err(|e| {
-                CellError(format!(
-                    "{} failed on {:?}: {e}",
-                    self.algorithm, self.platform
-                ))
-            })?;
+        let run = simulate_objectives_with_probe_in(
+            ws,
+            &mat.platform,
+            tasks,
+            &cfg,
+            &mat.timeline,
+            scheduler,
+            probe,
+        )
+        .map_err(|e| self.abort_error(&e))?;
 
         let lb = mat.lb_makespan;
         Ok(CellMetrics {

@@ -51,17 +51,48 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize, &T) -> R + Sync,
 {
+    parallel_map_collect(items, threads, init, f, |_| ()).0
+}
+
+/// [`parallel_map_with`] that additionally *drains* every worker's scratch
+/// into a `Send` summary after that worker's last item: returns the
+/// results plus one summary per worker that ran, in no particular order
+/// (the sequential path returns its single summary).
+///
+/// This is how the sweep collects *per-worker metrics* without touching
+/// the hot path: each worker accumulates into its scratch thread-locally
+/// and the totals are folded after the join. The drain runs on the worker
+/// thread, so the scratch itself never crosses threads (it may hold
+/// non-`Send` state, e.g. boxed schedulers). The scratch-must-not-
+/// influence-results contract of [`parallel_map_with`] is unchanged.
+pub fn parallel_map_collect<T, R, S, M, I, F, D>(
+    items: &[T],
+    threads: usize,
+    init: I,
+    f: F,
+    drain: D,
+) -> (Vec<R>, Vec<M>)
+where
+    T: Sync,
+    R: Send,
+    M: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+    D: Fn(S) -> M + Sync,
+{
     if threads <= 1 || items.len() <= 1 {
         let mut scratch = init();
-        return items
+        let out = items
             .iter()
             .enumerate()
             .map(|(i, t)| f(&mut scratch, i, t))
             .collect();
+        return (out, vec![drain(scratch)]);
     }
 
     let cursor = AtomicUsize::new(0);
     let sink: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    let summaries: Mutex<Vec<M>> = Mutex::new(Vec::new());
     let workers = threads.min(items.len());
 
     std::thread::scope(|scope| {
@@ -80,6 +111,7 @@ where
                     local.push((i, f(&mut scratch, i, &items[i])));
                 }
                 sink.lock().unwrap().extend(local);
+                summaries.lock().unwrap().push(drain(scratch));
             });
         }
     });
@@ -87,7 +119,10 @@ where
     let mut tagged = sink.into_inner().unwrap();
     tagged.sort_by_key(|(i, _)| *i);
     debug_assert_eq!(tagged.len(), items.len());
-    tagged.into_iter().map(|(_, r)| r).collect()
+    (
+        tagged.into_iter().map(|(_, r)| r).collect(),
+        summaries.into_inner().unwrap(),
+    )
 }
 
 #[cfg(test)]
@@ -143,5 +178,37 @@ mod tests {
             },
         );
         assert_eq!(seq.last(), Some(&(100, 100)));
+    }
+
+    #[test]
+    fn collect_drains_one_summary_per_worker() {
+        let items: Vec<usize> = (0..64).collect();
+        let (out, summaries) = parallel_map_collect(
+            &items,
+            4,
+            || 0usize,
+            |c, _, &x| {
+                *c += 1;
+                x
+            },
+            |c| c,
+        );
+        assert_eq!(out, items);
+        assert!(!summaries.is_empty() && summaries.len() <= 4);
+        // Every item was counted by exactly one worker.
+        assert_eq!(summaries.iter().sum::<usize>(), 64);
+
+        // Sequential path: one summary covering everything.
+        let (_, seq) = parallel_map_collect(
+            &items,
+            1,
+            || 0usize,
+            |c, _, &x| {
+                *c += 1;
+                x
+            },
+            |c| c,
+        );
+        assert_eq!(seq, vec![64]);
     }
 }

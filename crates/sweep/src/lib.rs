@@ -38,7 +38,8 @@
 //! "#).unwrap();
 //! let cells = spec.expand().unwrap();
 //! assert_eq!(cells.len(), 4);
-//! let outcome = run_cells(cells, &SweepConfig { threads: 2, cache_dir: None });
+//! let config = SweepConfig { threads: 2, ..SweepConfig::default() };
+//! let outcome = run_cells(cells, &config);
 //! assert_eq!(outcome.executed, 4);
 //! let rows = outcome.aggregate(Some(mss_core::Algorithm::Srpt));
 //! assert_eq!(rows.len(), 2);
@@ -78,7 +79,8 @@
 //! assert_eq!(cells[0].task_seed, cells[1].task_seed);
 //! assert_eq!(cells[0].information, InfoTier::Clairvoyant);
 //! assert_eq!(cells[1].information, InfoTier::SpeedOblivious);
-//! let outcome = run_cells(cells, &SweepConfig { threads: 1, cache_dir: None });
+//! let config = SweepConfig { threads: 1, ..SweepConfig::default() };
+//! let outcome = run_cells(cells, &config);
 //! // Withdrawing knowledge cannot beat the certified lower bound.
 //! assert!(outcome.metrics.iter().all(|m| m.ratio_makespan >= 1.0 - 1e-9));
 //! ```
@@ -100,9 +102,11 @@ use std::path::PathBuf;
 pub use agg::{aggregate, summarize, AggregateRow, Summary};
 pub use batch::{group_instances, BatchWorker, SamplerCache};
 pub use cell::{
-    Cell, CellError, CellMetrics, MaterializedInstance, PerturbCell, PlatformCell, ScenarioCell,
+    AbortKind, Cell, CellError, CellMetrics, MaterializedInstance, PerturbCell, PlatformCell,
+    ScenarioCell,
 };
-pub use exec::{default_threads, parallel_map, parallel_map_with};
+pub use exec::{default_threads, parallel_map, parallel_map_collect, parallel_map_with};
+pub use mss_obs::{StoreStats, SweepMetrics, WorkerMetrics};
 pub use spec::{ArrivalAxis, PerturbAxis, PlatformAxis, ScenarioAxis, SpecError, SweepSpec};
 pub use store::{cell_key, ResultStore, CODE_VERSION_SALT};
 
@@ -114,6 +118,15 @@ pub struct SweepConfig {
     pub threads: usize,
     /// Result-store directory; `None` disables caching.
     pub cache_dir: Option<PathBuf>,
+    /// Show a live progress line on stderr (additionally gated on stderr
+    /// being a terminal and no CI environment — see [`mss_obs::Progress`]).
+    /// Purely cosmetic: results are unaffected.
+    pub progress: bool,
+    /// Run cells with counting probes and aggregate engine event counters
+    /// into [`SweepMetrics::counters`] (the `ms-lab profile` path). The
+    /// default `false` keeps the zero-cost uninstrumented hot path;
+    /// results are bit-identical either way (probes are observers only).
+    pub count_events: bool,
 }
 
 impl Default for SweepConfig {
@@ -121,6 +134,8 @@ impl Default for SweepConfig {
         SweepConfig {
             threads: default_threads(64),
             cache_dir: None,
+            progress: false,
+            count_events: false,
         }
     }
 }
@@ -139,6 +154,9 @@ pub struct SweepOutcome {
     /// Corrupt/truncated store lines that were dropped (their cells were
     /// re-run and counted under `executed`).
     pub dropped: usize,
+    /// Execution accounting: batches, reuse ratio, per-worker timelines,
+    /// store I/O (see [`SweepMetrics`]).
+    pub stats: SweepMetrics,
 }
 
 impl SweepOutcome {
@@ -160,6 +178,9 @@ pub struct CheckedOutcome {
     pub cached: usize,
     /// Corrupt/truncated store lines that were dropped.
     pub dropped: usize,
+    /// Execution accounting: batches, reuse ratio, per-worker timelines,
+    /// store I/O (see [`SweepMetrics`]).
+    pub stats: SweepMetrics,
 }
 
 /// Executes cells under `config` without panicking on cell errors: every
@@ -170,16 +191,21 @@ pub struct CheckedOutcome {
 /// (see [`batch`]): not-yet-cached cells are grouped into maximal
 /// consecutive same-instance batches, each batch materializes its
 /// platform/task-streams/timeline/bounds once, and worker threads pick up
-/// whole batches through the dynamic load balancer. Only `Ok` results
-/// enter the store.
+/// whole batches through the dynamic load balancer. Both completed cells
+/// and tagged aborts enter the store, so resumed sweeps skip
+/// known-aborting cells instead of re-running them.
 ///
 /// # Panics
 /// Panics if the cache directory cannot be created or written.
 pub fn try_run_cells(cells: &[Cell], config: &SweepConfig) -> CheckedOutcome {
+    let epoch = std::time::Instant::now();
+    let mut store_secs = 0.0f64;
     let (store, known, dropped) = match &config.cache_dir {
         Some(dir) => {
+            let t0 = std::time::Instant::now();
             let store = ResultStore::open(dir).expect("open sweep result store");
             let loaded = store.load().expect("load sweep result store");
+            store_secs += t0.elapsed().as_secs_f64();
             (Some(store), loaded.results, loaded.dropped)
         }
         None => (None, std::collections::HashMap::new(), 0),
@@ -202,24 +228,55 @@ pub fn try_run_cells(cells: &[Cell], config: &SweepConfig) -> CheckedOutcome {
     // slotted back by index, so output order — and every bit of it — is
     // independent of thread count and of the grouping itself.
     let batches = group_instances(cells, &missing);
-    let fresh = parallel_map_with(&batches, config.threads, BatchWorker::new, |w, _, b| {
-        let mut out = Vec::with_capacity(b.len());
-        batch::run_batch(cells, &missing, b.clone(), w, &mut out);
-        out
-    });
+    let progress = mss_obs::Progress::new(missing.len(), config.progress);
+    let (fresh, workers) = parallel_map_collect(
+        &batches,
+        config.threads,
+        || {
+            let mut w = BatchWorker::with_epoch(epoch);
+            w.count_events = config.count_events;
+            w
+        },
+        |w, _, b| {
+            let mut out = Vec::with_capacity(b.len());
+            batch::run_batch(cells, &missing, b.clone(), w, &mut out);
+            for _ in 0..out.len() {
+                progress.tick();
+            }
+            out
+        },
+        |w| w.metrics,
+    );
+    progress.finish();
     // Batches partition `missing` in order, so the flattened results align
     // one-to-one with `missing`.
     let flat: Vec<Result<CellMetrics, CellError>> = fresh.into_iter().flatten().collect();
     debug_assert_eq!(flat.len(), missing.len());
 
     if let (Some(store), Some(keys)) = (&store, &keys) {
-        let records: Vec<(String, CellMetrics)> = missing
+        let t0 = std::time::Instant::now();
+        let records: Vec<(String, Result<CellMetrics, CellError>)> = missing
             .iter()
             .zip(&flat)
-            .filter_map(|(&i, r)| r.as_ref().ok().map(|m| (keys[i].clone(), m.clone())))
+            .map(|(&i, r)| (keys[i].clone(), r.clone()))
             .collect();
         store.append(&records).expect("append sweep results");
+        store_secs += t0.elapsed().as_secs_f64();
     }
+
+    let mut stats = SweepMetrics {
+        cells: cells.len() as u64,
+        cached: (cells.len() - missing.len()) as u64,
+        ..SweepMetrics::default()
+    };
+    for w in workers {
+        stats.absorb_worker(w);
+    }
+    if let Some(store) = &store {
+        stats.store = store.stats();
+    }
+    stats.store_secs = store_secs;
+    stats.wall_secs = epoch.elapsed().as_secs_f64();
 
     let mut flat_iter = flat.into_iter();
     let mut missing_iter = missing.iter().peekable();
@@ -230,7 +287,7 @@ pub fn try_run_cells(cells: &[Cell], config: &SweepConfig) -> CheckedOutcome {
                 flat_iter.next().expect("one result per missing cell")
             } else {
                 let keys = keys.as_ref().expect("cached cells imply a store");
-                Ok(known[&keys[i]].clone())
+                known[&keys[i]].clone()
             }
         })
         .collect();
@@ -240,6 +297,7 @@ pub fn try_run_cells(cells: &[Cell], config: &SweepConfig) -> CheckedOutcome {
         executed: missing.len(),
         cached: cells.len() - missing.len(),
         dropped,
+        stats,
     }
 }
 
@@ -260,6 +318,7 @@ pub fn run_cells(cells: Vec<Cell>, config: &SweepConfig) -> SweepOutcome {
         executed: checked.executed,
         cached: checked.cached,
         dropped: checked.dropped,
+        stats: checked.stats,
         cells,
         metrics,
     }

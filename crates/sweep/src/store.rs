@@ -7,10 +7,12 @@
 //! affected cell simply re-runs. Re-running a sweep therefore skips every
 //! intact completed cell and resumes interrupted ones.
 
-use crate::cell::{Cell, CellMetrics};
+use crate::cell::{Cell, CellError, CellMetrics};
+use mss_obs::StoreStats;
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Bump when a change to the simulator/heuristics/workload invalidates
@@ -19,7 +21,9 @@ use std::sync::Mutex;
 /// v3: `PlatformCell::Heterogeneity` gained the `family` replicate index.
 /// v4: the cell schema gained the `information` tier axis (and expansion
 ///     seeds now hash the tier placeholder into the cell identity).
-pub const CODE_VERSION_SALT: &str = "mss-sweep-v4";
+/// v5: stored records gained the machine-readable `abort` tag (and aborted
+///     cells are now stored and skipped on resume, not re-run).
+pub const CODE_VERSION_SALT: &str = "mss-sweep-v5";
 
 /// FNV-1a, 64-bit — stable across platforms and runs.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -42,11 +46,13 @@ pub fn cell_key(cell: &Cell) -> String {
     format!("{hi:016x}{lo:016x}")
 }
 
-/// One stored line.
+/// One stored line: exactly one of `metrics` (a completed cell) and
+/// `abort` (a cell whose simulation legitimately aborted) is set.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 struct StoredRecord {
     key: String,
-    metrics: CellMetrics,
+    metrics: Option<CellMetrics>,
+    abort: Option<CellError>,
 }
 
 /// Sharded JSONL store rooted at a directory.
@@ -57,6 +63,9 @@ pub struct ResultStore {
     /// non-empty shard is flushed with a single write. Kept across
     /// [`ResultStore::append`] calls so repeated appends stay warm.
     bufs: Mutex<Vec<Vec<u8>>>,
+    appends: AtomicU64,
+    bytes: AtomicU64,
+    lock_contended: AtomicU64,
 }
 
 /// Number of shard files (`shard_00.jsonl` … `shard_0f.jsonl`).
@@ -70,7 +79,19 @@ impl ResultStore {
         Ok(ResultStore {
             dir,
             bufs: Mutex::new(vec![Vec::new(); SHARDS]),
+            appends: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            lock_contended: AtomicU64::new(0),
         })
+    }
+
+    /// I/O statistics accumulated since the store was opened.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            appends: self.appends.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            lock_contended: self.lock_contended.load(Ordering::Relaxed),
+        }
     }
 
     /// The store's root directory.
@@ -108,8 +129,19 @@ impl ResultStore {
                     continue;
                 }
                 match serde_json::from_str::<StoredRecord>(line) {
-                    Ok(rec) if rec.metrics.makespan.is_finite() => {
-                        results.insert(rec.key, rec.metrics);
+                    Ok(StoredRecord {
+                        key,
+                        metrics: Some(m),
+                        abort: None,
+                    }) if m.makespan.is_finite() => {
+                        results.insert(key, Ok(m));
+                    }
+                    Ok(StoredRecord {
+                        key,
+                        metrics: None,
+                        abort: Some(e),
+                    }) => {
+                        results.insert(key, Err(e));
                     }
                     _ => dropped += 1,
                 }
@@ -118,7 +150,8 @@ impl ResultStore {
         Ok(LoadedResults { results, dropped })
     }
 
-    /// Appends completed cells to their shards.
+    /// Appends finished cells — completed metrics *or* tagged aborts — to
+    /// their shards.
     ///
     /// Fast path: each record serializes *directly* into the store's
     /// reusable per-shard buffer — no per-record `String` — and every
@@ -126,29 +159,52 @@ impl ResultStore {
     /// `write_all`. The emitted JSONL bytes are identical to serializing a
     /// `StoredRecord` with `serde_json::to_string` line by line (a test
     /// pins that format), so torn-line recovery semantics are unchanged.
-    pub fn append(&self, records: &[(String, CellMetrics)]) -> std::io::Result<()> {
-        let mut bufs = self.bufs.lock().expect("store buffer lock");
+    pub fn append(
+        &self,
+        records: &[(String, Result<CellMetrics, CellError>)],
+    ) -> std::io::Result<()> {
+        let mut bufs = match self.bufs.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.lock_contended.fetch_add(1, Ordering::Relaxed);
+                self.bufs.lock().expect("store buffer lock")
+            }
+            Err(std::sync::TryLockError::Poisoned(_)) => panic!("store buffer lock poisoned"),
+        };
         // Start from empty buffers (they are only kept for capacity): a
         // previous append that failed mid-flush must not leak its
         // already-flushed bytes into this call as duplicate lines.
         for buf in bufs.iter_mut() {
             buf.clear();
         }
-        for (key, metrics) in records {
+        for (key, outcome) in records {
             let buf = &mut bufs[Self::shard_index(key)];
-            // `{"key":<key>,"metrics":<metrics>}` — field order and float
-            // formatting exactly as StoredRecord's derived serialization.
+            // `{"key":<key>,"metrics":<M|null>,"abort":<null|A>}` — field
+            // order and float formatting exactly as StoredRecord's derived
+            // serialization (`Option` renders as the value or `null`).
             buf.extend_from_slice(b"{\"key\":");
             serde_json::to_writer(&mut *buf, key.as_str()).expect("serialize record key");
             buf.extend_from_slice(b",\"metrics\":");
-            serde_json::to_writer(&mut *buf, metrics).expect("serialize record metrics");
-            buf.extend_from_slice(b"}\n");
+            match outcome {
+                Ok(metrics) => {
+                    serde_json::to_writer(&mut *buf, metrics).expect("serialize record metrics");
+                    buf.extend_from_slice(b",\"abort\":null}\n");
+                }
+                Err(abort) => {
+                    buf.extend_from_slice(b"null,\"abort\":");
+                    serde_json::to_writer(&mut *buf, abort).expect("serialize record abort");
+                    buf.extend_from_slice(b"}\n");
+                }
+            }
         }
+        let mut wrote = false;
         for shard in 0..SHARDS {
             let buf = &mut bufs[shard];
             if buf.is_empty() {
                 continue;
             }
+            wrote = true;
+            self.bytes.fetch_add(buf.len() as u64, Ordering::Relaxed);
             let path = self.dir.join(format!("shard_{shard:02x}.jsonl"));
             let mut file = std::fs::OpenOptions::new()
                 .create(true)
@@ -157,14 +213,17 @@ impl ResultStore {
             file.write_all(buf)?;
             buf.clear(); // keep capacity for the next append
         }
+        if wrote {
+            self.appends.fetch_add(1, Ordering::Relaxed);
+        }
         Ok(())
     }
 }
 
 /// Result of [`ResultStore::load`].
 pub struct LoadedResults {
-    /// Intact records by cell key.
-    pub results: HashMap<String, CellMetrics>,
+    /// Intact records by cell key: completed metrics or a tagged abort.
+    pub results: HashMap<String, Result<CellMetrics, CellError>>,
     /// Number of corrupt/truncated lines skipped.
     pub dropped: usize,
 }
@@ -225,8 +284,8 @@ mod tests {
     fn append_then_load_round_trips() {
         let dir = temp_dir("roundtrip");
         let store = ResultStore::open(&dir).unwrap();
-        let records: Vec<(String, CellMetrics)> = (0..40)
-            .map(|i| (cell_key(&cell(i)), metrics(i as f64 + 1.0)))
+        let records: Vec<(String, Result<CellMetrics, CellError>)> = (0..40)
+            .map(|i| (cell_key(&cell(i)), Ok(metrics(i as f64 + 1.0))))
             .collect();
         store.append(&records).unwrap();
         let loaded = store.load().unwrap();
@@ -235,6 +294,29 @@ mod tests {
         for (key, m) in &records {
             assert_eq!(&loaded.results[key], m);
         }
+        let stats = store.stats();
+        assert_eq!(stats.appends, 1);
+        assert!(stats.bytes > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn aborted_cells_round_trip_with_kind() {
+        let dir = temp_dir("aborts");
+        let store = ResultStore::open(&dir).unwrap();
+        let err = CellError {
+            kind: crate::cell::AbortKind::BudgetExhausted,
+            message: "srpt failed on Class: step budget of 55000 exhausted".into(),
+        };
+        let records: Vec<(String, Result<CellMetrics, CellError>)> = vec![
+            (cell_key(&cell(0)), Ok(metrics(2.0))),
+            (cell_key(&cell(1)), Err(err.clone())),
+        ];
+        store.append(&records).unwrap();
+        let loaded = store.load().unwrap();
+        assert_eq!(loaded.dropped, 0);
+        assert_eq!(loaded.results[&records[1].0], Err(err));
+        assert!(loaded.results[&records[0].0].is_ok());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -242,27 +324,40 @@ mod tests {
     fn append_bytes_match_derived_record_serialization() {
         // The buffered fast path must emit exactly the bytes of serializing
         // a StoredRecord per line — the JSONL format contract that load()
-        // and torn-line recovery rest on.
+        // and torn-line recovery rest on — for both record shapes.
         let dir = temp_dir("format");
         let store = ResultStore::open(&dir).unwrap();
-        let rec = (
+        let ok_rec = (
             cell_key(&cell(3)),
-            CellMetrics {
+            Ok(CellMetrics {
                 makespan: 12.0625,
                 max_flow: 0.1,
                 sum_flow: 1e-3,
                 lb_makespan: 7.25,
                 ratio_makespan: 12.0625 / 7.25,
-            },
+            }),
         );
-        store.append(std::slice::from_ref(&rec)).unwrap();
-        let body = std::fs::read_to_string(store.shard_path(&rec.0)).unwrap();
-        let expected = serde_json::to_string(&StoredRecord {
-            key: rec.0.clone(),
-            metrics: rec.1.clone(),
-        })
-        .unwrap();
-        assert_eq!(body, format!("{expected}\n"));
+        let err_rec = (
+            cell_key(&cell(5)),
+            Err(CellError {
+                kind: crate::cell::AbortKind::Stalled,
+                message: "ls \"stalled\"".into(),
+            }),
+        );
+        for rec in [&ok_rec, &err_rec] {
+            store.append(std::slice::from_ref(rec)).unwrap();
+            let body = std::fs::read_to_string(store.shard_path(&rec.0)).unwrap();
+            let expected = serde_json::to_string(&StoredRecord {
+                key: rec.0.clone(),
+                metrics: rec.1.as_ref().ok().cloned(),
+                abort: rec.1.as_ref().err().cloned(),
+            })
+            .unwrap();
+            assert!(
+                body.contains(&format!("{expected}\n")),
+                "shard bytes {body:?} missing derived line {expected:?}"
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -270,8 +365,8 @@ mod tests {
     fn truncated_line_is_dropped_not_fatal() {
         let dir = temp_dir("truncated");
         let store = ResultStore::open(&dir).unwrap();
-        let records: Vec<(String, CellMetrics)> = (0..8)
-            .map(|i| (cell_key(&cell(i)), metrics(i as f64 + 1.0)))
+        let records: Vec<(String, Result<CellMetrics, CellError>)> = (0..8)
+            .map(|i| (cell_key(&cell(i)), Ok(metrics(i as f64 + 1.0))))
             .collect();
         store.append(&records).unwrap();
 

@@ -254,6 +254,7 @@ fn check_spec(spec: &SweepSpec) {
             &SweepConfig {
                 threads,
                 cache_dir: None,
+                ..SweepConfig::default()
             },
         );
         assert_eq!(outcome.executed, cells.len());
@@ -348,13 +349,16 @@ fn plain_budget_aborts_land_in_their_slots() {
             &SweepConfig {
                 threads,
                 cache_dir: None,
+                ..SweepConfig::default()
             },
         );
         // Slots 0–1: plain SRPT/LS abort with the legacy message shape.
         for (slot, name) in [(0, "SRPT"), (1, "LS")] {
             let err = outcome.results[slot].as_ref().unwrap_err();
             assert!(
-                err.0.contains(&format!("{name} failed")) && err.0.contains("step budget"),
+                err.message.contains(&format!("{name} failed"))
+                    && err.message.contains("step budget")
+                    && err.kind == mss_sweep::AbortKind::BudgetExhausted,
                 "slot {slot} at {threads} threads: {err}"
             );
         }

@@ -67,6 +67,7 @@ fn hundred_plus_cells_bit_identical_across_thread_counts() {
         &SweepConfig {
             threads: 1,
             cache_dir: None,
+            ..SweepConfig::default()
         },
     )
     .unwrap();
@@ -78,6 +79,7 @@ fn hundred_plus_cells_bit_identical_across_thread_counts() {
             &SweepConfig {
                 threads,
                 cache_dir: None,
+                ..SweepConfig::default()
             },
         )
         .unwrap();
@@ -99,6 +101,7 @@ fn second_run_completes_entirely_from_cache() {
     let config = SweepConfig {
         threads: 4,
         cache_dir: Some(dir.clone()),
+        ..SweepConfig::default()
     };
 
     let first = run_spec(&spec, &config).unwrap();
@@ -126,6 +129,7 @@ fn truncated_shard_reruns_only_the_torn_cells() {
     let config = SweepConfig {
         threads: 4,
         cache_dir: Some(dir.clone()),
+        ..SweepConfig::default()
     };
     let first = run_spec(&spec, &config).unwrap();
     let reference = aggregate_bytes(&first);
@@ -214,6 +218,7 @@ fn scenario_grids_are_bit_identical_across_thread_counts() {
         &SweepConfig {
             threads: 1,
             cache_dir: None,
+            ..SweepConfig::default()
         },
     )
     .unwrap();
@@ -223,6 +228,7 @@ fn scenario_grids_are_bit_identical_across_thread_counts() {
             &SweepConfig {
                 threads,
                 cache_dir: None,
+                ..SweepConfig::default()
             },
         )
         .unwrap();
@@ -238,6 +244,7 @@ fn scenario_cells_hit_the_cache_and_failures_change_the_key() {
     let config = SweepConfig {
         threads: 4,
         cache_dir: Some(dir.clone()),
+        ..SweepConfig::default()
     };
     let first = run_spec(&spec, &config).unwrap();
     assert_eq!(first.cached, 0);

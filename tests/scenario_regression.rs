@@ -118,6 +118,7 @@ fn dynamic_runs_replay_and_are_thread_count_invariant() {
             &SweepConfig {
                 threads,
                 cache_dir: None,
+                ..SweepConfig::default()
             },
         )
         .metrics
