@@ -294,6 +294,134 @@ impl BenchReport {
     }
 }
 
+/// One tracked metric's movement between two bench reports.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct BenchDelta {
+    /// Metric name (`engine.events_per_sec`, `sweep.cells_per_sec`, …).
+    pub metric: String,
+    /// Previous value (throughput; higher is better).
+    pub old: f64,
+    /// Current value.
+    pub new: f64,
+    /// `(new - old) / old · 100` — negative means slower.
+    pub change_pct: f64,
+}
+
+/// The result of `ms-lab bench --compare OLD.json`.
+pub struct BenchComparison {
+    /// Per-metric deltas in schema order.
+    pub deltas: Vec<BenchDelta>,
+    /// Regression threshold in percent (a metric this much slower fails).
+    pub threshold_pct: f64,
+    /// Caveats that make the comparison unreliable (schema or scale
+    /// mismatch between the two reports).
+    pub caveats: Vec<String>,
+}
+
+/// Compares the four throughput metrics of two bench reports.
+/// `threshold_pct` is how many percent *slower* a metric may run before
+/// it counts as a regression (wall-clock benches are noisy; the CI
+/// default of 20 % tolerates machine jitter while catching real cliffs).
+pub fn compare(old: &BenchReport, new: &BenchReport, threshold_pct: f64) -> BenchComparison {
+    let mut caveats = Vec::new();
+    if old.schema != new.schema {
+        caveats.push(format!(
+            "schema mismatch: old {} vs new {}",
+            old.schema, new.schema
+        ));
+    }
+    if old.quick != new.quick {
+        caveats.push(
+            "scale mismatch: one report is --quick — throughputs are not comparable".to_string(),
+        );
+    }
+    let pairs = [
+        (
+            "engine.events_per_sec",
+            old.engine.events_per_sec,
+            new.engine.events_per_sec,
+        ),
+        (
+            "sweep.cells_per_sec",
+            old.sweep.cells_per_sec,
+            new.sweep.cells_per_sec,
+        ),
+        (
+            "sweep_max.cells_per_sec",
+            old.sweep_max.cells_per_sec,
+            new.sweep_max.cells_per_sec,
+        ),
+        (
+            "sweep_large.cells_per_sec",
+            old.sweep_large.cells_per_sec,
+            new.sweep_large.cells_per_sec,
+        ),
+    ];
+    let deltas = pairs
+        .into_iter()
+        .map(|(metric, o, n)| BenchDelta {
+            metric: metric.to_string(),
+            old: o,
+            new: n,
+            change_pct: if o > 0.0 { (n - o) / o * 100.0 } else { 0.0 },
+        })
+        .collect();
+    BenchComparison {
+        deltas,
+        threshold_pct,
+        caveats,
+    }
+}
+
+impl BenchComparison {
+    /// Metrics that regressed past the threshold.
+    pub fn regressions(&self) -> Vec<&BenchDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.change_pct < -self.threshold_pct)
+            .collect()
+    }
+
+    /// Human-readable delta table plus the verdict line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.caveats {
+            out.push_str(&format!("warning: {c}\n"));
+        }
+        out.push_str("metric                      old          new       change\n");
+        for d in &self.deltas {
+            out.push_str(&format!(
+                "{:<24} {:>12.1} {:>12.1}  {:>+7.1}%\n",
+                d.metric, d.old, d.new, d.change_pct
+            ));
+        }
+        let regs = self.regressions();
+        if regs.is_empty() {
+            out.push_str(&format!(
+                "no regression beyond {:.0}% threshold",
+                self.threshold_pct
+            ));
+        } else {
+            out.push_str(&format!(
+                "REGRESSION (>{:.0}% slower): {}",
+                self.threshold_pct,
+                regs.iter()
+                    .map(|d| d.metric.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        out
+    }
+}
+
+/// Loads a previously written `BENCH_engine.json`.
+pub fn load_report(path: &Path) -> Result<BenchReport, String> {
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde_json::from_str(&body).map_err(|e| format!("{}: {e}", path.display()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,5 +447,32 @@ mod tests {
         let back: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.engine.tasks, report.engine.tasks);
         assert!(report.render().contains("events/sec"));
+    }
+
+    #[test]
+    fn comparison_flags_only_past_threshold_regressions() {
+        let new = run(true, 2);
+        let same = compare(&new, &new, 20.0);
+        assert!(same.caveats.is_empty());
+        assert!(same.regressions().is_empty());
+        assert!(same.render().contains("no regression"));
+        assert_eq!(same.deltas.len(), 4);
+        assert!(same.deltas.iter().all(|d| d.change_pct == 0.0));
+
+        // A 50 % faster "old" engine makes the new one a 33 % regression.
+        let mut old = new.clone();
+        old.engine.events_per_sec *= 1.5;
+        let cmp = compare(&old, &new, 20.0);
+        let regs = cmp.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "engine.events_per_sec");
+        assert!(cmp.render().contains("REGRESSION"));
+        // The same slowdown passes under a 40 % threshold.
+        assert!(compare(&old, &new, 40.0).regressions().is_empty());
+
+        // Mismatched scales are called out.
+        let mut quick_old = new.clone();
+        quick_old.quick = false;
+        assert_eq!(compare(&quick_old, &new, 20.0).caveats.len(), 1);
     }
 }

@@ -27,6 +27,20 @@
 //!                      examples/sweep_grid.toml). Extra flags:
 //!                      [--cache-dir DIR] [--no-cache] [--baseline ALG]
 //!                      [--quiet] (suppress the live progress line)
+//!   metrics <spec>     run a grid with telemetry probes and report
+//!                      flow/wait/transfer/compute quantiles, per-slave
+//!                      utilization splits and master-queue pressure per
+//!                      (scenario, algorithm); writes metrics.csv and
+//!                      metrics.json, byte-identical for any --threads.
+//!                      Extra flags: [--cache-dir DIR] [--quick] (alias
+//!                      for --no-cache: always simulate fresh)
+//!   diff <spec>        replay one grid cell with the decision-digest
+//!                      auditor. Alone: print the run's event count and
+//!                      64-bit digest. [--dump PATH] also writes the
+//!                      per-event JSONL ledger. [--against REF] compares
+//!                      to a dumped ledger file or to another ms-lab
+//!                      binary and reports the first divergent event
+//!                      (exit 1 on divergence). [--cell N] picks the cell
 //!   profile            phase breakdown (expand / materialize / simulate /
 //!                      store / aggregate) of a representative sweep run
 //!                      with counting probes attached; writes profile.json,
@@ -43,7 +57,10 @@
 //!                      threads, plus a larger multi-algorithm grid.
 //!                      Extra flags: [--out PATH] (default
 //!                      ./BENCH_engine.json); [--threads N] caps the
-//!                      max-threads entries
+//!                      max-threads entries; [--compare OLD.json] prints
+//!                      per-metric deltas vs a previous point and exits 1
+//!                      on a regression beyond [--threshold PCT] (default
+//!                      20) unless [--warn-only]
 //!   all                everything above except `sweep` and `bench`
 //! ```
 
@@ -58,12 +75,16 @@ fn usage() -> ! {
     eprintln!(
         "usage: ms-lab <table1|fig1|fig1a|fig1b|fig1c|fig1d|fig2|ablation-buffer|\
          ablation-sljf|ablation-arrivals|ablation-heterogeneity|resilience|oblivion|\
-         sweep <spec.toml>|profile|trace <spec.toml>|bench|all>\n\
+         sweep <spec.toml>|metrics <spec.toml>|diff <spec.toml>|profile|\
+         trace <spec.toml>|bench|all>\n\
          \x20       [--quick] [--seed N] [--tasks N] [--platforms N] [--threads N]\n\
          \x20       sweep only: [--cache-dir DIR] [--no-cache] [--baseline ALG] [--quiet]\n\
+         \x20       metrics only: [--cache-dir DIR] (--quick = always simulate fresh)\n\
+         \x20       diff only: [--cell N] [--dump PATH] [--against LEDGER-OR-BINARY]\n\
          \x20       resilience only: [--scenario FILE]\n\
          \x20       trace only: [--cell N] [--out PATH]\n\
-         \x20       bench only: [--out PATH] (--threads caps the max-thread entries)"
+         \x20       bench only: [--out PATH] [--compare OLD.json] [--threshold PCT]\n\
+         \x20                   [--warn-only] (--threads caps the max-thread entries)"
     );
     std::process::exit(2);
 }
@@ -109,6 +130,7 @@ fn parse_runtime(args: &[String]) -> SweepConfig {
         // environment inside `mss_obs::Progress`.
         progress: !args.iter().any(|a| a == "--quiet"),
         count_events: false,
+        collect_metrics: false,
     }
 }
 
@@ -266,6 +288,92 @@ fn run_sweep(args: &[String]) {
     );
 }
 
+fn spec_arg(args: &[String], cmd: &str) -> (mss_sweep::SweepSpec, PathBuf) {
+    let Some(spec_path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("{cmd}: missing spec path");
+        usage();
+    };
+    match mss_sweep::spec_from_path(std::path::Path::new(spec_path)) {
+        Ok(spec) => (spec, PathBuf::from(spec_path)),
+        Err(e) => {
+            eprintln!("{cmd}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_metrics_cmd(args: &[String]) {
+    let (spec, _) = spec_arg(args, "metrics");
+    let mut config = parse_runtime(args);
+    // `--quick` forces a fresh simulation (the CI smoke path); otherwise
+    // cache under the same per-spec directory the sweep command uses —
+    // cached records without telemetry payloads re-run automatically.
+    if !args.iter().any(|a| a == "--quick" || a == "--no-cache") {
+        let dir = parse_flag(args, "--cache-dir")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| {
+                PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                    .join("../../target/sweep-cache")
+                    .join(&spec.name)
+            });
+        config.cache_dir = Some(dir);
+    }
+    match mss_lab::metrics::run_spec_metrics(&spec, &config) {
+        Ok(report) => {
+            println!("{}", report.render());
+            let path = report.write_artifacts();
+            println!("artifacts: {} (+ metrics.json)", path.display());
+        }
+        Err(e) => {
+            eprintln!("metrics: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_diff(args: &[String]) {
+    use mss_lab::diff;
+    let (spec, spec_path) = spec_arg(args, "diff");
+    let index = parse_flag(args, "--cell")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(0);
+    let outcome = match diff::audit_cell(&spec, index) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("diff: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("audited {}", outcome.cell);
+    println!("{} events, digest {:016x}", outcome.events, outcome.digest);
+    if let Some(i) = args.iter().position(|a| a == "--dump") {
+        let path = args
+            .get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .map(PathBuf::from)
+            .unwrap_or_else(|| diff::default_dump_path(&spec.name, index));
+        std::fs::write(&path, diff::ledger_to_jsonl(&outcome.ledger))
+            .unwrap_or_else(|e| panic!("write ledger {}: {e}", path.display()));
+        println!("ledger: {}", path.display());
+    }
+    if let Some(against) = parse_flag(args, "--against") {
+        let theirs = match diff::reference_ledger(std::path::Path::new(&against), &spec_path, index)
+        {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("diff: {e}");
+                std::process::exit(2);
+            }
+        };
+        let ours: Vec<diff::LedgerLine> = outcome.ledger.iter().map(diff::LedgerLine::of).collect();
+        let verdict = diff::first_divergence(&ours, &theirs);
+        println!("{}", verdict.render());
+        if !verdict.is_identical() {
+            std::process::exit(1);
+        }
+    }
+}
+
 fn run_profile(args: &[String], config: &SweepConfig) {
     let quick = args.iter().any(|a| a == "--quick");
     let report = mss_lab::profile::run_with(quick, config.threads);
@@ -329,6 +437,23 @@ fn run_bench(args: &[String], config: &SweepConfig) {
         .unwrap_or_else(|| PathBuf::from("BENCH_engine.json"));
     let path = report.write(&out);
     println!("perf-trajectory point: {}", path.display());
+    if let Some(old_path) = parse_flag(args, "--compare") {
+        let old = match mss_lab::bench::load_report(std::path::Path::new(&old_path)) {
+            Ok(old) => old,
+            Err(e) => {
+                eprintln!("bench: {e}");
+                std::process::exit(2);
+            }
+        };
+        let threshold = parse_flag(args, "--threshold")
+            .map(|v| v.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(20.0);
+        let cmp = mss_lab::bench::compare(&old, &report, threshold);
+        println!("\nvs {}:\n{}", old_path, cmp.render());
+        if !cmp.regressions().is_empty() && !args.iter().any(|a| a == "--warn-only") {
+            std::process::exit(1);
+        }
+    }
 }
 
 fn run_oblivion(scale: ExperimentScale, config: &SweepConfig) {
@@ -382,6 +507,8 @@ fn main() {
         }
         "fig2" => run_fig2(scale, &runtime),
         "sweep" => run_sweep(rest),
+        "metrics" => run_metrics_cmd(rest),
+        "diff" => run_diff(rest),
         "profile" => run_profile(rest, &runtime),
         "trace" => run_trace(rest),
         "bench" => run_bench(rest, &runtime),

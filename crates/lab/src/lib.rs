@@ -11,6 +11,8 @@
 //! | Resilience (failures, new) | [`resilience`] | `ms-lab resilience` |
 //! | Oblivion (information tiers, new) | [`oblivion`] | `ms-lab oblivion` |
 //! | user-defined scenario grids | `mss_sweep` | `ms-lab sweep <spec.toml>` |
+//! | run telemetry (flow quantiles, utilization) | [`metrics`] | `ms-lab metrics <spec.toml>` |
+//! | first-divergence audit | [`diff`] | `ms-lab diff <spec.toml>` |
 //! | perf baseline (`BENCH_engine.json`) | [`bench`](mod@bench) | `ms-lab bench` |
 //!
 //! Each experiment prints an ASCII table mirroring the paper's layout and
@@ -27,8 +29,10 @@
 
 pub mod ablations;
 pub mod bench;
+pub mod diff;
 pub mod fig1;
 pub mod fig2;
+pub mod metrics;
 pub mod oblivion;
 pub mod profile;
 pub mod report;

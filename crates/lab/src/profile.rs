@@ -87,6 +87,7 @@ pub fn run_with(quick: bool, threads: usize) -> ProfileReport {
         cache_dir: Some(cache_dir.clone()),
         progress: false,
         count_events: true,
+        collect_metrics: false,
     };
     let outcome = run_cells(cells, &config);
     profile.add("materialize", outcome.stats.materialize_secs);

@@ -113,6 +113,24 @@ impl ChromeTrace {
         self.events.push(e);
     }
 
+    /// A counter sample (`"ph":"C"`): trace viewers render consecutive
+    /// samples of the same `name` as a stepped area chart. `series` names
+    /// the value inside the counter's `args` object (one series per
+    /// counter track is plenty here).
+    pub fn counter(&mut self, pid: u64, name: &str, series: &str, ts_us: f64, value: f64) {
+        let mut e = String::with_capacity(128);
+        e.push_str(r#"{"name":""#);
+        escape_into(&mut e, name);
+        let _ = write!(
+            e,
+            "\",\"ph\":\"C\",\"pid\":{pid},\"tid\":0,\"ts\":{},\"args\":{{\"",
+            fmt_us(ts_us)
+        );
+        escape_into(&mut e, series);
+        let _ = write!(e, "\":{}}}}}", fmt_us(value));
+        self.events.push(e);
+    }
+
     /// Renders the final `{"traceEvents": [...]}` document.
     pub fn render(&self) -> String {
         let body: usize = self.events.iter().map(|e| e.len() + 1).sum();
@@ -149,6 +167,18 @@ mod tests {
         assert!(s.contains("\"ph\":\"i\""));
         assert!(s.contains("P0 compute"));
         assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn counter_events_carry_args_values() {
+        let mut t = ChromeTrace::new();
+        t.counter(1, "master queue depth", "depth", 0.0, 3.0);
+        t.counter(1, "master queue depth", "depth", 1_500_000.0, 2.0);
+        let s = t.render();
+        assert!(s.contains("\"ph\":\"C\""));
+        assert!(s.contains("\"args\":{\"depth\":3}"), "{s}");
+        assert!(s.contains("\"ts\":1500000"));
+        assert_eq!(t.len(), 2);
     }
 
     #[test]

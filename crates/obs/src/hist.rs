@@ -1,0 +1,388 @@
+//! Deterministic log-bucketed mergeable histograms.
+//!
+//! The sweep's determinism contract (ARCHITECTURE contract #4) promises
+//! bit-identical aggregates for any `--threads` value, and the metrics
+//! layer must not be the first thing to break it. Floating-point *sums*
+//! cannot honour that promise across nondeterministic merge orders —
+//! `(a + b) + c != a + (b + c)` in general — so [`Histogram`] stores only
+//! operations that are **exactly associative and commutative**:
+//!
+//! * integer bucket counts (`u64` addition),
+//! * exact running `min`/`max` (IEEE-754 min/max of non-NaN values).
+//!
+//! Merging two histograms is therefore the same mathematical object
+//! regardless of grouping or order, and a sweep can fold per-cell
+//! histograms in whatever order its workers finish without perturbing the
+//! result.
+//!
+//! # Bucketing
+//!
+//! Buckets are fixed at compile time (no per-instance configuration to
+//! disagree about): logarithmic with [`SUB_BUCKETS`] sub-buckets per
+//! power of two, covering `[2^-64, 2^64)` — relative bucket width
+//! `2^(1/32) - 1 ≈ 2.2%`, plenty for p50/p90/p99 reporting. The bucket
+//! index of a positive normal `f64` is read straight off its bit pattern
+//! (for positive floats, integer ordering of the bits *is* float
+//! ordering): the exponent selects the octave and the top mantissa bits
+//! the sub-bucket. Values outside the range land in dedicated `zero`
+//! (`v <= 0`, `NaN`), `under` (`0 < v < 2^-64`, incl. subnormals) and
+//! `over` (`v >= 2^64`, incl. `+inf`) buckets, so every observation is
+//! counted exactly once and `count` always equals the number of
+//! [`observe`](Histogram::observe) calls.
+//!
+//! Quantiles report the *upper bound* of the bucket holding the target
+//! rank, clamped to the exact observed maximum — so `quantile(1.0)` is
+//! the exact max and the quantile function is monotone in `q`.
+
+/// Log₂ of the number of sub-buckets per power of two.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave (32 → ≤ 2.2% relative bucket width).
+pub const SUB_BUCKETS: usize = 1 << SUB_BITS;
+/// Raw (biased) exponent of the smallest bucketed value, `2^-64`.
+const EXP_LO: u64 = 1023 - 64;
+/// Raw (biased) exponent one past the largest bucketed octave (`2^63`).
+const EXP_HI: u64 = 1023 + 64;
+/// Number of regular logarithmic buckets (128 octaves × 32).
+pub const BUCKETS: usize = ((EXP_HI - EXP_LO) as usize) << SUB_BITS;
+
+/// A fixed-boundary logarithmic histogram whose merge is exact.
+///
+/// See the [module docs](self) for the bucketing scheme and why the type
+/// deliberately has no floating-point sum. The bucket array is allocated
+/// lazily on the first observation, so an empty histogram is a handful of
+/// scalars.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    /// Dense regular bucket counts (empty until first regular sample).
+    counts: Vec<u64>,
+    /// Samples with `v <= 0` or `v` NaN.
+    zero: u64,
+    /// Samples in `(0, 2^-64)`.
+    under: u64,
+    /// Samples in `[2^64, +inf]`.
+    over: u64,
+    /// Total samples observed (sum of all buckets).
+    total: u64,
+    /// Exact minimum observed (`0.0` placeholder while empty).
+    min: f64,
+    /// Exact maximum observed (`0.0` placeholder while empty).
+    max: f64,
+}
+
+/// Equality is semantic, not structural: an unallocated bucket array
+/// equals an allocated all-zero one, and extremes compare bit-for-bit.
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Self) -> bool {
+        let n = self.counts.len().max(other.counts.len());
+        self.zero == other.zero
+            && self.under == other.under
+            && self.over == other.over
+            && self.total == other.total
+            && self.min.to_bits() == other.min.to_bits()
+            && self.max.to_bits() == other.max.to_bits()
+            && (0..n).all(|i| {
+                self.counts.get(i).copied().unwrap_or(0)
+                    == other.counts.get(i).copied().unwrap_or(0)
+            })
+    }
+}
+
+/// Bucket index of a positive normal value within `[2^-64, 2^64)`.
+#[inline]
+fn bucket_of(v: f64) -> usize {
+    let bits = v.to_bits();
+    // Top SUB_BITS mantissa bits + exponent, re-based to EXP_LO.
+    let idx = (bits >> (52 - SUB_BITS)) - (EXP_LO << SUB_BITS);
+    idx as usize
+}
+
+/// Upper bound of regular bucket `idx` (exclusive), computed by integer
+/// arithmetic on the bit pattern — the carry out of the sub-bucket field
+/// rolls into the exponent exactly when the bucket is the last of its
+/// octave.
+#[inline]
+fn bucket_upper(idx: usize) -> f64 {
+    f64::from_bits((idx as u64 + (EXP_LO << SUB_BITS) + 1) << (52 - SUB_BITS))
+}
+
+impl Histogram {
+    /// An empty histogram (no allocation until the first sample).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&mut self, v: f64) {
+        self.total += 1;
+        if v <= 0.0 || v.is_nan() {
+            // Covers 0, negatives and NaN: deterministic and counted.
+            // NaN and -0.0 normalize to +0.0 so min/max folding stays
+            // exactly commutative (IEEE min/max of signed zeros is not).
+            self.zero += 1;
+            let v = if v.is_nan() || v == 0.0 { 0.0 } else { v };
+            self.fold_extremes(v);
+            return;
+        }
+        self.fold_extremes(v);
+        let bits = v.to_bits();
+        if bits < (EXP_LO << 52) {
+            self.under += 1;
+        } else if bits >= (EXP_HI << 52) {
+            self.over += 1;
+        } else {
+            if self.counts.is_empty() {
+                self.counts.resize(BUCKETS, 0);
+            }
+            self.counts[bucket_of(v)] += 1;
+        }
+    }
+
+    #[inline]
+    fn fold_extremes(&mut self, v: f64) {
+        if self.total == 1 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+    }
+
+    /// Merges another histogram into this one. Exact: integer bucket
+    /// addition plus min/max folding, so merging is associative and
+    /// commutative bit-for-bit.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.total == 0 {
+            return;
+        }
+        if self.total == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.zero += other.zero;
+        self.under += other.under;
+        self.over += other.over;
+        self.total += other.total;
+        if !other.counts.is_empty() {
+            if self.counts.is_empty() {
+                self.counts.resize(BUCKETS, 0);
+            }
+            for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+                *a += *b;
+            }
+        }
+    }
+
+    /// Clears all samples in place, retaining the bucket allocation (for
+    /// probe reuse across runs). Equality is semantic — a cleared
+    /// histogram equals a fresh one — so reuse is unobservable.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.zero = 0;
+        self.under = 0;
+        self.over = 0;
+        self.total = 0;
+        self.min = 0.0;
+        self.max = 0.0;
+    }
+
+    /// Number of samples observed.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True if no samples were observed.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact minimum observed sample (0.0 if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Exact maximum observed sample (0.0 if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`): the upper bound of the bucket
+    /// containing rank `ceil(q·count)`, clamped to the exact max — so
+    /// `quantile(1.0) == max()`, `quantile(0.0)` is the smallest bucket
+    /// bound ≥ the minimum, and the function is monotone in `q`.
+    /// Returns 0.0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut cum = self.zero;
+        if cum >= target {
+            return 0.0;
+        }
+        cum += self.under;
+        if cum >= target {
+            // Upper bound of the underflow bucket.
+            return f64::from_bits(EXP_LO << 52).min(self.max);
+        }
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_upper(idx).min(self.max);
+            }
+        }
+        // Rank falls in the overflow bucket.
+        self.max
+    }
+
+    /// Sparse export as parallel `(bucket index, count)` arrays, the
+    /// serialization format used by the sweep store. Regular buckets use
+    /// their index directly; the three boundary buckets get the reserved
+    /// indices [`BUCKETS`] (zero), `BUCKETS + 1` (under), `BUCKETS + 2`
+    /// (over).
+    pub fn to_sparse(&self) -> (Vec<u32>, Vec<u64>) {
+        let mut idx = Vec::new();
+        let mut cnt = Vec::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                idx.push(i as u32);
+                cnt.push(c);
+            }
+        }
+        for (off, c) in [self.zero, self.under, self.over].into_iter().enumerate() {
+            if c > 0 {
+                idx.push((BUCKETS + off) as u32);
+                cnt.push(c);
+            }
+        }
+        (idx, cnt)
+    }
+
+    /// Rebuilds a histogram from [`to_sparse`](Self::to_sparse) output
+    /// plus the exact extremes. Unknown indices are ignored (forward
+    /// compatibility); `min`/`max` are trusted as-is.
+    pub fn from_sparse(idx: &[u32], cnt: &[u64], min: f64, max: f64) -> Self {
+        let mut h = Histogram::new();
+        for (&i, &c) in idx.iter().zip(cnt) {
+            let i = i as usize;
+            if i < BUCKETS {
+                if h.counts.is_empty() {
+                    h.counts.resize(BUCKETS, 0);
+                }
+                h.counts[i] += c;
+            } else if i == BUCKETS {
+                h.zero += c;
+            } else if i == BUCKETS + 1 {
+                h.under += c;
+            } else if i == BUCKETS + 2 {
+                h.over += c;
+            }
+            h.total += c;
+        }
+        if h.total > 0 {
+            h.min = min;
+            h.max = max;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_every_observation_once() {
+        let mut h = Histogram::new();
+        for v in [0.0, -1.0, f64::NAN, 1e-300, 1e300, 0.5, 3.7, f64::INFINITY] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 8);
+        let (idx, cnt) = h.to_sparse();
+        assert_eq!(cnt.iter().sum::<u64>(), 8);
+        assert_eq!(idx.len(), cnt.len());
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_samples() {
+        for v in [1e-12, 0.03, 1.0, 1.5, 7.25, 1234.5, 9.9e12] {
+            let idx = bucket_of(v);
+            let hi = bucket_upper(idx);
+            let lo = if idx == 0 {
+                f64::from_bits(EXP_LO << 52)
+            } else {
+                bucket_upper(idx - 1)
+            };
+            assert!(lo <= v && v < hi, "{v} not in [{lo}, {hi})");
+            // Bucket width is at most 2^(1/32)-ish of the value.
+            assert!(hi / lo < 1.0 + 2.0 / SUB_BUCKETS as f64);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_pinned_at_extremes() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.observe(i as f64 / 10.0);
+        }
+        assert_eq!(h.quantile(1.0), 100.0);
+        assert_eq!(h.max(), 100.0);
+        assert_eq!(h.min(), 0.1);
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let q = h.quantile(i as f64 / 100.0);
+            assert!(q >= prev, "quantile not monotone at {i}%");
+            prev = q;
+        }
+        // p50 is within one bucket of the true median (50.05).
+        let p50 = h.quantile(0.5);
+        assert!((p50 / 50.05 - 1.0).abs() < 0.05, "p50 = {p50}");
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for i in 0..500 {
+            let v = (i as f64 * 0.77).exp() % 1e9;
+            if i % 2 == 0 {
+                a.observe(v);
+            } else {
+                b.observe(v);
+            }
+            all.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn sparse_roundtrip_is_exact() {
+        let mut h = Histogram::new();
+        for v in [0.0, 0.5, 0.5, 42.0, 1e300, 1e-300] {
+            h.observe(v);
+        }
+        let (idx, cnt) = h.to_sparse();
+        let back = Histogram::from_sparse(&idx, &cnt, h.min(), h.max());
+        assert_eq!(back, h);
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(back.quantile(q).to_bits(), h.quantile(q).to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.count(), 0);
+        let mut other = Histogram::new();
+        other.observe(2.0);
+        let snapshot = other.clone();
+        other.merge(&h);
+        assert_eq!(other, snapshot);
+    }
+}

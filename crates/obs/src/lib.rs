@@ -11,6 +11,15 @@
 //!   unchanged, instruction for instruction.
 //! - [`RunCounters`] — a probe tallying engine events per kind (elided
 //!   callbacks, view recomputes, estimator updates, failures, …).
+//! - [`Histogram`] — deterministic log-bucketed mergeable histograms: the
+//!   only statistic the sweep lets cross a nondeterministic merge
+//!   boundary, because merging is exactly associative and commutative.
+//! - [`MetricsProbe`] / [`RunMetrics`] — distributional run telemetry:
+//!   per-task flow/wait/transfer/compute histograms, per-slave
+//!   busy/blocked/idle seconds, time-weighted master queue depth.
+//! - [`DigestProbe`] — folds every engine decision into a running FNV-1a
+//!   digest (optionally with a per-event ledger) so two runs can be
+//!   compared event-by-event; powers `ms-lab diff`.
 //! - [`TraceRecorder`] — a probe capturing per-slave send/compute/downtime
 //!   spans, exportable as a Chrome trace.
 //! - [`ChromeTrace`] — the Chrome Trace Event Format (Perfetto-loadable)
@@ -32,7 +41,10 @@
 
 pub mod chrome;
 pub mod counters;
+pub mod digest;
+pub mod hist;
 pub mod metrics;
+pub mod metrics_probe;
 pub mod phase;
 pub mod probe;
 pub mod progress;
@@ -40,7 +52,10 @@ pub mod recorder;
 
 pub use chrome::ChromeTrace;
 pub use counters::RunCounters;
+pub use digest::{DigestEvent, DigestProbe};
+pub use hist::Histogram;
 pub use metrics::{BatchSpan, StoreStats, SweepMetrics, WorkerMetrics};
+pub use metrics_probe::{MetricsProbe, RunHistograms, RunMetrics};
 pub use phase::PhaseProfile;
 pub use probe::{NoopProbe, Probe};
 pub use progress::Progress;

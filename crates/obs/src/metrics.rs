@@ -2,6 +2,7 @@
 
 use crate::chrome::ChromeTrace;
 use crate::counters::RunCounters;
+use crate::metrics_probe::RunHistograms;
 
 /// One batch executed by a sweep worker, as an interval in seconds from the
 /// sweep's shared epoch. Feeds the per-worker tracks of the sweep trace.
@@ -37,6 +38,13 @@ pub struct WorkerMetrics {
     /// Engine event counters accumulated across this worker's cells
     /// (populated only when the sweep runs with counting probes).
     pub counters: RunCounters,
+    /// Per-task duration histograms merged across this worker's cells
+    /// (populated only when the sweep collects run metrics). Histograms
+    /// are the *only* statistic allowed to cross the worker-merge
+    /// boundary: workers finish in nondeterministic order, and histogram
+    /// merging is the one operation that is exact regardless (contract
+    /// #12) — per-cell `f64` telemetry merges lab-side in cell order.
+    pub hists: RunHistograms,
 }
 
 impl WorkerMetrics {
@@ -100,6 +108,9 @@ pub struct SweepMetrics {
     pub store: StoreStats,
     /// Merged engine counters (populated only under counting probes).
     pub counters: RunCounters,
+    /// Merged per-task duration histograms (populated only when the sweep
+    /// collects run metrics); exact for any worker count and merge order.
+    pub hists: RunHistograms,
     /// The per-worker breakdown, in worker order.
     pub workers: Vec<WorkerMetrics>,
 }
@@ -114,6 +125,7 @@ impl SweepMetrics {
         self.materialize_secs += w.materialize_secs;
         self.simulate_secs += w.simulate_secs;
         self.counters.merge(&w.counters);
+        self.hists.merge(&w.hists);
         self.workers.push(w);
     }
 

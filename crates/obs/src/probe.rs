@@ -39,6 +39,12 @@
 /// ```
 #[allow(unused_variables)]
 pub trait Probe {
+    /// `task` was released: its arrival event dispatched and the task
+    /// entered the master's pending queue. Fires for initial releases and
+    /// never for failure re-releases (those fire [`task_lost`]).
+    ///
+    /// [`task_lost`]: Probe::task_lost
+    fn task_released(&mut self, now: f64, task: usize) {}
     /// A send of `task` towards `slave` started occupying the port.
     fn send_start(&mut self, now: f64, task: usize, slave: usize) {}
     /// The send of `task` to `slave` released the port. `delivered` is
@@ -72,6 +78,20 @@ pub trait Probe {
     /// The run aborted: the step budget of `max_steps` was exhausted after
     /// `steps` charged steps.
     fn budget_abort(&mut self, now: f64, steps: u64) {}
+    /// The scheduler answered a (non-elided) callback. The decision is
+    /// flattened into the dependency-free encoding `(tag, a, b)`:
+    ///
+    /// | decision    | `tag` | `a`    | `b`              |
+    /// |-------------|-------|--------|------------------|
+    /// | `Idle`      | 0     | 0      | 0                |
+    /// | `Send`      | 1     | task   | slave            |
+    /// | `WakeAt(t)` | 2     | 0      | `t.to_bits()`    |
+    ///
+    /// Fires identically in debug and release builds: the engine's
+    /// `debug_assertions` elision oracle does **not** report its shadow
+    /// answers here, so decision streams (and digests of them) are
+    /// build-invariant.
+    fn decision(&mut self, now: f64, tag: u8, a: usize, b: u64) {}
 }
 
 /// The default probe: observes nothing, compiles to nothing.
@@ -86,6 +106,10 @@ impl Probe for NoopProbe {}
 /// Probes compose: `(A, B)` forwards every hook to both members, so e.g. a
 /// counter and a trace recorder can observe one run together.
 impl<A: Probe, B: Probe> Probe for (A, B) {
+    fn task_released(&mut self, now: f64, task: usize) {
+        self.0.task_released(now, task);
+        self.1.task_released(now, task);
+    }
     fn send_start(&mut self, now: f64, task: usize, slave: usize) {
         self.0.send_start(now, task, slave);
         self.1.send_start(now, task, slave);
@@ -134,11 +158,18 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
         self.0.budget_abort(now, steps);
         self.1.budget_abort(now, steps);
     }
+    fn decision(&mut self, now: f64, tag: u8, a: usize, b: u64) {
+        self.0.decision(now, tag, a, b);
+        self.1.decision(now, tag, a, b);
+    }
 }
 
 /// A mutable reference is itself a probe (forwards to the referent), so a
 /// caller can keep ownership while handing the engine `&mut probe`.
 impl<P: Probe> Probe for &mut P {
+    fn task_released(&mut self, now: f64, task: usize) {
+        (**self).task_released(now, task);
+    }
     fn send_start(&mut self, now: f64, task: usize, slave: usize) {
         (**self).send_start(now, task, slave);
     }
@@ -175,6 +206,9 @@ impl<P: Probe> Probe for &mut P {
     fn budget_abort(&mut self, now: f64, steps: u64) {
         (**self).budget_abort(now, steps);
     }
+    fn decision(&mut self, now: f64, tag: u8, a: usize, b: u64) {
+        (**self).decision(now, tag, a, b);
+    }
 }
 
 #[cfg(test)]
@@ -195,6 +229,7 @@ mod tests {
     #[test]
     fn noop_probe_accepts_every_hook() {
         let mut p = NoopProbe;
+        p.task_released(0.0, 0);
         p.send_start(0.0, 0, 0);
         p.send_complete(1.0, 0, 0, true);
         p.compute_start(1.0, 0, 0);
@@ -207,6 +242,7 @@ mod tests {
         p.slave_recovered(4.0, 0);
         p.task_lost(3.0, 0, 0);
         p.budget_abort(5.0, 100);
+        p.decision(5.0, 1, 0, 0);
     }
 
     #[test]

@@ -23,9 +23,18 @@ pub struct Progress {
     done: AtomicUsize,
     /// Milliseconds from `start` of the last repaint.
     last_paint_ms: AtomicU64,
+    /// `done` as of the last repaint (for the instantaneous rate).
+    last_paint_done: AtomicUsize,
+    /// Smoothed cells/sec as `f64` bits; 0 = no estimate yet.
+    ewma_bits: AtomicU64,
     start: Instant,
     active: bool,
 }
+
+/// Per-repaint EWMA smoothing factor for the cells/sec estimate: heavy
+/// enough to damp scheduling noise between 100 ms frames, light enough to
+/// follow a genuine slowdown within a second or two.
+const EWMA_ALPHA: f64 = 0.2;
 
 fn in_ci() -> bool {
     // Set by GitHub Actions, GitLab, Buildkite, Travis, and most others.
@@ -40,6 +49,8 @@ impl Progress {
             total,
             done: AtomicUsize::new(0),
             last_paint_ms: AtomicU64::new(0),
+            last_paint_done: AtomicUsize::new(0),
+            ewma_bits: AtomicU64::new(0),
             start: Instant::now(),
             active: enabled && std::io::stderr().is_terminal() && !in_ci(),
         }
@@ -74,12 +85,29 @@ impl Progress {
         {
             return;
         }
-        self.paint(done, now_ms);
+        self.paint(done, last, now_ms);
     }
 
-    fn paint(&self, done: usize, now_ms: u64) {
-        let secs = (now_ms as f64 / 1000.0).max(1e-3);
-        let rate = done as f64 / secs;
+    /// Updates the EWMA throughput estimate from the interval since the
+    /// previous frame and returns the smoothed cells/sec. Only the CAS
+    /// winner in [`tick`](Self::tick) calls this, so the frame-to-frame
+    /// state (`last_paint_done`, `ewma_bits`) is single-writer.
+    fn update_rate(&self, done: usize, last_ms: u64, now_ms: u64) -> f64 {
+        let prev_done = self.last_paint_done.swap(done, Ordering::Relaxed);
+        let dt = (now_ms.saturating_sub(last_ms) as f64 / 1000.0).max(1e-3);
+        let inst = (done.saturating_sub(prev_done)) as f64 / dt;
+        let prev = f64::from_bits(self.ewma_bits.load(Ordering::Relaxed));
+        let ewma = if prev > 0.0 {
+            EWMA_ALPHA * inst + (1.0 - EWMA_ALPHA) * prev
+        } else {
+            inst
+        };
+        self.ewma_bits.store(ewma.to_bits(), Ordering::Relaxed);
+        ewma
+    }
+
+    fn paint(&self, done: usize, last_ms: u64, now_ms: u64) {
+        let rate = self.update_rate(done, last_ms, now_ms);
         let eta = if rate > 0.0 && done < self.total {
             (self.total - done) as f64 / rate
         } else {
@@ -94,7 +122,13 @@ impl Progress {
         let _ = err.flush();
     }
 
-    /// Clears the line (call once when the sweep finishes).
+    /// The current smoothed cells/sec estimate (0.0 before any repaint).
+    pub fn rate(&self) -> f64 {
+        f64::from_bits(self.ewma_bits.load(Ordering::Relaxed))
+    }
+
+    /// Clears the line. Idempotent; also runs on drop, so the line is
+    /// guaranteed gone before any summary printed after the sweep returns.
     pub fn finish(&self) {
         if !self.active {
             return;
@@ -102,6 +136,14 @@ impl Progress {
         let mut err = std::io::stderr().lock();
         let _ = write!(err, "\r\x1b[2K");
         let _ = err.flush();
+    }
+}
+
+/// Dropping the progress line clears it: callers that forget (or skip on
+/// an early error return) cannot leave a stale line above their output.
+impl Drop for Progress {
+    fn drop(&mut self) {
+        self.finish();
     }
 }
 
@@ -129,5 +171,19 @@ mod tests {
     fn disabled_progress_is_inactive() {
         // enabled=false must hold regardless of the TTY/CI environment.
         assert!(!Progress::new(10, false).is_active());
+    }
+
+    #[test]
+    fn ewma_smooths_frame_rates() {
+        let p = Progress::new(1000, false);
+        // Frame 1: 100 cells in 1 s → 100 cells/s seeds the EWMA.
+        assert_eq!(p.update_rate(100, 0, 1000), 100.0);
+        // Frame 2: 300 more in 1 s → inst 300, smoothed toward it.
+        let r = p.update_rate(400, 1000, 2000);
+        assert!((r - (0.2 * 300.0 + 0.8 * 100.0)).abs() < 1e-9, "{r}");
+        assert_eq!(p.rate(), r);
+        // A stalled frame pulls the estimate down instead of freezing it.
+        let stalled = p.update_rate(400, 2000, 3000);
+        assert!(stalled < r);
     }
 }

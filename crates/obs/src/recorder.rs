@@ -78,9 +78,20 @@ pub struct TraceRecorder {
     pub spans: Vec<Span>,
     /// Instant markers, in order.
     pub markers: Vec<Marker>,
+    /// `(instant, depth)` samples of the master's pending-queue depth:
+    /// one sample per change (release, send start, failure re-release).
+    /// Rendered as a `"ph":"C"` counter track by [`to_chrome`].
+    ///
+    /// [`to_chrome`]: TraceRecorder::to_chrome
+    pub queue_samples: Vec<(f64, u64)>,
+    /// `(instant, count)` samples of in-flight sends (0 or 1 — the master
+    /// has one port; the track makes port occupancy legible at a glance).
+    pub inflight_samples: Vec<(f64, u64)>,
     open_send: Vec<OpenSlot>,
     open_compute: Vec<OpenSlot>,
     down_since: Vec<OpenSlot>,
+    queue_depth: u64,
+    inflight: u64,
     end: f64,
 }
 
@@ -108,6 +119,14 @@ impl TraceRecorder {
     /// Number of slaves that appeared in any hook.
     pub fn num_slaves(&self) -> usize {
         self.open_send.len()
+    }
+
+    fn sample_queue(&mut self, now: f64) {
+        self.queue_samples.push((now, self.queue_depth));
+    }
+
+    fn sample_inflight(&mut self, now: f64) {
+        self.inflight_samples.push((now, self.inflight));
     }
 
     /// Latest instant observed by any hook (a lower bound on the makespan).
@@ -159,9 +178,10 @@ impl TraceRecorder {
 
     /// Exports the run as a Chrome trace: per slave `j`, track `3j` holds
     /// send spans, `3j+1` compute spans, and `3j+2` downtime spans with the
-    /// failure/recovery/loss markers. `seconds_per_us` scales simulation
-    /// seconds to trace microseconds; `1e6` renders one simulated second as
-    /// one viewer second.
+    /// failure/recovery/loss markers; two process-wide `"ph":"C"` counter
+    /// tracks chart the master queue depth and in-flight sends.
+    /// `seconds_per_us` scales simulation seconds to trace microseconds;
+    /// `1e6` renders one simulated second as one viewer second.
     pub fn to_chrome(&self, process: &str, us_per_sec: f64) -> ChromeTrace {
         let mut t = ChromeTrace::new();
         let pid = 1;
@@ -211,14 +231,37 @@ impl TraceRecorder {
             };
             t.instant(pid, tid, &name, "platform", m.at * us_per_sec);
         }
+        for &(at, depth) in &self.queue_samples {
+            t.counter(
+                pid,
+                "master queue depth",
+                "depth",
+                at * us_per_sec,
+                depth as f64,
+            );
+        }
+        for &(at, n) in &self.inflight_samples {
+            t.counter(pid, "in-flight sends", "sends", at * us_per_sec, n as f64);
+        }
         t
     }
 }
 
 impl Probe for TraceRecorder {
+    fn task_released(&mut self, now: f64, task: usize) {
+        let _ = task;
+        self.observe(now);
+        self.queue_depth += 1;
+        self.sample_queue(now);
+    }
+
     fn send_start(&mut self, now: f64, task: usize, slave: usize) {
         self.ensure(slave);
         self.observe(now);
+        self.queue_depth = self.queue_depth.saturating_sub(1);
+        self.sample_queue(now);
+        self.inflight += 1;
+        self.sample_inflight(now);
         self.open_send[slave] = OpenSlot {
             task,
             start: now,
@@ -229,6 +272,8 @@ impl Probe for TraceRecorder {
     fn send_complete(&mut self, now: f64, task: usize, slave: usize, delivered: bool) {
         self.ensure(slave);
         self.observe(now);
+        self.inflight = self.inflight.saturating_sub(1);
+        self.sample_inflight(now);
         if self.open_send[slave].open && self.open_send[slave].task == task {
             let s = std::mem::take(&mut self.open_send[slave]);
             self.push_span(SpanKind::Send, task, slave, s.start, now, delivered);
@@ -296,6 +341,9 @@ impl Probe for TraceRecorder {
     fn task_lost(&mut self, now: f64, task: usize, slave: usize) {
         self.ensure(slave);
         self.observe(now);
+        // The lost task re-enters the master's pending queue.
+        self.queue_depth += 1;
+        self.sample_queue(now);
         // A failure kills whatever the lost task was doing on the slave:
         // close its computation (if it was computing) or its in-flight
         // transfer (if the port gamble was aborted) as incomplete.
@@ -370,6 +418,29 @@ mod tests {
             .markers
             .iter()
             .any(|m| m.kind == MarkerKind::TaskLost && m.task == 3));
+    }
+
+    #[test]
+    fn queue_and_inflight_counters_track_hooks() {
+        let mut r = TraceRecorder::new();
+        r.task_released(0.0, 0);
+        r.task_released(0.0, 1);
+        r.send_start(0.5, 0, 1);
+        r.send_complete(1.0, 0, 1, true);
+        r.slave_failed(1.2, 1);
+        r.task_lost(1.2, 0, 1);
+        r.finalize(2.0);
+        // Depth: 1, 2 (releases), 1 (send), 2 (loss re-release).
+        let depths: Vec<u64> = r.queue_samples.iter().map(|&(_, d)| d).collect();
+        assert_eq!(depths, [1, 2, 1, 2]);
+        // In-flight: 1 at send start, 0 at completion.
+        let sends: Vec<u64> = r.inflight_samples.iter().map(|&(_, n)| n).collect();
+        assert_eq!(sends, [1, 0]);
+        let s = r.to_chrome("run", 1e6).render();
+        assert!(s.contains("\"ph\":\"C\""));
+        assert!(s.contains("master queue depth"));
+        assert!(s.contains("in-flight sends"));
+        assert!(s.contains("\"args\":{\"depth\":2}"));
     }
 
     #[test]

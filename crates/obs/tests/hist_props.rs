@@ -1,0 +1,89 @@
+//! Contract #12's algebraic core: histogram merging is exact.
+//!
+//! [`Histogram`] counts are integers, so merging is a commutative,
+//! associative fold — the property that lets worker threads merge their
+//! tallies in *any* order (the sweep executor's collection order is
+//! nondeterministic) and still produce bit-identical aggregates. These
+//! properties exercise the bucket math over many magnitudes, including
+//! the zero/underflow/overflow boundary buckets.
+
+use mss_obs::Histogram;
+use proptest::prelude::*;
+
+/// Samples spanning the bucket range and both boundary buckets: zeros,
+/// subnormal-range underflow, mid-range values, and overflow.
+fn sample() -> impl Strategy<Value = f64> {
+    (0u32..5, 0.0f64..1.0).prop_map(|(kind, x)| match kind {
+        0 => 0.0,
+        1 => 1e-40 * (x + 0.5), // below 2^-64: underflow bucket
+        2 => x * 10.0,          // bulk
+        3 => (x + 0.1) * 1e6,   // large but in range
+        _ => 1e25 * (x + 0.5),  // above 2^64: overflow bucket
+    })
+}
+
+fn hist(vals: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in vals {
+        h.observe(v);
+    }
+    h
+}
+
+fn merged(a: &Histogram, b: &Histogram) -> Histogram {
+    let mut m = a.clone();
+    m.merge(b);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(sample(), 0..40),
+        b in proptest::collection::vec(sample(), 0..40),
+    ) {
+        let (ha, hb) = (hist(&a), hist(&b));
+        prop_assert_eq!(merged(&ha, &hb), merged(&hb, &ha));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(sample(), 0..30),
+        b in proptest::collection::vec(sample(), 0..30),
+        c in proptest::collection::vec(sample(), 0..30),
+    ) {
+        let (ha, hb, hc) = (hist(&a), hist(&b), hist(&c));
+        let left = merged(&merged(&ha, &hb), &hc);
+        let right = merged(&ha, &merged(&hb, &hc));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_equals_pooled_observation(
+        a in proptest::collection::vec(sample(), 0..40),
+        b in proptest::collection::vec(sample(), 0..40),
+    ) {
+        // Merging two separately built histograms is indistinguishable
+        // from observing the concatenated sample into one — the exactness
+        // that makes per-worker tallies equivalent to a global one.
+        let pooled: Vec<f64> = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(merged(&hist(&a), &hist(&b)), hist(&pooled));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracket_the_data(
+        vals in proptest::collection::vec(sample(), 1..60),
+    ) {
+        let h = hist(&vals);
+        let qs = [0.0, 0.25, 0.5, 0.9, 0.99, 1.0];
+        let picked: Vec<f64> = qs.iter().map(|&q| h.quantile(q)).collect();
+        for w in picked.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles not monotone: {picked:?}");
+        }
+        let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(h.quantile(1.0), max, "q(1) is the exact max");
+        prop_assert_eq!(h.count(), vals.len() as u64);
+    }
+}

@@ -689,6 +689,7 @@ impl<'a, P: Probe> Engine<'a, P> {
                 self.ws.phases[t.0] = TaskPhase::Pending;
                 self.ws.pending.push_back(t);
                 self.released_count += 1;
+                self.probe.task_released(now, t.0);
                 Some(SchedulerEvent::Released(t))
             }
             Event::SendComplete(t, j) => {
@@ -1214,6 +1215,19 @@ fn trace_from(ws: &SimWorkspace) -> Trace {
     Trace::new(records)
 }
 
+/// Reports a scheduler's callback answer through the probe seam, in the
+/// dependency-free `(tag, a, b)` encoding documented on
+/// [`Probe::decision`]. Called only for decisions the engine actually
+/// acts on — the `debug_assertions` elision oracle never reports its
+/// shadow answers, keeping decision streams build-invariant.
+fn probe_decision<P: Probe>(probe: &mut P, now: f64, decision: &Decision) {
+    match decision {
+        Decision::Idle => probe.decision(now, 0, 0, 0),
+        Decision::Send { task, slave } => probe.decision(now, 1, task.0, slave.0 as u64),
+        Decision::WakeAt(t) => probe.decision(now, 2, 0, t.as_f64().to_bits()),
+    }
+}
+
 /// Runs the event loop to completion, leaving the run's records in `ws`.
 fn drive<P: Probe>(
     ws: &mut SimWorkspace,
@@ -1250,6 +1264,7 @@ fn drive<P: Probe>(
             engine.refresh_views();
             engine.probe.callback(engine.clock.as_f64());
             let decision = scheduler.on_event(&engine.view(), SchedulerEvent::PortIdle);
+            probe_decision(&mut *engine.probe, engine.clock.as_f64(), &decision);
             match decision {
                 Decision::Send { task, slave } => {
                     engine.execute_send(task, slave)?;
@@ -1318,6 +1333,7 @@ fn drive<P: Probe>(
             engine.refresh_views();
             engine.probe.callback(engine.clock.as_f64());
             let decision = scheduler.on_event(&engine.view(), n);
+            probe_decision(&mut *engine.probe, engine.clock.as_f64(), &decision);
             match decision {
                 Decision::Send { task, slave } => engine.execute_send(task, slave)?,
                 Decision::WakeAt(t) if t > engine.clock => {
@@ -1336,6 +1352,7 @@ fn drive<P: Probe>(
             engine.refresh_views();
             engine.probe.callback(engine.clock.as_f64());
             let decision = scheduler.on_event(&engine.view(), SchedulerEvent::PortIdle);
+            probe_decision(&mut *engine.probe, engine.clock.as_f64(), &decision);
             match decision {
                 Decision::Send { task, slave } => engine.execute_send(task, slave)?,
                 Decision::WakeAt(t) if t > engine.clock => {

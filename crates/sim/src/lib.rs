@@ -87,7 +87,8 @@ pub use gantt::render as render_gantt;
 pub use gantt::render_with_downtime;
 pub use info::{InfoTier, SlaveEstimate};
 pub use mss_obs::{
-    Marker, MarkerKind, NoopProbe, Probe, RunCounters, Span, SpanKind, TraceRecorder,
+    DigestEvent, DigestProbe, Histogram, Marker, MarkerKind, MetricsProbe, NoopProbe, Probe,
+    RunCounters, RunHistograms, RunMetrics, Span, SpanKind, TraceRecorder,
 };
 pub use platform::{Platform, PlatformClass, SlaveId, SlaveSpec};
 pub use scheduler::{Decision, OnlineScheduler, SchedulerEvent};

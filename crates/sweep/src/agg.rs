@@ -13,6 +13,8 @@
 
 use crate::cell::{Cell, CellMetrics};
 use mss_core::Algorithm;
+use mss_obs::metrics_probe::fraction;
+use mss_obs::{Histogram, RunMetrics};
 use std::collections::HashMap;
 
 /// Distribution summary of one metric over a group.
@@ -156,10 +158,121 @@ pub fn aggregate(
         .collect()
 }
 
+/// Quantile summary of one merged telemetry histogram.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HistSummary {
+    /// Samples in the merged histogram.
+    pub count: u64,
+    /// Median (bucket upper bound at rank, clamped to the exact max).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Exact maximum observed.
+    pub max: f64,
+}
+
+impl HistSummary {
+    /// Summarizes a merged histogram.
+    pub fn of(h: &Histogram) -> Self {
+        HistSummary {
+            count: h.count(),
+            p50: h.quantile(0.5),
+            p90: h.quantile(0.9),
+            p99: h.quantile(0.99),
+            max: h.max(),
+        }
+    }
+}
+
+/// One telemetry row: the merged run metrics of a (group, algorithm) pair.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MetricsRow {
+    /// Group label (platform recipe, arrival, perturbation, task count).
+    pub group: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Cells whose payloads were merged into this row.
+    pub cells: usize,
+    /// Completed tasks across those cells.
+    pub tasks: u64,
+    /// Flow-time distribution (release → compute done).
+    pub flow: HistSummary,
+    /// Master-queue wait distribution (release → last send start).
+    pub wait: HistSummary,
+    /// Transfer-time distribution (last send start → delivery).
+    pub transfer: HistSummary,
+    /// Compute-time distribution (compute start → done).
+    pub compute: HistSummary,
+    /// Fraction of total slave-time spent computing, in `[0, 1]`.
+    pub busy_frac: f64,
+    /// Fraction spent not computing while the master port was busy.
+    pub blocked_frac: f64,
+    /// Fraction spent neither computing nor port-blocked.
+    pub idle_frac: f64,
+    /// Fraction of master-port time spent sending (port utilization).
+    pub recv_frac: f64,
+    /// Time-weighted mean master queue depth.
+    pub queue_mean: f64,
+    /// Maximum master queue depth observed in any merged cell.
+    pub queue_max: u64,
+}
+
+/// Aggregates per-cell telemetry payloads (cells run with
+/// `collect_metrics`) into per-(group, algorithm) rows, in first-seen
+/// order. Cells without a payload are skipped. Merging happens in
+/// expansion order, so — together with the integer-count histograms — the
+/// rows are byte-identical for any executing thread count (contract #12).
+pub fn aggregate_metrics(cells: &[Cell], metrics: &[CellMetrics]) -> Vec<MetricsRow> {
+    assert_eq!(cells.len(), metrics.len(), "cells/metrics length mismatch");
+    let mut order: Vec<(String, Algorithm)> = Vec::new();
+    let mut merged: HashMap<(String, Algorithm), (usize, RunMetrics)> = HashMap::new();
+    for (cell, m) in cells.iter().zip(metrics) {
+        let Some(payload) = &m.run_metrics else {
+            continue;
+        };
+        let key = (cell.group_label(), cell.algorithm);
+        let entry = merged.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            (0, RunMetrics::default())
+        });
+        entry.0 += 1;
+        entry.1.merge(&payload.to_run());
+    }
+    order
+        .into_iter()
+        .map(|key| {
+            let (cells_merged, run) = &merged[&key];
+            // `duration` is the summed makespan over merged cells; each
+            // slave is accounted over every full run, so total slave-time
+            // is duration × slaves and port-time is duration × 1.
+            let slave_time = run.duration * run.busy_secs.len() as f64;
+            MetricsRow {
+                group: key.0,
+                algorithm: key.1.name().to_string(),
+                cells: *cells_merged,
+                tasks: run.tasks,
+                flow: HistSummary::of(&run.hists.flow),
+                wait: HistSummary::of(&run.hists.wait),
+                transfer: HistSummary::of(&run.hists.transfer),
+                compute: HistSummary::of(&run.hists.compute),
+                busy_frac: fraction(run.busy_secs.iter().sum(), slave_time),
+                blocked_frac: fraction(run.blocked_secs.iter().sum(), slave_time),
+                idle_frac: fraction(run.idle_secs.iter().sum(), slave_time),
+                recv_frac: fraction(run.recv_secs.iter().sum(), run.duration),
+                queue_mean: run.queue_mean(),
+                queue_max: run.queue_max,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cell::PlatformCell;
+    use crate::run_metrics::CellRunMetrics;
     use mss_core::{InfoTier, PlatformClass};
     use mss_workload::ArrivalProcess;
 
@@ -202,7 +315,60 @@ mod tests {
             sum_flow: makespan * 10.0,
             lb_makespan: 1.0,
             ratio_makespan: makespan,
+            run_metrics: None,
         }
+    }
+
+    fn with_payload(makespan: f64, flows: &[f64]) -> CellMetrics {
+        let mut run = RunMetrics {
+            tasks: flows.len() as u64,
+            duration: makespan,
+            busy_secs: vec![makespan * 0.5, makespan * 0.25],
+            blocked_secs: vec![0.0, makespan * 0.25],
+            idle_secs: vec![makespan * 0.5, makespan * 0.5],
+            recv_secs: vec![makespan * 0.1, makespan * 0.1],
+            queue_depth_secs: makespan,
+            queue_max: 2,
+            ..RunMetrics::default()
+        };
+        for &f in flows {
+            run.hists.flow.observe(f);
+        }
+        CellMetrics {
+            run_metrics: Some(CellRunMetrics::from_run(&run)),
+            ..metrics(makespan)
+        }
+    }
+
+    #[test]
+    fn metrics_rows_merge_payloads_in_order() {
+        let cells = vec![
+            cell(0, Algorithm::Srpt),
+            cell(1, Algorithm::Srpt),
+            cell(2, Algorithm::Srpt), // no payload — skipped
+        ];
+        let ms = vec![
+            with_payload(10.0, &[1.0, 2.0]),
+            with_payload(30.0, &[4.0]),
+            metrics(5.0),
+        ];
+        let rows = aggregate_metrics(&cells, &ms);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.algorithm, "SRPT");
+        assert_eq!(r.cells, 2);
+        assert_eq!(r.tasks, 3);
+        assert_eq!(r.flow.count, 3);
+        assert!(r.flow.p50 <= r.flow.p90 && r.flow.p90 <= r.flow.p99);
+        assert!(r.flow.p99 <= r.flow.max);
+        assert_eq!(r.flow.max, 4.0);
+        // busy = 0.75·Σm over 2 slaves of Σm each.
+        assert!((r.busy_frac - 0.375).abs() < 1e-12);
+        assert!((r.blocked_frac - 0.125).abs() < 1e-12);
+        assert!((r.idle_frac - 0.5).abs() < 1e-12);
+        assert!((r.recv_frac - 0.2).abs() < 1e-12);
+        assert!((r.queue_mean - 1.0).abs() < 1e-12);
+        assert_eq!(r.queue_max, 2);
     }
 
     #[test]

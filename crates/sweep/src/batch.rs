@@ -21,10 +21,11 @@
 //! engine re-initializes its [`SimWorkspace`] per run.
 
 use crate::cell::{Cell, CellError, CellMetrics};
+use crate::run_metrics::CellRunMetrics;
 use mss_core::{
     Algorithm, NoopProbe, OnlineScheduler, Platform, PlatformClass, Redispatch, SimWorkspace,
 };
-use mss_obs::{BatchSpan, WorkerMetrics};
+use mss_obs::{BatchSpan, MetricsProbe, WorkerMetrics};
 use mss_workload::{PlatformSampler, PlatformStream};
 use std::collections::HashMap;
 use std::ops::Range;
@@ -94,6 +95,13 @@ pub struct BatchWorker {
     /// When `false` (the default), cells run with [`NoopProbe`] — the
     /// unchanged zero-cost hot path.
     pub count_events: bool,
+    /// When `true`, cells run with a [`MetricsProbe`] and each `Ok` result
+    /// carries a [`CellRunMetrics`] payload (the `ms-lab metrics` path);
+    /// the run's histograms also merge into `metrics.hists`. Scalar results
+    /// are bit-identical either way (contract #12).
+    pub collect_metrics: bool,
+    /// Reusable telemetry probe (reset per cell when `collect_metrics`).
+    metrics_probe: MetricsProbe,
     /// Shared sweep epoch that batch-span offsets are measured from.
     epoch: Instant,
 }
@@ -119,6 +127,8 @@ impl BatchWorker {
             schedulers: HashMap::new(),
             metrics: WorkerMetrics::new(),
             count_events: false,
+            collect_metrics: false,
+            metrics_probe: MetricsProbe::new(),
             epoch,
         }
     }
@@ -179,6 +189,8 @@ pub fn run_batch(
         schedulers,
         metrics,
         count_events,
+        collect_metrics,
+        metrics_probe,
         epoch,
     } = worker;
     let batch_t0 = Instant::now();
@@ -192,7 +204,22 @@ pub fn run_batch(
     for k in batch {
         let cell = &cells[indices[k]];
         let scheduler = scheduler_for(schedulers, cell);
-        let result = if *count_events {
+        let result = if *collect_metrics {
+            metrics_probe.reset();
+            metrics_probe.preallocate(mat.platform.num_slaves());
+            let mut result = if *count_events {
+                let mut probe = (&mut metrics.counters, &mut *metrics_probe);
+                cell.try_run_probed(&mat, ws, scheduler, &mut probe)
+            } else {
+                cell.try_run_probed(&mat, ws, scheduler, &mut *metrics_probe)
+            };
+            if let Ok(m) = &mut result {
+                let run = metrics_probe.finish(m.makespan);
+                metrics.hists.merge(&run.hists);
+                m.run_metrics = Some(CellRunMetrics::from_run(&run));
+            }
+            result
+        } else if *count_events {
             cell.try_run_probed(&mat, ws, scheduler, &mut metrics.counters)
         } else {
             cell.try_run_probed(&mat, ws, scheduler, &mut NoopProbe)
@@ -281,5 +308,32 @@ mod tests {
         for (c, r) in cells.iter().zip(&out) {
             assert_eq!(r.as_ref().unwrap(), &c.run(), "{}", c.algorithm);
         }
+    }
+
+    #[test]
+    fn collect_metrics_attaches_payload_without_changing_scalars() {
+        let cells: Vec<Cell> = Algorithm::ALL.iter().map(|&a| cell(1, a)).collect();
+        let all: Vec<usize> = (0..cells.len()).collect();
+        let mut worker = BatchWorker::new();
+        worker.collect_metrics = true;
+        let mut out = Vec::new();
+        for b in group_instances(&cells, &all) {
+            run_batch(&cells, &all, b, &mut worker, &mut out);
+        }
+        for (c, r) in cells.iter().zip(&out) {
+            let got = r.as_ref().unwrap();
+            let plain = c.run();
+            // Scalar results are bit-identical to the unprobed run.
+            assert_eq!(got.makespan.to_bits(), plain.makespan.to_bits());
+            assert_eq!(got.max_flow.to_bits(), plain.max_flow.to_bits());
+            let m = got.run_metrics.as_ref().expect("payload attached");
+            assert_eq!(m.tasks, c.tasks as u64, "{}", c.algorithm);
+            assert_eq!(m.flow.total, m.tasks);
+            assert_eq!(m.slave_busy.len(), 3);
+            assert!(m.duration > 0.0);
+        }
+        // The worker-level histogram tally absorbed every completed task.
+        let expected: u64 = cells.iter().map(|c| c.tasks as u64).sum();
+        assert_eq!(worker.metrics.hists.flow.count(), expected);
     }
 }

@@ -10,6 +10,7 @@
 //!   the result-store key, so a re-run of an unchanged cell is a lookup.
 
 use crate::batch::SamplerCache;
+use crate::run_metrics::CellRunMetrics;
 use mss_core::{
     simulate_objectives_with_probe_in, Algorithm, InfoTier, NoopProbe, OnlineScheduler, Platform,
     PlatformClass, Probe, Redispatch, SimConfig, SimError, SimWorkspace, TaskArrival, Timeline,
@@ -318,6 +319,13 @@ pub struct CellMetrics {
     /// `makespan / lb_makespan` — an upper bound on the cell's
     /// competitive-style ratio against the offline optimum.
     pub ratio_makespan: f64,
+    /// Distributional run telemetry (flow/wait/transfer/compute
+    /// histograms, per-slave utilization seconds, queue-depth stats).
+    /// `None` unless the sweep ran with
+    /// [`SweepConfig::collect_metrics`](crate::SweepConfig) — the scalar
+    /// objectives above are bit-identical either way (probes are
+    /// observers only).
+    pub run_metrics: Option<CellRunMetrics>,
 }
 
 impl Cell {
@@ -496,6 +504,7 @@ impl Cell {
             } else {
                 f64::NAN
             },
+            run_metrics: None,
         })
     }
 

@@ -92,6 +92,7 @@ pub mod agg;
 pub mod batch;
 pub mod cell;
 pub mod exec;
+pub mod run_metrics;
 pub mod schema;
 pub mod spec;
 pub mod store;
@@ -99,7 +100,9 @@ pub mod toml_lite;
 
 use std::path::PathBuf;
 
-pub use agg::{aggregate, summarize, AggregateRow, Summary};
+pub use agg::{
+    aggregate, aggregate_metrics, summarize, AggregateRow, HistSummary, MetricsRow, Summary,
+};
 pub use batch::{group_instances, BatchWorker, SamplerCache};
 pub use cell::{
     AbortKind, Cell, CellError, CellMetrics, MaterializedInstance, PerturbCell, PlatformCell,
@@ -107,6 +110,7 @@ pub use cell::{
 };
 pub use exec::{default_threads, parallel_map, parallel_map_collect, parallel_map_with};
 pub use mss_obs::{StoreStats, SweepMetrics, WorkerMetrics};
+pub use run_metrics::{CellRunMetrics, HistogramData};
 pub use spec::{ArrivalAxis, PerturbAxis, PlatformAxis, ScenarioAxis, SpecError, SweepSpec};
 pub use store::{cell_key, ResultStore, CODE_VERSION_SALT};
 
@@ -127,6 +131,12 @@ pub struct SweepConfig {
     /// default `false` keeps the zero-cost uninstrumented hot path;
     /// results are bit-identical either way (probes are observers only).
     pub count_events: bool,
+    /// Run cells with a [`mss_obs::MetricsProbe`] so every `Ok` result
+    /// carries a [`CellRunMetrics`] telemetry payload (the `ms-lab
+    /// metrics` path) and worker histograms merge into
+    /// [`SweepMetrics::hists`]. Cached records without a payload are
+    /// re-run. Scalar results stay bit-identical either way.
+    pub collect_metrics: bool,
 }
 
 impl Default for SweepConfig {
@@ -136,6 +146,7 @@ impl Default for SweepConfig {
             cache_dir: None,
             progress: false,
             count_events: false,
+            collect_metrics: false,
         }
     }
 }
@@ -214,10 +225,16 @@ pub fn try_run_cells(cells: &[Cell], config: &SweepConfig) -> CheckedOutcome {
     // skips their serialization cost entirely.
     let keys: Option<Vec<String>> = store.as_ref().map(|_| cells.iter().map(cell_key).collect());
 
-    // Indices still to run, in expansion order.
+    // Indices still to run, in expansion order. A metrics-collecting sweep
+    // treats cached Ok records without a telemetry payload as missing:
+    // the cell re-runs and its payload-carrying line, appended later in
+    // the shard, wins on the next load.
+    let usable = |r: &Result<CellMetrics, CellError>| {
+        !config.collect_metrics || !matches!(r, Ok(m) if m.run_metrics.is_none())
+    };
     let missing: Vec<usize> = match &keys {
         Some(keys) => (0..cells.len())
-            .filter(|&i| !known.contains_key(&keys[i]))
+            .filter(|&i| !known.get(&keys[i]).is_some_and(&usable))
             .collect(),
         None => (0..cells.len()).collect(),
     };
@@ -235,6 +252,7 @@ pub fn try_run_cells(cells: &[Cell], config: &SweepConfig) -> CheckedOutcome {
         || {
             let mut w = BatchWorker::with_epoch(epoch);
             w.count_events = config.count_events;
+            w.collect_metrics = config.collect_metrics;
             w
         },
         |w, _, b| {

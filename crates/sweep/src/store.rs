@@ -23,7 +23,10 @@ use std::sync::Mutex;
 ///     seeds now hash the tier placeholder into the cell identity).
 /// v5: stored records gained the machine-readable `abort` tag (and aborted
 ///     cells are now stored and skipped on resume, not re-run).
-pub const CODE_VERSION_SALT: &str = "mss-sweep-v5";
+/// v6: `CellMetrics` gained the optional `run_metrics` telemetry payload
+///     (flow/wait/transfer/compute histograms, per-slave utilization,
+///     queue-depth stats).
+pub const CODE_VERSION_SALT: &str = "mss-sweep-v6";
 
 /// FNV-1a, 64-bit — stable across platforms and runs.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -268,6 +271,7 @@ mod tests {
             sum_flow: v,
             lb_makespan: 1.0,
             ratio_makespan: v,
+            run_metrics: None,
         }
     }
 
@@ -327,16 +331,28 @@ mod tests {
         // and torn-line recovery rest on — for both record shapes.
         let dir = temp_dir("format");
         let store = ResultStore::open(&dir).unwrap();
-        let ok_rec = (
-            cell_key(&cell(3)),
-            Ok(CellMetrics {
-                makespan: 12.0625,
-                max_flow: 0.1,
-                sum_flow: 1e-3,
-                lb_makespan: 7.25,
-                ratio_makespan: 12.0625 / 7.25,
-            }),
-        );
+        let mut with_payload = metrics(12.0625);
+        with_payload.max_flow = 0.1;
+        with_payload.sum_flow = 1e-3;
+        with_payload.lb_makespan = 7.25;
+        with_payload.ratio_makespan = 12.0625 / 7.25;
+        with_payload.run_metrics = Some({
+            let mut h = mss_obs::RunHistograms::default();
+            h.flow.observe(3.5);
+            h.flow.observe(0.25);
+            crate::run_metrics::CellRunMetrics::from_run(&mss_obs::RunMetrics {
+                tasks: 2,
+                duration: 12.0625,
+                hists: h,
+                busy_secs: vec![3.75],
+                blocked_secs: vec![0.5],
+                idle_secs: vec![7.8125],
+                recv_secs: vec![0.5],
+                queue_depth_secs: 1.25,
+                queue_max: 2,
+            })
+        });
+        let ok_rec = (cell_key(&cell(3)), Ok(with_payload));
         let err_rec = (
             cell_key(&cell(5)),
             Err(CellError {
@@ -358,6 +374,35 @@ mod tests {
                 "shard bytes {body:?} missing derived line {expected:?}"
             );
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_metrics_payload_round_trips_through_load() {
+        let dir = temp_dir("payload");
+        let store = ResultStore::open(&dir).unwrap();
+        let mut m = metrics(9.5);
+        m.run_metrics = Some({
+            let mut h = mss_obs::RunHistograms::default();
+            h.flow.observe(1.5);
+            h.wait.observe(0.0);
+            crate::run_metrics::CellRunMetrics::from_run(&mss_obs::RunMetrics {
+                tasks: 1,
+                duration: 9.5,
+                hists: h,
+                busy_secs: vec![4.0, 2.0],
+                blocked_secs: vec![1.0, 3.0],
+                idle_secs: vec![4.5, 4.5],
+                recv_secs: vec![0.5, 0.25],
+                queue_depth_secs: 2.0,
+                queue_max: 1,
+            })
+        });
+        let records = vec![(cell_key(&cell(0)), Ok(m.clone()))];
+        store.append(&records).unwrap();
+        let loaded = store.load().unwrap();
+        assert_eq!(loaded.dropped, 0);
+        assert_eq!(loaded.results[&records[0].0], Ok(m));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
