@@ -7,7 +7,7 @@
 //! printing transient bench output. CI's `bench-smoke` job runs
 //! `ms-lab bench --quick` and uploads the JSON as an artifact.
 //!
-//! Metrics (schema v3):
+//! Metrics (schema v4):
 //!
 //! * **events/sec** — discrete events through [`mss_core::simulate_in`] on
 //!   the reference workload (5-slave heterogeneous platform, bag of tasks,
@@ -22,6 +22,12 @@
 //!   threads** (`--threads`; captures parallel scaling), and a larger
 //!   multi-algorithm grid (two task counts, eight platform draws) at max
 //!   threads.
+//! * **tasks/sec (streamed)** — the `stream/1M-tasks-100-slaves` entry: a
+//!   million-task uniform stream pulled lazily from a seeded
+//!   [`mss_workload::GeneratedSource`] on a 100-slave platform through the
+//!   bounded-memory engine ([`mss_core::simulate_streamed_objectives_in`]),
+//!   recording throughput plus the live/resident task-slot high-water
+//!   marks the streaming contract (#13) caps at O(slaves + outstanding).
 //! * **allocs_per_event_steady_state** — the engine's zero-allocation
 //!   contract. Not measured here (a global counting allocator would tax
 //!   every run); it is *enforced* at 0 by
@@ -30,10 +36,11 @@
 //!   drifts from the committed BENCH_engine.json).
 
 use mss_core::{
-    bag_of_tasks, simulate_in, simulate_with_probe_in, Algorithm, Platform, RunCounters, SimConfig,
-    SimWorkspace, Timeline,
+    bag_of_tasks, simulate_in, simulate_streamed_objectives_in, simulate_with_probe_in, Algorithm,
+    Platform, RunCounters, SimConfig, SimWorkspace, Timeline,
 };
 use mss_sweep::{run_cells, spec_from_toml, SweepConfig};
+use mss_workload::{ArrivalProcess, GeneratedSource, TaskSource};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -42,7 +49,10 @@ use std::time::Instant;
 /// v3: adds `elided_callback_ratio` (probed reference engine run) and
 /// `batch_reuse_ratio` (instance-major materialization sharing on the
 /// reference grid).
-pub const BENCH_SCHEMA: &str = "mss-bench/v3";
+/// v4: adds the `stream` entry (`stream/1M-tasks-100-slaves`): tasks/sec
+/// through the bounded-memory streamed engine plus its task-slot
+/// high-water marks.
+pub const BENCH_SCHEMA: &str = "mss-bench/v4";
 
 /// Timing of the engine hot loop.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
@@ -78,6 +88,30 @@ pub struct SweepBench {
     pub cells_per_sec: f64,
 }
 
+/// Timing of the bounded-memory streamed engine loop
+/// (`stream/1M-tasks-100-slaves` at full scale).
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct StreamBench {
+    /// Entry name (`stream/<tasks>-tasks-<slaves>-slaves`).
+    pub name: String,
+    /// Tasks pulled through the stream per iteration.
+    pub tasks: usize,
+    /// Slaves on the streaming platform.
+    pub slaves: usize,
+    /// Timed iterations (after one warm-up).
+    pub iters: usize,
+    /// Best iteration wall time, seconds.
+    pub best_secs: f64,
+    /// `tasks / best_secs`.
+    pub tasks_per_sec: f64,
+    /// High-water mark of *live* task slots — the bounded-memory contract
+    /// (#13) caps this at O(slaves + outstanding), independent of `tasks`.
+    pub peak_live_slots: usize,
+    /// High-water mark of *resident* task slots (live plus finalized slots
+    /// the recycler had not yet reclaimed).
+    pub peak_resident_slots: usize,
+}
+
 /// The full `BENCH_engine.json` payload.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct BenchReport {
@@ -94,6 +128,10 @@ pub struct BenchReport {
     pub sweep_max: SweepBench,
     /// Larger multi-algorithm grid at max threads.
     pub sweep_large: SweepBench,
+    /// Bounded-memory streamed engine loop: a million-task instance pulled
+    /// lazily from a seeded [`GeneratedSource`] on a 100-slave platform
+    /// (scaled down under `--quick`).
+    pub stream: StreamBench,
     /// Steady-state heap allocations per engine event — the contract
     /// enforced by `crates/sim/tests/zero_alloc.rs`.
     pub allocs_per_event_steady_state: f64,
@@ -165,6 +203,58 @@ fn engine_bench(quick: bool) -> (EngineBench, f64) {
         },
         counters.elided_callback_ratio(),
     )
+}
+
+fn stream_bench(quick: bool) -> StreamBench {
+    // 100 mildly heterogeneous slaves, compute-bound (cheap links) so the
+    // one-port master never saturates; a 0.7-load uniform stream keeps the
+    // outstanding set small and stationary — the live task-slot peak must
+    // stay O(slaves + outstanding) no matter how many tasks flow through.
+    let slaves = 100;
+    let c: Vec<f64> = (0..slaves).map(|j| 0.01 + 0.0001 * j as f64).collect();
+    let p: Vec<f64> = (0..slaves).map(|j| 2.0 + 0.03 * j as f64).collect();
+    let platform = Platform::from_vectors(&c, &p);
+    let (n, iters, name) = if quick {
+        (50_000, 2, "stream/50k-tasks-100-slaves")
+    } else {
+        (1_000_000, 3, "stream/1M-tasks-100-slaves")
+    };
+    let cfg = SimConfig::with_horizon(n);
+    let mut ws = SimWorkspace::new();
+    let mut source = GeneratedSource::new(
+        ArrivalProcess::UniformStream { load: 0.7 },
+        n,
+        &platform,
+        42,
+    );
+    let mut scheduler = Algorithm::ListScheduling.build();
+    let mut peak_live = 0usize;
+    let mut peak_resident = 0usize;
+    let (best, _) = time_loop(iters, || {
+        source.reset();
+        let stats = simulate_streamed_objectives_in(
+            &mut ws,
+            &platform,
+            &mut source,
+            &cfg,
+            &Timeline::EMPTY,
+            scheduler.as_mut(),
+        )
+        .expect("streamed reference workload simulates");
+        assert_eq!(stats.tasks, n);
+        peak_live = stats.peak_live_slots;
+        peak_resident = stats.peak_resident_slots;
+    });
+    StreamBench {
+        name: name.to_string(),
+        tasks: n,
+        slaves,
+        iters,
+        best_secs: best,
+        tasks_per_sec: n as f64 / best,
+        peak_live_slots: peak_live,
+        peak_resident_slots: peak_resident,
+    }
 }
 
 fn grid_spec(name: &str, tasks: &str, count: usize) -> mss_sweep::SweepSpec {
@@ -242,6 +332,7 @@ pub fn run(quick: bool, threads: usize) -> BenchReport {
     let (sweep, batch_reuse_ratio) = sweep_bench(&reference, iters, 1);
     let (sweep_max, _) = sweep_bench(&reference, iters, threads);
     let (sweep_large, _) = sweep_bench(&large, iters, threads);
+    let stream = stream_bench(quick);
     BenchReport {
         schema: BENCH_SCHEMA.to_string(),
         quick,
@@ -249,6 +340,7 @@ pub fn run(quick: bool, threads: usize) -> BenchReport {
         sweep,
         sweep_max,
         sweep_large,
+        stream,
         allocs_per_event_steady_state: 0.0,
         elided_callback_ratio,
         batch_reuse_ratio,
@@ -267,6 +359,8 @@ impl BenchReport {
         format!(
             "engine: {} tasks x {} slaves, {} events/iter, best {:.3} ms -> {:.0} events/sec\n\
              {}\n{}\n{}\n\
+             {}: {} tasks x {} slaves, best {:.3} s -> {:.0} tasks/sec \
+             (peak slots: {} live / {} resident)\n\
              allocs/event (steady state): {} (enforced by crates/sim/tests/zero_alloc.rs)\n\
              elided callbacks (reference engine run): {:.1}%; batch reuse (reference grid): {:.1}%",
             self.engine.tasks,
@@ -277,6 +371,13 @@ impl BenchReport {
             sweep_line("sweep:      ", &self.sweep),
             sweep_line("sweep(max): ", &self.sweep_max),
             sweep_line("sweep(large):", &self.sweep_large),
+            self.stream.name,
+            self.stream.tasks,
+            self.stream.slaves,
+            self.stream.best_secs,
+            self.stream.tasks_per_sec,
+            self.stream.peak_live_slots,
+            self.stream.peak_resident_slots,
             self.allocs_per_event_steady_state,
             self.elided_callback_ratio * 100.0,
             self.batch_reuse_ratio * 100.0,
@@ -355,6 +456,11 @@ pub fn compare(old: &BenchReport, new: &BenchReport, threshold_pct: f64) -> Benc
             "sweep_large.cells_per_sec",
             old.sweep_large.cells_per_sec,
             new.sweep_large.cells_per_sec,
+        ),
+        (
+            "stream.tasks_per_sec",
+            old.stream.tasks_per_sec,
+            new.stream.tasks_per_sec,
         ),
     ];
     let deltas = pairs
@@ -438,6 +544,17 @@ mod tests {
         assert!(report.engine.events_per_sec > 0.0);
         assert!(report.sweep.cells_per_sec > 0.0);
         assert_eq!(report.allocs_per_event_steady_state, 0.0);
+        // The streamed entry completes the whole instance in bounded
+        // memory: the live-slot peak is O(slaves + outstanding), nowhere
+        // near the task count.
+        assert_eq!(report.stream.tasks, 50_000, "--quick scale");
+        assert!(report.stream.tasks_per_sec > 0.0);
+        assert!(
+            report.stream.peak_live_slots <= 16 * report.stream.slaves + 256,
+            "live task-slot peak {} is not O(slaves + outstanding)",
+            report.stream.peak_live_slots
+        );
+        assert!(report.stream.peak_resident_slots >= report.stream.peak_live_slots);
         // LS is poll-driven: most callbacks on the reference run are
         // elided; and the 7-algorithm grid shares each materialization.
         assert!(report.elided_callback_ratio > 0.0 && report.elided_callback_ratio <= 1.0);
@@ -456,7 +573,7 @@ mod tests {
         assert!(same.caveats.is_empty());
         assert!(same.regressions().is_empty());
         assert!(same.render().contains("no regression"));
-        assert_eq!(same.deltas.len(), 4);
+        assert_eq!(same.deltas.len(), 5);
         assert!(same.deltas.iter().all(|d| d.change_pct == 0.0));
 
         // A 50 % faster "old" engine makes the new one a 33 % regression.

@@ -79,6 +79,7 @@ fn usage() -> ! {
          trace <spec.toml>|bench|all>\n\
          \x20       [--quick] [--seed N] [--tasks N] [--platforms N] [--threads N]\n\
          \x20       sweep only: [--cache-dir DIR] [--no-cache] [--baseline ALG] [--quiet]\n\
+         \x20                   [--streamed] (bounded-memory task streaming; same results)\n\
          \x20       metrics only: [--cache-dir DIR] (--quick = always simulate fresh)\n\
          \x20       diff only: [--cell N] [--dump PATH] [--against LEDGER-OR-BINARY]\n\
          \x20       resilience only: [--scenario FILE]\n\
@@ -131,6 +132,9 @@ fn parse_runtime(args: &[String]) -> SweepConfig {
         progress: !args.iter().any(|a| a == "--quiet"),
         count_events: false,
         collect_metrics: false,
+        // Pull task streams lazily instead of materializing instances;
+        // results and cache contents are bit-identical (contract #13).
+        streamed: args.iter().any(|a| a == "--streamed"),
     }
 }
 

@@ -156,6 +156,11 @@ fn add_secs(into: &mut Vec<f64>, from: &[f64]) {
 /// Sentinel for "timestamp not recorded".
 const UNSET: f64 = f64::NEG_INFINITY;
 
+/// Minimum finalized prefix before the per-task window compacts (matches
+/// the engine's own slot-recycling threshold; keeps compaction amortized
+/// O(1) without shuffling tiny runs).
+const COMPACT_MIN: usize = 64;
+
 /// A probe deriving [`RunMetrics`] from one engine run.
 ///
 /// Reusable across runs via [`reset`](Self::reset) (allocations are
@@ -165,9 +170,22 @@ const UNSET: f64 = f64::NEG_INFINITY;
 pub struct MetricsProbe {
     hists: RunHistograms,
     /// Per-task release / last-send-start / last-compute-start times.
+    /// These are a *window*: slot `i` belongs to task `base + i`, and
+    /// finalized slots are recycled so streamed million-task runs never
+    /// build a full task table (the probe contract does not assume one).
     released: Vec<f64>,
     sent_at: Vec<f64>,
     started_at: Vec<f64>,
+    /// Which window slots are finalized (eligible for recycling). Lost
+    /// tasks stay live — they will be re-released and complete later.
+    done: Vec<bool>,
+    /// Task id of window slot 0.
+    base: usize,
+    /// Cached length of the finalized prefix (amortizes the compaction
+    /// scan).
+    dead_prefix: usize,
+    /// High-water mark of the window length across the run.
+    peak_slots: usize,
     /// Per-slave state and accumulators.
     computing: Vec<bool>,
     busy: Vec<f64>,
@@ -210,6 +228,10 @@ impl MetricsProbe {
         self.released.clear();
         self.sent_at.clear();
         self.started_at.clear();
+        self.done.clear();
+        self.base = 0;
+        self.dead_prefix = 0;
+        self.peak_slots = 0;
         self.computing.clear();
         self.busy.clear();
         self.blocked.clear();
@@ -265,12 +287,48 @@ impl MetricsProbe {
         }
     }
 
+    /// Window slot of task `t` (hooks never reference recycled tasks: only
+    /// finalized slots are recycled, and a finalized task emits no further
+    /// hooks).
+    fn slot(&self, t: usize) -> usize {
+        debug_assert!(t >= self.base, "hook for a recycled task slot");
+        t - self.base
+    }
+
+    /// High-water mark of live per-task window slots across the run — the
+    /// quantity the bounded-memory contract caps at O(slaves +
+    /// outstanding) for streamed runs.
+    pub fn peak_task_slots(&self) -> usize {
+        self.peak_slots
+    }
+
     fn ensure_task(&mut self, t: usize) {
-        if self.released.len() <= t {
-            let n = t + 1;
+        let slot = self.slot(t);
+        if self.released.len() <= slot {
+            let n = slot + 1;
             self.released.resize(n, UNSET);
             self.sent_at.resize(n, UNSET);
             self.started_at.resize(n, UNSET);
+            self.done.resize(n, false);
+            self.peak_slots = self.peak_slots.max(n);
+        }
+    }
+
+    /// Recycles the finalized window prefix once it dominates the live
+    /// tail (same policy as the engine's task-slot window).
+    fn recycle(&mut self) {
+        while self.dead_prefix < self.done.len() && self.done[self.dead_prefix] {
+            self.dead_prefix += 1;
+        }
+        let dead = self.dead_prefix;
+        let live = self.done.len() - dead;
+        if dead >= COMPACT_MIN && dead >= live {
+            self.released.drain(..dead);
+            self.sent_at.drain(..dead);
+            self.started_at.drain(..dead);
+            self.done.drain(..dead);
+            self.base += dead;
+            self.dead_prefix = 0;
         }
     }
 
@@ -295,7 +353,8 @@ impl Probe for MetricsProbe {
     fn task_released(&mut self, now: f64, task: usize) {
         self.advance(now);
         self.ensure_task(task);
-        self.released[task] = now;
+        let slot = self.slot(task);
+        self.released[slot] = now;
         self.bump_depth();
     }
 
@@ -303,7 +362,8 @@ impl Probe for MetricsProbe {
         self.advance(now);
         self.ensure_task(task);
         self.ensure_slave(slave);
-        self.sent_at[task] = now;
+        let slot = self.slot(task);
+        self.sent_at[slot] = now;
         self.port_to = slave;
         self.depth = self.depth.saturating_sub(1);
     }
@@ -313,7 +373,7 @@ impl Probe for MetricsProbe {
         self.port_to = usize::MAX;
         if delivered {
             self.ensure_task(task);
-            let sent = self.sent_at[task];
+            let sent = self.sent_at[self.slot(task)];
             if sent != UNSET {
                 self.hists.transfer.observe(now - sent);
             }
@@ -324,7 +384,8 @@ impl Probe for MetricsProbe {
         self.advance(now);
         self.ensure_task(task);
         self.ensure_slave(slave);
-        self.started_at[task] = now;
+        let slot = self.slot(task);
+        self.started_at[slot] = now;
         self.computing[slave] = true;
     }
 
@@ -333,10 +394,12 @@ impl Probe for MetricsProbe {
         self.ensure_task(task);
         self.ensure_slave(slave);
         self.computing[slave] = false;
+        // Read the slot before finalizing it — recycling may shift it.
+        let slot = self.slot(task);
         let (rel, sent, started) = (
-            self.released[task],
-            self.sent_at[task],
-            self.started_at[task],
+            self.released[slot],
+            self.sent_at[slot],
+            self.started_at[slot],
         );
         if started != UNSET {
             self.hists.compute.observe(now - started);
@@ -348,6 +411,8 @@ impl Probe for MetricsProbe {
             }
         }
         self.tasks += 1;
+        self.done[slot] = true;
+        self.recycle();
     }
 
     fn slave_failed(&mut self, now: f64, slave: usize) {
@@ -467,6 +532,30 @@ mod tests {
         q.compute_start(1.0, 0, 0);
         q.compute_complete(4.0, 0, 0);
         assert_eq!(q.finish(4.0), second);
+    }
+
+    #[test]
+    fn window_recycles_finalized_slots() {
+        let mut p = MetricsProbe::new();
+        p.preallocate(1);
+        for t in 0..1000usize {
+            let t0 = t as f64;
+            p.task_released(t0, t);
+            p.send_start(t0, t, 0);
+            p.send_complete(t0 + 0.1, t, 0, true);
+            p.compute_start(t0 + 0.1, t, 0);
+            p.compute_complete(t0 + 0.5, t, 0);
+        }
+        let m = p.finish(1000.0);
+        assert_eq!(m.tasks, 1000);
+        assert_eq!(m.hists.flow.count(), 1000);
+        // One task in flight at a time: the window must stay near the
+        // compaction threshold, not grow with the task count.
+        assert!(
+            p.peak_task_slots() <= 2 * COMPACT_MIN,
+            "peak {} slots for 1000 sequential tasks",
+            p.peak_task_slots()
+        );
     }
 
     #[test]

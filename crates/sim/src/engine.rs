@@ -54,6 +54,7 @@ use crate::events::{PlatformEventKind, Timeline};
 use crate::info::{InfoTier, SlaveEstimate};
 use crate::platform::{Platform, SlaveId};
 use crate::scheduler::{Decision, OnlineScheduler, SchedulerEvent};
+use crate::source::TaskSource;
 use crate::task::{TaskArrival, TaskId};
 use crate::time::Time;
 use crate::trace::{TaskRecord, Trace};
@@ -344,6 +345,15 @@ pub struct SimWorkspace {
     /// historical order of their heap entries, which carried sequence
     /// numbers `n..n+k`).
     timeline_order: Vec<u32>,
+    /// Streamed-mode arrival window, parallel to `phases`/`releases`/
+    /// `records` (which hold slots `window_start..window_start + len` in
+    /// streamed runs). Unused — and empty — in materialized runs.
+    arrivals: Vec<TaskArrival>,
+    /// First task id resident in the slot window. Always `0` in
+    /// materialized runs and in streamed runs that retain every record
+    /// (trace builds); advanced by slot recycling in bounded-memory
+    /// streamed runs.
+    window_start: usize,
 }
 
 impl SimWorkspace {
@@ -352,16 +362,17 @@ impl SimWorkspace {
         SimWorkspace::default()
     }
 
+    /// Slot index of task `t` in the windowed task arrays. The identity in
+    /// materialized runs (`window_start` is 0 there).
+    #[inline]
+    fn slot(&self, t: TaskId) -> usize {
+        t.0 - self.window_start
+    }
+
     /// Re-initializes every buffer for a run of `tasks` over `platform`,
     /// keeping capacity from previous runs.
     fn reset(&mut self, platform: &Platform, tasks: &[TaskArrival], timeline: &Timeline) {
-        let m = platform.num_slaves();
         let n = tasks.len();
-        self.heap.clear();
-        // Releases and timeline events are streamed from the sorted arrays
-        // below; the live heap only holds runtime events: at most one
-        // compute per slave, one send in flight, and a few wakes.
-        self.heap.reserve(m + 8);
         self.release_order.clear();
         self.release_order.extend(0..n as u32);
         // Stable order by (release, index): indices are distinct, so an
@@ -372,6 +383,38 @@ impl SimWorkspace {
             self.release_order
                 .sort_unstable_by_key(|&i| (tasks[i as usize].release, i));
         }
+        self.phases.clear();
+        self.phases.resize(n, TaskPhase::Unreleased);
+        self.releases.clear();
+        self.releases.resize(n, Time::ZERO);
+        self.records.clear();
+        self.records.resize(n, PartialRecord::default());
+        self.pending.clear();
+        self.pending.reserve(n);
+        self.arrivals.clear();
+        self.reset_common(platform, timeline);
+    }
+
+    /// [`SimWorkspace::reset`] for a streamed run: the task arrays start
+    /// empty and grow (and, in bounded-memory mode, recycle) as the feed
+    /// pulls arrivals.
+    fn reset_streamed(&mut self, platform: &Platform, timeline: &Timeline) {
+        self.release_order.clear();
+        self.phases.clear();
+        self.releases.clear();
+        self.records.clear();
+        self.arrivals.clear();
+        self.reset_common(platform, timeline);
+    }
+
+    /// The feed-independent part of a reset.
+    fn reset_common(&mut self, platform: &Platform, timeline: &Timeline) {
+        let m = platform.num_slaves();
+        self.heap.clear();
+        // Releases and timeline events are streamed from their sorted
+        // sources; the live heap only holds runtime events: at most one
+        // compute per slave, one send in flight, and a few wakes.
+        self.heap.reserve(m + 8);
         self.timeline_order.clear();
         self.timeline_order
             .extend(0..timeline.events().len() as u32);
@@ -380,6 +423,7 @@ impl SimWorkspace {
             self.timeline_order
                 .sort_unstable_by_key(|&i| (tl[i as usize].time, i));
         }
+        self.window_start = 0;
         for s in &mut self.slaves {
             s.reset();
         }
@@ -394,13 +438,6 @@ impl SimWorkspace {
         self.speed_factor.resize(m, 1.0);
         self.cancelled.clear();
         self.pending.clear();
-        self.pending.reserve(n);
-        self.phases.clear();
-        self.phases.resize(n, TaskPhase::Unreleased);
-        self.releases.clear();
-        self.releases.resize(n, Time::ZERO);
-        self.records.clear();
-        self.records.resize(n, PartialRecord::default());
         self.views.clear();
         self.views.resize(
             m,
@@ -420,9 +457,251 @@ impl SimWorkspace {
     }
 }
 
-struct Engine<'a, P: Probe> {
+/// How the engine obtains task arrivals: from a materialized slice (the
+/// historical path) or by pulling a [`TaskSource`] (the streamed path).
+///
+/// The engine is generic over this seam and monomorphizes per feed, so the
+/// slice feed compiles to exactly the pre-streaming engine — same
+/// instructions, same allocation profile, bit-identical results — while
+/// the stream feed adds the windowed slot bookkeeping only streamed runs
+/// pay for.
+trait Feed {
+    /// Re-initializes the workspace for this feed's run.
+    fn prepare(&mut self, ws: &mut SimWorkspace, platform: &Platform, timeline: &Timeline);
+    /// First sequence number available to runtime events, given the
+    /// timeline length `k`.
+    fn seq_base(&self, k: usize) -> u64;
+    /// Release time of the next unreleased task, if any. May pull from the
+    /// underlying source (one-task lookahead).
+    fn peek_release(&mut self, ws: &SimWorkspace) -> Option<Time>;
+    /// Pops the next release — only called right after [`Feed::peek_release`]
+    /// returned `Some` — ensuring the task's slot exists in the window.
+    fn pop_release(&mut self, ws: &mut SimWorkspace) -> TaskId;
+    /// Arrival data of a live (windowed) task.
+    fn arrival(&self, ws: &SimWorkspace, t: TaskId) -> TaskArrival;
+    /// `true` once the run is over: every task released and completed.
+    fn is_complete(&mut self, released: usize, completed: usize) -> bool;
+    /// The `total` a [`SimError::Stalled`] reports. A stall requires the
+    /// release stream to be exhausted, so for every feed this equals the
+    /// full instance size.
+    fn stall_total(&self, released: usize) -> usize;
+    /// Per-iteration housekeeping; the streamed bounded-memory feed
+    /// finalizes completed records and recycles their slots here.
+    fn maintain(&mut self, ws: &mut SimWorkspace);
+}
+
+/// The materialized feed: releases stream from `ws.release_order` over a
+/// task slice, exactly as the pre-streaming engine did.
+struct SliceFeed<'s> {
+    tasks: &'s [TaskArrival],
+    /// Next entry of `ws.release_order` to stream.
+    cursor: usize,
+}
+
+impl Feed for SliceFeed<'_> {
+    fn prepare(&mut self, ws: &mut SimWorkspace, platform: &Platform, timeline: &Timeline) {
+        ws.reset(platform, self.tasks, timeline);
+        self.cursor = 0;
+    }
+
+    fn seq_base(&self, k: usize) -> u64 {
+        // Sequence numbering is unchanged from the heap-resident layout:
+        // release `i` owns seq `i`, timeline event `i` owns seq `n + i`,
+        // and runtime events count on from `n + k` — so the merged stream
+        // replays the exact historical `(time, seq)` event order.
+        (self.tasks.len() + k) as u64
+    }
+
+    fn peek_release(&mut self, ws: &SimWorkspace) -> Option<Time> {
+        ws.release_order
+            .get(self.cursor)
+            .map(|&i| self.tasks[i as usize].release)
+    }
+
+    fn pop_release(&mut self, ws: &mut SimWorkspace) -> TaskId {
+        let i = ws.release_order[self.cursor];
+        self.cursor += 1;
+        TaskId(i as usize)
+    }
+
+    fn arrival(&self, _ws: &SimWorkspace, t: TaskId) -> TaskArrival {
+        self.tasks[t.0]
+    }
+
+    fn is_complete(&mut self, _released: usize, completed: usize) -> bool {
+        completed >= self.tasks.len()
+    }
+
+    fn stall_total(&self, _released: usize) -> usize {
+        self.tasks.len()
+    }
+
+    fn maintain(&mut self, _ws: &mut SimWorkspace) {}
+}
+
+/// Recycle slots only once at least this many lead the window: keeps the
+/// compaction memmove amortized O(1) per task without letting tiny windows
+/// thrash.
+const COMPACT_MIN: usize = 64;
+
+/// The streamed feed: pulls a [`TaskSource`] with one task of lookahead
+/// and materializes task slots into the workspace window on release.
+///
+/// In `recycle` mode it also finalizes completed records in id order —
+/// folding the three objectives with exactly the arithmetic (and fold
+/// order) of [`simulate_objectives_in`] — and compacts the window, so a
+/// run's resident slot count stays proportional to the number of
+/// *in-flight* tasks, not the instance size.
+struct StreamFeed<'s> {
+    source: &'s mut dyn TaskSource,
+    lookahead: Option<TaskArrival>,
+    exhausted: bool,
+    /// Id the next pulled task will get (== tasks released so far).
+    next_id: usize,
+    /// Monotonicity guard: greatest release seen.
+    last_release: Time,
+    /// `false` retains every slot (trace builds); `true` recycles.
+    recycle: bool,
+    /// First task id not yet folded into the objective accumulators.
+    finalize_cursor: usize,
+    makespan: f64,
+    max_flow: f64,
+    sum_flow: f64,
+    peak_live: usize,
+    peak_resident: usize,
+}
+
+impl<'s> StreamFeed<'s> {
+    fn new(source: &'s mut dyn TaskSource, recycle: bool) -> Self {
+        StreamFeed {
+            source,
+            lookahead: None,
+            exhausted: false,
+            next_id: 0,
+            last_release: Time::ZERO,
+            recycle,
+            finalize_cursor: 0,
+            makespan: 0.0,
+            max_flow: 0.0,
+            sum_flow: 0.0,
+            peak_live: 0,
+            peak_resident: 0,
+        }
+    }
+
+    /// Ensures the one-task lookahead holds the next arrival (or that the
+    /// source is known to be exhausted), enforcing the non-decreasing
+    /// release contract.
+    fn fill(&mut self) {
+        if self.lookahead.is_some() || self.exhausted {
+            return;
+        }
+        match self.source.next_task() {
+            Some(arr) => {
+                assert!(
+                    arr.release >= self.last_release,
+                    "TaskSource contract violation: release {} of task {} decreases below \
+                     the previous release {}",
+                    arr.release,
+                    self.next_id,
+                    self.last_release,
+                );
+                self.last_release = arr.release;
+                self.lookahead = Some(arr);
+            }
+            None => self.exhausted = true,
+        }
+    }
+}
+
+impl Feed for StreamFeed<'_> {
+    fn prepare(&mut self, ws: &mut SimWorkspace, platform: &Platform, timeline: &Timeline) {
+        ws.reset_streamed(platform, timeline);
+    }
+
+    fn seq_base(&self, k: usize) -> u64 {
+        // Streamed releases never enter the heap and own no sequence
+        // numbers; only the relative order of runtime seqs (and the
+        // release > timeline > runtime tie priority, which `pop_next`
+        // resolves structurally) is observable, so counting from `k`
+        // replays the materialized event order exactly.
+        k as u64
+    }
+
+    fn peek_release(&mut self, _ws: &SimWorkspace) -> Option<Time> {
+        self.fill();
+        self.lookahead.as_ref().map(|a| a.release)
+    }
+
+    fn pop_release(&mut self, ws: &mut SimWorkspace) -> TaskId {
+        let arr = self.lookahead.take().expect("pop_release after peek");
+        let t = TaskId(self.next_id);
+        self.next_id += 1;
+        ws.arrivals.push(arr);
+        ws.phases.push(TaskPhase::Unreleased);
+        ws.releases.push(Time::ZERO);
+        ws.records.push(PartialRecord::default());
+        self.peak_resident = self.peak_resident.max(ws.records.len());
+        let live = ws.records.len() - (self.finalize_cursor - ws.window_start);
+        self.peak_live = self.peak_live.max(live);
+        t
+    }
+
+    fn arrival(&self, ws: &SimWorkspace, t: TaskId) -> TaskArrival {
+        ws.arrivals[ws.slot(t)]
+    }
+
+    fn is_complete(&mut self, released: usize, completed: usize) -> bool {
+        // Peek so an exhausted (e.g. empty) source terminates the loop —
+        // the streamed analogue of `completed == tasks.len()`.
+        self.fill();
+        self.exhausted && completed >= released
+    }
+
+    fn stall_total(&self, released: usize) -> usize {
+        // A stall implies the stream is exhausted, so every task of the
+        // instance has been released: `released` is the instance size,
+        // matching the materialized `tasks.len()`.
+        released
+    }
+
+    fn maintain(&mut self, ws: &mut SimWorkspace) {
+        if !self.recycle {
+            return;
+        }
+        // Finalize the completed prefix in id order: the same values, in
+        // the same fold order, as the end-of-run objective folds of the
+        // materialized path, so the accumulated objectives are
+        // bit-identical to them.
+        loop {
+            let slot = self.finalize_cursor - ws.window_start;
+            if slot >= ws.records.len() || !ws.records[slot].done {
+                break;
+            }
+            let r = &ws.records[slot];
+            self.makespan = self.makespan.max(r.compute_end);
+            self.max_flow = self.max_flow.max(r.compute_end - r.release);
+            self.sum_flow += r.compute_end - r.release;
+            self.finalize_cursor += 1;
+        }
+        // Recycle finalized slots once they dominate the window: amortized
+        // O(1) per task, allocation-free (`drain` keeps capacity), and the
+        // window length stays within 2× the live count + the threshold.
+        let dead = self.finalize_cursor - ws.window_start;
+        let live = ws.records.len() - dead;
+        if dead >= COMPACT_MIN && dead >= live {
+            ws.arrivals.drain(..dead);
+            ws.phases.drain(..dead);
+            ws.releases.drain(..dead);
+            ws.records.drain(..dead);
+            ws.window_start += dead;
+        }
+    }
+}
+
+struct Engine<'a, P: Probe, F: Feed> {
     platform: &'a Platform,
-    tasks: &'a [TaskArrival],
+    feed: &'a mut F,
     config: &'a SimConfig,
     timeline: &'a Timeline,
     ws: &'a mut SimWorkspace,
@@ -443,30 +722,24 @@ struct Engine<'a, P: Probe> {
     learning: bool,
     /// Bumped on every absorbed observation (stays 0 when not learning).
     estimate_version: u64,
-    /// Next entry of `ws.release_order` to stream.
-    release_cursor: usize,
     /// Next entry of `ws.timeline_order` to stream.
     timeline_cursor: usize,
 }
 
-impl<'a, P: Probe> Engine<'a, P> {
+impl<'a, P: Probe, F: Feed> Engine<'a, P, F> {
     fn new(
         platform: &'a Platform,
-        tasks: &'a [TaskArrival],
+        feed: &'a mut F,
         config: &'a SimConfig,
         timeline: &'a Timeline,
         ws: &'a mut SimWorkspace,
         probe: &'a mut P,
     ) -> Self {
-        ws.reset(platform, tasks, timeline);
-        // Sequence numbering is unchanged from the heap-resident layout:
-        // release `i` owns seq `i`, timeline event `i` owns seq `n + i`, and
-        // runtime events count on from `n + k` — so the merged stream below
-        // replays the exact historical `(time, seq)` event order.
-        let seq = (tasks.len() + timeline.events().len()) as u64;
+        feed.prepare(ws, platform, timeline);
+        let seq = feed.seq_base(timeline.events().len());
         Engine {
             platform,
-            tasks,
+            feed,
             config,
             timeline,
             ws,
@@ -480,7 +753,6 @@ impl<'a, P: Probe> Engine<'a, P> {
             steps: 0,
             learning: config.info != InfoTier::Clairvoyant,
             estimate_version: 0,
-            release_cursor: 0,
             timeline_cursor: 0,
         }
     }
@@ -499,11 +771,7 @@ impl<'a, P: Probe> Engine<'a, P> {
     /// (`n..n+k`), which beat runtime events (`n+k..`); within each source
     /// the stream/heap order is already the seq order.
     fn pop_next(&mut self, at: Option<Time>) -> Option<(Event, u64, bool, Time)> {
-        let release_t = self
-            .ws
-            .release_order
-            .get(self.release_cursor)
-            .map(|&i| self.tasks[i as usize].release);
+        let release_t = self.feed.peek_release(self.ws);
         // Batch-drain fast path: while draining the batch at time `a`, no
         // source can hold anything earlier than `a`, and a release at `a`
         // beats every same-time candidate (it has the smallest seq) — so it
@@ -511,9 +779,8 @@ impl<'a, P: Probe> Engine<'a, P> {
         // a bag-of-tasks release flood a straight cursor walk.
         if let (Some(a), Some(rt)) = (at, release_t) {
             if rt == a {
-                let i = self.ws.release_order[self.release_cursor];
-                self.release_cursor += 1;
-                return Some((Event::Release(TaskId(i as usize)), 0, false, rt));
+                let t = self.feed.pop_release(self.ws);
+                return Some((Event::Release(t), 0, false, rt));
             }
         }
         let timeline_t = self
@@ -528,9 +795,8 @@ impl<'a, P: Probe> Engine<'a, P> {
                 if at.is_some_and(|a| rt != a) {
                     return None;
                 }
-                let i = self.ws.release_order[self.release_cursor];
-                self.release_cursor += 1;
-                return Some((Event::Release(TaskId(i as usize)), 0, false, rt));
+                let t = self.feed.pop_release(self.ws);
+                return Some((Event::Release(t), 0, false, rt));
             }
         }
         if let Some(tt) = timeline_t {
@@ -561,13 +827,14 @@ impl<'a, P: Probe> Engine<'a, P> {
     /// Returns a lost task to the master's pending queue and clears the
     /// partial record of its failed attempt (its release time survives).
     fn lose_task(&mut self, t: TaskId) {
-        let r = &mut self.ws.records[t.0];
+        let slot = self.ws.slot(t);
+        let r = &mut self.ws.records[slot];
         r.send_start = 0.0;
         r.send_end = 0.0;
         r.compute_start = 0.0;
         r.slave = 0;
         r.assigned = false;
-        self.ws.phases[t.0] = TaskPhase::Pending;
+        self.ws.phases[slot] = TaskPhase::Pending;
         self.ws.pending.push_back(t);
     }
 
@@ -674,6 +941,7 @@ impl<'a, P: Probe> Engine<'a, P> {
             estimate_version: self.estimate_version,
             pending,
             releases: &self.ws.releases,
+            release_base: self.ws.window_start,
             horizon: self.config.horizon_hint,
             released_count: self.released_count,
             completed_count: self.completed_count,
@@ -684,9 +952,11 @@ impl<'a, P: Probe> Engine<'a, P> {
         let now = self.clock.as_f64();
         match event {
             Event::Release(t) => {
-                self.ws.releases[t.0] = self.tasks[t.0].release;
-                self.ws.records[t.0].release = self.tasks[t.0].release.as_f64();
-                self.ws.phases[t.0] = TaskPhase::Pending;
+                let release = self.feed.arrival(self.ws, t).release;
+                let slot = self.ws.slot(t);
+                self.ws.releases[slot] = release;
+                self.ws.records[slot].release = release.as_f64();
+                self.ws.phases[slot] = TaskPhase::Pending;
                 self.ws.pending.push_back(t);
                 self.released_count += 1;
                 self.probe.task_released(now, t.0);
@@ -694,12 +964,13 @@ impl<'a, P: Probe> Engine<'a, P> {
             }
             Event::SendComplete(t, j) => {
                 self.in_flight = None;
+                let slot = self.ws.slot(t);
                 self.ws.view_valid_until[j.0] = f64::NEG_INFINITY;
                 if self.learning {
                     // The master owns the port: the transfer's duration is
                     // its own observation (valid even when the destination
                     // turned out to be down — the port was occupied).
-                    let duration = now - self.ws.records[t.0].send_start;
+                    let duration = now - self.ws.records[slot].send_start;
                     self.ws.estimates[j.0].observe_send(duration);
                     self.estimate_version += 1;
                     self.probe.estimator_update(now, j.0);
@@ -718,7 +989,7 @@ impl<'a, P: Probe> Engine<'a, P> {
                     self.probe.send_complete(now, t.0, j.0, false);
                     return Some(SchedulerEvent::SendCompleted(t, j));
                 }
-                self.ws.records[t.0].send_end = now;
+                self.ws.records[slot].send_end = now;
                 // The slave now actually has the task. Sends are serial on
                 // the one port, so the arriving task is the most recent push.
                 match rt.outstanding.back_mut() {
@@ -738,22 +1009,23 @@ impl<'a, P: Probe> Engine<'a, P> {
                 Some(SchedulerEvent::SendCompleted(t, j))
             }
             Event::ComputeComplete(t, j) => {
+                let slot = self.ws.slot(t);
                 if self.learning {
                     // Computes are FIFO, so the master can date the start
                     // of this computation from its own observations (the
                     // later of the task's arrival and the previous
                     // completion) — which is exactly what the engine
                     // recorded in `compute_start`.
-                    let duration = now - self.ws.records[t.0].compute_start;
+                    let duration = now - self.ws.records[slot].compute_start;
                     self.ws.estimates[j.0].observe_compute(duration);
                     self.ws.estimates[j.0].end_compute();
                     self.estimate_version += 1;
                     self.probe.estimator_update(now, j.0);
                 }
                 self.probe.compute_complete(now, t.0, j.0);
-                self.ws.records[t.0].compute_end = now;
-                self.ws.records[t.0].done = true;
-                self.ws.phases[t.0] = TaskPhase::Done;
+                self.ws.records[slot].compute_end = now;
+                self.ws.records[slot].done = true;
+                self.ws.phases[slot] = TaskPhase::Done;
                 self.completed_count += 1;
                 self.ws.view_valid_until[j.0] = f64::NEG_INFINITY;
                 let rt = &mut self.ws.slaves[j.0];
@@ -852,10 +1124,12 @@ impl<'a, P: Probe> Engine<'a, P> {
         // starts; the nominal estimate below is what schedulers see. With
         // a factor of exactly 1.0 the arithmetic is bit-identical to the
         // static engine.
-        let billed_p = self.ws.speed_factor[j.0] * self.tasks[t.0].size_p;
+        let size_p = self.feed.arrival(self.ws, t).size_p;
+        let slot = self.ws.slot(t);
+        let billed_p = self.ws.speed_factor[j.0] * size_p;
         let actual = self.platform.p(j) * billed_p;
-        self.ws.records[t.0].compute_start = now;
-        self.ws.records[t.0].billed_p = billed_p;
+        self.ws.records[slot].compute_start = now;
+        self.ws.records[slot].billed_p = billed_p;
         let seq = self.push(Time::new(now + actual), Event::ComputeComplete(t, j));
         self.ws.view_valid_until[j.0] = f64::NEG_INFINITY;
         if self.learning {
@@ -884,8 +1158,13 @@ impl<'a, P: Probe> Engine<'a, P> {
             });
         }
         // O(1) membership check through the phase slot map (no queue scan);
-        // an out-of-range id is "never released" and takes the same error.
-        if self.ws.phases.get(t.0) != Some(&TaskPhase::Pending) {
+        // an out-of-range id — including a recycled streamed slot, which is
+        // necessarily `Done` — is "never released" and takes the same error.
+        let pending =
+            t.0.checked_sub(self.ws.window_start)
+                .and_then(|s| self.ws.phases.get(s))
+                == Some(&TaskPhase::Pending);
+        if !pending {
             return Err(SimError::InvalidDecision {
                 at: now,
                 reason: format!(
@@ -912,14 +1191,16 @@ impl<'a, P: Probe> Engine<'a, P> {
                 .expect("task in Pending phase is in the pending queue");
             self.ws.pending.remove(pos);
         }
-        self.ws.phases[t.0] = TaskPhase::Assigned;
-        let billed_c = self.ws.link_factor[j.0] * self.tasks[t.0].size_c;
+        let size_c = self.feed.arrival(self.ws, t).size_c;
+        let slot = self.ws.slot(t);
+        self.ws.phases[slot] = TaskPhase::Assigned;
+        let billed_c = self.ws.link_factor[j.0] * size_c;
         let actual_c = self.platform.c(j) * billed_c;
         let nominal_c = self.platform.c(j);
-        self.ws.records[t.0].send_start = now.as_f64();
-        self.ws.records[t.0].billed_c = billed_c;
-        self.ws.records[t.0].slave = j.0;
-        self.ws.records[t.0].assigned = true;
+        self.ws.records[slot].send_start = now.as_f64();
+        self.ws.records[slot].billed_c = billed_c;
+        self.ws.records[slot].slave = j.0;
+        self.ws.records[slot].assigned = true;
         self.link_busy_until = now + actual_c;
         self.ws.view_valid_until[j.0] = f64::NEG_INFINITY;
         self.ws.slaves[j.0].outstanding.push_back(OutTask {
@@ -1191,6 +1472,168 @@ pub fn simulate_objectives_with_probe_in<P: Probe>(
     })
 }
 
+/// Result of a bounded-memory streamed run (see
+/// [`simulate_streamed_objectives_in`]): the objective values plus the
+/// memory telemetry the streaming contract is stated in.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StreamStats {
+    /// The run's objectives — bit-identical to the materialized
+    /// [`simulate_objectives_in`] on the same instance.
+    pub objectives: RunObjectives,
+    /// Tasks pulled from the source (the instance size).
+    pub tasks: usize,
+    /// High-water mark of *live* task slots: released tasks whose record
+    /// had not yet been finalized. This is what the bounded-memory
+    /// contract bounds by O(slaves + outstanding), independent of the
+    /// instance size.
+    pub peak_live_slots: usize,
+    /// High-water mark of *resident* task slots (live + finalized slots
+    /// not yet recycled). Stays within 2× the live peak plus the
+    /// compaction threshold.
+    pub peak_resident_slots: usize,
+}
+
+/// Runs `scheduler` over the tasks pulled from `source` and returns the
+/// full [`Trace`].
+///
+/// Wherever the instance also fits in memory, the result is bit-identical
+/// to materializing the stream into a `Vec` and calling [`simulate`] —
+/// streaming is an evaluation strategy, not a model change. Because a
+/// trace is per-task output, this entry point retains every task record
+/// (memory grows with the instance); use
+/// [`simulate_streamed_objectives_in`] for the bounded-memory mode.
+///
+/// # Panics
+/// Panics if `source` violates the non-decreasing release contract.
+///
+/// # Examples
+/// ```
+/// use mss_sim::{simulate, simulate_streamed, SimConfig, Platform, TaskArrival,
+///               TaskSource, bag_of_tasks};
+/// # use mss_sim::{Decision, OnlineScheduler, SchedulerEvent, SimView, SlaveId};
+/// # struct FirstSlave;
+/// # impl OnlineScheduler for FirstSlave {
+/// #     fn name(&self) -> String { "first".into() }
+/// #     fn on_event(&mut self, view: &SimView<'_>, _e: SchedulerEvent) -> Decision {
+/// #         match (view.link_idle(), view.pending_tasks().first()) {
+/// #             (true, Some(&task)) => Decision::Send { task, slave: SlaveId(0) },
+/// #             _ => Decision::Idle,
+/// #         }
+/// #     }
+/// # }
+/// struct Bag(usize, usize);
+/// impl TaskSource for Bag {
+///     fn next_task(&mut self) -> Option<TaskArrival> {
+///         (self.0 < self.1).then(|| { self.0 += 1; TaskArrival::at(0.0) })
+///     }
+///     fn len_hint(&self) -> Option<usize> { Some(self.1) }
+///     fn reset(&mut self) { self.0 = 0; }
+/// }
+///
+/// let platform = Platform::from_vectors(&[1.0], &[2.0]);
+/// let streamed = simulate_streamed(&platform, &mut Bag(0, 3), &SimConfig::default(),
+///                                  &mut FirstSlave).unwrap();
+/// let materialized = simulate(&platform, &bag_of_tasks(3), &SimConfig::default(),
+///                             &mut FirstSlave).unwrap();
+/// assert_eq!(streamed, materialized);
+/// ```
+pub fn simulate_streamed(
+    platform: &Platform,
+    source: &mut dyn TaskSource,
+    config: &SimConfig,
+    scheduler: &mut dyn OnlineScheduler,
+) -> Result<Trace, SimError> {
+    let mut ws = SimWorkspace::new();
+    simulate_streamed_with_probe_in(
+        &mut ws,
+        platform,
+        source,
+        config,
+        &Timeline::EMPTY,
+        scheduler,
+        &mut NoopProbe,
+    )
+}
+
+/// [`simulate_streamed`] with caller-provided buffers, a dynamic-platform
+/// [`Timeline`], and an instrumentation [`Probe`] (see
+/// [`simulate_with_probe_in`]). Retains every task record to build the
+/// trace; memory grows with the instance.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_streamed_with_probe_in<P: Probe>(
+    ws: &mut SimWorkspace,
+    platform: &Platform,
+    source: &mut dyn TaskSource,
+    config: &SimConfig,
+    timeline: &Timeline,
+    scheduler: &mut dyn OnlineScheduler,
+    probe: &mut P,
+) -> Result<Trace, SimError> {
+    let mut feed = StreamFeed::new(source, false);
+    drive_feed(ws, platform, &mut feed, config, timeline, scheduler, probe)?;
+    Ok(trace_from(ws))
+}
+
+/// The bounded-memory streamed run: pulls tasks from `source`, recycles a
+/// task's slot once its record is finalized, and returns the objectives
+/// plus the slot-window telemetry — without ever holding the instance in
+/// memory. Peak resident memory is O(slaves + outstanding tasks), so a
+/// million-task instance runs in a working set of a few hundred slots.
+///
+/// The objectives are bit-identical to [`simulate_objectives_in`] over
+/// the materialized stream: finalization folds each record in task-id
+/// order with the same float arithmetic.
+pub fn simulate_streamed_objectives_in(
+    ws: &mut SimWorkspace,
+    platform: &Platform,
+    source: &mut dyn TaskSource,
+    config: &SimConfig,
+    timeline: &Timeline,
+    scheduler: &mut dyn OnlineScheduler,
+) -> Result<StreamStats, SimError> {
+    simulate_streamed_objectives_with_probe_in(
+        ws,
+        platform,
+        source,
+        config,
+        timeline,
+        scheduler,
+        &mut NoopProbe,
+    )
+}
+
+/// [`simulate_streamed_objectives_in`] with an instrumentation [`Probe`].
+/// Probe hooks observe the same event stream as the materialized run, so
+/// digest and telemetry probes produce bit-identical output — but hooks
+/// receive task *ids*, not table indices: a probe must not assume it can
+/// index a task table of the instance size (contract #13).
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_streamed_objectives_with_probe_in<P: Probe>(
+    ws: &mut SimWorkspace,
+    platform: &Platform,
+    source: &mut dyn TaskSource,
+    config: &SimConfig,
+    timeline: &Timeline,
+    scheduler: &mut dyn OnlineScheduler,
+    probe: &mut P,
+) -> Result<StreamStats, SimError> {
+    let mut feed = StreamFeed::new(source, true);
+    drive_feed(ws, platform, &mut feed, config, timeline, scheduler, probe)?;
+    // The loop finalizes after every batch, so a completed run has folded
+    // every record already; this is belt-and-braces for the empty run.
+    feed.maintain(ws);
+    Ok(StreamStats {
+        objectives: RunObjectives {
+            makespan: feed.makespan,
+            max_flow: feed.max_flow,
+            sum_flow: feed.sum_flow,
+        },
+        tasks: feed.next_id,
+        peak_live_slots: feed.peak_live,
+        peak_resident_slots: feed.peak_resident,
+    })
+}
+
 /// Builds the [`Trace`] out of a driven workspace.
 fn trace_from(ws: &SimWorkspace) -> Trace {
     let records = ws
@@ -1228,11 +1671,28 @@ fn probe_decision<P: Probe>(probe: &mut P, now: f64, decision: &Decision) {
     }
 }
 
-/// Runs the event loop to completion, leaving the run's records in `ws`.
+/// Runs the event loop to completion over a materialized task slice,
+/// leaving the run's records in `ws`.
 fn drive<P: Probe>(
     ws: &mut SimWorkspace,
     platform: &Platform,
     tasks: &[TaskArrival],
+    config: &SimConfig,
+    timeline: &Timeline,
+    scheduler: &mut dyn OnlineScheduler,
+    probe: &mut P,
+) -> Result<(), SimError> {
+    let mut feed = SliceFeed { tasks, cursor: 0 };
+    drive_feed(ws, platform, &mut feed, config, timeline, scheduler, probe)
+}
+
+/// Runs the event loop to completion over any [`Feed`]. Monomorphized per
+/// feed: with [`SliceFeed`] this is the historical materialized engine,
+/// instruction for instruction.
+fn drive_feed<P: Probe, F: Feed>(
+    ws: &mut SimWorkspace,
+    platform: &Platform,
+    feed: &mut F,
     config: &SimConfig,
     timeline: &Timeline,
     scheduler: &mut dyn OnlineScheduler,
@@ -1246,7 +1706,7 @@ fn drive<P: Probe>(
             required: scheduler.min_tier(),
         });
     }
-    let mut engine = Engine::new(platform, tasks, config, timeline, ws, probe);
+    let mut engine = Engine::new(platform, feed, config, timeline, ws, probe);
     // Poll-driven schedulers promise to answer Idle (with no state change)
     // whenever the port is busy or nothing is pending, so those
     // notification callbacks can be elided without observable effect.
@@ -1255,7 +1715,10 @@ fn drive<P: Probe>(
     engine.refresh_views();
     scheduler.init(&engine.view());
 
-    while engine.completed_count < tasks.len() {
+    while !engine
+        .feed
+        .is_complete(engine.released_count, engine.completed_count)
+    {
         engine.step_budget()?;
 
         let Some((first_event, first_seq, first_from_heap, first_time)) = engine.pop_next(None)
@@ -1278,7 +1741,7 @@ fn drive<P: Probe>(
                     return Err(SimError::Stalled {
                         at: engine.clock,
                         completed: engine.completed_count,
-                        total: tasks.len(),
+                        total: engine.feed.stall_total(engine.released_count),
                     })
                 }
             }
@@ -1362,6 +1825,11 @@ fn drive<P: Probe>(
                 _ => break,
             }
         }
+
+        // Feed housekeeping once per settled batch: the bounded-memory
+        // streamed feed finalizes completed records and recycles their
+        // slots here (a no-op for every other feed).
+        engine.feed.maintain(engine.ws);
     }
 
     Ok(())

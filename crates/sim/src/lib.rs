@@ -71,6 +71,7 @@ mod gantt;
 pub mod info;
 mod platform;
 mod scheduler;
+pub mod source;
 mod stats;
 mod task;
 mod time;
@@ -79,8 +80,9 @@ mod view;
 
 pub use engine::{
     simulate, simulate_in, simulate_objectives_in, simulate_objectives_with_probe_in,
-    simulate_with_events, simulate_with_events_in, simulate_with_probe_in, RunObjectives,
-    SimConfig, SimError, SimWorkspace,
+    simulate_streamed, simulate_streamed_objectives_in, simulate_streamed_objectives_with_probe_in,
+    simulate_streamed_with_probe_in, simulate_with_events, simulate_with_events_in,
+    simulate_with_probe_in, RunObjectives, SimConfig, SimError, SimWorkspace, StreamStats,
 };
 pub use events::{PlatformEvent, PlatformEventKind, Timeline};
 pub use gantt::render as render_gantt;
@@ -92,6 +94,7 @@ pub use mss_obs::{
 };
 pub use platform::{Platform, PlatformClass, SlaveId, SlaveSpec};
 pub use scheduler::{Decision, OnlineScheduler, SchedulerEvent};
+pub use source::TaskSource;
 pub use stats::{trace_stats, SlaveStats, TraceStats};
 pub use task::{bag_of_tasks, released_at, TaskArrival, TaskId};
 pub use time::{Time, TIME_EPS};

@@ -118,6 +118,7 @@ impl ViewState {
             estimate_version: self.estimate_version,
             pending: &self.pending,
             releases: &self.releases,
+            release_base: 0,
             horizon: self.horizon,
             released_count: self.released_count,
             completed_count: self.completed_count,
@@ -156,6 +157,10 @@ pub struct SimView<'a> {
     pub(crate) estimate_version: u64,
     pub(crate) pending: &'a [TaskId],
     pub(crate) releases: &'a [Time],
+    /// First task id `releases` holds a slot for (0 except in
+    /// bounded-memory streamed runs, where finalized slots are recycled
+    /// and the window starts at the oldest live task).
+    pub(crate) release_base: usize,
     pub(crate) horizon: Option<usize>,
     pub(crate) released_count: usize,
     pub(crate) completed_count: usize,
@@ -235,8 +240,12 @@ impl<'a> SimView<'a> {
 
     /// Release time of a task that has already been released (an
     /// observation the master made itself, so it is visible at every tier).
+    ///
+    /// In bounded-memory streamed runs this is defined for *live* tasks —
+    /// pending or in flight; a finalized task's slot may have been
+    /// recycled (panics on a recycled id, like any out-of-range index).
     pub fn release_time(&self, t: TaskId) -> Time {
-        self.releases[t.0]
+        self.releases[t.0 - self.release_base]
     }
 
     /// Observable state of slave `j`. Below [`InfoTier::Clairvoyant`] the

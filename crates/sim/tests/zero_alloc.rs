@@ -11,8 +11,9 @@
 //! thread can allocate concurrently and pollute the counter.
 
 use mss_sim::{
-    bag_of_tasks, simulate_in, simulate_with_probe_in, Decision, NoopProbe, OnlineScheduler,
-    Platform, SchedulerEvent, SimConfig, SimView, SimWorkspace, SlaveId, Timeline, Trace,
+    bag_of_tasks, simulate_in, simulate_streamed_objectives_in, simulate_with_probe_in, Decision,
+    NoopProbe, OnlineScheduler, Platform, SchedulerEvent, SimConfig, SimView, SimWorkspace,
+    SlaveId, TaskArrival, TaskSource, Timeline, Trace,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -64,6 +65,33 @@ impl OnlineScheduler for Greedy {
             }
         }
         Decision::Send { task, slave: best }
+    }
+}
+
+/// Allocation-free uniform arrival stream computed on the fly — no backing
+/// task vector exists anywhere in the process.
+struct UniformSource {
+    n: usize,
+    gap: f64,
+    next: usize,
+}
+
+impl TaskSource for UniformSource {
+    fn next_task(&mut self) -> Option<TaskArrival> {
+        if self.next == self.n {
+            return None;
+        }
+        let t = TaskArrival::at(self.next as f64 * self.gap);
+        self.next += 1;
+        Some(t)
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.n)
+    }
+
+    fn reset(&mut self) {
+        self.next = 0;
     }
 }
 
@@ -119,5 +147,67 @@ fn steady_state_events_allocate_nothing() {
         "expected the probe-disabled hot path to stay allocation-free, \
          counted {during} allocations over {} events",
         3 * n
+    );
+
+    // Bounded-memory streaming contract (#13): a 100k-task streamed run on
+    // the same warm workspace keeps its live task-slot high-water mark at
+    // O(slaves + outstanding) — independent of the instance size — and the
+    // steady-state event loop stays allocation-free. The stream's inter-
+    // arrival gap (1.0) sits below the platform's aggregate service rate
+    // (Σ 1/p ≈ 1.83/s), so the outstanding set stays small.
+    let big = 100_000;
+    let mut source = UniformSource {
+        n: big,
+        gap: 1.0,
+        next: 0,
+    };
+    let scfg = SimConfig::with_horizon(big);
+    // Warm-up sizes the (bounded) streaming window and recycler.
+    let warm_stats = simulate_streamed_objectives_in(
+        &mut ws,
+        &platform,
+        &mut source,
+        &scfg,
+        &Timeline::EMPTY,
+        &mut Greedy,
+    )
+    .unwrap();
+    source.reset();
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let stats = simulate_streamed_objectives_in(
+        &mut ws,
+        &platform,
+        &mut source,
+        &scfg,
+        &Timeline::EMPTY,
+        &mut Greedy,
+    )
+    .unwrap();
+    let during = ALLOCS.load(Ordering::SeqCst) - before;
+    assert_eq!(stats.tasks, big);
+    assert_eq!(
+        stats.objectives.makespan.to_bits(),
+        warm_stats.objectives.makespan.to_bits(),
+        "warm streamed rerun must be bit-identical"
+    );
+    // Concrete bound: a handful of slots per slave for in-flight work plus
+    // the small stable queue the sub-critical load sustains. 100k tasks
+    // must never push the window anywhere near the instance size.
+    let cap = 16 * platform.num_slaves() + 64;
+    assert!(
+        stats.peak_live_slots <= cap,
+        "live task-slot high-water mark {} exceeds O(slaves + outstanding) cap {cap}",
+        stats.peak_live_slots
+    );
+    assert!(
+        stats.peak_resident_slots <= 2 * cap + 128,
+        "resident slots {} exceed the recycler's compaction envelope",
+        stats.peak_resident_slots
+    );
+    assert!(
+        during <= 4,
+        "expected the streamed event loop to stay allocation-free, \
+         counted {during} allocations over {} events",
+        3 * big
     );
 }

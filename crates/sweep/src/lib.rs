@@ -103,10 +103,10 @@ use std::path::PathBuf;
 pub use agg::{
     aggregate, aggregate_metrics, summarize, AggregateRow, HistSummary, MetricsRow, Summary,
 };
-pub use batch::{group_instances, BatchWorker, SamplerCache};
+pub use batch::{group_instances, run_batch, run_batch_streamed, BatchWorker, SamplerCache};
 pub use cell::{
     AbortKind, Cell, CellError, CellMetrics, MaterializedInstance, PerturbCell, PlatformCell,
-    ScenarioCell,
+    ScenarioCell, StreamedInstance,
 };
 pub use exec::{default_threads, parallel_map, parallel_map_collect, parallel_map_with};
 pub use mss_obs::{StoreStats, SweepMetrics, WorkerMetrics};
@@ -137,6 +137,16 @@ pub struct SweepConfig {
     /// [`SweepMetrics::hists`]. Cached records without a payload are
     /// re-run. Scalar results stay bit-identical either way.
     pub collect_metrics: bool,
+    /// Execute batches through the bounded-memory streaming path
+    /// ([`run_batch_streamed`]): tasks are pulled lazily from seeded
+    /// [`mss_workload::GeneratedSource`]s instead of materializing the
+    /// instance's task vectors, and each batch arm re-instantiates its
+    /// source from the cell's seeds (the stream is never cloned).
+    /// **Streaming is an execution strategy, not part of cell identity**
+    /// (contract #13): results, cache keys and store contents are
+    /// bit-identical to the materialized path, so the two modes share one
+    /// result store.
+    pub streamed: bool,
 }
 
 impl Default for SweepConfig {
@@ -147,6 +157,7 @@ impl Default for SweepConfig {
             progress: false,
             count_events: false,
             collect_metrics: false,
+            streamed: false,
         }
     }
 }
@@ -257,7 +268,11 @@ pub fn try_run_cells(cells: &[Cell], config: &SweepConfig) -> CheckedOutcome {
         },
         |w, _, b| {
             let mut out = Vec::with_capacity(b.len());
-            batch::run_batch(cells, &missing, b.clone(), w, &mut out);
+            if config.streamed {
+                batch::run_batch_streamed(cells, &missing, b.clone(), w, &mut out);
+            } else {
+                batch::run_batch(cells, &missing, b.clone(), w, &mut out);
+            }
             for _ in 0..out.len() {
                 progress.tick();
             }

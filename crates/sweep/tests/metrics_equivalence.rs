@@ -37,6 +37,7 @@ fn config(threads: usize) -> SweepConfig {
         progress: false,
         count_events: false,
         collect_metrics: true,
+        streamed: false,
     }
 }
 

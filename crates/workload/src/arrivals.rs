@@ -59,8 +59,9 @@ impl ArrivalProcess {
         }
     }
 
-    /// Mean inter-arrival gap for a target load.
-    fn gap(load: f64, platform: &Platform) -> f64 {
+    /// Mean inter-arrival gap for a target load (also used by
+    /// `GeneratedSource` to replay the same process lazily).
+    pub(crate) fn gap(load: f64, platform: &Platform) -> f64 {
         assert!(load > 0.0, "load must be positive");
         1.0 / (load * platform.system_throughput())
     }

@@ -31,9 +31,12 @@ mod calibration;
 mod heterogeneity;
 mod perturbation;
 mod platforms;
+mod source;
 
 pub use arrivals::ArrivalProcess;
 pub use calibration::{calibrate, Calibration};
 pub use heterogeneity::{HeterogeneityAxis, HeterogeneityFamily};
+pub use mss_core::TaskSource;
 pub use perturbation::Perturbation;
 pub use platforms::{PlatformSampler, PlatformStream};
+pub use source::{GeneratedSource, MaterializedSource, TraceError, TraceFormat, TraceSource};
