@@ -182,8 +182,8 @@ pub fn execute(
             for &(_, avail) in &outstanding[j] {
                 t = t.max(avail) + p;
             }
-            state.slaves[j].outstanding = outstanding[j].len();
-            state.slaves[j].ready_estimate = Time::new(t);
+            state.slaves.outstanding[j] = outstanding[j].len();
+            state.slaves.ready_estimate[j] = t;
         }
         state.now = Time::new(now);
         state.link_busy_until = Time::new(0.0f64.max(now.min(now))); // set below
@@ -215,7 +215,7 @@ pub fn execute(
             outstanding[j].retain(|&(id, _)| id != done.task);
             last_anchor[j] = done.compute_end_wall / scale;
             state.completed_count += 1;
-            state.slaves[j].completed += 1;
+            state.slaves.completed[j] += 1;
             let rec = records[done.task.0]
                 .as_mut()
                 .expect("completion for unsent task");
@@ -300,7 +300,7 @@ pub fn execute(
                 outstanding[j].retain(|&(id, _)| id != done.task);
                 last_anchor[j] = done.compute_end_wall / scale;
                 state.completed_count += 1;
-                state.slaves[j].completed += 1;
+                state.slaves.completed[j] += 1;
                 let rec = records[done.task.0]
                     .as_mut()
                     .expect("completion for unsent task");

@@ -223,8 +223,14 @@ mod tests {
     fn replay_is_deterministic() {
         let pf = Platform::from_vectors(&[0.3, 0.7, 1.0], &[2.0, 4.0, 8.0]);
         let tasks = bag_of_tasks(12);
-        let run = |mut s: Planned| simulate(&pf, &tasks, &SimConfig::default(), &mut s).unwrap();
-        assert_eq!(run(Planned::sljf()), run(Planned::sljf()));
-        assert_eq!(run(Planned::sljfwc()), run(Planned::sljfwc()));
+        // The closure takes `&mut Planned` rather than `Planned` by value:
+        // the by-value form is miscompiled at opt-level >= 2 on rustc 1.95.0
+        // (the parameter's plan `Vec` is freed twice when the closure is
+        // inlined at two call sites), SIGABRTing the release test run. See
+        // docs/repro/closure_byvalue_double_free.rs for the pinned
+        // dependency-free reproducer.
+        let run = |s: &mut Planned| simulate(&pf, &tasks, &SimConfig::default(), s).unwrap();
+        assert_eq!(run(&mut Planned::sljf()), run(&mut Planned::sljf()));
+        assert_eq!(run(&mut Planned::sljfwc()), run(&mut Planned::sljfwc()));
     }
 }

@@ -47,6 +47,7 @@ pub use mss_sim::{
     simulate_with_events, simulate_with_events_in, simulate_with_probe_in, validate, Decision,
     InfoTier, NoopProbe, OnlineScheduler, Platform, PlatformClass, PlatformEvent,
     PlatformEventKind, Probe, RunCounters, RunObjectives, SchedulerEvent, SimConfig, SimError,
-    SimView, SimWorkspace, SlaveEstimate, SlaveId, SlaveSpec, StreamStats, TaskArrival, TaskId,
-    TaskRecord, TaskSource, Time, Timeline, Trace, TraceRecorder, TraceViolation,
+    SimView, SimWorkspace, SlaveEstimate, SlaveEstimates, SlaveId, SlaveSpec, StreamStats,
+    TaskArrival, TaskId, TaskRecord, TaskSource, Time, Timeline, Trace, TraceRecorder,
+    TraceViolation,
 };

@@ -7,7 +7,7 @@
 //! printing transient bench output. CI's `bench-smoke` job runs
 //! `ms-lab bench --quick` and uploads the JSON as an artifact.
 //!
-//! Metrics (schema v4):
+//! Metrics (schema v5):
 //!
 //! * **events/sec** — discrete events through [`mss_core::simulate_in`] on
 //!   the reference workload (5-slave heterogeneous platform, bag of tasks,
@@ -22,6 +22,12 @@
 //!   threads** (`--threads`; captures parallel scaling), and a larger
 //!   multi-algorithm grid (two task counts, eight platform draws) at max
 //!   threads.
+//! * **scaling curve** — the reference grid re-run with a live result
+//!   store at threads 1, 2, and max: cells/sec, parallel efficiency
+//!   against the 1-thread point, and the sharded store's lock-contention
+//!   ratio per point. Work distribution is observationally pure (contract
+//!   #14), so every point produces byte-identical store records — the
+//!   curve measures pure scheduling overhead.
 //! * **tasks/sec (streamed)** — the `stream/1M-tasks-100-slaves` entry: a
 //!   million-task uniform stream pulled lazily from a seeded
 //!   [`mss_workload::GeneratedSource`] on a 100-slave platform through the
@@ -52,7 +58,11 @@ use std::time::Instant;
 /// v4: adds the `stream` entry (`stream/1M-tasks-100-slaves`): tasks/sec
 /// through the bounded-memory streamed engine plus its task-slot
 /// high-water marks.
-pub const BENCH_SCHEMA: &str = "mss-bench/v4";
+/// v5: adds the `scaling` curve — the reference grid re-run with a live
+/// result store at threads 1, 2, and max, each point recording cells/sec,
+/// parallel efficiency against the 1-thread point, and the store's
+/// lock-contention ratio.
+pub const BENCH_SCHEMA: &str = "mss-bench/v5";
 
 /// Timing of the engine hot loop.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
@@ -86,6 +96,33 @@ pub struct SweepBench {
     pub best_secs: f64,
     /// `cells / best_secs`.
     pub cells_per_sec: f64,
+}
+
+/// One point of the parallel-scaling curve: the reference grid executed
+/// with a live (initially empty) result store at a fixed thread count.
+///
+/// Unlike the `sweep*` entries — which run storeless so their cells/sec
+/// stays comparable with pre-v5 trajectory points — the scaling points
+/// include the store's serialize-and-flush work, so the curve reflects the
+/// full parallel pipeline: work-stealing execution plus sharded persists.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct ScalingPoint {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Cells in the reference grid.
+    pub cells: usize,
+    /// Best iteration wall time, seconds.
+    pub best_secs: f64,
+    /// `cells / best_secs`.
+    pub cells_per_sec: f64,
+    /// Speedup over the curve's 1-thread point divided by `threads`
+    /// (`1.0` for the 1-thread point by construction; near `1.0` at higher
+    /// thread counts means linear scaling, `1/threads` means none).
+    pub parallel_efficiency: f64,
+    /// The run's store-contention ratio (contended flushes per append,
+    /// [`mss_obs::StoreStats::contention_ratio`]); near zero means the
+    /// sharded store never made a worker wait.
+    pub store_contention_ratio: f64,
 }
 
 /// Timing of the bounded-memory streamed engine loop
@@ -128,6 +165,9 @@ pub struct BenchReport {
     pub sweep_max: SweepBench,
     /// Larger multi-algorithm grid at max threads.
     pub sweep_large: SweepBench,
+    /// Parallel-scaling curve over the reference grid with a live result
+    /// store: threads 1, 2, and max (deduplicated, ascending).
+    pub scaling: Vec<ScalingPoint>,
     /// Bounded-memory streamed engine loop: a million-task instance pulled
     /// lazily from a seeded [`GeneratedSource`] on a 100-slave platform
     /// (scaled down under `--quick`).
@@ -308,6 +348,45 @@ fn sweep_bench(spec: &mss_sweep::SweepSpec, iters: usize, threads: usize) -> (Sw
     )
 }
 
+/// Measures one scaling point: the reference grid with a live result
+/// store at `threads` workers. Every iteration starts from an empty store
+/// directory so all cells execute (nothing is served from cache) and the
+/// flush path — where shard-lock contention can appear — is exercised.
+/// `parallel_efficiency` is filled in by the caller once the 1-thread
+/// point is known.
+fn scaling_bench(spec: &mss_sweep::SweepSpec, iters: usize, threads: usize) -> ScalingPoint {
+    let cells = spec.expand().expect("bench grid expands");
+    let n = cells.len();
+    let base = std::env::temp_dir().join(format!(
+        "mss-bench-scaling-{}-t{}",
+        std::process::id(),
+        threads
+    ));
+    let mut iteration = 0usize;
+    let mut contention = 0.0;
+    let (best, _) = time_loop(iters, || {
+        let dir = base.join(iteration.to_string());
+        iteration += 1;
+        let config = SweepConfig {
+            threads,
+            cache_dir: Some(dir),
+            ..SweepConfig::default()
+        };
+        let outcome = run_cells(cells.clone(), &config);
+        assert_eq!(outcome.executed, n, "empty store: every cell executes");
+        contention = outcome.stats.store.contention_ratio();
+    });
+    let _ = std::fs::remove_dir_all(&base);
+    ScalingPoint {
+        threads,
+        cells: n,
+        best_secs: best,
+        cells_per_sec: n as f64 / best,
+        parallel_efficiency: 1.0,
+        store_contention_ratio: contention,
+    }
+}
+
 /// Runs the hot loops and assembles the report. `threads` is the "max
 /// threads" used for the parallel-scaling entries (the 1-thread reference
 /// entry is always measured as well).
@@ -333,6 +412,17 @@ pub fn run(quick: bool, threads: usize) -> BenchReport {
     let (sweep_max, _) = sweep_bench(&reference, iters, threads);
     let (sweep_large, _) = sweep_bench(&large, iters, threads);
     let stream = stream_bench(quick);
+    let mut curve_threads = vec![1, 2, threads.max(1)];
+    curve_threads.sort_unstable();
+    curve_threads.dedup();
+    let mut scaling: Vec<ScalingPoint> = curve_threads
+        .into_iter()
+        .map(|t| scaling_bench(&reference, iters, t))
+        .collect();
+    let base_cps = scaling[0].cells_per_sec;
+    for point in &mut scaling {
+        point.parallel_efficiency = point.cells_per_sec / (point.threads as f64 * base_cps);
+    }
     BenchReport {
         schema: BENCH_SCHEMA.to_string(),
         quick,
@@ -340,6 +430,7 @@ pub fn run(quick: bool, threads: usize) -> BenchReport {
         sweep,
         sweep_max,
         sweep_large,
+        scaling,
         stream,
         allocs_per_event_steady_state: 0.0,
         elided_callback_ratio,
@@ -356,9 +447,21 @@ impl BenchReport {
                 s.cells, s.threads, s.best_secs, s.cells_per_sec
             )
         };
+        let scaling_lines = self
+            .scaling
+            .iter()
+            .map(|p| {
+                format!(
+                    "scaling: {:>2} threads -> {:>8.1} cells/sec, efficiency {:.2}, \
+                     store contention {:.3}",
+                    p.threads, p.cells_per_sec, p.parallel_efficiency, p.store_contention_ratio
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
         format!(
             "engine: {} tasks x {} slaves, {} events/iter, best {:.3} ms -> {:.0} events/sec\n\
-             {}\n{}\n{}\n\
+             {}\n{}\n{}\n{scaling_lines}\n\
              {}: {} tasks x {} slaves, best {:.3} s -> {:.0} tasks/sec \
              (peak slots: {} live / {} resident)\n\
              allocs/event (steady state): {} (enforced by crates/sim/tests/zero_alloc.rs)\n\
@@ -544,6 +647,21 @@ mod tests {
         assert!(report.engine.events_per_sec > 0.0);
         assert!(report.sweep.cells_per_sec > 0.0);
         assert_eq!(report.allocs_per_event_steady_state, 0.0);
+        // The scaling curve covers threads 1, 2 and max (deduplicated,
+        // ascending), anchored at an efficiency of exactly 1.0.
+        assert!(report.scaling.len() >= 2);
+        assert_eq!(report.scaling[0].threads, 1);
+        assert_eq!(report.scaling[1].threads, 2);
+        assert!(report
+            .scaling
+            .windows(2)
+            .all(|w| w[0].threads < w[1].threads));
+        assert_eq!(report.scaling[0].parallel_efficiency, 1.0);
+        for p in &report.scaling {
+            assert!(p.cells_per_sec > 0.0);
+            assert!(p.parallel_efficiency > 0.0);
+            assert!(p.store_contention_ratio >= 0.0);
+        }
         // The streamed entry completes the whole instance in bounded
         // memory: the live-slot peak is O(slaves + outstanding), nowhere
         // near the task count.
@@ -563,7 +681,9 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         let back: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.engine.tasks, report.engine.tasks);
+        assert_eq!(back.scaling.len(), report.scaling.len());
         assert!(report.render().contains("events/sec"));
+        assert!(report.render().contains("store contention"));
     }
 
     #[test]

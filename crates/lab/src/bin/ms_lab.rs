@@ -80,6 +80,7 @@ fn usage() -> ! {
          \x20       [--quick] [--seed N] [--tasks N] [--platforms N] [--threads N]\n\
          \x20       sweep only: [--cache-dir DIR] [--no-cache] [--baseline ALG] [--quiet]\n\
          \x20                   [--streamed] (bounded-memory task streaming; same results)\n\
+         \x20                   [--split-events N] (batch-split threshold; same results)\n\
          \x20       metrics only: [--cache-dir DIR] (--quick = always simulate fresh)\n\
          \x20       diff only: [--cell N] [--dump PATH] [--against LEDGER-OR-BINARY]\n\
          \x20       resilience only: [--scenario FILE]\n\
@@ -135,6 +136,11 @@ fn parse_runtime(args: &[String]) -> SweepConfig {
         // Pull task streams lazily instead of materializing instances;
         // results and cache contents are bit-identical (contract #13).
         streamed: args.iter().any(|a| a == "--streamed"),
+        // Batch-splitting threshold in estimated events; results are
+        // bit-identical for any value (contract #14).
+        split_events: parse_flag(args, "--split-events")
+            .map(|v| v.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(mss_sweep::DEFAULT_SPLIT_EVENTS),
     }
 }
 

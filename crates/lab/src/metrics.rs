@@ -208,7 +208,7 @@ mod tests {
             progress: false,
             count_events: false,
             collect_metrics: false,
-            streamed: false,
+            ..SweepConfig::default()
         }
     }
 

@@ -88,7 +88,7 @@ pub fn run_with(quick: bool, threads: usize) -> ProfileReport {
         progress: false,
         count_events: true,
         collect_metrics: false,
-        streamed: false,
+        ..SweepConfig::default()
     };
     let outcome = run_cells(cells, &config);
     profile.add("materialize", outcome.stats.materialize_secs);
@@ -127,7 +127,7 @@ impl ProfileReport {
             "\nsimulation is {:.1}% of measured phase time\n\
              engine events: {} ({} sends, {} computes, {} callbacks, {:.1}% elided)\n\
              batch reuse: {:.1}% of cells shared a materialization ({} batches)\n\
-             store: {} appends, {} bytes, {} contended locks",
+             store: {} appends, {} bytes, {} contended locks (ratio {:.3})",
             self.profile.fraction("simulate") * 100.0,
             c.events(),
             c.sends_started,
@@ -139,7 +139,19 @@ impl ProfileReport {
             self.stats.store.appends,
             self.stats.store.bytes,
             self.stats.store.lock_contended,
+            self.stats.store.contention_ratio(),
         ));
+        // Per-shard contention: which of the 16 store shards made workers
+        // wait (also exported as the "store shard contention" counter track
+        // of profile_workers.json).
+        out.push_str("\nstore shard contention:");
+        for (i, &n) in self.stats.store.shard_contended.iter().enumerate() {
+            if i % 8 == 0 {
+                out.push_str("\n  ");
+            }
+            out.push_str(&format!("{i:02x}:{n:<4} "));
+        }
+        out.push('\n');
         out
     }
 
@@ -244,6 +256,10 @@ mod tests {
         assert!(report.profile.fraction("simulate") > 0.5);
         assert!(report.stats.counters.events() > 0);
         assert!(report.render().contains("% of measured phase time"));
+        // The per-shard store contention breakdown is part of the report
+        // (all 16 shards, hex-labelled).
+        assert!(report.render().contains("store shard contention"));
+        assert!(report.render().contains("0f:"));
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub use chrome::ChromeTrace;
 pub use counters::RunCounters;
 pub use digest::{DigestEvent, DigestProbe};
 pub use hist::Histogram;
-pub use metrics::{BatchSpan, StoreStats, SweepMetrics, WorkerMetrics};
+pub use metrics::{BatchSpan, StoreStats, SweepMetrics, WorkerMetrics, STORE_SHARDS};
 pub use metrics_probe::{MetricsProbe, RunHistograms, RunMetrics};
 pub use phase::PhaseProfile;
 pub use probe::{NoopProbe, Probe};

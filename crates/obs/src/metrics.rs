@@ -33,6 +33,10 @@ pub struct WorkerMetrics {
     pub materialize_secs: f64,
     /// Seconds spent simulating (scheduling + engine).
     pub simulate_secs: f64,
+    /// Seconds this worker spent in the result store (serializing its
+    /// results into per-worker shard buffers and flushing them under the
+    /// per-shard locks).
+    pub store_secs: f64,
     /// This worker's batch timeline, offsets from the sweep epoch.
     pub spans: Vec<BatchSpan>,
     /// Engine event counters accumulated across this worker's cells
@@ -54,15 +58,38 @@ impl WorkerMetrics {
     }
 }
 
+/// Number of result-store shards (`shard_00.jsonl` … `shard_0f.jsonl`);
+/// [`StoreStats::shard_contended`] carries one slot per shard.
+pub const STORE_SHARDS: usize = 16;
+
 /// Store I/O statistics for one sweep.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StoreStats {
-    /// `append` calls that wrote at least one record.
+    /// Flush operations that wrote at least one record.
     pub appends: u64,
     /// Bytes appended across all shards.
     pub bytes: u64,
-    /// Times a shard buffer lock was contended (first `try_lock` failed).
+    /// Times any shard lock was contended (first `try_lock` failed) —
+    /// the sum of [`StoreStats::shard_contended`].
     pub lock_contended: u64,
+    /// Per-shard contention counts: how often each shard's lock was
+    /// already held when a worker arrived to flush. A hot shard here means
+    /// the key space hashes unevenly or too many workers flush at once.
+    pub shard_contended: [u64; STORE_SHARDS],
+}
+
+impl StoreStats {
+    /// Contended flushes per append — `lock_contended / appends` (`0.0`
+    /// when nothing was appended). The scaling curve reports this as the
+    /// store-contention ratio: near zero means the sharded store never
+    /// made a worker wait.
+    pub fn contention_ratio(&self) -> f64 {
+        if self.appends == 0 {
+            0.0
+        } else {
+            self.lock_contended as f64 / self.appends as f64
+        }
+    }
 }
 
 /// Summary of one sweep run: totals plus the per-worker breakdown.
@@ -101,8 +128,9 @@ pub struct SweepMetrics {
     pub simulate_secs: f64,
     /// Wall-clock seconds for the execution phase.
     pub wall_secs: f64,
-    /// Wall-clock seconds spent in the result store (loading the cache on
-    /// open plus appending fresh results).
+    /// Seconds spent in the result store: loading the cache on open (wall
+    /// time, serial) plus each worker's serialize-and-flush time (CPU
+    /// seconds summed across workers, like `simulate_secs`).
     pub store_secs: f64,
     /// Store I/O statistics.
     pub store: StoreStats,
@@ -124,6 +152,7 @@ impl SweepMetrics {
         self.materializations += w.materializations;
         self.materialize_secs += w.materialize_secs;
         self.simulate_secs += w.simulate_secs;
+        self.store_secs += w.store_secs;
         self.counters.merge(&w.counters);
         self.hists.merge(&w.hists);
         self.workers.push(w);
@@ -141,7 +170,10 @@ impl SweepMetrics {
     }
 
     /// Exports the workers' batch timelines as a Chrome trace: one track
-    /// per worker, one span per batch.
+    /// per worker, one span per batch — plus, when the sweep stored
+    /// anything, a "store shard contention" counter track with one series
+    /// per shard (final contended-lock counts, sampled at the end of the
+    /// sweep wall clock).
     pub fn to_chrome(&self, process: &str) -> ChromeTrace {
         let mut t = ChromeTrace::new();
         let pid = 1;
@@ -156,6 +188,18 @@ impl SweepMetrics {
                     "sweep",
                     s.start * 1e6,
                     (s.end - s.start) * 1e6,
+                );
+            }
+        }
+        if self.store.appends > 0 {
+            let ts = self.wall_secs * 1e6;
+            for (i, &contended) in self.store.shard_contended.iter().enumerate() {
+                t.counter(
+                    pid,
+                    "store shard contention",
+                    &format!("shard_{i:02x}"),
+                    ts,
+                    contended as f64,
                 );
             }
         }
@@ -198,6 +242,20 @@ mod tests {
     }
 
     #[test]
+    fn store_contention_ratio_handles_empty_and_counts() {
+        assert_eq!(StoreStats::default().contention_ratio(), 0.0);
+        let mut s = StoreStats {
+            appends: 8,
+            bytes: 1024,
+            ..StoreStats::default()
+        };
+        s.shard_contended[0] = 1;
+        s.shard_contended[9] = 1;
+        s.lock_contended = s.shard_contended.iter().sum();
+        assert!((s.contention_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
     fn worker_trace_has_one_track_per_worker() {
         let mut m = SweepMetrics::default();
         for i in 0..2 {
@@ -213,5 +271,15 @@ mod tests {
         assert!(s.contains("worker 0"));
         assert!(s.contains("worker 1"));
         assert!(s.contains("batch (3 cells)"));
+        // No store activity: no contention counter track.
+        assert!(!s.contains("store shard contention"));
+
+        m.store.appends = 3;
+        m.store.shard_contended[2] = 5;
+        m.store.lock_contended = 5;
+        let s = m.to_chrome("sweep").render();
+        assert!(s.contains("store shard contention"));
+        assert!(s.contains("\"args\":{\"shard_02\":5}"), "{s}");
+        assert!(s.contains("\"args\":{\"shard_0f\":0}"), "{s}");
     }
 }

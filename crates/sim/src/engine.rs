@@ -51,14 +51,14 @@
 //! regression suite).
 
 use crate::events::{PlatformEventKind, Timeline};
-use crate::info::{InfoTier, SlaveEstimate};
+use crate::info::{InfoTier, SlaveEstimates};
 use crate::platform::{Platform, SlaveId};
 use crate::scheduler::{Decision, OnlineScheduler, SchedulerEvent};
 use crate::source::TaskSource;
 use crate::task::{TaskArrival, TaskId};
 use crate::time::Time;
 use crate::trace::{TaskRecord, Trace};
-use crate::view::{SimView, SlaveView};
+use crate::view::{SimView, SlaveViews};
 use mss_obs::{NoopProbe, Probe};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
@@ -267,8 +267,8 @@ enum TaskPhase {
 ///
 /// A workspace owns every growable structure the event loop touches: the
 /// event heap, per-slave runtime queues, the pending ring buffer, the task
-/// phase/record arrays, and the incrementally maintained [`SlaveView`]
-/// cache. [`simulate_in`] sizes them once per run and the loop then runs
+/// phase/record arrays, and the incrementally maintained [`SlaveViews`]
+/// column cache. [`simulate_in`] sizes them once per run and the loop then runs
 /// allocation-free in steady state; reusing one workspace across runs (as
 /// the `mss-sweep` executor does per worker thread) also skips the sizing.
 ///
@@ -318,9 +318,11 @@ pub struct SimWorkspace {
     phases: Vec<TaskPhase>,
     releases: Vec<Time>,
     records: Vec<PartialRecord>,
-    /// Cached per-slave observable state, maintained incrementally.
-    views: Vec<SlaveView>,
-    /// Instant up to which `views[j].ready_estimate` is exact without
+    /// Cached per-slave observable state, maintained incrementally —
+    /// column-major ([`SlaveViews`]), so scheduler-side argmin scans read
+    /// dense same-typed columns.
+    views: SlaveViews,
+    /// Instant up to which `views.ready_estimate[j]` is exact without
     /// recomputation (see [`Engine::recompute_view`]); `NEG_INFINITY` is
     /// the "dirty" sentinel (an event touched the slave since its view was
     /// cached), so staleness is a single float compare per slave.
@@ -329,8 +331,9 @@ pub struct SimWorkspace {
     /// the sub-clairvoyant information tiers). Maintained only when the
     /// run's tier is below `Clairvoyant`; at `Clairvoyant` the hot path
     /// never touches them, so the historical engine is unchanged bit for
-    /// bit.
-    estimates: Vec<SlaveEstimate>,
+    /// bit. Column-major ([`SlaveEstimates`]) with memoized believed
+    /// rates, so sub-clairvoyant argmin scans are dense `f64` reads.
+    estimates: SlaveEstimates,
     /// Per-batch notification buffer (reused across batches).
     notifications: Vec<SchedulerEvent>,
     /// Scratch for tasks lost to a slave failure.
@@ -438,20 +441,10 @@ impl SimWorkspace {
         self.speed_factor.resize(m, 1.0);
         self.cancelled.clear();
         self.pending.clear();
-        self.views.clear();
-        self.views.resize(
-            m,
-            SlaveView {
-                outstanding: 0,
-                ready_estimate: Time::ZERO,
-                completed: 0,
-                available: true,
-            },
-        );
+        self.views.reset(m);
         self.view_valid_until.clear();
         self.view_valid_until.resize(m, f64::NEG_INFINITY);
-        self.estimates.clear();
-        self.estimates.resize(m, SlaveEstimate::default());
+        self.estimates.reset(m);
         self.notifications.clear();
         self.lost.clear();
     }
@@ -874,12 +867,10 @@ impl<'a, P: Probe, F: Feed> Engine<'a, P, F> {
             f64::NEG_INFINITY
         };
         self.ws.view_valid_until[j] = anchor.max(now);
-        self.ws.views[j] = SlaveView {
-            outstanding: rt.outstanding.len(),
-            ready_estimate: Time::new(t),
-            completed: rt.completed,
-            available: !rt.down,
-        };
+        self.ws.views.outstanding[j] = rt.outstanding.len();
+        self.ws.views.ready_estimate[j] = t;
+        self.ws.views.completed[j] = rt.completed;
+        self.ws.views.available[j] = !rt.down;
     }
 
     /// Brings every cached slave view up to date with the current clock and
@@ -914,17 +905,17 @@ impl<'a, P: Probe, F: Feed> Engine<'a, P, F> {
                     t = t.max(ot.avail) + p;
                 }
             }
-            let v = &self.ws.views[j];
+            let v = &self.ws.views;
             assert_eq!(
-                v.ready_estimate.as_f64().to_bits(),
+                v.ready_estimate[j].to_bits(),
                 t.to_bits(),
                 "slave {j}: cached estimate {} != fresh {} at t={now}",
-                v.ready_estimate.as_f64(),
+                v.ready_estimate[j],
                 t
             );
-            assert_eq!(v.outstanding, rt.outstanding.len(), "slave {j} count");
-            assert_eq!(v.completed, rt.completed, "slave {j} completed");
-            assert_eq!(v.available, !rt.down, "slave {j} availability");
+            assert_eq!(v.outstanding[j], rt.outstanding.len(), "slave {j} count");
+            assert_eq!(v.completed[j], rt.completed, "slave {j} completed");
+            assert_eq!(v.available[j], !rt.down, "slave {j} availability");
         }
     }
 
@@ -971,7 +962,7 @@ impl<'a, P: Probe, F: Feed> Engine<'a, P, F> {
                     // its own observation (valid even when the destination
                     // turned out to be down — the port was occupied).
                     let duration = now - self.ws.records[slot].send_start;
-                    self.ws.estimates[j.0].observe_send(duration);
+                    self.ws.estimates.observe_send(j.0, duration);
                     self.estimate_version += 1;
                     self.probe.estimator_update(now, j.0);
                 }
@@ -1017,8 +1008,8 @@ impl<'a, P: Probe, F: Feed> Engine<'a, P, F> {
                     // completion) — which is exactly what the engine
                     // recorded in `compute_start`.
                     let duration = now - self.ws.records[slot].compute_start;
-                    self.ws.estimates[j.0].observe_compute(duration);
-                    self.ws.estimates[j.0].end_compute();
+                    self.ws.estimates.observe_compute(j.0, duration);
+                    self.ws.estimates.end_compute(j.0);
                     self.estimate_version += 1;
                     self.probe.estimator_update(now, j.0);
                 }
@@ -1072,7 +1063,7 @@ impl<'a, P: Probe, F: Feed> Engine<'a, P, F> {
                 if self.learning {
                     // The master observed the failure: whatever was
                     // computing is gone (no duration is learned from it).
-                    self.ws.estimates[j.0].end_compute();
+                    self.ws.estimates.end_compute(j.0);
                 }
                 let ws = &mut *self.ws;
                 let rt = &mut ws.slaves[j.0];
@@ -1135,7 +1126,7 @@ impl<'a, P: Probe, F: Feed> Engine<'a, P, F> {
         if self.learning {
             // Observable: with FIFO computes, a computation starts exactly
             // when the engine starts one.
-            self.ws.estimates[j.0].begin_compute(now);
+            self.ws.estimates.begin_compute(j.0, now);
         }
         let rt = &mut self.ws.slaves[j.0];
         rt.computing = Some(t);

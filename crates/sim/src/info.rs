@@ -80,15 +80,16 @@ impl fmt::Display for InfoTier {
     }
 }
 
-/// Per-slave estimates the master learns from its own observable event
-/// timestamps — the raw material of the sub-clairvoyant tiers.
+/// One slave's learned estimates, as a value snapshot.
 ///
-/// Everything in here derives from information any master trivially has:
-/// when it started and finished each send (it owns the port), when each
-/// completion was reported, and — because sends and computes are FIFO per
-/// slave — when each computation must have started (the later of the
-/// task's arrival and the previous completion). No nominal platform value
-/// ever enters.
+/// The fleet's estimates live column-major in [`SlaveEstimates`]; this is
+/// the per-slave row that [`SimView::slave_estimate`](crate::SimView::slave_estimate)
+/// hands out. Everything in here derives from information any master
+/// trivially has: when it started and finished each send (it owns the
+/// port), when each completion was reported, and — because sends and
+/// computes are FIFO per slave — when each computation must have started
+/// (the later of the task's arrival and the previous completion). No
+/// nominal platform value ever enters.
 ///
 /// Before the first observation the estimators answer a neutral prior of
 /// [`SlaveEstimate::PRIOR`], so estimate-only schedulers start indifferent
@@ -149,25 +150,130 @@ impl SlaveEstimate {
     pub fn cur_start(&self) -> f64 {
         self.cur_start
     }
+}
 
-    pub(crate) fn observe_send(&mut self, duration: f64) {
-        self.c_sum += duration;
-        self.c_obs += 1;
+/// The fleet's learned estimates, stored column-major (structure of
+/// arrays): one contiguous column per statistic, indexed by slave.
+///
+/// The believed rates [`SlaveEstimates::c_hats`] / [`SlaveEstimates::p_hats`]
+/// are *memoized*: each observation recomputes the slave's mean once, at
+/// absorb time, so the heuristics' per-decision argmin scans read a dense
+/// `f64` slice with no division and no observation-count branch on the hot
+/// path. The memoized value is the same `sum / count` division a
+/// query-time evaluation would perform, on the same operands — bit-identical
+/// by construction ([`SlaveEstimate::c_hat`] on the row snapshot is the
+/// oracle).
+///
+/// Mutators take the slave index; [`SlaveEstimates::get`] materializes the
+/// per-slave [`SlaveEstimate`] row for callers that want a value snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct SlaveEstimates {
+    c_sum: Vec<f64>,
+    c_obs: Vec<u32>,
+    p_sum: Vec<f64>,
+    p_obs: Vec<u32>,
+    computing: Vec<bool>,
+    cur_start: Vec<f64>,
+    /// Memoized `c_sum / c_obs` (the prior while `c_obs == 0`).
+    c_hat: Vec<f64>,
+    /// Memoized `p_sum / p_obs` (the prior while `p_obs == 0`).
+    p_hat: Vec<f64>,
+}
+
+impl SlaveEstimates {
+    /// Fresh columns for `m` slaves, every estimate at the prior.
+    pub fn new(m: usize) -> Self {
+        let mut e = SlaveEstimates::default();
+        e.reset(m);
+        e
     }
 
-    pub(crate) fn observe_compute(&mut self, duration: f64) {
-        self.p_sum += duration;
-        self.p_obs += 1;
+    /// Re-initializes for `m` slaves, keeping column capacity (the
+    /// workspace-reuse path).
+    pub fn reset(&mut self, m: usize) {
+        for col in [&mut self.c_sum, &mut self.p_sum, &mut self.cur_start] {
+            col.clear();
+            col.resize(m, 0.0);
+        }
+        for col in [&mut self.c_obs, &mut self.p_obs] {
+            col.clear();
+            col.resize(m, 0);
+        }
+        self.computing.clear();
+        self.computing.resize(m, false);
+        for col in [&mut self.c_hat, &mut self.p_hat] {
+            col.clear();
+            col.resize(m, SlaveEstimate::PRIOR);
+        }
     }
 
-    pub(crate) fn begin_compute(&mut self, at: f64) {
-        self.computing = true;
-        self.cur_start = at;
+    /// Number of slaves the columns cover.
+    pub fn len(&self) -> usize {
+        self.c_sum.len()
     }
 
-    pub(crate) fn end_compute(&mut self) {
-        self.computing = false;
-        self.cur_start = 0.0;
+    /// `true` iff the columns cover no slave.
+    pub fn is_empty(&self) -> bool {
+        self.c_sum.is_empty()
+    }
+
+    /// Value snapshot of slave `j`'s row.
+    pub fn get(&self, j: usize) -> SlaveEstimate {
+        SlaveEstimate {
+            c_sum: self.c_sum[j],
+            c_obs: self.c_obs[j],
+            p_sum: self.p_sum[j],
+            p_obs: self.p_obs[j],
+            computing: self.computing[j],
+            cur_start: self.cur_start[j],
+        }
+    }
+
+    /// The believed per-task communication times, one dense slot per slave.
+    pub fn c_hats(&self) -> &[f64] {
+        &self.c_hat
+    }
+
+    /// The believed per-task computation times, one dense slot per slave.
+    pub fn p_hats(&self) -> &[f64] {
+        &self.p_hat
+    }
+
+    /// `true` while the master believes slave `j` is computing.
+    pub fn is_computing(&self, j: usize) -> bool {
+        self.computing[j]
+    }
+
+    /// Observed start of slave `j`'s believed-current computation
+    /// (meaningful only while [`SlaveEstimates::is_computing`]).
+    pub fn cur_start(&self, j: usize) -> f64 {
+        self.cur_start[j]
+    }
+
+    /// Absorbs an observed send duration for slave `j`.
+    pub fn observe_send(&mut self, j: usize, duration: f64) {
+        self.c_sum[j] += duration;
+        self.c_obs[j] += 1;
+        self.c_hat[j] = self.c_sum[j] / f64::from(self.c_obs[j]);
+    }
+
+    /// Absorbs an observed compute duration for slave `j`.
+    pub fn observe_compute(&mut self, j: usize, duration: f64) {
+        self.p_sum[j] += duration;
+        self.p_obs[j] += 1;
+        self.p_hat[j] = self.p_sum[j] / f64::from(self.p_obs[j]);
+    }
+
+    /// Records that slave `j` is believed to have started computing at `at`.
+    pub fn begin_compute(&mut self, j: usize, at: f64) {
+        self.computing[j] = true;
+        self.cur_start[j] = at;
+    }
+
+    /// Records that slave `j`'s believed-current computation ended.
+    pub fn end_compute(&mut self, j: usize) {
+        self.computing[j] = false;
+        self.cur_start[j] = 0.0;
     }
 }
 
@@ -197,26 +303,48 @@ mod tests {
 
     #[test]
     fn estimates_start_at_the_prior_and_average_observations() {
-        let mut e = SlaveEstimate::default();
-        assert_eq!(e.c_hat(), SlaveEstimate::PRIOR);
-        assert_eq!(e.p_hat(), SlaveEstimate::PRIOR);
-        e.observe_send(2.0);
-        e.observe_send(4.0);
-        e.observe_compute(10.0);
-        assert_eq!(e.c_hat(), 3.0);
-        assert_eq!(e.p_hat(), 10.0);
-        assert_eq!(e.c_observations(), 2);
-        assert_eq!(e.p_observations(), 1);
+        let mut e = SlaveEstimates::new(2);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.c_hats(), [SlaveEstimate::PRIOR; 2]);
+        assert_eq!(e.p_hats(), [SlaveEstimate::PRIOR; 2]);
+        e.observe_send(0, 2.0);
+        e.observe_send(0, 4.0);
+        e.observe_compute(0, 10.0);
+        assert_eq!(e.c_hats()[0], 3.0);
+        assert_eq!(e.p_hats()[0], 10.0);
+        // Slave 1 saw nothing: still the prior.
+        assert_eq!(e.c_hats()[1], SlaveEstimate::PRIOR);
+        let row = e.get(0);
+        assert_eq!(row.c_observations(), 2);
+        assert_eq!(row.p_observations(), 1);
+        // The memoized column and the row snapshot's query-time division
+        // agree bit for bit (the memoization contract).
+        assert_eq!(e.c_hats()[0].to_bits(), row.c_hat().to_bits());
+        assert_eq!(e.p_hats()[0].to_bits(), row.p_hat().to_bits());
     }
 
     #[test]
     fn compute_tracking_toggles() {
-        let mut e = SlaveEstimate::default();
-        assert!(!e.computing());
-        e.begin_compute(5.0);
-        assert!(e.computing());
-        assert_eq!(e.cur_start(), 5.0);
-        e.end_compute();
-        assert!(!e.computing());
+        let mut e = SlaveEstimates::new(1);
+        assert!(!e.is_computing(0));
+        e.begin_compute(0, 5.0);
+        assert!(e.is_computing(0));
+        assert_eq!(e.cur_start(0), 5.0);
+        assert!(e.get(0).computing());
+        assert_eq!(e.get(0).cur_start(), 5.0);
+        e.end_compute(0);
+        assert!(!e.is_computing(0));
+    }
+
+    #[test]
+    fn reset_returns_every_column_to_the_prior() {
+        let mut e = SlaveEstimates::new(1);
+        e.observe_send(0, 7.0);
+        e.begin_compute(0, 3.0);
+        e.reset(3);
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.c_hats(), [SlaveEstimate::PRIOR; 3]);
+        assert!(!e.is_computing(0));
+        assert_eq!(e.get(0).c_observations(), 0);
     }
 }

@@ -87,7 +87,7 @@ pub use engine::{
 pub use events::{PlatformEvent, PlatformEventKind, Timeline};
 pub use gantt::render as render_gantt;
 pub use gantt::render_with_downtime;
-pub use info::{InfoTier, SlaveEstimate};
+pub use info::{InfoTier, SlaveEstimate, SlaveEstimates};
 pub use mss_obs::{
     DigestEvent, DigestProbe, Histogram, Marker, MarkerKind, MetricsProbe, NoopProbe, Probe,
     RunCounters, RunHistograms, RunMetrics, Span, SpanKind, TraceRecorder,
@@ -99,4 +99,4 @@ pub use stats::{trace_stats, SlaveStats, TraceStats};
 pub use task::{bag_of_tasks, released_at, TaskArrival, TaskId};
 pub use time::{Time, TIME_EPS};
 pub use trace::{validate, TaskRecord, Trace, TraceViolation};
-pub use view::{SimView, SlaveView, ViewState};
+pub use view::{SimView, SlaveView, SlaveViews, ViewState};

@@ -18,13 +18,14 @@
 //! Unreleased tasks and actual (perturbed) sizes of unfinished work are
 //! invisible at *every* tier.
 
-use crate::info::{InfoTier, SlaveEstimate};
+use crate::info::{InfoTier, SlaveEstimate, SlaveEstimates};
 use crate::platform::{Platform, SlaveId};
 use crate::task::TaskId;
 use crate::time::Time;
 
-/// Per-slave observable state (snapshot) — the raw core.
-#[derive(Clone, Copy, Debug)]
+/// One slave's observable state, as a value snapshot — the per-slave row
+/// of [`SlaveViews`], handed out by [`SimView::slave`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct SlaveView {
     /// Tasks sent (or being sent) to this slave and not yet completed.
     pub outstanding: usize,
@@ -39,6 +40,80 @@ pub struct SlaveView {
     /// on a static platform). The master observes failures, so availability
     /// is part of the on-line information model at every tier.
     pub available: bool,
+}
+
+/// The fleet's observable state, stored column-major (structure of
+/// arrays): one contiguous column per [`SlaveView`] field, indexed by
+/// slave.
+///
+/// The columns are public and maintained directly — the DES engine writes
+/// them in `recompute_view`, the `mss-cluster` executor and custom
+/// harnesses write them through an owned [`ViewState`]. Keeping
+/// `ready_estimate` as a dense `f64` column (rather than an array of
+/// structs) means the heuristics' per-decision argmin scans — SRPT's
+/// idle-slave ranking, List Scheduling's completion-estimate
+/// minimization — traverse contiguous same-typed memory.
+#[derive(Clone, Debug, Default)]
+pub struct SlaveViews {
+    /// Tasks sent (or being sent) to each slave and not yet completed.
+    pub outstanding: Vec<usize>,
+    /// Per-slave ready estimates, in seconds ([`SlaveView::ready_estimate`]
+    /// as its raw `f64`).
+    pub ready_estimate: Vec<f64>,
+    /// Total tasks completed by each slave so far.
+    pub completed: Vec<usize>,
+    /// Per-slave availability (`false` while failed).
+    pub available: Vec<bool>,
+}
+
+impl SlaveViews {
+    /// Fresh columns for `m` idle, available slaves at time zero.
+    pub fn new(m: usize) -> Self {
+        let mut v = SlaveViews::default();
+        v.reset(m);
+        v
+    }
+
+    /// Re-initializes for `m` slaves, keeping column capacity (the
+    /// workspace-reuse path).
+    pub fn reset(&mut self, m: usize) {
+        self.outstanding.clear();
+        self.outstanding.resize(m, 0);
+        self.ready_estimate.clear();
+        self.ready_estimate.resize(m, 0.0);
+        self.completed.clear();
+        self.completed.resize(m, 0);
+        self.available.clear();
+        self.available.resize(m, true);
+    }
+
+    /// Number of slaves the columns cover.
+    pub fn len(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// `true` iff the columns cover no slave.
+    pub fn is_empty(&self) -> bool {
+        self.outstanding.is_empty()
+    }
+
+    /// Value snapshot of slave `j`'s row.
+    pub fn get(&self, j: usize) -> SlaveView {
+        SlaveView {
+            outstanding: self.outstanding[j],
+            ready_estimate: Time::new(self.ready_estimate[j]),
+            completed: self.completed[j],
+            available: self.available[j],
+        }
+    }
+
+    /// Writes slave `j`'s row from a value snapshot.
+    pub fn set(&mut self, j: usize, v: SlaveView) {
+        self.outstanding[j] = v.outstanding;
+        self.ready_estimate[j] = v.ready_estimate.as_f64();
+        self.completed[j] = v.completed;
+        self.available[j] = v.available;
+    }
 }
 
 /// Owned observable state from which a [`SimView`] can be borrowed.
@@ -60,10 +135,11 @@ pub struct ViewState {
     pub tier: InfoTier,
     /// When the master's port frees (≤ `now` when idle).
     pub link_busy_until: Time,
-    /// Per-slave observable state.
-    pub slaves: Vec<SlaveView>,
-    /// Per-slave learned rate estimates (read below `Clairvoyant`).
-    pub estimates: Vec<SlaveEstimate>,
+    /// Per-slave observable state, column-major.
+    pub slaves: SlaveViews,
+    /// Per-slave learned rate estimates, column-major (read below
+    /// `Clairvoyant`).
+    pub estimates: SlaveEstimates,
     /// Bumped whenever an estimate absorbs a new observation.
     pub estimate_version: u64,
     /// Released, unassigned tasks in FIFO order.
@@ -87,16 +163,8 @@ impl ViewState {
             platform,
             tier: InfoTier::Clairvoyant,
             link_busy_until: Time::ZERO,
-            slaves: vec![
-                SlaveView {
-                    outstanding: 0,
-                    ready_estimate: Time::ZERO,
-                    completed: 0,
-                    available: true,
-                };
-                m
-            ],
-            estimates: vec![SlaveEstimate::default(); m],
+            slaves: SlaveViews::new(m),
+            estimates: SlaveEstimates::new(m),
             estimate_version: 0,
             pending: Vec::new(),
             releases: vec![Time::ZERO; num_tasks],
@@ -152,8 +220,8 @@ pub struct SimView<'a> {
     pub(crate) platform: &'a Platform,
     pub(crate) tier: InfoTier,
     pub(crate) link_busy_until: Time,
-    pub(crate) slaves: &'a [SlaveView],
-    pub(crate) estimates: &'a [SlaveEstimate],
+    pub(crate) slaves: &'a SlaveViews,
+    pub(crate) estimates: &'a SlaveEstimates,
     pub(crate) estimate_version: u64,
     pub(crate) pending: &'a [TaskId],
     pub(crate) releases: &'a [Time],
@@ -256,18 +324,19 @@ impl<'a> SimView<'a> {
     /// ```
     /// use mss_sim::{Platform, SlaveId, Time, ViewState};
     /// let mut state = ViewState::new(Platform::from_vectors(&[1.0], &[2.0]), 0, None);
-    /// state.slaves[0].outstanding = 3;
-    /// state.slaves[0].ready_estimate = Time::new(9.0);
+    /// state.slaves.outstanding[0] = 3;
+    /// state.slaves.ready_estimate[0] = 9.0;
     /// let view = state.view();
     /// assert_eq!(view.slave(SlaveId(0)).outstanding, 3);
+    /// assert_eq!(view.slave(SlaveId(0)).ready_estimate, Time::new(9.0));
     /// assert!(!view.slave_idle(SlaveId(0)));
     /// ```
     pub fn slave(&self, j: SlaveId) -> SlaveView {
         match self.tier {
-            InfoTier::Clairvoyant => self.slaves[j.0],
+            InfoTier::Clairvoyant => self.slaves.get(j.0),
             _ => SlaveView {
                 ready_estimate: self.ready_estimate(j),
-                ..self.slaves[j.0]
+                ..self.slaves.get(j.0)
             },
         }
     }
@@ -277,7 +346,7 @@ impl<'a> SimView<'a> {
     /// [`InfoTier::Clairvoyant`] the engine does not maintain them and
     /// they stay at the prior).
     pub fn slave_estimate(&self, j: SlaveId) -> SlaveEstimate {
-        self.estimates[j.0]
+        self.estimates.get(j.0)
     }
 
     /// Bumped each time a learned estimate absorbs a new observation
@@ -291,13 +360,13 @@ impl<'a> SimView<'a> {
     /// `true` iff slave `j` has no outstanding work at all (SRPT's notion of
     /// a *free* slave).
     pub fn slave_idle(&self, j: SlaveId) -> bool {
-        self.slaves[j.0].outstanding == 0
+        self.slaves.outstanding[j.0] == 0
     }
 
     /// `true` iff slave `j` is up (not failed). Always `true` on a static
     /// platform.
     pub fn slave_available(&self, j: SlaveId) -> bool {
-        self.slaves[j.0].available
+        self.slaves.available[j.0]
     }
 
     /// Ids of the currently available (up) slaves, in index order.
@@ -306,36 +375,39 @@ impl<'a> SimView<'a> {
     /// ```
     /// use mss_sim::{Platform, SlaveId, ViewState};
     /// let mut state = ViewState::new(Platform::from_vectors(&[1.0, 1.0], &[2.0, 3.0]), 0, None);
-    /// state.slaves[0].available = false; // P1 is down
+    /// state.slaves.available[0] = false; // P1 is down
     /// let view = state.view();
     /// assert!(!view.slave_available(SlaveId(0)));
     /// assert_eq!(view.available_slaves().collect::<Vec<_>>(), vec![SlaveId(1)]);
     /// ```
     pub fn available_slaves(&self) -> impl Iterator<Item = SlaveId> + '_ {
         self.slaves
+            .available
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.available)
+            .filter(|(_, &up)| up)
             .map(|(j, _)| SlaveId(j))
     }
 
     /// The master's belief about slave `j`'s per-task communication time:
     /// the nominal `c_j` at [`InfoTier::Clairvoyant`], the learned
-    /// [`SlaveEstimate::c_hat`] below it.
+    /// [`SlaveEstimate::c_hat`] below it (a memoized dense-column read —
+    /// see [`SlaveEstimates::c_hats`]).
     pub fn believed_c(&self, j: SlaveId) -> f64 {
         match self.tier {
             InfoTier::Clairvoyant => self.platform.c(j),
-            _ => self.estimates[j.0].c_hat(),
+            _ => self.estimates.c_hats()[j.0],
         }
     }
 
     /// The master's belief about slave `j`'s per-task computation time:
     /// the nominal `p_j` at [`InfoTier::Clairvoyant`], the learned
-    /// [`SlaveEstimate::p_hat`] below it.
+    /// [`SlaveEstimate::p_hat`] below it (a memoized dense-column read —
+    /// see [`SlaveEstimates::p_hats`]).
     pub fn believed_p(&self, j: SlaveId) -> f64 {
         match self.tier {
             InfoTier::Clairvoyant => self.platform.p(j),
-            _ => self.estimates[j.0].p_hat(),
+            _ => self.estimates.p_hats()[j.0],
         }
     }
 
@@ -350,19 +422,18 @@ impl<'a> SimView<'a> {
     /// outstanding task adds one `p̂`.
     pub fn ready_estimate(&self, j: SlaveId) -> Time {
         match self.tier {
-            InfoTier::Clairvoyant => self.slaves[j.0].ready_estimate,
+            InfoTier::Clairvoyant => Time::new(self.slaves.ready_estimate[j.0]),
             _ => {
-                let s = &self.slaves[j.0];
-                let e = &self.estimates[j.0];
+                let outstanding = self.slaves.outstanding[j.0];
                 let now = self.now.as_f64();
-                let p = e.p_hat();
-                let (base, tail) = if e.computing() {
+                let p = self.estimates.p_hats()[j.0];
+                let (base, tail) = if self.estimates.is_computing(j.0) {
                     (
-                        (e.cur_start() + p).max(now),
-                        s.outstanding.saturating_sub(1),
+                        (self.estimates.cur_start(j.0) + p).max(now),
+                        outstanding.saturating_sub(1),
                     )
                 } else {
-                    (now, s.outstanding)
+                    (now, outstanding)
                 };
                 Time::new(base + tail as f64 * p)
             }
@@ -381,7 +452,7 @@ impl<'a> SimView<'a> {
         match self.tier {
             InfoTier::Clairvoyant => {
                 let recv = self.link_free_at() + self.platform.c(j);
-                let start = recv.max(self.slaves[j.0].ready_estimate);
+                let start = recv.max(Time::new(self.slaves.ready_estimate[j.0]));
                 start + self.platform.p(j)
             }
             _ => {
@@ -438,8 +509,8 @@ mod tests {
     fn lower_tiers_answer_from_estimates() {
         let mut s = state();
         s.tier = InfoTier::SpeedOblivious;
-        s.estimates[0].observe_send(0.5);
-        s.estimates[0].observe_compute(4.0);
+        s.estimates.observe_send(0, 0.5);
+        s.estimates.observe_compute(0, 4.0);
         let v = s.view();
         assert_eq!(v.believed_c(SlaveId(0)), 0.5);
         assert_eq!(v.believed_p(SlaveId(0)), 4.0);
@@ -468,9 +539,9 @@ mod tests {
         let mut s = state();
         s.tier = InfoTier::SpeedOblivious;
         s.now = Time::new(10.0);
-        s.slaves[0].outstanding = 3;
-        s.estimates[0].observe_compute(2.0);
-        s.estimates[0].begin_compute(9.0);
+        s.slaves.outstanding[0] = 3;
+        s.estimates.observe_compute(0, 2.0);
+        s.estimates.begin_compute(0, 9.0);
         let v = s.view();
         // Current task ends at max(10, 9 + 2) = 11, plus two more at 2 each.
         assert_eq!(v.ready_estimate(SlaveId(0)), Time::new(15.0));

@@ -152,6 +152,64 @@ fn scheduler_for<'a>(
         .as_mut()
 }
 
+/// Default [`split_batches`] threshold, in estimated events: batches that
+/// cost more are chopped into smaller same-instance sub-units. The default
+/// is far above the reference grids (a full 8-algorithm batch of 120-task
+/// cells is ~3k events, so nothing splits) but turns one hypothetical
+/// 1M-task batch into per-algorithm units so it cannot pin a worker while
+/// the others idle.
+pub const DEFAULT_SPLIT_EVENTS: u64 = 1 << 18;
+
+/// Estimated engine events for one cell with `tasks` tasks — the batch
+/// cost model. Every task costs a send, a compute and a completion
+/// callback (~3 events); the constant covers per-run setup. The estimate
+/// only steers scheduling (seeding order and split points), so its
+/// absolute scale is irrelevant — relative ordering is what matters.
+pub fn estimated_cell_events(tasks: usize) -> u64 {
+    3 * tasks as u64 + 16
+}
+
+/// Cost of one batch range under the event model: cells × estimated
+/// per-cell events (all cells of a batch share one instance, hence one
+/// task count).
+pub fn batch_cost(cells: &[Cell], indices: &[usize], batch: &Range<usize>) -> u64 {
+    let head = &cells[indices[batch.start]];
+    batch.len() as u64 * estimated_cell_events(head.tasks)
+}
+
+/// Splits every batch whose [`batch_cost`] exceeds `max_events` into
+/// consecutive same-instance sub-units of at most
+/// `max_events / estimated_cell_events` cells (at least one — a single
+/// cell never splits further). Sub-units partition the original ranges in
+/// order, so downstream index-ordered flattening is untouched; each
+/// sub-unit re-materializes the shared instance (a few percent of a cell's
+/// cost), which is bit-transparent, so results stay identical for any
+/// threshold (the equivalence proptests force tiny thresholds to pin
+/// this).
+pub fn split_batches(
+    cells: &[Cell],
+    indices: &[usize],
+    batches: Vec<Range<usize>>,
+    max_events: u64,
+) -> Vec<Range<usize>> {
+    let mut out = Vec::with_capacity(batches.len());
+    for batch in batches {
+        if batch_cost(cells, indices, &batch) <= max_events {
+            out.push(batch);
+            continue;
+        }
+        let per_cell = estimated_cell_events(cells[indices[batch.start]].tasks);
+        let unit = ((max_events / per_cell) as usize).max(1);
+        let mut start = batch.start;
+        while start < batch.end {
+            let end = (start + unit).min(batch.end);
+            out.push(start..end);
+            start = end;
+        }
+    }
+    out
+}
+
 /// Groups `indices` (ascending positions into `cells`, e.g. the not-yet-
 /// cached subset) into maximal consecutive runs of same-instance cells.
 /// Returned ranges index into `indices`, partition it, and preserve order —
@@ -365,6 +423,74 @@ mod tests {
         let holey = [0usize, 2, 3, 5];
         assert_eq!(group_instances(&cells, &holey), vec![0..2, 2..3, 3..4]);
         assert!(group_instances(&cells, &[]).is_empty());
+    }
+
+    #[test]
+    fn splitting_respects_threshold_and_partitions_in_order() {
+        let cells: Vec<Cell> = Algorithm::ALL.iter().map(|&a| cell(1, a)).collect();
+        let all: Vec<usize> = (0..cells.len()).collect();
+        let batches = group_instances(&cells, &all);
+        assert_eq!(batches, vec![0..cells.len()]);
+        let per_cell = estimated_cell_events(20);
+
+        // A generous threshold leaves the grouping alone.
+        let whole = split_batches(&cells, &all, batches.clone(), u64::MAX);
+        assert_eq!(whole, vec![0..cells.len()]);
+
+        // A threshold of two cells' events chops into pairs.
+        let pairs = split_batches(&cells, &all, batches.clone(), 2 * per_cell);
+        assert!(pairs.iter().all(|r| r.len() <= 2));
+        // Sub-units partition the original range in order.
+        let mut next = 0usize;
+        for r in &pairs {
+            assert_eq!(r.start, next);
+            next = r.end;
+        }
+        assert_eq!(next, cells.len());
+
+        // A threshold below one cell still floors at singleton units.
+        let singles = split_batches(&cells, &all, batches, 1);
+        assert_eq!(singles.len(), cells.len());
+        assert!(singles.iter().all(|r| r.len() == 1));
+        for r in &singles {
+            assert_eq!(batch_cost(&cells, &all, r), per_cell);
+        }
+    }
+
+    #[test]
+    fn split_batches_run_bit_identical_to_whole_batches() {
+        // Splitting re-materializes per sub-unit; every result must still
+        // be bit-identical to the unsplit batch run.
+        let cells: Vec<Cell> = Algorithm::ALL.iter().map(|&a| cell(1, a)).collect();
+        let all: Vec<usize> = (0..cells.len()).collect();
+        let (mut whole_out, mut split_out) = (Vec::new(), Vec::new());
+        let mut whole_worker = BatchWorker::new();
+        let mut split_worker = BatchWorker::new();
+        for b in group_instances(&cells, &all) {
+            run_batch(&cells, &all, b, &mut whole_worker, &mut whole_out);
+        }
+        let split = split_batches(&cells, &all, group_instances(&cells, &all), 1);
+        assert_eq!(split.len(), cells.len());
+        for b in split {
+            run_batch(&cells, &all, b, &mut split_worker, &mut split_out);
+        }
+        assert_eq!(
+            split_worker.metrics.materializations,
+            cells.len() as u64,
+            "each singleton sub-unit re-materializes"
+        );
+        for ((c, w), s) in cells.iter().zip(&whole_out).zip(&split_out) {
+            let (w, s) = (w.as_ref().unwrap(), s.as_ref().unwrap());
+            assert_eq!(
+                w.makespan.to_bits(),
+                s.makespan.to_bits(),
+                "{}",
+                c.algorithm
+            );
+            assert_eq!(w.max_flow.to_bits(), s.max_flow.to_bits());
+            assert_eq!(w.sum_flow.to_bits(), s.sum_flow.to_bits());
+            assert_eq!(w.ratio_makespan.to_bits(), s.ratio_makespan.to_bits());
+        }
     }
 
     #[test]

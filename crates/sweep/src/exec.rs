@@ -1,15 +1,21 @@
 //! The deterministic parallel executor.
 //!
 //! Cells of a sweep are embarrassingly parallel: each is a pure function of
-//! its own spec and seeds. The executor hands cells to worker threads
-//! through a shared atomic cursor (dynamic load balancing — late, slow
-//! cells cannot stall a fixed pre-partition), and every result is written
-//! back to the slot of its original index. Aggregation downstream always
-//! reads slots in index order, so **results are bit-identical for any
-//! thread count** — the scheduling only decides who computes a slot, never
-//! what ends up in it.
+//! its own spec and seeds. The executor distributes work items over
+//! per-worker **work-stealing deques** ([`crossbeam::deque`]): every item
+//! carries a cost estimate, items are seeded onto the deques
+//! largest-cost-first in round-robin (an LPT-style static pre-balance), and
+//! a worker whose own deque runs dry steals from the tail of its peers —
+//! late, slow items cannot stall a fixed pre-partition, and one oversized
+//! item no longer pins a worker while the rest idle behind a shared cursor.
+//!
+//! Scheduling only decides **who** computes a slot, never **what** ends up
+//! in it: every result is written back to the slot of its original index
+//! and aggregation downstream always reads slots in index order, so
+//! **results are bit-identical for any thread count** (and any cost
+//! model — costs steer placement, not content).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crossbeam::deque::{Steal, Stealer, Worker};
 use std::sync::Mutex;
 
 /// Number of worker threads to use when the caller does not care: the
@@ -80,6 +86,42 @@ where
     F: Fn(&mut S, usize, &T) -> R + Sync,
     D: Fn(S) -> M + Sync,
 {
+    parallel_map_costed(items, threads, |_, _| 1, init, f, drain)
+}
+
+/// [`parallel_map_collect`] with an explicit per-item **cost model**:
+/// `cost(i, &items[i])` estimates the relative work of item `i` (any
+/// positive scale; the sweep uses estimated simulation events). Costs feed
+/// the work-stealing scheduler two ways:
+///
+/// 1. **Seeding** — items are sorted largest-cost-first (ties broken by
+///    index) and dealt round-robin onto the per-worker deques, so every
+///    worker starts with a similar cost share and the big rocks are placed
+///    before the gravel (LPT-style);
+/// 2. **Stealing** — a worker whose deque runs dry takes from the *tail*
+///    of a peer's deque, i.e. the cheapest work that peer has queued,
+///    keeping each owner on its own expensive items.
+///
+/// Costs influence scheduling only: results land in their original index
+/// slots and are bit-identical for any thread count and any cost model
+/// (`cost` is evaluated once, up front, on the calling thread).
+pub fn parallel_map_costed<T, R, S, M, C, I, F, D>(
+    items: &[T],
+    threads: usize,
+    cost: C,
+    init: I,
+    f: F,
+    drain: D,
+) -> (Vec<R>, Vec<M>)
+where
+    T: Sync,
+    R: Send,
+    M: Send,
+    C: Fn(usize, &T) -> u64,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+    D: Fn(S) -> M + Sync,
+{
     if threads <= 1 || items.len() <= 1 {
         let mut scratch = init();
         let out = items
@@ -90,24 +132,45 @@ where
         return (out, vec![drain(scratch)]);
     }
 
-    let cursor = AtomicUsize::new(0);
+    let workers = threads.min(items.len());
+    // LPT-style seed: largest first, ties by index, dealt round-robin.
+    let costs: Vec<u64> = items.iter().enumerate().map(|(i, t)| cost(i, t)).collect();
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| costs[b].cmp(&costs[a]).then(a.cmp(&b)));
+    let deques: Vec<Worker<usize>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+    for (rank, &i) in order.iter().enumerate() {
+        deques[rank % workers].push(i);
+    }
+    let stealers: Vec<Stealer<usize>> = deques.iter().map(|d| d.stealer()).collect();
+
     let sink: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
     let summaries: Mutex<Vec<M>> = Mutex::new(Vec::new());
-    let workers = threads.min(items.len());
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                // Each worker batches results locally and merges once at the
-                // end, so the sink lock is taken `threads` times, not
+        for (w, own) in deques.into_iter().enumerate() {
+            let stealers = &stealers;
+            let (init, f, drain) = (&init, &f, &drain);
+            let (sink, summaries) = (&sink, &summaries);
+            scope.spawn(move || {
+                // Each worker batches results locally and merges once at
+                // the end, so the sink lock is taken `workers` times, not
                 // `items` times.
                 let mut scratch = init();
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
+                    // Own deque first (front: the costliest seeds), then
+                    // one round over the peers' tails. No work is ever
+                    // re-queued, so a fully empty sweep means done.
+                    let next = own.pop().or_else(|| {
+                        (1..workers).find_map(|k| loop {
+                            match stealers[(w + k) % workers].steal() {
+                                Steal::Success(i) => break Some(i),
+                                Steal::Empty => break None,
+                                Steal::Retry => continue,
+                            }
+                        })
+                    });
+                    let Some(i) = next else { break };
                     local.push((i, f(&mut scratch, i, &items[i])));
                 }
                 sink.lock().unwrap().extend(local);
@@ -210,5 +273,82 @@ mod tests {
             |c| c,
         );
         assert_eq!(seq, vec![64]);
+    }
+
+    #[test]
+    fn costed_results_are_cost_model_invariant() {
+        // Wildly different cost models must not change a single result —
+        // costs steer placement only.
+        let items: Vec<u64> = (0..321).map(|i| i * 7 % 113).collect();
+        let run = |threads, cost: fn(usize, &u64) -> u64| {
+            parallel_map_costed(
+                &items,
+                threads,
+                cost,
+                || (),
+                |(), i, &x| (i as u64) * x,
+                |()| (),
+            )
+            .0
+        };
+        let reference = run(1, |_, _| 1);
+        for threads in [2usize, 3, 8] {
+            assert_eq!(run(threads, |_, _| 1), reference);
+            assert_eq!(run(threads, |_, &x| x + 1), reference);
+            assert_eq!(run(threads, |i, _| (1000 - i) as u64), reference);
+        }
+    }
+
+    #[test]
+    fn one_giant_item_does_not_serialize_the_rest() {
+        // With a shared-cursor loop a giant first item pins one worker and
+        // the rest still drain the tail; with stealing the same holds —
+        // this pins the contract that every item is executed exactly once
+        // even when costs are violently skewed.
+        let mut items = vec![1u64; 100];
+        items[0] = 1_000_000;
+        let (out, summaries) = parallel_map_costed(
+            &items,
+            4,
+            |_, &c| c,
+            || 0u64,
+            |n, i, &c| {
+                *n += 1;
+                (i as u64, c)
+            },
+            |n| n,
+        );
+        assert_eq!(out.len(), 100);
+        for (i, &(idx, c)) in out.iter().enumerate() {
+            assert_eq!(idx, i as u64);
+            assert_eq!(c, items[i]);
+        }
+        assert_eq!(summaries.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn stealing_drains_a_worker_stuck_on_a_slow_item() {
+        // Worker 0's seeded queue holds the slowest item plus cheap ones;
+        // while it sleeps on the slow item the other workers must steal
+        // and finish the cheap tail (the sum proves nothing ran twice).
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let items: Vec<usize> = (0..40).collect();
+        let executed = AtomicUsize::new(0);
+        let (out, _) = parallel_map_costed(
+            &items,
+            4,
+            |i, _| if i == 0 { 1_000_000 } else { 1 },
+            || (),
+            |(), i, &x| {
+                if i == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                }
+                executed.fetch_add(1, Ordering::Relaxed);
+                x * 3
+            },
+            |()| (),
+        );
+        assert_eq!(executed.load(Ordering::Relaxed), 40);
+        assert_eq!(out, (0..40).map(|x| x * 3).collect::<Vec<_>>());
     }
 }

@@ -103,16 +103,21 @@ use std::path::PathBuf;
 pub use agg::{
     aggregate, aggregate_metrics, summarize, AggregateRow, HistSummary, MetricsRow, Summary,
 };
-pub use batch::{group_instances, run_batch, run_batch_streamed, BatchWorker, SamplerCache};
+pub use batch::{
+    batch_cost, estimated_cell_events, group_instances, run_batch, run_batch_streamed,
+    split_batches, BatchWorker, SamplerCache, DEFAULT_SPLIT_EVENTS,
+};
 pub use cell::{
     AbortKind, Cell, CellError, CellMetrics, MaterializedInstance, PerturbCell, PlatformCell,
     ScenarioCell, StreamedInstance,
 };
-pub use exec::{default_threads, parallel_map, parallel_map_collect, parallel_map_with};
+pub use exec::{
+    default_threads, parallel_map, parallel_map_collect, parallel_map_costed, parallel_map_with,
+};
 pub use mss_obs::{StoreStats, SweepMetrics, WorkerMetrics};
 pub use run_metrics::{CellRunMetrics, HistogramData};
 pub use spec::{ArrivalAxis, PerturbAxis, PlatformAxis, ScenarioAxis, SpecError, SweepSpec};
-pub use store::{cell_key, ResultStore, CODE_VERSION_SALT};
+pub use store::{cell_key, ResultStore, StoreWriter, CODE_VERSION_SALT};
 
 /// How a sweep executes.
 #[derive(Clone, Debug)]
@@ -147,6 +152,13 @@ pub struct SweepConfig {
     /// bit-identical to the materialized path, so the two modes share one
     /// result store.
     pub streamed: bool,
+    /// Batch-splitting threshold in estimated events (the cost model of
+    /// [`estimated_cell_events`]): a same-instance batch costing more is
+    /// chopped into sub-units of at most this many events, so one giant
+    /// batch cannot pin a worker while the rest idle. Results are
+    /// bit-identical for any value (contract #14); the default
+    /// [`DEFAULT_SPLIT_EVENTS`] never splits the paper's reference grids.
+    pub split_events: u64,
 }
 
 impl Default for SweepConfig {
@@ -158,6 +170,7 @@ impl Default for SweepConfig {
             count_events: false,
             collect_metrics: false,
             streamed: false,
+            split_events: DEFAULT_SPLIT_EVENTS,
         }
     }
 }
@@ -205,6 +218,11 @@ pub struct CheckedOutcome {
     pub stats: SweepMetrics,
 }
 
+/// Worker store-writers flush once more than this many bytes are buffered
+/// (and always at drain), so tiny batches coalesce into fewer appends
+/// while big results reach disk — and crash resumability — promptly.
+const WORKER_FLUSH_FLOOR: usize = 32 << 10;
+
 /// Executes cells under `config` without panicking on cell errors: every
 /// slot of `results` carries that cell's own outcome, bit-identical to a
 /// per-cell [`Cell::try_run_in`] for any thread count.
@@ -251,51 +269,70 @@ pub fn try_run_cells(cells: &[Cell], config: &SweepConfig) -> CheckedOutcome {
     };
 
     // Instance-major fan-out: each work item is one batch of consecutive
-    // same-instance cells; each worker thread owns one BatchWorker (the
-    // reused SimWorkspace + memoized sampler streams). Batch results are
-    // slotted back by index, so output order — and every bit of it — is
-    // independent of thread count and of the grouping itself.
-    let batches = group_instances(cells, &missing);
+    // same-instance cells (oversized batches pre-split into same-instance
+    // sub-units by the event cost model); each worker thread owns one
+    // BatchWorker (the reused SimWorkspace + memoized sampler streams) and
+    // the work-stealing executor seeds costliest batches first. Batch
+    // results are slotted back by index, so output order — and every bit
+    // of it — is independent of thread count, of the grouping, and of the
+    // cost model (contract #14).
+    let batches = split_batches(
+        cells,
+        &missing,
+        group_instances(cells, &missing),
+        config.split_events,
+    );
     let progress = mss_obs::Progress::new(missing.len(), config.progress);
-    let (fresh, workers) = parallel_map_collect(
+    // Workers persist their own results as they go: each scratch holds a
+    // per-worker StoreWriter (private serialization buffers, per-shard
+    // flush locks), so the store never serializes the sweep behind one
+    // mutex and an interrupted run keeps every batch already flushed.
+    let (fresh, workers) = parallel_map_costed(
         &batches,
         config.threads,
+        |_, b| batch_cost(cells, &missing, b),
         || {
             let mut w = BatchWorker::with_epoch(epoch);
             w.count_events = config.count_events;
             w.collect_metrics = config.collect_metrics;
-            w
+            (w, store.as_ref().map(|s| s.writer()))
         },
-        |w, _, b| {
+        |(w, writer), _, b| {
             let mut out = Vec::with_capacity(b.len());
             if config.streamed {
                 batch::run_batch_streamed(cells, &missing, b.clone(), w, &mut out);
             } else {
                 batch::run_batch(cells, &missing, b.clone(), w, &mut out);
             }
+            if let (Some(writer), Some(keys)) = (writer.as_mut(), keys.as_ref()) {
+                let t0 = std::time::Instant::now();
+                for (k, r) in b.clone().zip(&out) {
+                    writer.push(&keys[missing[k]], r);
+                }
+                writer
+                    .flush_over(WORKER_FLUSH_FLOOR)
+                    .expect("append sweep results");
+                w.metrics.store_secs += t0.elapsed().as_secs_f64();
+            }
             for _ in 0..out.len() {
                 progress.tick();
             }
             out
         },
-        |w| w.metrics,
+        |(mut w, writer)| {
+            if let Some(mut writer) = writer {
+                let t0 = std::time::Instant::now();
+                writer.flush().expect("append sweep results");
+                w.metrics.store_secs += t0.elapsed().as_secs_f64();
+            }
+            w.metrics
+        },
     );
     progress.finish();
     // Batches partition `missing` in order, so the flattened results align
     // one-to-one with `missing`.
     let flat: Vec<Result<CellMetrics, CellError>> = fresh.into_iter().flatten().collect();
     debug_assert_eq!(flat.len(), missing.len());
-
-    if let (Some(store), Some(keys)) = (&store, &keys) {
-        let t0 = std::time::Instant::now();
-        let records: Vec<(String, Result<CellMetrics, CellError>)> = missing
-            .iter()
-            .zip(&flat)
-            .map(|(&i, r)| (keys[i].clone(), r.clone()))
-            .collect();
-        store.append(&records).expect("append sweep results");
-        store_secs += t0.elapsed().as_secs_f64();
-    }
 
     let mut stats = SweepMetrics {
         cells: cells.len() as u64,
@@ -308,7 +345,7 @@ pub fn try_run_cells(cells: &[Cell], config: &SweepConfig) -> CheckedOutcome {
     if let Some(store) = &store {
         stats.store = store.stats();
     }
-    stats.store_secs = store_secs;
+    stats.store_secs += store_secs;
     stats.wall_secs = epoch.elapsed().as_secs_f64();
 
     let mut flat_iter = flat.into_iter();

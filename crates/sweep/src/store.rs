@@ -6,6 +6,19 @@
 //! parse (e.g. a shard truncated mid-record by a crash) is dropped, and the
 //! affected cell simply re-runs. Re-running a sweep therefore skips every
 //! intact completed cell and resumes interrupted ones.
+//!
+//! Writes go through per-worker [`StoreWriter`] handles: each worker
+//! serializes its finished records into its **own** per-shard buffers (no
+//! shared lock on the serialization path) and flushes each non-empty
+//! buffer to its shard file under that shard's **independent lock** — 16
+//! locks instead of one, so two workers only wait on each other when they
+//! flush into the *same* shard at the same instant, and every such wait is
+//! counted per shard ([`StoreStats::shard_contended`]). Record *lines* are
+//! byte-identical for any thread count; with more than one worker only
+//! the line order within a shard is scheduling-dependent, and [`load`]
+//! (last line wins per key) is insensitive to it — contract #14.
+//!
+//! [`load`]: ResultStore::load
 
 use crate::cell::{Cell, CellError, CellMetrics};
 use mss_obs::StoreStats;
@@ -58,21 +71,25 @@ struct StoredRecord {
     abort: Option<CellError>,
 }
 
+/// One shard's shared state: the lock serializing appends to its file,
+/// and how often a flusher found it already held.
+struct Shard {
+    lock: Mutex<()>,
+    contended: AtomicU64,
+}
+
 /// Sharded JSONL store rooted at a directory.
 pub struct ResultStore {
     dir: PathBuf,
-    /// Reusable per-shard serialization buffers: appends serialize records
-    /// straight into these (no per-record `to_string` allocation) and each
-    /// non-empty shard is flushed with a single write. Kept across
-    /// [`ResultStore::append`] calls so repeated appends stay warm.
-    bufs: Mutex<Vec<Vec<u8>>>,
+    /// Per-shard file locks + contention counters — 16 independent locks,
+    /// so concurrent flushes only serialize per shard.
+    shards: Vec<Shard>,
     appends: AtomicU64,
     bytes: AtomicU64,
-    lock_contended: AtomicU64,
 }
 
 /// Number of shard files (`shard_00.jsonl` … `shard_0f.jsonl`).
-const SHARDS: usize = 16;
+const SHARDS: usize = mss_obs::STORE_SHARDS;
 
 impl ResultStore {
     /// Opens (and creates) a store rooted at `dir`.
@@ -81,19 +98,36 @@ impl ResultStore {
         std::fs::create_dir_all(&dir)?;
         Ok(ResultStore {
             dir,
-            bufs: Mutex::new(vec![Vec::new(); SHARDS]),
+            shards: (0..SHARDS)
+                .map(|_| Shard {
+                    lock: Mutex::new(()),
+                    contended: AtomicU64::new(0),
+                })
+                .collect(),
             appends: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
-            lock_contended: AtomicU64::new(0),
         })
     }
 
     /// I/O statistics accumulated since the store was opened.
     pub fn stats(&self) -> StoreStats {
+        let mut shard_contended = [0u64; SHARDS];
+        for (slot, shard) in shard_contended.iter_mut().zip(&self.shards) {
+            *slot = shard.contended.load(Ordering::Relaxed);
+        }
         StoreStats {
             appends: self.appends.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
-            lock_contended: self.lock_contended.load(Ordering::Relaxed),
+            lock_contended: shard_contended.iter().sum(),
+            shard_contended,
+        }
+    }
+
+    /// A fresh per-worker write handle (its own serialization buffers).
+    pub fn writer(&self) -> StoreWriter<'_> {
+        StoreWriter {
+            store: self,
+            bufs: vec![Vec::new(); SHARDS],
         }
     }
 
@@ -154,70 +188,109 @@ impl ResultStore {
     }
 
     /// Appends finished cells — completed metrics *or* tagged aborts — to
-    /// their shards.
-    ///
-    /// Fast path: each record serializes *directly* into the store's
-    /// reusable per-shard buffer — no per-record `String` — and every
-    /// shard that received records is flushed with one batched
-    /// `write_all`. The emitted JSONL bytes are identical to serializing a
-    /// `StoredRecord` with `serde_json::to_string` line by line (a test
-    /// pins that format), so torn-line recovery semantics are unchanged.
+    /// their shards, through a throwaway [`StoreWriter`]. Convenience for
+    /// single-threaded callers and tests; the sweep's workers hold their
+    /// own long-lived writers instead.
     pub fn append(
         &self,
         records: &[(String, Result<CellMetrics, CellError>)],
     ) -> std::io::Result<()> {
-        let mut bufs = match self.bufs.try_lock() {
-            Ok(guard) => guard,
-            Err(std::sync::TryLockError::WouldBlock) => {
-                self.lock_contended.fetch_add(1, Ordering::Relaxed);
-                self.bufs.lock().expect("store buffer lock")
-            }
-            Err(std::sync::TryLockError::Poisoned(_)) => panic!("store buffer lock poisoned"),
-        };
-        // Start from empty buffers (they are only kept for capacity): a
-        // previous append that failed mid-flush must not leak its
-        // already-flushed bytes into this call as duplicate lines.
-        for buf in bufs.iter_mut() {
-            buf.clear();
-        }
+        let mut writer = self.writer();
         for (key, outcome) in records {
-            let buf = &mut bufs[Self::shard_index(key)];
-            // `{"key":<key>,"metrics":<M|null>,"abort":<null|A>}` — field
-            // order and float formatting exactly as StoredRecord's derived
-            // serialization (`Option` renders as the value or `null`).
-            buf.extend_from_slice(b"{\"key\":");
-            serde_json::to_writer(&mut *buf, key.as_str()).expect("serialize record key");
-            buf.extend_from_slice(b",\"metrics\":");
-            match outcome {
-                Ok(metrics) => {
-                    serde_json::to_writer(&mut *buf, metrics).expect("serialize record metrics");
-                    buf.extend_from_slice(b",\"abort\":null}\n");
-                }
-                Err(abort) => {
-                    buf.extend_from_slice(b"null,\"abort\":");
-                    serde_json::to_writer(&mut *buf, abort).expect("serialize record abort");
-                    buf.extend_from_slice(b"}\n");
-                }
+            writer.push(key, outcome);
+        }
+        writer.flush()
+    }
+}
+
+/// A per-worker write handle onto a [`ResultStore`].
+///
+/// `push` serializes a record into the writer's **private** per-shard
+/// buffer — no lock, no per-record `String`; the emitted JSONL bytes are
+/// identical to serializing a `StoredRecord` with `serde_json::to_string`
+/// line by line (a test pins that format), so torn-line recovery semantics
+/// are unchanged. `flush` appends each non-empty buffer to its shard file
+/// under that shard's own lock, counting contended acquisitions. Buffers
+/// keep their capacity across flushes, so a worker's steady state
+/// serializes allocation-free.
+pub struct StoreWriter<'a> {
+    store: &'a ResultStore,
+    bufs: Vec<Vec<u8>>,
+}
+
+impl StoreWriter<'_> {
+    /// Serializes one finished cell into this writer's shard buffer.
+    /// `{"key":<key>,"metrics":<M|null>,"abort":<null|A>}` — field order
+    /// and float formatting exactly as StoredRecord's derived
+    /// serialization (`Option` renders as the value or `null`).
+    pub fn push(&mut self, key: &str, outcome: &Result<CellMetrics, CellError>) {
+        let buf = &mut self.bufs[ResultStore::shard_index(key)];
+        buf.extend_from_slice(b"{\"key\":");
+        serde_json::to_writer(&mut *buf, key).expect("serialize record key");
+        buf.extend_from_slice(b",\"metrics\":");
+        match outcome {
+            Ok(metrics) => {
+                serde_json::to_writer(&mut *buf, metrics).expect("serialize record metrics");
+                buf.extend_from_slice(b",\"abort\":null}\n");
+            }
+            Err(abort) => {
+                buf.extend_from_slice(b"null,\"abort\":");
+                serde_json::to_writer(&mut *buf, abort).expect("serialize record abort");
+                buf.extend_from_slice(b"}\n");
             }
         }
+    }
+
+    /// Bytes currently buffered and not yet flushed.
+    pub fn buffered(&self) -> usize {
+        self.bufs.iter().map(Vec::len).sum()
+    }
+
+    /// Flushes only when more than `floor` bytes are buffered — the
+    /// sweep's workers call this per batch so small batches coalesce into
+    /// fewer file appends while large results reach disk (and crash
+    /// resumability) promptly.
+    pub fn flush_over(&mut self, floor: usize) -> std::io::Result<()> {
+        if self.buffered() > floor {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Appends every non-empty buffer to its shard file, each under that
+    /// shard's independent lock (a busy lock is waited on and counted in
+    /// [`StoreStats::shard_contended`]). Buffers are cleared but keep
+    /// their capacity.
+    pub fn flush(&mut self) -> std::io::Result<()> {
         let mut wrote = false;
-        for shard in 0..SHARDS {
-            let buf = &mut bufs[shard];
+        for (index, buf) in self.bufs.iter_mut().enumerate() {
             if buf.is_empty() {
                 continue;
             }
             wrote = true;
-            self.bytes.fetch_add(buf.len() as u64, Ordering::Relaxed);
-            let path = self.dir.join(format!("shard_{shard:02x}.jsonl"));
+            let shard = &self.store.shards[index];
+            let guard = match shard.lock.try_lock() {
+                Ok(guard) => guard,
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    shard.contended.fetch_add(1, Ordering::Relaxed);
+                    shard.lock.lock().expect("store shard lock")
+                }
+                Err(std::sync::TryLockError::Poisoned(_)) => panic!("store shard lock poisoned"),
+            };
+            let path = self.store.dir.join(format!("shard_{index:02x}.jsonl"));
             let mut file = std::fs::OpenOptions::new()
                 .create(true)
                 .append(true)
                 .open(path)?;
             file.write_all(buf)?;
-            buf.clear(); // keep capacity for the next append
+            drop(guard);
+            self.store
+                .bytes
+                .fetch_add(buf.len() as u64, Ordering::Relaxed);
+            buf.clear(); // keep capacity for the next flush
         }
         if wrote {
-            self.appends.fetch_add(1, Ordering::Relaxed);
+            self.store.appends.fetch_add(1, Ordering::Relaxed);
         }
         Ok(())
     }

@@ -13,6 +13,42 @@ use mss_sweep::{
     try_run_cells, Cell, CellError, CellMetrics, ScenarioAxis, SweepConfig, SweepSpec,
 };
 use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Unique store directories across the concurrently running tests of this
+/// binary.
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_store_dir() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "mss-batch-eq-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// All store records by shard file, each shard's lines sorted. Contract
+/// #14 fixes the record *bytes* and each shard's line multiset at any
+/// thread count and split threshold; intra-shard line *order* is
+/// scheduling-dependent under concurrency, which is why this sorts before
+/// comparing.
+fn sorted_shard_lines(dir: &Path) -> BTreeMap<String, Vec<String>> {
+    let mut shards = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("store dir exists") {
+        let entry = entry.expect("read store dir entry");
+        let name = entry.file_name().into_string().expect("utf-8 shard name");
+        if !name.ends_with(".jsonl") {
+            continue;
+        }
+        let body = std::fs::read_to_string(entry.path()).expect("read shard");
+        let mut lines: Vec<String> = body.lines().map(str::to_string).collect();
+        lines.sort_unstable();
+        shards.insert(name, lines);
+    }
+    shards
+}
 
 fn algorithms(picks: &[usize]) -> Vec<String> {
     const NAMES: [&str; 7] = ["SRPT", "LS", "RR", "RRC", "RRP", "SLJF", "SLJFWC"];
@@ -264,6 +300,41 @@ fn check_spec(spec: &SweepSpec) {
             &oracle,
             &format!("{} threads", threads),
         );
+    }
+
+    // Forced splitting with a live store: a 1-event threshold chops every
+    // batch into single-cell sub-units, so sub-batch re-materialization
+    // and work stealing are exercised even on tiny grids — results must
+    // still be bit-identical, and the store's record bytes (per-shard
+    // sorted line multisets) must be invariant across thread counts too.
+    let mut store_baseline: Option<BTreeMap<String, Vec<String>>> = None;
+    for threads in [1, 2, mss_sweep::default_threads(64)] {
+        let dir = fresh_store_dir();
+        let outcome = try_run_cells(
+            &cells,
+            &SweepConfig {
+                threads,
+                cache_dir: Some(dir.clone()),
+                split_events: 1,
+                ..SweepConfig::default()
+            },
+        );
+        assert_eq!(outcome.executed, cells.len(), "fresh store: all execute");
+        assert_results_match(
+            &cells,
+            &outcome.results,
+            &oracle,
+            &format!("forced split, {} threads", threads),
+        );
+        let lines = sorted_shard_lines(&dir);
+        let _ = std::fs::remove_dir_all(&dir);
+        match &store_baseline {
+            None => store_baseline = Some(lines),
+            Some(base) => assert_eq!(
+                &lines, base,
+                "store record bytes diverged at {threads} threads (forced split)"
+            ),
+        }
     }
 }
 

@@ -38,6 +38,7 @@ fn config(threads: usize) -> SweepConfig {
         count_events: false,
         collect_metrics: true,
         streamed: false,
+        split_events: mss_sweep::DEFAULT_SPLIT_EVENTS,
     }
 }
 

@@ -23,6 +23,40 @@ use mss_obs::DigestProbe;
 use mss_scenario::{EventSpec, GeneratorSpec};
 use mss_sweep::{try_run_cells, Cell, ScenarioAxis, SweepConfig, SweepSpec};
 use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Unique store directories across the concurrently running tests of this
+/// binary.
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_store_dir() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "mss-stream-eq-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// All store records by shard file, each shard's lines sorted: the
+/// thread-count-invariant view of the store's bytes (contract #14 — record
+/// lines are fixed, intra-shard order is scheduling-dependent).
+fn sorted_shard_lines(dir: &Path) -> BTreeMap<String, Vec<String>> {
+    let mut shards = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("store dir exists") {
+        let entry = entry.expect("read store dir entry");
+        let name = entry.file_name().into_string().expect("utf-8 shard name");
+        if !name.ends_with(".jsonl") {
+            continue;
+        }
+        let body = std::fs::read_to_string(entry.path()).expect("read shard");
+        let mut lines: Vec<String> = body.lines().map(str::to_string).collect();
+        lines.sort_unstable();
+        shards.insert(name, lines);
+    }
+    shards
+}
 
 fn algorithms(picks: &[usize]) -> Vec<String> {
     const NAMES: [&str; 7] = ["SRPT", "LS", "RR", "RRC", "RRP", "SLJF", "SLJFWC"];
@@ -221,6 +255,7 @@ fn config(threads: usize, streamed: bool) -> SweepConfig {
         count_events: false,
         collect_metrics: true,
         streamed,
+        split_events: mss_sweep::DEFAULT_SPLIT_EVENTS,
     }
 }
 
@@ -295,6 +330,45 @@ fn check_spec(spec: &SweepSpec) {
                 "slot {i} ({} on {:?}) diverged at {threads} threads",
                 cells[i].algorithm, cells[i].platform
             );
+        }
+    }
+
+    // Forced splitting with a live store, streamed against materialized:
+    // a 1-event threshold makes every batch split into single-cell
+    // sub-units, so the streamed path is exercised under maximal stealing
+    // too — and the store's record bytes (per-shard sorted line multisets)
+    // must match the materialized path's bytes at every thread count.
+    let mut store_baseline: Option<BTreeMap<String, Vec<String>>> = None;
+    for (threads, streamed) in [
+        (1, false),
+        (1, true),
+        (2, true),
+        (mss_sweep::default_threads(64), true),
+    ] {
+        let dir = fresh_store_dir();
+        let outcome = try_run_cells(
+            &cells,
+            &SweepConfig {
+                cache_dir: Some(dir.clone()),
+                split_events: 1,
+                ..config(threads, streamed)
+            },
+        );
+        assert_eq!(outcome.executed, cells.len(), "fresh store: all execute");
+        for (i, (s, m)) in outcome.results.iter().zip(&oracle.results).enumerate() {
+            assert_eq!(
+                s, m,
+                "slot {i} diverged (forced split, streamed={streamed}, {threads} threads)"
+            );
+        }
+        let lines = sorted_shard_lines(&dir);
+        let _ = std::fs::remove_dir_all(&dir);
+        match &store_baseline {
+            None => store_baseline = Some(lines),
+            Some(base) => assert_eq!(
+                &lines, base,
+                "store bytes diverged (forced split, streamed={streamed}, {threads} threads)"
+            ),
         }
     }
 

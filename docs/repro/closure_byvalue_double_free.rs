@@ -1,0 +1,66 @@
+//! Pinned reproducer for the release-mode SIGABRT formerly hit by
+//! `mss-core::heuristics::sljf::tests::replay_is_deterministic`.
+//!
+//! This file is NOT part of the workspace build. Compile it standalone:
+//!
+//! ```text
+//! $ rustc -O closure_byvalue_double_free.rs -o repro && ./repro
+//! free(): double free detected in tcache 2
+//! Aborted (exit 134, SIGABRT)
+//! $ rustc -C opt-level=1 closure_byvalue_double_free.rs -o repro && ./repro
+//! ok
+//! ```
+//!
+//! Root cause: a rustc/LLVM codegen bug (observed on rustc 1.95.0
+//! x86_64-unknown-linux-gnu), not source-level UB — the workspace contains
+//! zero `unsafe` code. The trigger requires *all* of:
+//!
+//!  1. a closure taking its argument BY VALUE (`|mut s: Planned| ...`),
+//!     where the argument owns a heap allocation (`Option<Vec<u32>>`)
+//!     populated during the call via a `&mut dyn Trait` method;
+//!  2. the closure invoked at TWO call sites (a single call is fine);
+//!  3. opt-level >= 2 (opt-level 1 is fine; LTO and codegen-units are
+//!     irrelevant — the abort reproduces with LTO off / 16 CGUs).
+//!
+//! Any of these equivalent rewrites avoids the miscompile:
+//!  - closure takes `&mut Planned` (the fix applied to the test),
+//!  - a plain `fn` with the same by-value signature,
+//!  - `std::mem::forget(s)` at closure exit (leaks, confirming the
+//!    double-freed allocation is the parameter's plan Vec).
+
+trait Sched {
+    fn step(&mut self, n: usize) -> usize;
+}
+
+struct Planned {
+    plan: Option<Vec<u32>>,
+    next: usize,
+}
+
+impl Sched for Planned {
+    fn step(&mut self, n: usize) -> usize {
+        if self.plan.is_none() {
+            self.plan = Some((0..n as u32).collect());
+        }
+        let p = self.plan.as_ref().unwrap();
+        let v = p[self.next % p.len()] as usize;
+        self.next += 1;
+        v
+    }
+}
+
+fn drive(n: usize, s: &mut dyn Sched) -> Vec<usize> {
+    let mut out = Vec::new();
+    for _ in 0..n {
+        out.push(s.step(n));
+    }
+    out
+}
+
+fn main() {
+    let run = |mut s: Planned| drive(12, &mut s);
+    let a = run(Planned { plan: None, next: 0 });
+    let b = run(Planned { plan: None, next: 0 });
+    assert_eq!(a, b);
+    println!("ok");
+}

@@ -1,10 +1,15 @@
 //! Offline stand-in for the parts of `crossbeam` this workspace uses:
 //! `crossbeam::channel::{bounded, unbounded, Sender, Receiver}` with
-//! `send`, `recv`, `try_recv`, and `recv_timeout`, all clonable (MPMC).
+//! `send`, `recv`, `try_recv`, and `recv_timeout`, all clonable (MPMC),
+//! and `crossbeam::deque::{Worker, Stealer, Steal}` — the work-stealing
+//! deque the sweep executor schedules batches with.
 //!
-//! Implemented as a `Mutex<VecDeque>` + two `Condvar`s. Throughput is far
-//! below real crossbeam's lock-free channels, which is fine for the
-//! cluster executor's per-task message rates.
+//! Both are implemented over `Mutex`ed queues (`VecDeque` + `Condvar`s for
+//! the channel, a bare `VecDeque` for the deque). Throughput is far below
+//! real crossbeam's lock-free structures, which is fine at the workspace's
+//! granularities: the cluster executor moves per-task messages and the
+//! sweep executor moves whole simulation batches, so queue operations are
+//! nowhere near the hot path.
 
 /// MPMC channels.
 pub mod channel {
@@ -213,9 +218,116 @@ pub mod channel {
     }
 }
 
+/// Work-stealing deques.
+///
+/// API-compatible subset of `crossbeam-deque`: each worker thread owns a
+/// [`deque::Worker`] it pushes to and pops from; every other thread holds a
+/// clonable [`deque::Stealer`] handle onto it and takes work from the
+/// opposite end when its own deque runs dry. The stand-in serves the owner
+/// from the front (FIFO flavor, like `Worker::new_fifo`) and thieves from
+/// the back, so an owner seeded largest-first keeps its costliest items
+/// while thieves pick up the cheap tail.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// The owner's handle of a work-stealing deque.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// A thief's handle onto some worker's deque; clonable.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// Outcome of a [`Stealer::steal`] attempt.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The deque was empty.
+        Empty,
+        /// Took one item.
+        Success(T),
+        /// Lost a race; try again. (The mutex-backed stand-in never
+        /// returns this, but callers must handle it for API parity with
+        /// real crossbeam.)
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// `Some(item)` on success.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(item) => Some(item),
+                _ => None,
+            }
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Worker<T> {
+        /// A new empty FIFO deque (owner pops the front).
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes an item onto the back of the deque.
+        pub fn push(&self, item: T) {
+            self.queue.lock().unwrap().push_back(item);
+        }
+
+        /// Pops the owner's next item from the front.
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().unwrap().pop_front()
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+
+        /// Number of items currently queued.
+        pub fn len(&self) -> usize {
+            self.queue.lock().unwrap().len()
+        }
+
+        /// A new stealer handle onto this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempts to steal one item from the back of the deque.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().unwrap().pop_back() {
+                Some(item) => Steal::Success(item),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::channel::{bounded, unbounded, TryRecvError};
+    use super::deque::{Steal, Worker};
     use std::time::Duration;
 
     #[test]
@@ -242,6 +354,63 @@ mod tests {
         let (tx2, rx2) = unbounded::<u32>();
         drop(rx2);
         assert!(tx2.send(1).is_err());
+    }
+
+    #[test]
+    fn deque_owner_fifo_thief_from_back() {
+        let w = Worker::new_fifo();
+        for i in 0..4 {
+            w.push(i);
+        }
+        let s = w.stealer();
+        assert_eq!(w.pop(), Some(0), "owner takes the front");
+        assert_eq!(s.steal(), Steal::Success(3), "thief takes the back");
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+        assert!(w.is_empty() && s.is_empty());
+        assert_eq!(Steal::Success(7).success(), Some(7));
+        assert_eq!(Steal::<u32>::Empty.success(), None);
+    }
+
+    #[test]
+    fn deque_steals_across_threads_drain_everything() {
+        let w = Worker::new_fifo();
+        let total = 1000u32;
+        for i in 0..total {
+            w.push(i);
+        }
+        let stealers: Vec<_> = (0..3).map(|_| w.stealer()).collect();
+        let taken: Vec<u32> = std::thread::scope(|scope| {
+            let thieves: Vec<_> = stealers
+                .iter()
+                .map(|s| {
+                    scope.spawn(move || {
+                        let mut got = Vec::new();
+                        while let Steal::Success(x) = s.steal() {
+                            got.push(x);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            let mut got = Vec::new();
+            while let Some(x) = w.pop() {
+                got.push(x);
+            }
+            for t in thieves {
+                got.extend(t.join().unwrap());
+            }
+            got
+        });
+        let mut sorted = taken;
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            (0..total).collect::<Vec<_>>(),
+            "each item exactly once"
+        );
     }
 
     #[test]
