@@ -1,0 +1,65 @@
+//! Decision-kernel microbenchmarks: the incremental tournament-tree
+//! argmin against the historical linear scan as the slave count grows.
+//!
+//! The workload is the streamed SRPT ladder `ms-lab bench` records in
+//! `BENCH_engine.json` (`kernel_scaling`), at criterion resolution: the
+//! same platform family and 0.7-load uniform stream, one group per
+//! decision path, parameterized by m = 10/100/1k/10k. Both paths produce
+//! bit-identical schedules (enforced by `kernel_equivalence.rs` and the
+//! bench's inline assertion); the ratio of these curves is the speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mss_core::{
+    simulate_streamed_objectives_in, Platform, SimConfig, SimWorkspace, Srpt, TaskSource, Timeline,
+};
+use mss_workload::{ArrivalProcess, GeneratedSource};
+
+fn ladder_platform(m: usize) -> Platform {
+    let c: Vec<f64> = (0..m).map(|j| 0.01 + 1e-4 * (j % 97) as f64).collect();
+    let p: Vec<f64> = (0..m).map(|j| 2.0 + 0.03 * (j % 89) as f64).collect();
+    Platform::from_vectors(&c, &p)
+}
+
+fn bench_kernel_vs_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel-vs-scan");
+    for m in [10usize, 100, 1_000, 10_000] {
+        let platform = ladder_platform(m);
+        // Enough tasks that every slave count reaches steady state, few
+        // enough that the O(m)-per-decision scan rung stays benchable.
+        let n = (2 * m).clamp(500, 5_000);
+        let cfg = SimConfig::with_horizon(n);
+        group.throughput(Throughput::Elements(3 * n as u64));
+        for (path, make) in [
+            ("kernel", Srpt::new as fn() -> Srpt),
+            ("scan", Srpt::scan_reference as fn() -> Srpt),
+        ] {
+            let mut ws = SimWorkspace::new();
+            let mut source = GeneratedSource::new(
+                ArrivalProcess::UniformStream { load: 0.7 },
+                n,
+                &platform,
+                42,
+            );
+            let mut sched = make();
+            group.bench_with_input(BenchmarkId::new(path, m), &m, |b, _| {
+                b.iter(|| {
+                    source.reset();
+                    simulate_streamed_objectives_in(
+                        &mut ws,
+                        &platform,
+                        &mut source,
+                        &cfg,
+                        &Timeline::EMPTY,
+                        &mut sched,
+                    )
+                    .unwrap()
+                    .tasks
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_vs_scan);
+criterion_main!(benches);

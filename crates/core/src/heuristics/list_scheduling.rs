@@ -106,7 +106,7 @@ mod tests {
         let pf = Platform::homogeneous(3, 0.5, 2.0);
         let tasks = bag_of_tasks(30);
         let ls = simulate(&pf, &tasks, &SimConfig::default(), &mut ListScheduling).unwrap();
-        let srpt = simulate(&pf, &tasks, &SimConfig::default(), &mut Srpt).unwrap();
+        let srpt = simulate(&pf, &tasks, &SimConfig::default(), &mut Srpt::new()).unwrap();
         assert!(
             ls.makespan() < srpt.makespan(),
             "LS {} should beat SRPT {} (Figure 1a)",

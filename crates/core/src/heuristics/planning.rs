@@ -23,24 +23,120 @@
 
 use mss_sim::{Platform, SlaveId};
 
+/// Reusable scratch state for the backward plan constructions.
+///
+/// Plan construction used to allocate four vectors per (re)plan — the
+/// believed `c`/`p` rate snapshots, the per-slave counts, and the slot /
+/// reverse-ready work arrays. A [`Planned`](super::Planned) scheduler now
+/// owns one `PlanScratch` and replans into it, so a scheduler reused
+/// across sweep cells (or replanning after drift) touches the allocator
+/// only until the high-water capacity is reached. The arithmetic and
+/// tie-breaking are unchanged — plans are bit-identical to the historical
+/// allocating constructions, which survive below as thin wrappers.
+#[derive(Clone, Debug, Default)]
+pub struct PlanScratch {
+    /// Communication rates the plan is built over (nominal or believed).
+    c: Vec<f64>,
+    /// Computation rates the plan is built over (nominal or believed).
+    p: Vec<f64>,
+    /// Backward-greedy tasks-per-slave counts.
+    counts: Vec<usize>,
+    /// SLJF slot keys `(i·p_j, j)` awaiting the deadline sort.
+    slots: Vec<(f64, usize)>,
+    /// SLJFWC reversed-time compute-ready instants.
+    ready: Vec<f64>,
+}
+
+impl PlanScratch {
+    /// Loads the rate snapshot the next plan will be built over.
+    pub fn fill_rates<I: IntoIterator<Item = (f64, f64)>>(&mut self, rates: I) {
+        self.c.clear();
+        self.p.clear();
+        for (c, p) in rates {
+            self.c.push(c);
+            self.p.push(p);
+        }
+    }
+
+    /// Loads the platform's nominal rates.
+    pub fn fill_nominal(&mut self, platform: &Platform) {
+        self.fill_rates(platform.slave_ids().map(|j| (platform.c(j), platform.p(j))));
+    }
+
+    /// The backward greedy over `self.p`: assigns tasks, last first, to the
+    /// slave minimizing `(count_j + 1)·p_j`, leaving the result in
+    /// `self.counts`.
+    fn backward_counts_inner(&mut self, n: usize) {
+        let m = self.p.len();
+        self.counts.clear();
+        self.counts.resize(m, 0);
+        let (counts, p) = (&mut self.counts, &self.p);
+        for _ in 0..n {
+            let j = (0..m)
+                .min_by(|&a, &b| {
+                    let ka = (counts[a] + 1) as f64 * p[a];
+                    let kb = (counts[b] + 1) as f64 * p[b];
+                    ka.total_cmp(&kb).then(a.cmp(&b))
+                })
+                .expect("at least one slave");
+            counts[j] += 1;
+        }
+    }
+
+    /// SLJF dispatch order into `out` (see [`sljf_dispatch`]).
+    pub fn sljf_into(&mut self, n: usize, out: &mut Vec<SlaveId>) {
+        self.backward_counts_inner(n);
+        self.slots.clear();
+        self.slots.reserve(n);
+        for (j, &cnt) in self.counts.iter().enumerate() {
+            let p = self.p[j];
+            for i in 1..=cnt {
+                self.slots.push((i as f64 * p, j));
+            }
+        }
+        self.slots
+            .sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        out.clear();
+        out.extend(self.slots.iter().map(|&(_, j)| SlaveId(j)));
+    }
+
+    /// SLJFWC dispatch order into `out` (see [`sljfwc_dispatch`]).
+    pub fn sljfwc_into(&mut self, n: usize, out: &mut Vec<SlaveId>) {
+        let m = self.p.len();
+        self.ready.clear();
+        self.ready.resize(m, 0.0);
+        let mut port = 0.0f64;
+        out.clear();
+        out.reserve(n);
+        for _ in 0..n {
+            let (mut best_j, mut best_end) = (0usize, f64::INFINITY);
+            for (j, &rj) in self.ready.iter().enumerate() {
+                let end = (rj + self.p[j]).max(port) + self.c[j];
+                let better = end < best_end - 1e-15
+                    || ((end - best_end).abs() <= 1e-15 && self.c[j] < self.c[best_j]);
+                if better {
+                    best_j = j;
+                    best_end = end;
+                }
+            }
+            // Compute occupies the slave; the shipment only occupies the port.
+            self.ready[best_j] += self.p[best_j];
+            port = best_end;
+            out.push(SlaveId(best_j));
+        }
+        out.reverse();
+    }
+}
+
 /// How many tasks each slave executes under the backward greedy that
 /// assigns tasks, last first, to the slave minimizing `(count_j + 1)·p_j`
 /// (the optimal distribution of identical tasks over uniform machines when
 /// communications are free).
 pub fn backward_counts(platform: &Platform, n: usize) -> Vec<usize> {
-    let m = platform.num_slaves();
-    let mut counts = vec![0usize; m];
-    for _ in 0..n {
-        let j = (0..m)
-            .min_by(|&a, &b| {
-                let ka = (counts[a] + 1) as f64 * platform.p(SlaveId(a));
-                let kb = (counts[b] + 1) as f64 * platform.p(SlaveId(b));
-                ka.total_cmp(&kb).then(a.cmp(&b))
-            })
-            .expect("at least one slave");
-        counts[j] += 1;
-    }
-    counts
+    let mut scratch = PlanScratch::default();
+    scratch.fill_nominal(platform);
+    scratch.backward_counts_inner(n);
+    scratch.counts
 }
 
 /// SLJF dispatch order: `result[k]` is the slave of the `k`-th task sent.
@@ -50,16 +146,11 @@ pub fn backward_counts(platform: &Platform, n: usize) -> Vec<usize> {
 /// decreasing `i·p_j` — the most constrained computation gets the earliest
 /// communication.
 pub fn sljf_dispatch(platform: &Platform, n: usize) -> Vec<SlaveId> {
-    let counts = backward_counts(platform, n);
-    let mut slots: Vec<(f64, usize)> = Vec::with_capacity(n);
-    for (j, &cnt) in counts.iter().enumerate() {
-        let p = platform.p(SlaveId(j));
-        for i in 1..=cnt {
-            slots.push((i as f64 * p, j));
-        }
-    }
-    slots.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-    slots.into_iter().map(|(_, j)| SlaveId(j)).collect()
+    let mut scratch = PlanScratch::default();
+    scratch.fill_nominal(platform);
+    let mut out = Vec::new();
+    scratch.sljf_into(n, &mut out);
+    out
 }
 
 /// SLJFWC dispatch order via the time-reversed (collection) greedy.
@@ -75,31 +166,11 @@ pub fn sljf_dispatch(platform: &Platform, n: usize) -> Vec<SlaveId> {
 /// charges only the computation to the slave. Reversing the resulting
 /// sequence yields the original dispatch order.
 pub fn sljfwc_dispatch(platform: &Platform, n: usize) -> Vec<SlaveId> {
-    let m = platform.num_slaves();
-    let mut ready = vec![0.0f64; m];
-    let mut port = 0.0f64;
-    let mut reversed: Vec<SlaveId> = Vec::with_capacity(n);
-    for _ in 0..n {
-        let (mut best_j, mut best_end) = (0usize, f64::INFINITY);
-        for (j, &rj) in ready.iter().enumerate() {
-            let p = platform.p(SlaveId(j));
-            let c = platform.c(SlaveId(j));
-            let end = (rj + p).max(port) + c;
-            let better = end < best_end - 1e-15
-                || ((end - best_end).abs() <= 1e-15 && c < platform.c(SlaveId(best_j)));
-            if better {
-                best_j = j;
-                best_end = end;
-            }
-        }
-        let j = SlaveId(best_j);
-        // Compute occupies the slave; the shipment only occupies the port.
-        ready[best_j] += platform.p(j);
-        port = best_end;
-        reversed.push(j);
-    }
-    reversed.reverse();
-    reversed
+    let mut scratch = PlanScratch::default();
+    scratch.fill_nominal(platform);
+    let mut out = Vec::new();
+    scratch.sljfwc_into(n, &mut out);
+    out
 }
 
 #[cfg(test)]

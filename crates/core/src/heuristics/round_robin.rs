@@ -26,7 +26,9 @@
 //! ineligible slaves.
 
 use crate::heuristics::util::oldest_pending;
-use mss_sim::{Decision, InfoTier, OnlineScheduler, SchedulerEvent, SimView, SlaveId};
+use mss_sim::{
+    Decision, IncrementalArgmin, InfoTier, OnlineScheduler, SchedulerEvent, SimView, SlaveId,
+};
 
 /// Which key orders the slaves (all ascending, ties by slave index).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -82,6 +84,15 @@ pub struct RoundRobin {
     ring_version: u64,
     /// Next ring position (cyclic mode only).
     cursor: usize,
+    /// Inverse of `ring`: `ring_pos[j]` is slave `j`'s position in the
+    /// prescribed order, as an `f64` kernel key. Refilled on every ring
+    /// rebuild (which also invalidates the kernel — the keys moved).
+    ring_pos: Vec<f64>,
+    /// Decision kernel answering "first eligible slave in prescribed
+    /// order" as an argmin over `ring_pos` gated by eligibility — a pure
+    /// function of journaled per-slave state (`outstanding`), so the
+    /// tournament tree can index it (Priority dispatch only).
+    kernel: IncrementalArgmin,
 }
 
 impl RoundRobin {
@@ -109,7 +120,24 @@ impl RoundRobin {
             ring: Vec::new(),
             ring_version: 0,
             cursor: 0,
+            ring_pos: Vec::new(),
+            kernel: IncrementalArgmin::new(),
         }
+    }
+
+    /// Same scheduler on the linear-scan reference kernel — the
+    /// historical decision path, kept executable for equivalence tests
+    /// and the `kernel-vs-scan` benchmarks.
+    pub fn with_scan_kernel(mut self) -> Self {
+        self.kernel = IncrementalArgmin::scan_reference();
+        self
+    }
+
+    /// Overrides the kernel's small-`m` scan threshold (tests force the
+    /// tree on tiny platforms with a threshold of 0).
+    pub fn with_tree_threshold(mut self, threshold: usize) -> Self {
+        self.kernel = IncrementalArgmin::new().with_threshold(threshold);
+        self
     }
 
     fn ensure_ring(&mut self, view: &SimView<'_>) {
@@ -123,6 +151,15 @@ impl RoundRobin {
                 let kb = order.key(view.believed_c(b), view.believed_p(b));
                 ka.partial_cmp(&kb).unwrap().then(a.0.cmp(&b.0))
             });
+            // Version-gated rebuild: the prescribed order moved, so the
+            // ring-position keys the kernel indexes are stale — refill the
+            // inverse permutation and drop the tree.
+            self.ring_pos.clear();
+            self.ring_pos.resize(self.ring.len(), f64::INFINITY);
+            for (pos, &slave) in self.ring.iter().enumerate() {
+                self.ring_pos[slave.0] = pos as f64;
+            }
+            self.kernel.invalidate();
         }
     }
 
@@ -132,7 +169,24 @@ impl RoundRobin {
 
     fn pick(&mut self, view: &SimView<'_>) -> Option<SlaveId> {
         match self.dispatch {
-            RrDispatch::Priority => self.ring.iter().copied().find(|&j| self.eligible(view, j)),
+            RrDispatch::Priority => {
+                // First eligible slave in prescribed order == argmin of
+                // ring position over eligible slaves (ineligible → +∞;
+                // every position is distinct so index tie-breaks never
+                // fire). All-∞ makes the kernel report slave 0, which the
+                // eligibility re-check below maps to `None` — exactly the
+                // historical `find`.
+                let ring_pos = &self.ring_pos;
+                let buffer = self.buffer;
+                let winner = self.kernel.argmin(view, |j| {
+                    if view.slave(SlaveId(j)).outstanding <= buffer {
+                        ring_pos[j]
+                    } else {
+                        f64::INFINITY
+                    }
+                });
+                self.eligible(view, winner).then_some(winner)
+            }
             RrDispatch::Cyclic => {
                 let m = self.ring.len();
                 for step in 0..m {
@@ -167,6 +221,8 @@ impl OnlineScheduler for RoundRobin {
         self.ring.clear();
         self.ring_version = 0;
         self.cursor = 0;
+        self.ring_pos.clear();
+        self.kernel.invalidate();
         self.ensure_ring(view);
     }
 
@@ -246,7 +302,7 @@ mod tests {
         let pf = Platform::homogeneous(3, 0.5, 2.0);
         let tasks = bag_of_tasks(30);
         let rr = simulate(&pf, &tasks, &SimConfig::default(), &mut RoundRobin::rr()).unwrap();
-        let srpt = simulate(&pf, &tasks, &SimConfig::default(), &mut Srpt).unwrap();
+        let srpt = simulate(&pf, &tasks, &SimConfig::default(), &mut Srpt::new()).unwrap();
         assert!(rr.makespan() < srpt.makespan(), "Figure 1(a) shape");
     }
 

@@ -15,9 +15,9 @@
 //! the time of the first decision (which covers the bag-of-tasks regime).
 
 use crate::heuristics::list_scheduling::ListScheduling;
-use crate::heuristics::planning::{sljf_dispatch, sljfwc_dispatch};
+use crate::heuristics::planning::PlanScratch;
 use crate::heuristics::util::oldest_pending;
-use mss_sim::{Decision, InfoTier, OnlineScheduler, Platform, SchedulerEvent, SimView, SlaveId};
+use mss_sim::{Decision, InfoTier, OnlineScheduler, SchedulerEvent, SimView, SlaveId};
 
 /// Which backward construction the scheduler plans with.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -31,21 +31,28 @@ pub enum PlanKind {
 }
 
 impl PlanKind {
-    fn dispatch(self, platform: &Platform, n: usize) -> Vec<SlaveId> {
+    fn plan_into(self, scratch: &mut PlanScratch, n: usize, out: &mut Vec<SlaveId>) {
         match self {
-            PlanKind::Sljf => sljf_dispatch(platform, n),
-            PlanKind::Sljfwc => sljfwc_dispatch(platform, n),
+            PlanKind::Sljf => scratch.sljf_into(n, out),
+            PlanKind::Sljfwc => scratch.sljfwc_into(n, out),
         }
     }
 }
 
 /// A plan-ahead scheduler (SLJF or SLJFWC by [`PlanKind`]).
+///
+/// Owns its [`PlanScratch`] and a reusable plan vector: replanning (a new
+/// run in a sweep, or after `init`) rewrites the same buffers instead of
+/// allocating per plan, so the scheduler's steady state is allocation-free
+/// once every buffer has reached its high-water capacity.
 #[derive(Clone, Debug)]
 pub struct Planned {
     kind: PlanKind,
     window: Option<usize>,
-    plan: Option<Vec<SlaveId>>,
+    plan: Vec<SlaveId>,
+    planned: bool,
     next: usize,
+    scratch: PlanScratch,
     fallback: ListScheduling,
 }
 
@@ -65,39 +72,40 @@ impl Planned {
         Planned {
             kind,
             window,
-            plan: None,
+            plan: Vec::new(),
+            planned: false,
             next: 0,
+            scratch: PlanScratch::default(),
             fallback: ListScheduling,
         }
     }
 
     fn ensure_plan(&mut self, view: &SimView<'_>) {
-        if self.plan.is_none() {
+        if !self.planned {
             let n = self
                 .window
                 .or(view.horizon())
                 .unwrap_or(view.released_count())
                 .max(1);
-            self.plan = Some(match view.info_tier() {
-                InfoTier::Clairvoyant => self.kind.dispatch(view.platform(), n),
+            match view.info_tier() {
+                InfoTier::Clairvoyant => self.scratch.fill_nominal(view.platform()),
                 // Below clairvoyance the plan is built over the *believed*
                 // platform (learned per-slave rates; the neutral prior
-                // before any observation spreads the plan evenly). Plan
-                // construction allocates anyway, so materializing the
-                // believed platform here stays off the per-event hot path.
-                _ => {
-                    let c: Vec<f64> = view.slave_ids().map(|j| view.believed_c(j)).collect();
-                    let p: Vec<f64> = view.slave_ids().map(|j| view.believed_p(j)).collect();
-                    self.kind.dispatch(&Platform::from_vectors(&c, &p), n)
-                }
-            });
+                // before any observation spreads the plan evenly).
+                _ => self.scratch.fill_rates(
+                    view.slave_ids()
+                        .map(|j| (view.believed_c(j), view.believed_p(j))),
+                ),
+            }
+            self.kind.plan_into(&mut self.scratch, n, &mut self.plan);
+            self.planned = true;
         }
     }
 
     /// The planned dispatch order (for tests and the lab); `None` before the
     /// first decision.
     pub fn plan(&self) -> Option<&[SlaveId]> {
-        self.plan.as_deref()
+        self.planned.then_some(self.plan.as_slice())
     }
 }
 
@@ -110,7 +118,8 @@ impl OnlineScheduler for Planned {
     }
 
     fn init(&mut self, _view: &SimView<'_>) {
-        self.plan = None;
+        // Buffers keep their capacity; only the logical plan is dropped.
+        self.planned = false;
         self.next = 0;
     }
 
@@ -122,9 +131,8 @@ impl OnlineScheduler for Planned {
             return Decision::Idle;
         };
         self.ensure_plan(view);
-        let plan = self.plan.as_ref().expect("plan just ensured");
-        if self.next < plan.len() {
-            let slave = plan[self.next];
+        if self.next < self.plan.len() {
+            let slave = self.plan[self.next];
             self.next += 1;
             Decision::Send { task, slave }
         } else {

@@ -11,21 +11,60 @@
 //! heuristics (which overlap communication with computation) beat it —
 //! Figure 1(a).
 
-use crate::heuristics::util::{argmin_slave, oldest_pending};
-use mss_sim::{Decision, InfoTier, OnlineScheduler, SchedulerEvent, SimView};
+use crate::heuristics::util::oldest_pending;
+use mss_sim::{
+    Decision, IncrementalArgmin, InfoTier, OnlineScheduler, SchedulerEvent, SimView, SlaveId,
+};
 
-/// The SRPT heuristic. Stateless: decisions depend only on the current view.
+/// The SRPT heuristic. Observationally stateless — decisions depend only
+/// on the current view — but it carries an [`IncrementalArgmin`] decision
+/// kernel, so "fastest free slave" is answered sublinearly in the slave
+/// count: SRPT's key (`believed_p` if idle, `+∞` otherwise) is a pure
+/// function of journaled per-slave state, exactly what the tournament
+/// tree can index. The winner is bit-identical to the historical linear
+/// scan at every slave count.
 ///
 /// Tier-portable: "fastest" is read through
 /// [`SimView::believed_p`], so below [`InfoTier::Clairvoyant`] SRPT ranks
 /// slaves by their learned computation rates (all equal under the prior)
 /// and sharpens as completions are observed.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct Srpt;
+#[derive(Clone, Debug, Default)]
+pub struct Srpt {
+    kernel: IncrementalArgmin,
+}
+
+impl Srpt {
+    /// A kernel-backed SRPT (the production configuration).
+    pub fn new() -> Self {
+        Srpt::default()
+    }
+
+    /// SRPT on the linear-scan reference kernel — the historical
+    /// decision path, kept executable for equivalence tests and the
+    /// `kernel-vs-scan` benchmarks.
+    pub fn scan_reference() -> Self {
+        Srpt {
+            kernel: IncrementalArgmin::scan_reference(),
+        }
+    }
+
+    /// Overrides the kernel's small-`m` scan threshold (tests force the
+    /// tree on tiny platforms with a threshold of 0).
+    pub fn with_tree_threshold(mut self, threshold: usize) -> Self {
+        self.kernel = IncrementalArgmin::new().with_threshold(threshold);
+        self
+    }
+}
 
 impl OnlineScheduler for Srpt {
     fn name(&self) -> String {
         "SRPT".into()
+    }
+
+    fn init(&mut self, _view: &SimView<'_>) {
+        // The kernel also detects run changes by journal nonce; the
+        // explicit drop just makes reuse across harnesses airtight.
+        self.kernel.invalidate();
     }
 
     fn on_event(&mut self, view: &SimView<'_>, _event: SchedulerEvent) -> Decision {
@@ -37,23 +76,27 @@ impl OnlineScheduler for Srpt {
         };
         // Fastest *free* slave; a slave is free when it has no outstanding
         // work at all (not computing, nothing queued, nothing in flight).
-        // Single allocation-free scan (ties go to the lowest index); when
+        // Allocation-free kernel query (ties go to the lowest index); when
         // no slave is free, wait for the next completion event — the engine
         // will call again.
-        match argmin_slave(view, |j| {
+        let slave = self.kernel.argmin(view, |j| {
+            let j = SlaveId(j);
             if view.slave_idle(j) {
                 view.believed_p(j)
             } else {
                 f64::INFINITY
             }
-        }) {
-            slave if view.slave_idle(slave) => Decision::Send { task, slave },
-            _ => Decision::Idle,
+        });
+        if view.slave_idle(slave) {
+            Decision::Send { task, slave }
+        } else {
+            Decision::Idle
         }
     }
 
     fn poll_driven(&self) -> bool {
-        true // stateless; acts only on (idle port, pending task)
+        true // acts only on (idle port, pending task); kernel sync happens
+             // after those guards, so elided callbacks observe no state change
     }
 
     fn min_tier(&self) -> InfoTier {
@@ -71,7 +114,13 @@ mod tests {
         // p = (3, 7): the first task must go to P1, the second to P2
         // (P1 is busy by then), the third waits for P1 to finish.
         let pf = Platform::from_vectors(&[1.0, 1.0], &[3.0, 7.0]);
-        let trace = simulate(&pf, &bag_of_tasks(3), &SimConfig::default(), &mut Srpt).unwrap();
+        let trace = simulate(
+            &pf,
+            &bag_of_tasks(3),
+            &SimConfig::default(),
+            &mut Srpt::new(),
+        )
+        .unwrap();
         assert!(validate(&trace, &pf).is_empty());
         assert_eq!(trace.record(TaskId(0)).slave, SlaveId(0));
         assert_eq!(trace.record(TaskId(1)).slave, SlaveId(1));
@@ -84,7 +133,13 @@ mod tests {
     #[test]
     fn never_queues_on_busy_slaves() {
         let pf = Platform::from_vectors(&[0.5, 0.5, 0.5], &[2.0, 2.0, 2.0]);
-        let trace = simulate(&pf, &bag_of_tasks(9), &SimConfig::default(), &mut Srpt).unwrap();
+        let trace = simulate(
+            &pf,
+            &bag_of_tasks(9),
+            &SimConfig::default(),
+            &mut Srpt::new(),
+        )
+        .unwrap();
         // Each task's compute starts exactly when its send ends: the target
         // slave was idle when the send started (0.5s earlier) and stays idle.
         for r in trace.records() {
@@ -99,7 +154,13 @@ mod tests {
     fn no_overlap_penalty_visible_in_makespan() {
         // One slave: SRPT serializes c+p per task: makespan = n(c+p).
         let pf = Platform::from_vectors(&[1.0], &[3.0]);
-        let trace = simulate(&pf, &bag_of_tasks(4), &SimConfig::default(), &mut Srpt).unwrap();
+        let trace = simulate(
+            &pf,
+            &bag_of_tasks(4),
+            &SimConfig::default(),
+            &mut Srpt::new(),
+        )
+        .unwrap();
         assert!((trace.makespan() - 4.0 * 4.0).abs() < 1e-9);
     }
 }

@@ -1,28 +1,21 @@
 //! Small shared helpers for heuristic implementations.
 
-use mss_sim::{SimView, SlaveId};
+use mss_sim::{chunked_argmin, SimView, SlaveId};
 
 /// Returns the slave minimizing `key(j)`, ties broken by the lowest index.
-/// Keys must not be NaN. Single pass, one key evaluation per slave (this
-/// sits on every heuristic's per-decision hot path).
+/// Keys must not be NaN (debug-asserted inside the kernel; a
+/// contract-violating NaN key can only be skipped in release builds,
+/// never propagated as the winner — strict `<` comparisons).
+///
+/// This is the closure-key entry point of the decision-kernel layer: it
+/// answers through [`mss_sim::chunked_argmin`], the exact 8-lane scan
+/// whose winner is bit-identical to the historical sequential pass
+/// ([`mss_sim::scan_argmin`]). Heuristics whose keys are journal-stable
+/// (SRPT, RR eligibility) hold an [`mss_sim::IncrementalArgmin`] instead
+/// and go sublinear in the slave count.
 pub(crate) fn argmin_slave<F: FnMut(SlaveId) -> f64>(view: &SimView<'_>, mut key: F) -> SlaveId {
-    let mut ids = view.slave_ids();
-    let first = ids.next().expect("platform has at least one slave");
-    let mut best = first;
-    let mut best_key = key(first);
-    debug_assert!(!best_key.is_nan(), "heuristic key must not be NaN");
-    for j in ids {
-        let k = key(j);
-        debug_assert!(!k.is_nan(), "heuristic key must not be NaN");
-        // Strict `<` keeps the lowest index on ties; NaN never wins here,
-        // so even in release builds a (contract-violating) NaN key can
-        // only be skipped, never propagated as the winner.
-        if k < best_key {
-            best = j;
-            best_key = k;
-        }
-    }
-    best
+    debug_assert!(view.num_slaves() > 0, "platform has at least one slave");
+    SlaveId(chunked_argmin(view.num_slaves(), |j| key(SlaveId(j))))
 }
 
 /// The oldest pending task (FIFO by release then id), if any.

@@ -27,7 +27,9 @@
 //! and redirects without allocating, so wrapping adds only an O(m) argmin
 //! to the per-decision cost.
 
-use mss_sim::{Decision, InfoTier, OnlineScheduler, SchedulerEvent, SimView, SlaveId};
+use mss_sim::{
+    chunked_argmin, Decision, InfoTier, OnlineScheduler, SchedulerEvent, SimView, SlaveId,
+};
 
 /// Fault-aware redispatch wrapper (see the module docs).
 #[derive(Clone, Debug)]
@@ -55,12 +57,22 @@ impl Redispatch<Box<dyn OnlineScheduler>> {
 }
 
 /// The available slave finishing a new nominal task the earliest, if any.
+///
+/// Answers through the decision kernel's exact chunked scan: the
+/// completion estimate depends on the current time and link occupation
+/// (not journal-stable per-slave state), so it takes the closure-key
+/// path rather than the tournament tree. Down slaves key to `+∞`; an
+/// unavailable winner means *every* slave keyed to `+∞`, i.e. blackout.
 fn best_available(view: &SimView<'_>) -> Option<SlaveId> {
-    view.available_slaves().min_by(|&a, &b| {
-        view.completion_estimate(a)
-            .cmp(&view.completion_estimate(b))
-            .then(a.0.cmp(&b.0))
-    })
+    let winner = SlaveId(chunked_argmin(view.num_slaves(), |j| {
+        let j = SlaveId(j);
+        if view.slave_available(j) {
+            view.completion_estimate(j).as_f64()
+        } else {
+            f64::INFINITY
+        }
+    }));
+    view.slave_available(winner).then_some(winner)
 }
 
 impl<S: OnlineScheduler> OnlineScheduler for Redispatch<S> {

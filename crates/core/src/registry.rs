@@ -118,7 +118,7 @@ impl Algorithm {
     /// and independent, so adversary games can replay runs from scratch.
     pub fn build(self) -> Box<dyn OnlineScheduler> {
         match self {
-            Algorithm::Srpt => Box::new(Srpt),
+            Algorithm::Srpt => Box::new(Srpt::new()),
             Algorithm::ListScheduling => Box::new(ListScheduling),
             Algorithm::RoundRobin => Box::new(RoundRobin::rr()),
             Algorithm::RoundRobinComm => Box::new(RoundRobin::rrc()),

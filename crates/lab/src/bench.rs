@@ -62,7 +62,14 @@ use std::time::Instant;
 /// result store at threads 1, 2, and max, each point recording cells/sec,
 /// parallel efficiency against the 1-thread point, and the store's
 /// lock-contention ratio.
-pub const BENCH_SCHEMA: &str = "mss-bench/v5";
+/// v6: adds the `kernel_scaling` ladder — the streamed SRPT workload at
+/// m = 5/100/1k/10k slaves on the incremental decision kernel vs the
+/// historical linear scan (objectives asserted bit-equal inline) — and
+/// annotates every `scaling` point with the detected CPU count plus an
+/// `advisory` flag (`threads > cpus`: the point oversubscribes the
+/// machine, so its parallel efficiency is not meaningful and `--compare`
+/// skips it).
+pub const BENCH_SCHEMA: &str = "mss-bench/v6";
 
 /// Timing of the engine hot loop.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
@@ -123,6 +130,49 @@ pub struct ScalingPoint {
     /// [`mss_obs::StoreStats::contention_ratio`]); near zero means the
     /// sharded store never made a worker wait.
     pub store_contention_ratio: f64,
+    /// CPUs detected on the machine that produced the point
+    /// (`std::thread::available_parallelism`; `1` when undetectable).
+    pub cpus: usize,
+    /// `threads > cpus`: the point oversubscribed the machine, so its
+    /// throughput and parallel efficiency measure contention, not scaling
+    /// (a 2-thread point on a 1-CPU container reports efficiency ≈ 0.5
+    /// without any real regression). Advisory points are kept for the
+    /// record but skipped by [`compare`].
+    pub advisory: bool,
+}
+
+/// One rung of the slave-count scaling ladder (schema v6): the same
+/// streamed SRPT workload timed on the incremental decision kernel
+/// ([`mss_core::Srpt::new`]) and on the historical linear-scan reference
+/// ([`mss_core::Srpt::scan_reference`]). The two runs' objectives are
+/// asserted bit-equal inline — the ladder measures pure decision-path
+/// speed, never a behavioral difference.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct KernelScalingPoint {
+    /// Slaves on the ladder platform.
+    pub slaves: usize,
+    /// Tasks pulled through the stream per iteration.
+    pub tasks: usize,
+    /// Timed iterations (after one warm-up), per path.
+    pub iters: usize,
+    /// Events per iteration (`3 · tasks`, exact for a static run).
+    pub events_per_iter: u64,
+    /// Events/sec through the incremental kernel path.
+    pub kernel_events_per_sec: f64,
+    /// Events/sec through the linear-scan reference path.
+    pub scan_events_per_sec: f64,
+    /// `kernel_events_per_sec / scan_events_per_sec`.
+    pub speedup: f64,
+    /// Kernel argmin queries over the timed kernel runs.
+    pub kernel_queries: u64,
+    /// Full tree rebuilds among those queries.
+    pub kernel_rebuilds: u64,
+    /// Journal entries replayed into the tree (incremental updates).
+    pub kernel_replayed: u64,
+    /// Queries answered by the scan fallback (small `m` or no journal).
+    pub kernel_scans: u64,
+    /// Fraction of queries answered incrementally (no rebuild, no scan).
+    pub kernel_hit_ratio: f64,
 }
 
 /// Timing of the bounded-memory streamed engine loop
@@ -168,6 +218,9 @@ pub struct BenchReport {
     /// Parallel-scaling curve over the reference grid with a live result
     /// store: threads 1, 2, and max (deduplicated, ascending).
     pub scaling: Vec<ScalingPoint>,
+    /// Slave-count scaling ladder: streamed SRPT at m = 5/100/1k/10k
+    /// (truncated under `--quick`), incremental kernel vs linear scan.
+    pub kernel_scaling: Vec<KernelScalingPoint>,
     /// Bounded-memory streamed engine loop: a million-task instance pulled
     /// lazily from a seeded [`GeneratedSource`] on a 100-slave platform
     /// (scaled down under `--quick`).
@@ -297,6 +350,88 @@ fn stream_bench(quick: bool) -> StreamBench {
     }
 }
 
+/// CPUs visible to this process (1 when the platform cannot say).
+fn detected_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// One rung of the slave-count ladder: a streamed SRPT run at `m` slaves,
+/// timed on the incremental kernel and on the linear-scan reference, with
+/// the objectives of the two paths asserted bit-equal.
+fn kernel_point(m: usize, quick: bool) -> KernelScalingPoint {
+    // Mildly heterogeneous, compute-bound (cheap links) — same family as
+    // the `stream` entry, scaled in m. Moduli keep the rate spread fixed
+    // as m grows so rungs differ only in slave count.
+    let c: Vec<f64> = (0..m).map(|j| 0.01 + 1e-4 * (j % 97) as f64).collect();
+    let p: Vec<f64> = (0..m).map(|j| 2.0 + 0.03 * (j % 89) as f64).collect();
+    let platform = Platform::from_vectors(&c, &p);
+    let (tasks, iters) = if quick {
+        ((2 * m).clamp(500, 2_000), 1)
+    } else {
+        ((4 * m).clamp(5_000, 40_000), 2)
+    };
+    let cfg = SimConfig::with_horizon(tasks);
+    let mut ws = SimWorkspace::new();
+    let mut source = GeneratedSource::new(
+        ArrivalProcess::UniformStream { load: 0.7 },
+        tasks,
+        &platform,
+        42,
+    );
+    let mut run_path = |scheduler: &mut dyn mss_core::OnlineScheduler| {
+        let mut objectives = None;
+        let (best, _) = time_loop(iters, || {
+            source.reset();
+            let stats = simulate_streamed_objectives_in(
+                &mut ws,
+                &platform,
+                &mut source,
+                &cfg,
+                &Timeline::EMPTY,
+                scheduler,
+            )
+            .expect("ladder workload simulates");
+            assert_eq!(stats.tasks, tasks);
+            objectives = Some(stats.objectives);
+        });
+        (best, objectives.expect("at least one timed iteration"))
+    };
+    let (scan_best, scan_obj) = run_path(&mut mss_core::Srpt::scan_reference());
+    mss_obs::kernel_stats_reset();
+    let (kernel_best, kernel_obj) = run_path(&mut mss_core::Srpt::new());
+    let stats = mss_obs::kernel_stats_snapshot();
+    assert_eq!(
+        kernel_obj, scan_obj,
+        "kernel and scan paths must be bit-identical at m = {m}"
+    );
+    let events = 3 * tasks as u64;
+    KernelScalingPoint {
+        slaves: m,
+        tasks,
+        iters,
+        events_per_iter: events,
+        kernel_events_per_sec: events as f64 / kernel_best,
+        scan_events_per_sec: events as f64 / scan_best,
+        speedup: scan_best / kernel_best,
+        kernel_queries: stats.queries,
+        kernel_rebuilds: stats.rebuilds,
+        kernel_replayed: stats.replayed,
+        kernel_scans: stats.scans,
+        kernel_hit_ratio: stats.hit_ratio().unwrap_or(0.0),
+    }
+}
+
+fn kernel_ladder(quick: bool) -> Vec<KernelScalingPoint> {
+    let rungs: &[usize] = if quick {
+        &[5, 100, 1_000]
+    } else {
+        &[5, 100, 1_000, 10_000]
+    };
+    rungs.iter().map(|&m| kernel_point(m, quick)).collect()
+}
+
 fn grid_spec(name: &str, tasks: &str, count: usize) -> mss_sweep::SweepSpec {
     spec_from_toml(&format!(
         r#"
@@ -377,6 +512,7 @@ fn scaling_bench(spec: &mss_sweep::SweepSpec, iters: usize, threads: usize) -> S
         contention = outcome.stats.store.contention_ratio();
     });
     let _ = std::fs::remove_dir_all(&base);
+    let cpus = detected_cpus();
     ScalingPoint {
         threads,
         cells: n,
@@ -384,6 +520,8 @@ fn scaling_bench(spec: &mss_sweep::SweepSpec, iters: usize, threads: usize) -> S
         cells_per_sec: n as f64 / best,
         parallel_efficiency: 1.0,
         store_contention_ratio: contention,
+        cpus,
+        advisory: threads > cpus,
     }
 }
 
@@ -423,6 +561,7 @@ pub fn run(quick: bool, threads: usize) -> BenchReport {
     for point in &mut scaling {
         point.parallel_efficiency = point.cells_per_sec / (point.threads as f64 * base_cps);
     }
+    let kernel_scaling = kernel_ladder(quick);
     BenchReport {
         schema: BENCH_SCHEMA.to_string(),
         quick,
@@ -431,6 +570,7 @@ pub fn run(quick: bool, threads: usize) -> BenchReport {
         sweep_max,
         sweep_large,
         scaling,
+        kernel_scaling,
         stream,
         allocs_per_event_steady_state: 0.0,
         elided_callback_ratio,
@@ -452,16 +592,37 @@ impl BenchReport {
             .iter()
             .map(|p| {
                 format!(
-                    "scaling: {:>2} threads -> {:>8.1} cells/sec, efficiency {:.2}, \
+                    "scaling: {:>2} threads ({} cpus{}) -> {:>8.1} cells/sec, efficiency {:.2}, \
                      store contention {:.3}",
-                    p.threads, p.cells_per_sec, p.parallel_efficiency, p.store_contention_ratio
+                    p.threads,
+                    p.cpus,
+                    if p.advisory { ", ADVISORY" } else { "" },
+                    p.cells_per_sec,
+                    p.parallel_efficiency,
+                    p.store_contention_ratio
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let kernel_lines = self
+            .kernel_scaling
+            .iter()
+            .map(|k| {
+                format!(
+                    "kernel:  m = {:>5} -> {:>10.0} events/sec (scan {:>10.0}), speedup {:.2}x, \
+                     hit ratio {:.3}",
+                    k.slaves,
+                    k.kernel_events_per_sec,
+                    k.scan_events_per_sec,
+                    k.speedup,
+                    k.kernel_hit_ratio
                 )
             })
             .collect::<Vec<_>>()
             .join("\n");
         format!(
             "engine: {} tasks x {} slaves, {} events/iter, best {:.3} ms -> {:.0} events/sec\n\
-             {}\n{}\n{}\n{scaling_lines}\n\
+             {}\n{}\n{}\n{scaling_lines}\n{kernel_lines}\n\
              {}: {} tasks x {} slaves, best {:.3} s -> {:.0} tasks/sec \
              (peak slots: {} live / {} resident)\n\
              allocs/event (steady state): {} (enforced by crates/sim/tests/zero_alloc.rs)\n\
@@ -522,10 +683,17 @@ pub struct BenchComparison {
     pub caveats: Vec<String>,
 }
 
-/// Compares the four throughput metrics of two bench reports.
+/// Compares the throughput metrics of two bench reports: the five scalar
+/// entries, the non-advisory `scaling` points (matched by thread count),
+/// and the `kernel_scaling` rungs (matched by slave count).
 /// `threshold_pct` is how many percent *slower* a metric may run before
 /// it counts as a regression (wall-clock benches are noisy; the CI
 /// default of 20 % tolerates machine jitter while catching real cliffs).
+///
+/// Advisory scaling points (threads > detected CPUs on either side) are
+/// skipped with a caveat: an oversubscribed point measures contention on
+/// that particular machine, so a delta against it flags phantom
+/// regressions whenever the CPU count changes between runs.
 pub fn compare(old: &BenchReport, new: &BenchReport, threshold_pct: f64) -> BenchComparison {
     let mut caveats = Vec::new();
     if old.schema != new.schema {
@@ -539,37 +707,64 @@ pub fn compare(old: &BenchReport, new: &BenchReport, threshold_pct: f64) -> Benc
             "scale mismatch: one report is --quick — throughputs are not comparable".to_string(),
         );
     }
-    let pairs = [
+    let mut pairs: Vec<(String, f64, f64)> = vec![
         (
-            "engine.events_per_sec",
+            "engine.events_per_sec".into(),
             old.engine.events_per_sec,
             new.engine.events_per_sec,
         ),
         (
-            "sweep.cells_per_sec",
+            "sweep.cells_per_sec".into(),
             old.sweep.cells_per_sec,
             new.sweep.cells_per_sec,
         ),
         (
-            "sweep_max.cells_per_sec",
+            "sweep_max.cells_per_sec".into(),
             old.sweep_max.cells_per_sec,
             new.sweep_max.cells_per_sec,
         ),
         (
-            "sweep_large.cells_per_sec",
+            "sweep_large.cells_per_sec".into(),
             old.sweep_large.cells_per_sec,
             new.sweep_large.cells_per_sec,
         ),
         (
-            "stream.tasks_per_sec",
+            "stream.tasks_per_sec".into(),
             old.stream.tasks_per_sec,
             new.stream.tasks_per_sec,
         ),
     ];
+    for np in &new.scaling {
+        let Some(op) = old.scaling.iter().find(|o| o.threads == np.threads) else {
+            continue;
+        };
+        if np.advisory || op.advisory {
+            caveats.push(format!(
+                "scaling@{}t skipped: advisory (threads exceed detected CPUs)",
+                np.threads
+            ));
+            continue;
+        }
+        pairs.push((
+            format!("scaling@{}t.cells_per_sec", np.threads),
+            op.cells_per_sec,
+            np.cells_per_sec,
+        ));
+    }
+    for np in &new.kernel_scaling {
+        let Some(op) = old.kernel_scaling.iter().find(|o| o.slaves == np.slaves) else {
+            continue;
+        };
+        pairs.push((
+            format!("kernel@m{}.events_per_sec", np.slaves),
+            op.kernel_events_per_sec,
+            np.kernel_events_per_sec,
+        ));
+    }
     let deltas = pairs
         .into_iter()
         .map(|(metric, o, n)| BenchDelta {
-            metric: metric.to_string(),
+            metric,
             old: o,
             new: n,
             change_pct: if o > 0.0 { (n - o) / o * 100.0 } else { 0.0 },
@@ -661,7 +856,36 @@ mod tests {
             assert!(p.cells_per_sec > 0.0);
             assert!(p.parallel_efficiency > 0.0);
             assert!(p.store_contention_ratio >= 0.0);
+            assert!(p.cpus >= 1, "detected CPU count is annotated");
+            assert_eq!(p.advisory, p.threads > p.cpus);
         }
+        // The kernel ladder (truncated under --quick) runs both decision
+        // paths at every rung; objectives are asserted bit-equal inside
+        // the bench itself, so reaching here means the paths agreed.
+        assert_eq!(
+            report
+                .kernel_scaling
+                .iter()
+                .map(|k| k.slaves)
+                .collect::<Vec<_>>(),
+            vec![5, 100, 1_000],
+            "--quick ladder rungs"
+        );
+        for k in &report.kernel_scaling {
+            assert!(k.kernel_events_per_sec > 0.0);
+            assert!(k.scan_events_per_sec > 0.0);
+            assert!(k.speedup > 0.0);
+            assert_eq!(k.events_per_iter, 3 * k.tasks as u64);
+            assert!((0.0..=1.0).contains(&k.kernel_hit_ratio));
+        }
+        // Above the tree threshold the kernel must actually answer
+        // incrementally, not via the scan fallback.
+        let top = report.kernel_scaling.last().unwrap();
+        assert!(
+            top.kernel_queries > 0 && top.kernel_hit_ratio > 0.5,
+            "m = {} should be tree-served: {top:?}",
+            top.slaves
+        );
         // The streamed entry completes the whole instance in bounded
         // memory: the live-slot peak is O(slaves + outstanding), nowhere
         // near the task count.
@@ -684,16 +908,29 @@ mod tests {
         assert_eq!(back.scaling.len(), report.scaling.len());
         assert!(report.render().contains("events/sec"));
         assert!(report.render().contains("store contention"));
+        assert!(report.render().contains("speedup"));
     }
 
     #[test]
     fn comparison_flags_only_past_threshold_regressions() {
         let new = run(true, 2);
         let same = compare(&new, &new, 20.0);
-        assert!(same.caveats.is_empty());
         assert!(same.regressions().is_empty());
         assert!(same.render().contains("no regression"));
-        assert_eq!(same.deltas.len(), 5);
+        // Five scalar metrics, plus one per non-advisory scaling point,
+        // plus one per kernel-ladder rung; advisory points are skipped
+        // with a caveat instead of compared.
+        let advisory = new.scaling.iter().filter(|p| p.advisory).count();
+        let expected = 5 + (new.scaling.len() - advisory) + new.kernel_scaling.len();
+        assert_eq!(same.deltas.len(), expected);
+        assert_eq!(same.caveats.len(), advisory);
+        for p in new.scaling.iter().filter(|p| p.advisory) {
+            let name = format!("scaling@{}t.cells_per_sec", p.threads);
+            assert!(
+                same.deltas.iter().all(|d| d.metric != name),
+                "advisory point {name} must not be compared"
+            );
+        }
         assert!(same.deltas.iter().all(|d| d.change_pct == 0.0));
 
         // A 50 % faster "old" engine makes the new one a 33 % regression.
@@ -707,9 +944,10 @@ mod tests {
         // The same slowdown passes under a 40 % threshold.
         assert!(compare(&old, &new, 40.0).regressions().is_empty());
 
-        // Mismatched scales are called out.
+        // Mismatched scales are called out (on top of any advisory skips).
         let mut quick_old = new.clone();
         quick_old.quick = false;
-        assert_eq!(compare(&quick_old, &new, 20.0).caveats.len(), 1);
+        let advisory = new.scaling.iter().filter(|p| p.advisory).count();
+        assert_eq!(compare(&quick_old, &new, 20.0).caveats.len(), 1 + advisory);
     }
 }

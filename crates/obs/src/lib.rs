@@ -43,6 +43,7 @@ pub mod chrome;
 pub mod counters;
 pub mod digest;
 pub mod hist;
+pub mod kernel_stats;
 pub mod metrics;
 pub mod metrics_probe;
 pub mod phase;
@@ -54,6 +55,7 @@ pub use chrome::ChromeTrace;
 pub use counters::RunCounters;
 pub use digest::{DigestEvent, DigestProbe};
 pub use hist::Histogram;
+pub use kernel_stats::{kernel_stats_reset, kernel_stats_snapshot, KernelStats};
 pub use metrics::{BatchSpan, StoreStats, SweepMetrics, WorkerMetrics, STORE_SHARDS};
 pub use metrics_probe::{MetricsProbe, RunHistograms, RunMetrics};
 pub use phase::PhaseProfile;

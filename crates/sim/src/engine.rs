@@ -30,13 +30,17 @@
 //!
 //! * **incrementally maintained slave views** — the [`SlaveView`] handed to
 //!   the scheduler is cached per slave and recomputed only when stale — an
-//!   event touched that slave (a `NEG_INFINITY` sentinel) or the clock
-//!   passed the instant up to which the cached nominal estimate is provably
-//!   exact (`view_valid_until`) — one float compare per slave.
-//!   The recomputation replays the *same sequential float arithmetic* as a
-//!   from-scratch evaluation, so cached and fresh views are bit-identical —
-//!   a `debug_assertions` oracle re-derives every view from scratch after
-//!   each refresh and asserts bitwise equality;
+//!   event touched that slave (tracked in an explicit dirty stack, with the
+//!   `NEG_INFINITY` `view_valid_until` sentinel deduplicating pushes) or
+//!   the clock passed the instant up to which the cached nominal estimate
+//!   is provably exact (a lazy-deletion min-heap over `view_valid_until`
+//!   anchors). Idle slaves — whose fold is `now` itself — are answered
+//!   lazily by the view and never recomputed at all, so a refresh touches
+//!   only the slaves that actually changed: O(dirty · log m) per callback,
+//!   not O(m). The recomputation replays the *same sequential float
+//!   arithmetic* as a from-scratch evaluation, so cached and fresh views
+//!   are bit-identical — a `debug_assertions` oracle re-derives every view
+//!   from scratch after each refresh and asserts bitwise equality;
 //! * **an indexed task-phase map** — pending-membership checks in
 //!   [`Decision::Send`] validation are O(1) array lookups instead of a scan
 //!   of the pending queue, and the pending queue itself is a ring buffer
@@ -52,6 +56,7 @@
 
 use crate::events::{PlatformEventKind, Timeline};
 use crate::info::{InfoTier, SlaveEstimates};
+use crate::kernel::TouchJournal;
 use crate::platform::{Platform, SlaveId};
 use crate::scheduler::{Decision, OnlineScheduler, SchedulerEvent};
 use crate::source::TaskSource;
@@ -325,8 +330,27 @@ pub struct SimWorkspace {
     /// Instant up to which `views.ready_estimate[j]` is exact without
     /// recomputation (see [`Engine::recompute_view`]); `NEG_INFINITY` is
     /// the "dirty" sentinel (an event touched the slave since its view was
-    /// cached), so staleness is a single float compare per slave.
+    /// cached, and the slave's index sits in `view_dirty`), `INFINITY`
+    /// marks an idle slave (its view is answered lazily and never
+    /// expires).
     view_valid_until: Vec<f64>,
+    /// Indices of slaves whose `view_valid_until` is the dirty sentinel,
+    /// drained by `refresh_views` — so a refresh walks the touched
+    /// slaves, not all `m`. The sentinel doubles as the de-duplication
+    /// guard: a slave is pushed only on its `valid → dirty` transition.
+    view_dirty: Vec<u32>,
+    /// Lazy-deletion min-heap of `(view_valid_until bits, slave)` for
+    /// busy slaves, so the refresh finds clock-expired views (possible
+    /// only under perturbed sizes or drift, where a computation outlives
+    /// its nominal prediction) without scanning. Entries are validated
+    /// against `view_valid_until` on pop; stale ones are discarded.
+    /// `f64::to_bits` is order-preserving on the non-negative times
+    /// stored here.
+    view_expiry: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Ring journal of event-touched slaves for the scheduler-side
+    /// decision kernels (see [`crate::kernel`]), exposed through
+    /// [`SimView::touch_journal`].
+    journal: TouchJournal,
     /// Per-slave learned rate estimates (the observable raw material of
     /// the sub-clairvoyant information tiers). Maintained only when the
     /// run's tier is below `Clairvoyant`; at `Clairvoyant` the hot path
@@ -444,6 +468,11 @@ impl SimWorkspace {
         self.views.reset(m);
         self.view_valid_until.clear();
         self.view_valid_until.resize(m, f64::NEG_INFINITY);
+        self.view_dirty.clear();
+        self.view_dirty.extend(0..m as u32);
+        self.view_expiry.clear();
+        self.view_expiry.reserve(m + 8);
+        self.journal.reset(m);
         self.estimates.reset(m);
         self.notifications.clear();
         self.lost.clear();
@@ -859,18 +888,43 @@ impl<'a, P: Probe, F: Feed> Engine<'a, P, F> {
                 t = t.max(ot.avail) + p;
             }
         }
-        let anchor = if rt.computing.is_some() {
-            rt.cur_pred_end
-        } else if let Some(front) = rt.outstanding.front() {
-            front.avail
+        if rt.outstanding.is_empty() {
+            // Idle: the fold is `now` itself and the view answers it
+            // lazily (`SimView` substitutes `now` for idle rows), so the
+            // cache never expires and idle slaves cost nothing per
+            // callback.
+            self.ws.view_valid_until[j] = f64::INFINITY;
         } else {
-            f64::NEG_INFINITY
-        };
-        self.ws.view_valid_until[j] = anchor.max(now);
+            let anchor = if rt.computing.is_some() {
+                rt.cur_pred_end
+            } else {
+                rt.outstanding.front().expect("non-empty queue").avail
+            };
+            let valid_until = anchor.max(now);
+            self.ws.view_valid_until[j] = valid_until;
+            self.ws
+                .view_expiry
+                .push(Reverse((valid_until.to_bits(), j as u32)));
+        }
         self.ws.views.outstanding[j] = rt.outstanding.len();
         self.ws.views.ready_estimate[j] = t;
         self.ws.views.completed[j] = rt.completed;
         self.ws.views.available[j] = !rt.down;
+    }
+
+    /// Marks slave `j`'s cached view stale after an event touched it, and
+    /// journals the touch for the scheduler-side decision kernels. The
+    /// sentinel check makes re-marking within one refresh cycle free (and
+    /// keeps the journal deduplicated per cycle, which is sound because
+    /// kernels only sync at scheduler callbacks, which only run on fully
+    /// refreshed views).
+    #[inline]
+    fn mark_view_dirty(&mut self, j: usize) {
+        if self.ws.view_valid_until[j] != f64::NEG_INFINITY {
+            self.ws.view_valid_until[j] = f64::NEG_INFINITY;
+            self.ws.view_dirty.push(j as u32);
+            self.ws.journal.touch(j as u32);
+        }
     }
 
     /// Brings every cached slave view up to date with the current clock and
@@ -880,10 +934,24 @@ impl<'a, P: Probe, F: Feed> Engine<'a, P, F> {
         if !self.ws.pending.as_slices().1.is_empty() {
             self.ws.pending.make_contiguous();
         }
-        let now = self.clock.as_f64();
-        for j in 0..self.ws.slaves.len() {
-            if now > self.ws.view_valid_until[j] {
-                self.recompute_view(j);
+        // Event-touched slaves, from the dirty stack.
+        while let Some(j) = self.ws.view_dirty.pop() {
+            self.recompute_view(j as usize);
+        }
+        // Busy slaves whose cached estimate the clock has passed (only
+        // possible when a computation outlives its nominal prediction —
+        // perturbed sizes or drift). Heap entries are validated against
+        // the live `view_valid_until`; a recompute at the current instant
+        // re-anchors at `now`, whose entry no longer satisfies the strict
+        // `<`, so this loop terminates.
+        let now_bits = self.clock.as_f64().to_bits();
+        while let Some(&Reverse((bits, j))) = self.ws.view_expiry.peek() {
+            if bits >= now_bits {
+                break;
+            }
+            self.ws.view_expiry.pop();
+            if self.ws.view_valid_until[j as usize].to_bits() == bits {
+                self.recompute_view(j as usize);
             }
         }
         #[cfg(debug_assertions)]
@@ -906,12 +974,28 @@ impl<'a, P: Probe, F: Feed> Engine<'a, P, F> {
                 }
             }
             let v = &self.ws.views;
+            // Idle rows are answered lazily by the view (`now`, which is
+            // the fold over an empty queue by construction); their stored
+            // column may be stale, but the *effective* value must match.
+            let effective = if rt.outstanding.is_empty() {
+                assert!(
+                    self.ws.view_valid_until[j].is_infinite()
+                        || self.ws.view_valid_until[j] == f64::NEG_INFINITY,
+                    "idle slave {j} must be lazily valid or dirty"
+                );
+                now
+            } else {
+                assert!(
+                    self.ws.view_valid_until[j] >= now,
+                    "busy slave {j}: view overdue (valid until {} < now {now})",
+                    self.ws.view_valid_until[j]
+                );
+                v.ready_estimate[j]
+            };
             assert_eq!(
-                v.ready_estimate[j].to_bits(),
+                effective.to_bits(),
                 t.to_bits(),
-                "slave {j}: cached estimate {} != fresh {} at t={now}",
-                v.ready_estimate[j],
-                t
+                "slave {j}: cached estimate {effective} != fresh {t} at t={now}"
             );
             assert_eq!(v.outstanding[j], rt.outstanding.len(), "slave {j} count");
             assert_eq!(v.completed[j], rt.completed, "slave {j} completed");
@@ -936,6 +1020,8 @@ impl<'a, P: Probe, F: Feed> Engine<'a, P, F> {
             horizon: self.config.horizon_hint,
             released_count: self.released_count,
             completed_count: self.completed_count,
+            journal: Some(&self.ws.journal),
+            idle_lazy: true,
         }
     }
 
@@ -956,7 +1042,7 @@ impl<'a, P: Probe, F: Feed> Engine<'a, P, F> {
             Event::SendComplete(t, j) => {
                 self.in_flight = None;
                 let slot = self.ws.slot(t);
-                self.ws.view_valid_until[j.0] = f64::NEG_INFINITY;
+                self.mark_view_dirty(j.0);
                 if self.learning {
                     // The master owns the port: the transfer's duration is
                     // its own observation (valid even when the destination
@@ -1018,7 +1104,7 @@ impl<'a, P: Probe, F: Feed> Engine<'a, P, F> {
                 self.ws.records[slot].done = true;
                 self.ws.phases[slot] = TaskPhase::Done;
                 self.completed_count += 1;
-                self.ws.view_valid_until[j.0] = f64::NEG_INFINITY;
+                self.mark_view_dirty(j.0);
                 let rt = &mut self.ws.slaves[j.0];
                 debug_assert_eq!(rt.computing, Some(t));
                 rt.computing = None;
@@ -1059,7 +1145,7 @@ impl<'a, P: Probe, F: Feed> Engine<'a, P, F> {
                         self.in_flight = None;
                     }
                 }
-                self.ws.view_valid_until[j.0] = f64::NEG_INFINITY;
+                self.mark_view_dirty(j.0);
                 if self.learning {
                     // The master observed the failure: whatever was
                     // computing is gone (no duration is learned from it).
@@ -1093,7 +1179,7 @@ impl<'a, P: Probe, F: Feed> Engine<'a, P, F> {
                 // master gambled on the recovery) stays in `outstanding` and
                 // is delivered normally at its send-complete.
                 self.ws.slaves[j.0].down = false;
-                self.ws.view_valid_until[j.0] = f64::NEG_INFINITY;
+                self.mark_view_dirty(j.0);
                 self.probe.slave_recovered(self.clock.as_f64(), j.0);
                 Some(SchedulerEvent::SlaveRecovered(j))
             }
@@ -1122,7 +1208,7 @@ impl<'a, P: Probe, F: Feed> Engine<'a, P, F> {
         self.ws.records[slot].compute_start = now;
         self.ws.records[slot].billed_p = billed_p;
         let seq = self.push(Time::new(now + actual), Event::ComputeComplete(t, j));
-        self.ws.view_valid_until[j.0] = f64::NEG_INFINITY;
+        self.mark_view_dirty(j.0);
         if self.learning {
             // Observable: with FIFO computes, a computation starts exactly
             // when the engine starts one.
@@ -1193,7 +1279,7 @@ impl<'a, P: Probe, F: Feed> Engine<'a, P, F> {
         self.ws.records[slot].slave = j.0;
         self.ws.records[slot].assigned = true;
         self.link_busy_until = now + actual_c;
-        self.ws.view_valid_until[j.0] = f64::NEG_INFINITY;
+        self.mark_view_dirty(j.0);
         self.ws.slaves[j.0].outstanding.push_back(OutTask {
             id: t,
             avail: now.as_f64() + nominal_c,

@@ -69,6 +69,7 @@ mod engine;
 pub mod events;
 mod gantt;
 pub mod info;
+pub mod kernel;
 mod platform;
 mod scheduler;
 pub mod source;
@@ -88,6 +89,9 @@ pub use events::{PlatformEvent, PlatformEventKind, Timeline};
 pub use gantt::render as render_gantt;
 pub use gantt::render_with_downtime;
 pub use info::{InfoTier, SlaveEstimate, SlaveEstimates};
+pub use kernel::{
+    chunked_argmin, scan_argmin, ArgminTree, IncrementalArgmin, TouchJournal, TREE_THRESHOLD,
+};
 pub use mss_obs::{
     DigestEvent, DigestProbe, Histogram, Marker, MarkerKind, MetricsProbe, NoopProbe, Probe,
     RunCounters, RunHistograms, RunMetrics, Span, SpanKind, TraceRecorder,

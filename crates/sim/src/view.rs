@@ -19,6 +19,7 @@
 //! invisible at *every* tier.
 
 use crate::info::{InfoTier, SlaveEstimate, SlaveEstimates};
+use crate::kernel::TouchJournal;
 use crate::platform::{Platform, SlaveId};
 use crate::task::TaskId;
 use crate::time::Time;
@@ -190,6 +191,8 @@ impl ViewState {
             horizon: self.horizon,
             released_count: self.released_count,
             completed_count: self.completed_count,
+            journal: None,
+            idle_lazy: false,
         }
     }
 }
@@ -232,6 +235,18 @@ pub struct SimView<'a> {
     pub(crate) horizon: Option<usize>,
     pub(crate) released_count: usize,
     pub(crate) completed_count: usize,
+    /// The engine's ring of event-touched slaves, when this view is
+    /// engine-backed — the raw material of the sublinear decision kernels
+    /// ([`crate::kernel::IncrementalArgmin`]). `None` for views borrowed
+    /// from an owned [`ViewState`], where kernels fall back to the exact
+    /// chunked scan.
+    pub(crate) journal: Option<&'a TouchJournal>,
+    /// Engine-backed views answer an idle slave's ready estimate as `now`
+    /// directly instead of reading the cached column (the fold over an
+    /// empty queue *is* `now`, so this is bit-identical) — which is what
+    /// lets the engine skip per-callback recomputation of idle rows.
+    /// `ViewState`-backed views keep full column authority.
+    pub(crate) idle_lazy: bool,
 }
 
 impl<'a> SimView<'a> {
@@ -333,7 +348,13 @@ impl<'a> SimView<'a> {
     /// ```
     pub fn slave(&self, j: SlaveId) -> SlaveView {
         match self.tier {
-            InfoTier::Clairvoyant => self.slaves.get(j.0),
+            InfoTier::Clairvoyant => {
+                let mut v = self.slaves.get(j.0);
+                if self.idle_lazy && v.outstanding == 0 {
+                    v.ready_estimate = self.now;
+                }
+                v
+            }
             _ => SlaveView {
                 ready_estimate: self.ready_estimate(j),
                 ..self.slaves.get(j.0)
@@ -422,7 +443,16 @@ impl<'a> SimView<'a> {
     /// outstanding task adds one `p̂`.
     pub fn ready_estimate(&self, j: SlaveId) -> Time {
         match self.tier {
-            InfoTier::Clairvoyant => Time::new(self.slaves.ready_estimate[j.0]),
+            InfoTier::Clairvoyant => {
+                if self.idle_lazy && self.slaves.outstanding[j.0] == 0 {
+                    // An idle slave's fold is `now` itself; answering it
+                    // directly spares the engine the per-callback
+                    // recomputation of every idle row (bit-identical).
+                    self.now
+                } else {
+                    Time::new(self.slaves.ready_estimate[j.0])
+                }
+            }
             _ => {
                 let outstanding = self.slaves.outstanding[j.0];
                 let now = self.now.as_f64();
@@ -452,7 +482,12 @@ impl<'a> SimView<'a> {
         match self.tier {
             InfoTier::Clairvoyant => {
                 let recv = self.link_free_at() + self.platform.c(j);
-                let start = recv.max(Time::new(self.slaves.ready_estimate[j.0]));
+                let ready = if self.idle_lazy && self.slaves.outstanding[j.0] == 0 {
+                    self.now
+                } else {
+                    Time::new(self.slaves.ready_estimate[j.0])
+                };
+                let start = recv.max(ready);
                 start + self.platform.p(j)
             }
             _ => {
@@ -474,6 +509,15 @@ impl<'a> SimView<'a> {
             InfoTier::NonClairvoyant => None,
             _ => self.horizon,
         }
+    }
+
+    /// The engine's journal of event-touched slaves, when this view is
+    /// engine-backed — what lets [`crate::kernel::IncrementalArgmin`]
+    /// update only the leaves that can have changed. `None` on views
+    /// borrowed from an owned [`ViewState`] (kernels then fall back to
+    /// the exact chunked scan).
+    pub fn touch_journal(&self) -> Option<&'a TouchJournal> {
+        self.journal
     }
 
     /// How many tasks have been released so far.

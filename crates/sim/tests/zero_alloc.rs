@@ -12,8 +12,8 @@
 
 use mss_sim::{
     bag_of_tasks, simulate_in, simulate_streamed_objectives_in, simulate_with_probe_in, Decision,
-    NoopProbe, OnlineScheduler, Platform, SchedulerEvent, SimConfig, SimView, SimWorkspace,
-    SlaveId, TaskArrival, TaskSource, Timeline, Trace,
+    IncrementalArgmin, NoopProbe, OnlineScheduler, Platform, SchedulerEvent, SimConfig, SimView,
+    SimWorkspace, SlaveId, TaskArrival, TaskSource, Timeline, Trace,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -65,6 +65,42 @@ impl OnlineScheduler for Greedy {
             }
         }
         Decision::Send { task, slave: best }
+    }
+}
+
+/// SRPT-shaped scheduler on the incremental decision kernel, with the
+/// tree forced on (threshold 0): after the warm-up run sized the
+/// tournament tree, syncing from the touch journal and answering argmin
+/// queries must not allocate.
+struct KernelGreedy {
+    kernel: IncrementalArgmin,
+}
+
+impl OnlineScheduler for KernelGreedy {
+    fn name(&self) -> String {
+        "kernel-greedy".into()
+    }
+
+    fn on_event(&mut self, view: &SimView<'_>, _e: SchedulerEvent) -> Decision {
+        if !view.link_idle() {
+            return Decision::Idle;
+        }
+        let Some(&task) = view.pending_tasks().first() else {
+            return Decision::Idle;
+        };
+        let slave = self.kernel.argmin(view, |j| {
+            let j = SlaveId(j);
+            if view.slave_idle(j) {
+                view.believed_p(j)
+            } else {
+                f64::INFINITY
+            }
+        });
+        if view.slave_idle(slave) {
+            Decision::Send { task, slave }
+        } else {
+            Decision::Idle
+        }
     }
 }
 
@@ -209,5 +245,30 @@ fn steady_state_events_allocate_nothing() {
         "expected the streamed event loop to stay allocation-free, \
          counted {during} allocations over {} events",
         3 * big
+    );
+
+    // Decision-kernel steady state (contract #15): with the tournament
+    // tree forced on, a warm rerun — tree rebuild at the new run nonce,
+    // journal replays, and an argmin query per decision — allocates
+    // nothing. The tree's backing vectors were sized by the warm-up and
+    // the platform size is unchanged, so `rebuild` only rewrites them.
+    let mut kernel_sched = KernelGreedy {
+        kernel: IncrementalArgmin::new().with_threshold(0),
+    };
+    let kernel_warm: Trace =
+        simulate_in(&mut ws, &platform, &tasks, &cfg, &mut kernel_sched).unwrap();
+    assert_eq!(kernel_warm.len(), n);
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let kernel_trace = simulate_in(&mut ws, &platform, &tasks, &cfg, &mut kernel_sched).unwrap();
+    let during = ALLOCS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        kernel_trace, kernel_warm,
+        "warm kernel rerun must be bit-identical"
+    );
+    assert!(
+        during <= 4,
+        "expected the kernel-backed event loop to stay allocation-free, \
+         counted {during} allocations over {} events",
+        3 * n
     );
 }
